@@ -1,0 +1,186 @@
+// Ablation: CQ evaluation strategies (the substrate behind Theorems 2/3
+// and every tractable WDPT algorithm).
+//
+//  * Backtracking vs Yannakakis on an adversarial "dead-end funnel":
+//    a layered graph where the last layer has no outgoing edges, so the
+//    plain backtracking join explores Theta(n^2) dead ends while the
+//    semijoin-reduced evaluation empties the relationship in one pass.
+//  * Decomposition-based evaluation of cyclic queries (cycle of length
+//    6, ghw 2) vs backtracking.
+//  * Cost of the decomposition machinery itself on small inputs (where
+//    backtracking wins) — the crossover the auto strategy navigates.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/cq/evaluation.h"
+#include "src/gen/cq_gen.h"
+#include "src/gen/db_gen.h"
+
+namespace wdpt::bench {
+namespace {
+
+// Three complete bipartite layers a_i -> b_j -> c_k with no edges out of
+// the c layer: a backtracking join of a length-4 path explores ~n^3
+// partial assignments before concluding emptiness, while the semijoin
+// reduction empties the relations in O(n^2).
+Database MakeFunnel(Schema* schema, Vocabulary* vocab, uint32_t n,
+                    RelationId* rel) {
+  *rel = gen::EdgeRelation(schema);
+  Database db(schema);
+  for (uint32_t i = 0; i < n; ++i) {
+    ConstantId a = vocab->ConstantIdOf("fa" + std::to_string(i));
+    ConstantId b = vocab->ConstantIdOf("fb" + std::to_string(i));
+    for (uint32_t j = 0; j < n; ++j) {
+      ConstantId b2 = vocab->ConstantIdOf("fb" + std::to_string(j));
+      ConstantId c = vocab->ConstantIdOf("fc" + std::to_string(j));
+      ConstantId t[2] = {a, b2};
+      WDPT_CHECK(db.AddFact(*rel, t).ok());
+      ConstantId u[2] = {b, c};
+      WDPT_CHECK(db.AddFact(*rel, u).ok());
+    }
+  }
+  return db;
+}
+
+void BM_Funnel_Backtracking(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  Schema schema;
+  Vocabulary vocab;
+  RelationId e;
+  Database db = MakeFunnel(&schema, &vocab, n, &e);
+  ConjunctiveQuery path = gen::MakePathCq(&schema, &vocab, 3, "fb");
+  CqEvalOptions opts;
+  opts.strategy = CqEvalStrategy::kBacktracking;
+  for (auto _ : state) {
+    bool r = DecideNonEmpty(path.atoms, db, Mapping(), opts);
+    WDPT_CHECK(!r);  // The funnel has no length-3 path.
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["facts"] = static_cast<double>(db.TotalFacts());
+}
+BENCHMARK(BM_Funnel_Backtracking)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Funnel_Yannakakis(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  Schema schema;
+  Vocabulary vocab;
+  RelationId e;
+  Database db = MakeFunnel(&schema, &vocab, n, &e);
+  ConjunctiveQuery path = gen::MakePathCq(&schema, &vocab, 3, "fy");
+  CqEvalOptions opts;
+  opts.strategy = CqEvalStrategy::kDecomposition;
+  for (auto _ : state) {
+    bool r = DecideNonEmpty(path.atoms, db, Mapping(), opts);
+    WDPT_CHECK(!r);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["facts"] = static_cast<double>(db.TotalFacts());
+}
+BENCHMARK(BM_Funnel_Yannakakis)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Layered DAG with 6 complete bipartite layers of size m: it contains
+// every partial path of the 6-cycle query but no cycle at all, so the
+// query is false. Backtracking walks ~m^5 partial paths before giving
+// up; the width-2 decomposition evaluation stays polynomial of low
+// degree in |D|.
+Database MakeLayeredDag(Schema* schema, Vocabulary* vocab, uint32_t m,
+                        RelationId* rel) {
+  *rel = gen::EdgeRelation(schema);
+  Database db(schema);
+  for (uint32_t layer = 0; layer + 1 < 6; ++layer) {
+    for (uint32_t i = 0; i < m; ++i) {
+      ConstantId a = vocab->ConstantIdOf(
+          "L" + std::to_string(layer) + "_" + std::to_string(i));
+      for (uint32_t j = 0; j < m; ++j) {
+        ConstantId b = vocab->ConstantIdOf(
+            "L" + std::to_string(layer + 1) + "_" + std::to_string(j));
+        ConstantId t[2] = {a, b};
+        WDPT_CHECK(db.AddFact(*rel, t).ok());
+      }
+    }
+  }
+  return db;
+}
+
+void BM_Cycle6_Backtracking(benchmark::State& state) {
+  uint32_t m = static_cast<uint32_t>(state.range(0));
+  Schema schema;
+  Vocabulary vocab;
+  RelationId e;
+  Database db = MakeLayeredDag(&schema, &vocab, m, &e);
+  ConjunctiveQuery cyc = gen::MakeCycleCq(&schema, &vocab, 6, "cb");
+  CqEvalOptions opts;
+  opts.strategy = CqEvalStrategy::kBacktracking;
+  for (auto _ : state) {
+    bool r = DecideNonEmpty(cyc.atoms, db, Mapping(), opts);
+    WDPT_CHECK(!r);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["facts"] = static_cast<double>(db.TotalFacts());
+}
+BENCHMARK(BM_Cycle6_Backtracking)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Cycle6_Decomposition(benchmark::State& state) {
+  uint32_t m = static_cast<uint32_t>(state.range(0));
+  Schema schema;
+  Vocabulary vocab;
+  RelationId e;
+  Database db = MakeLayeredDag(&schema, &vocab, m, &e);
+  ConjunctiveQuery cyc = gen::MakeCycleCq(&schema, &vocab, 6, "cd");
+  CqEvalOptions opts;
+  opts.strategy = CqEvalStrategy::kDecomposition;
+  for (auto _ : state) {
+    bool r = DecideNonEmpty(cyc.atoms, db, Mapping(), opts);
+    WDPT_CHECK(!r);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["facts"] = static_cast<double>(db.TotalFacts());
+}
+BENCHMARK(BM_Cycle6_Decomposition)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+// Small-input crossover: on tiny databases, the bag-materialization
+// overhead dominates and plain backtracking is faster.
+void BM_Small_Backtracking(benchmark::State& state) {
+  Schema schema;
+  Vocabulary vocab;
+  gen::RandomGraphOptions gopts;
+  gopts.num_vertices = 10;
+  gopts.num_edges = 25;
+  gopts.seed = 2;
+  RelationId e;
+  Database db = gen::MakeRandomGraphDb(&schema, &vocab, gopts, &e);
+  ConjunctiveQuery path = gen::MakePathCq(&schema, &vocab, 4, "sb");
+  CqEvalOptions opts;
+  opts.strategy = CqEvalStrategy::kBacktracking;
+  for (auto _ : state) {
+    bool r = DecideNonEmpty(path.atoms, db, Mapping(), opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Small_Backtracking);
+
+void BM_Small_Decomposition(benchmark::State& state) {
+  Schema schema;
+  Vocabulary vocab;
+  gen::RandomGraphOptions gopts;
+  gopts.num_vertices = 10;
+  gopts.num_edges = 25;
+  gopts.seed = 2;
+  RelationId e;
+  Database db = gen::MakeRandomGraphDb(&schema, &vocab, gopts, &e);
+  ConjunctiveQuery path = gen::MakePathCq(&schema, &vocab, 4, "sd");
+  CqEvalOptions opts;
+  opts.strategy = CqEvalStrategy::kDecomposition;
+  for (auto _ : state) {
+    bool r = DecideNonEmpty(path.atoms, db, Mapping(), opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Small_Decomposition);
+
+}  // namespace
+}  // namespace wdpt::bench
+
+BENCHMARK_MAIN();

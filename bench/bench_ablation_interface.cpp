@@ -1,0 +1,105 @@
+// Ablation: the role of the bounded-interface condition (Theorem 6).
+//
+// The Theorem 6 DP materializes one relation of interface assignments
+// per node, of size |adom|^{|interface|}. Sweeping the interface width c
+// of otherwise identical WDPTs shows the polynomial degree growing with
+// c — the reason BI(c) must bound c by a *constant* for the LOGCFL
+// result, and why Proposition 2's strictness matters (g-TW(k) alone
+// admits unbounded interfaces, for which the DP degenerates; see
+// bench_table1_eval's hard family).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "src/gen/cq_gen.h"
+#include "src/gen/db_gen.h"
+#include "bench/bench_util.h"
+#include "src/wdpt/classify.h"
+#include "src/wdpt/eval_tractable.h"
+
+namespace wdpt::bench {
+namespace {
+
+// Root: a path of `c` E-atoms; one child sharing all c+1 path variables
+// (interface width c+1) plus one private variable.
+struct InterfaceInstance {
+  Schema schema;
+  Vocabulary vocab;
+  Database db;
+  PatternTree tree;
+
+  InterfaceInstance(uint32_t c, uint32_t db_vertices, uint64_t seed)
+      : db(&schema) {
+    RelationId e = gen::EdgeRelation(&schema);
+    std::string prefix = "if" + std::to_string(c) + "_";
+    std::vector<Term> path;
+    for (uint32_t i = 0; i <= c; ++i) {
+      path.push_back(vocab.Variable(prefix + "v" + std::to_string(i)));
+    }
+    for (uint32_t i = 0; i < c; ++i) {
+      tree.AddAtom(PatternTree::kRoot, Atom(e, {path[i], path[i + 1]}));
+    }
+    // Child re-uses every root variable and adds one of its own.
+    std::vector<Atom> child;
+    Term w = vocab.Variable(prefix + "w");
+    for (uint32_t i = 0; i <= c; ++i) {
+      child.push_back(Atom(e, {path[i], w}));
+    }
+    tree.AddChild(PatternTree::kRoot, std::move(child));
+    tree.SetFreeVariables({path[0].variable_id()});
+    WDPT_CHECK(tree.Validate().ok());
+
+    gen::RandomGraphOptions gopts;
+    gopts.num_vertices = db_vertices;
+    gopts.num_edges = uint64_t{6} * db_vertices;
+    gopts.seed = seed;
+    RelationId e2;
+    db = gen::MakeRandomGraphDb(&schema, &vocab, gopts, &e2);
+  }
+};
+
+void BM_InterfaceWidthSweep(benchmark::State& state) {
+  uint32_t c = static_cast<uint32_t>(state.range(0));
+  InterfaceInstance inst(c, /*db_vertices=*/40, /*seed=*/31);
+  Mapping h = FirstAnswer(inst.tree, inst.db);
+  for (auto _ : state) {
+    Result<bool> r = EvalTractable(inst.tree, inst.db, h);
+    WDPT_CHECK(r.ok());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["interface_width"] =
+      static_cast<double>(InterfaceWidth(inst.tree));
+}
+BENCHMARK(BM_InterfaceWidthSweep)->DenseRange(1, 4);
+
+void BM_InterfaceDbSweep_SmallC(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  InterfaceInstance inst(/*c=*/1, n, /*seed=*/33);
+  Mapping h = FirstAnswer(inst.tree, inst.db);
+  for (auto _ : state) {
+    Result<bool> r = EvalTractable(inst.tree, inst.db, h);
+    WDPT_CHECK(r.ok());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["facts"] = static_cast<double>(inst.db.TotalFacts());
+}
+BENCHMARK(BM_InterfaceDbSweep_SmallC)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_InterfaceDbSweep_LargeC(benchmark::State& state) {
+  uint32_t n = static_cast<uint32_t>(state.range(0));
+  InterfaceInstance inst(/*c=*/3, n, /*seed=*/34);
+  Mapping h = FirstAnswer(inst.tree, inst.db);
+  for (auto _ : state) {
+    Result<bool> r = EvalTractable(inst.tree, inst.db, h);
+    WDPT_CHECK(r.ok());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["facts"] = static_cast<double>(inst.db.TotalFacts());
+}
+BENCHMARK(BM_InterfaceDbSweep_LargeC)->Arg(50)->Arg(200)->Arg(800);
+
+}  // namespace
+}  // namespace wdpt::bench
+
+BENCHMARK_MAIN();

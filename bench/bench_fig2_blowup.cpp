@@ -1,0 +1,63 @@
+// Figure 2 / Theorem 15 reproduction: the unavoidable exponential size
+// of WB(k)-approximations.
+//
+// For n = 1..12 the bench constructs the pair (p1, p2), reports
+// |p1| = O(n^2) vs |p2| = Omega(2^n), and (for small n) verifies the
+// subsumption p2 [= p1 and the width classification that make p2 an
+// approximation candidate. Expected shape: the size ratio doubles with
+// every increment of n.
+
+#include <benchmark/benchmark.h>
+
+#include "src/analysis/subsumption.h"
+#include "src/analysis/wb.h"
+#include "src/approx/blowup.h"
+
+namespace wdpt {
+namespace {
+
+void BM_Fig2_ConstructAndMeasure(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  const int k = 2;
+  size_t size1 = 0, size2 = 0;
+  for (auto _ : state) {
+    Schema schema;
+    Vocabulary vocab;
+    BlowupPair pair = MakeBlowupFamily(n, k, &schema, &vocab);
+    size1 = pair.p1.Size();
+    size2 = pair.p2.Size();
+    benchmark::DoNotOptimize(pair);
+  }
+  state.counters["p1_size"] = static_cast<double>(size1);
+  state.counters["p2_size"] = static_cast<double>(size2);
+  state.counters["ratio"] =
+      static_cast<double>(size2) / static_cast<double>(size1);
+}
+BENCHMARK(BM_Fig2_ConstructAndMeasure)->DenseRange(1, 12);
+
+void BM_Fig2_VerifySubsumption(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  const int k = 2;
+  Schema schema;
+  Vocabulary vocab;
+  BlowupPair pair = MakeBlowupFamily(n, k, &schema, &vocab);
+  bool subsumed = false;
+  for (auto _ : state) {
+    Result<bool> r = IsSubsumedBy(pair.p2, pair.p1, &schema, &vocab);
+    WDPT_CHECK(r.ok());
+    subsumed = *r;
+    benchmark::DoNotOptimize(r);
+  }
+  WDPT_CHECK(subsumed);
+  Result<bool> p2_in_wb = IsInWB(pair.p2, WidthMeasure::kTreewidth, k);
+  Result<bool> p1_in_wb = IsInWB(pair.p1, WidthMeasure::kTreewidth, k);
+  WDPT_CHECK(p2_in_wb.ok() && p1_in_wb.ok());
+  state.counters["p2_in_WBk"] = *p2_in_wb ? 1 : 0;   // Expected 1.
+  state.counters["p1_in_WBk"] = *p1_in_wb ? 1 : 0;   // Expected 0.
+}
+BENCHMARK(BM_Fig2_VerifySubsumption)->DenseRange(1, 4);
+
+}  // namespace
+}  // namespace wdpt
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Table 1 reproduction, rows SUBSUMPTION ([=) and [=-EQUIVALENCE.
+//
+// Paper classification: Pi2P-complete in general and under local
+// tractability; coNP-complete when the right-hand side is globally
+// tractable. Empirically:
+//  * the cost of p1 [= p2 is driven by the number of root subtrees of p1
+//    (the universal quantifier): exponential in p1's branching width
+//    (BM_Subsumption_LeftSizeSweep),
+//  * for a globally tractable p2 the inner check per subtree is a
+//    polynomial PARTIAL-EVAL: the per-subtree cost stays flat as the
+//    database-side instance grows (BM_Subsumption_TractableRhs),
+//  * equivalence doubles the work (both directions).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/analysis/subsumption.h"
+#include "src/gen/cq_gen.h"
+#include "src/gen/wdpt_gen.h"
+#include "src/wdpt/subtrees.h"
+
+namespace wdpt::bench {
+namespace {
+
+// A pair (p1, p2) where p2 is p1 plus one extra optional child of the
+// root, so p1 [= p2 holds.
+struct SubsumptionPair {
+  Schema schema;
+  Vocabulary vocab;
+  PatternTree p1;
+  PatternTree p2;
+
+  SubsumptionPair(uint32_t branching, uint64_t seed) {
+    gen::RandomWdptOptions opts;
+    opts.depth = 1;
+    opts.branching = branching;
+    opts.atoms_per_node = 2;
+    opts.interface_size = 1;
+    opts.free_fraction = 0.5;
+    opts.seed = seed;
+    p1 = gen::MakeRandomChainWdpt(&schema, &vocab, opts);
+    p2 = p1;
+    // Extra optional leaf: E(r, fresh) anchored at a root variable.
+    RelationId e = gen::EdgeRelation(&schema);
+    VariableId anchor = p2.node_vars(PatternTree::kRoot).front();
+    Term fresh = Term::Variable(vocab.FreshVariable("extra"));
+    p2.AddChild(PatternTree::kRoot,
+                {Atom(e, {Term::Variable(anchor), fresh})});
+    std::vector<VariableId> free_vars = p2.free_vars();
+    free_vars.push_back(fresh.variable_id());
+    p2.SetFreeVariables(free_vars);
+    WDPT_CHECK(p2.Validate().ok());
+  }
+};
+
+void BM_Subsumption_LeftSizeSweep(benchmark::State& state) {
+  uint32_t branching = static_cast<uint32_t>(state.range(0));
+  SubsumptionPair pair(branching, /*seed=*/21);
+  bool holds = false;
+  for (auto _ : state) {
+    Result<bool> r =
+        IsSubsumedBy(pair.p1, pair.p2, &pair.schema, &pair.vocab);
+    WDPT_CHECK(r.ok());
+    holds = *r;
+    benchmark::DoNotOptimize(r);
+  }
+  WDPT_CHECK(holds);
+  state.counters["p1_subtrees"] =
+      static_cast<double>(CountRootSubtrees(pair.p1, uint64_t{1} << 30));
+}
+BENCHMARK(BM_Subsumption_LeftSizeSweep)->DenseRange(2, 12, 2);
+
+void BM_Subsumption_NegativeCase(benchmark::State& state) {
+  uint32_t branching = static_cast<uint32_t>(state.range(0));
+  SubsumptionPair pair(branching, /*seed=*/22);
+  // The reverse direction fails (p2 binds the extra variable).
+  bool holds = true;
+  for (auto _ : state) {
+    Result<bool> r =
+        IsSubsumedBy(pair.p2, pair.p1, &pair.schema, &pair.vocab);
+    WDPT_CHECK(r.ok());
+    holds = *r;
+    benchmark::DoNotOptimize(r);
+  }
+  WDPT_CHECK(!holds);
+  state.counters["p2_subtrees"] =
+      static_cast<double>(CountRootSubtrees(pair.p2, uint64_t{1} << 30));
+}
+BENCHMARK(BM_Subsumption_NegativeCase)->DenseRange(2, 12, 2);
+
+void BM_SubsumptionEquivalence_Sweep(benchmark::State& state) {
+  uint32_t branching = static_cast<uint32_t>(state.range(0));
+  // p ==_s p with relabelled copy: build the same tree twice.
+  SubsumptionPair a(branching, /*seed=*/23);
+  SubsumptionPair b(branching, /*seed=*/23);
+  for (auto _ : state) {
+    Result<bool> r =
+        SubsumptionEquivalent(a.p1, a.p1, &a.schema, &a.vocab);
+    WDPT_CHECK(r.ok() && *r);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["subtrees"] =
+      static_cast<double>(CountRootSubtrees(a.p1, uint64_t{1} << 30));
+  benchmark::DoNotOptimize(b);
+}
+BENCHMARK(BM_SubsumptionEquivalence_Sweep)->DenseRange(2, 10, 2);
+
+// coNP column: p2 globally tractable, database-side growth through the
+// left query's node size (bigger canonical databases), while the
+// subtree count stays fixed.
+void BM_Subsumption_TractableRhs(benchmark::State& state) {
+  uint32_t atoms = static_cast<uint32_t>(state.range(0));
+  Schema schema;
+  Vocabulary vocab;
+  gen::RandomWdptOptions opts;
+  opts.depth = 1;
+  opts.branching = 3;
+  opts.atoms_per_node = atoms;
+  opts.interface_size = 1;
+  opts.free_fraction = 0.3;
+  opts.seed = 29;
+  PatternTree p1 = gen::MakeRandomChainWdpt(&schema, &vocab, opts);
+  for (auto _ : state) {
+    Result<bool> r = IsSubsumedBy(p1, p1, &schema, &vocab);
+    WDPT_CHECK(r.ok() && *r);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["p1_size"] = static_cast<double>(p1.Size());
+}
+BENCHMARK(BM_Subsumption_TractableRhs)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace wdpt::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Shared instance builders for the benchmark binaries.
+
+#ifndef WDPT_BENCH_BENCH_UTIL_H_
+#define WDPT_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/gen/db_gen.h"
+#include "src/gen/wdpt_gen.h"
+#include "src/relational/database.h"
+#include "src/relational/rdf.h"
+#include "src/relational/schema.h"
+#include "src/sparql/parser.h"
+#include "src/wdpt/pattern_tree.h"
+
+#include "src/wdpt/enumerate.h"
+
+namespace wdpt::bench {
+
+/// One answer of the WDPT (projection of the first maximal
+/// homomorphism), or the empty mapping if there is none. Avoids full
+/// enumeration, whose output can be combinatorially large.
+inline Mapping FirstAnswer(const PatternTree& tree, const Database& db) {
+  Mapping answer;
+  Status status =
+      ForEachMaximalHomomorphism(tree, db, [&](const Mapping& m) {
+        answer = m.RestrictTo(tree.free_vars());
+        return false;
+      });
+  WDPT_CHECK(status.ok());
+  return answer;
+}
+
+/// The Figure 1 query over a generated catalog of `num_bands` bands.
+struct Fig1Instance {
+  RdfContext ctx;
+  Database db;
+  PatternTree tree;
+
+  explicit Fig1Instance(uint32_t num_bands) : db(&ctx.schema()) {
+    gen::MusicCatalogOptions options;
+    options.num_bands = num_bands;
+    options.records_per_band = 4;
+    options.rating_fraction = 0.5;
+    options.formed_fraction = 0.5;
+    options.recent_fraction = 0.8;
+    db = gen::MakeMusicCatalog(&ctx, options);
+    Result<PatternTree> parsed = sparql::ParseQuery(
+        "(((?rec, recorded_by, ?band) AND (?rec, published, after_2010))"
+        "  OPT (?rec, NME_rating, ?rating))"
+        " OPT (?band, formed_in, ?year)",
+        &ctx);
+    WDPT_CHECK(parsed.ok());
+    tree = std::move(*parsed);
+  }
+};
+
+/// A random tractable WDPT (l-TW(1), small interface) over a random
+/// graph database.
+struct TractableInstance {
+  Schema schema;
+  Vocabulary vocab;
+  Database db;
+  PatternTree tree;
+
+  TractableInstance(uint32_t db_vertices, uint64_t db_edges, uint32_t depth,
+                    uint32_t branching, uint64_t seed)
+      : db(&schema) {
+    gen::RandomWdptOptions topts;
+    topts.depth = depth;
+    topts.branching = branching;
+    topts.atoms_per_node = 2;
+    topts.interface_size = 1;
+    topts.free_fraction = 0.4;
+    topts.seed = seed;
+    tree = gen::MakeRandomChainWdpt(&schema, &vocab, topts);
+    gen::RandomGraphOptions gopts;
+    gopts.num_vertices = db_vertices;
+    gopts.num_edges = db_edges;
+    gopts.seed = seed * 7 + 1;
+    RelationId e;
+    db = gen::MakeRandomGraphDb(&schema, &vocab, gopts, &e);
+  }
+};
+
+}  // namespace wdpt::bench
+
+#endif  // WDPT_BENCH_BENCH_UTIL_H_

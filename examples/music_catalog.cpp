@@ -1,0 +1,88 @@
+// Music catalog at scale: optional matching over incomplete data.
+//
+// Generates the Figure 1 domain with configurable size and missing-data
+// fractions, runs the running-example query with the tractable
+// evaluator, and reports how answers decompose by which optional parts
+// matched — the information a plain CQ would lose (it fails on records
+// without ratings) and a left-outer-join pipeline would need NULLs for.
+//
+// Run: ./build/examples/music_catalog [num_bands]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/gen/db_gen.h"
+#include "src/relational/rdf.h"
+#include "src/sparql/parser.h"
+#include "src/wdpt/enumerate.h"
+#include "src/wdpt/eval_partial.h"
+
+int main(int argc, char** argv) {
+  using namespace wdpt;
+  uint32_t num_bands = argc > 1 ? static_cast<uint32_t>(
+                                      std::strtoul(argv[1], nullptr, 10))
+                                : 200;
+
+  RdfContext ctx;
+  gen::MusicCatalogOptions options;
+  options.num_bands = num_bands;
+  options.records_per_band = 4;
+  options.rating_fraction = 0.4;
+  options.formed_fraction = 0.6;
+  options.recent_fraction = 0.7;
+  Database db = gen::MakeMusicCatalog(&ctx, options);
+  std::printf("catalog: %u bands, %zu triples\n", num_bands,
+              db.TotalFacts());
+
+  Result<PatternTree> parsed = sparql::ParseQuery(
+      "(((?rec, recorded_by, ?band) AND (?rec, published, after_2010))"
+      "  OPT (?rec, NME_rating, ?rating)) OPT (?band, formed_in, ?year)",
+      &ctx);
+  WDPT_CHECK(parsed.ok());
+  PatternTree tree = std::move(*parsed);
+
+  Result<std::vector<Mapping>> answers = EvaluateWdpt(tree, db);
+  WDPT_CHECK(answers.ok());
+
+  VariableId rating = ctx.vocab().Variable("rating").variable_id();
+  VariableId year = ctx.vocab().Variable("year").variable_id();
+  size_t with_rating = 0;
+  size_t with_year = 0;
+  size_t with_both = 0;
+  for (const Mapping& m : *answers) {
+    bool r = m.IsDefinedOn(rating);
+    bool y = m.IsDefinedOn(year);
+    with_rating += r;
+    with_year += y;
+    with_both += r && y;
+  }
+  std::printf("answers: %zu total\n", answers->size());
+  std::printf("  with NME rating:        %zu\n", with_rating);
+  std::printf("  with formation year:    %zu\n", with_year);
+  std::printf("  with both optionals:    %zu\n", with_both);
+  std::printf("  mandatory part only:    %zu\n",
+              answers->size() - with_rating - with_year + with_both);
+
+  // A CQ (all parts mandatory) would only return the fully-matched rows:
+  std::printf(
+      "a plain CQ would return %zu of these %zu answers "
+      "(%.0f%% of the data lost to rigidity)\n",
+      with_both, answers->size(),
+      answers->empty()
+          ? 0.0
+          : 100.0 * (1.0 - static_cast<double>(with_both) /
+                               static_cast<double>(answers->size())));
+
+  // Partial-answer lookup: which bands have at least one qualifying
+  // record (PARTIAL-EVAL drives an autocomplete-style check without
+  // enumerating everything).
+  Mapping probe;
+  probe.Bind(ctx.vocab().Variable("band").variable_id(),
+             ctx.vocab().Constant("band0").constant_id());
+  Result<bool> partial = PartialEval(tree, db, probe);
+  WDPT_CHECK(partial.ok());
+  std::printf("PARTIAL-EVAL(band = band0): %s\n",
+              *partial ? "has qualifying records" : "no records");
+  return 0;
+}

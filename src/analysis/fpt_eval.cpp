@@ -1,0 +1,34 @@
+#include "src/analysis/fpt_eval.h"
+
+#include "src/wdpt/eval_max.h"
+#include "src/wdpt/eval_partial.h"
+
+namespace wdpt {
+
+Result<OptimizedEvaluator> OptimizedEvaluator::Create(
+    const PatternTree& tree, WidthMeasure measure, int k,
+    const Schema* schema, Vocabulary* vocab,
+    const SemanticSearchOptions& options) {
+  Result<std::optional<PatternTree>> witness =
+      FindSubsumptionEquivalentInWB(tree, measure, k, schema, vocab,
+                                    options);
+  if (!witness.ok()) return witness.status();
+  if (!witness->has_value()) {
+    return Status::NotFound(
+        "no WB(k) witness found in the searched space; the query may not "
+        "be in M(WB(k))");
+  }
+  return OptimizedEvaluator(std::move(**witness));
+}
+
+Result<bool> OptimizedEvaluator::PartialEval(const Database& db,
+                                             const Mapping& h) const {
+  return wdpt::PartialEval(witness_, db, h);
+}
+
+Result<bool> OptimizedEvaluator::MaxEval(const Database& db,
+                                         const Mapping& h) const {
+  return wdpt::MaxEval(witness_, db, h);
+}
+
+}  // namespace wdpt

@@ -1,0 +1,50 @@
+// Corollary 2: fixed-parameter tractable partial/maximal evaluation for
+// WDPTs that are subsumption-equivalent to a well-behaved one.
+//
+// The (data-independent, potentially expensive) search for a WB(k)
+// witness runs once at construction; PARTIAL-EVAL and MAX-EVAL queries
+// then run against the witness, whose subtree CQs lie in C(k) and are
+// therefore evaluated in polynomial time. Subsumption-equivalence
+// preserves exactly the partial and maximal answers, so the answers
+// over any database coincide with the original query's.
+
+#ifndef WDPT_SRC_ANALYSIS_FPT_EVAL_H_
+#define WDPT_SRC_ANALYSIS_FPT_EVAL_H_
+
+#include <utility>
+
+#include "src/analysis/semantic.h"
+#include "src/common/status.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// Optimize-once / evaluate-many handle for M(WB(k)) queries.
+class OptimizedEvaluator {
+ public:
+  /// Searches for a WB(k) witness of `tree` (Theorem 13 machinery).
+  /// Fails with kNotFound when no witness exists in the searched space.
+  static Result<OptimizedEvaluator> Create(
+      const PatternTree& tree, WidthMeasure measure, int k,
+      const Schema* schema, Vocabulary* vocab,
+      const SemanticSearchOptions& options = SemanticSearchOptions());
+
+  /// The WB(k) witness the queries run against.
+  const PatternTree& optimized() const { return witness_; }
+
+  /// PARTIAL-EVAL of the original query via the witness.
+  Result<bool> PartialEval(const Database& db, const Mapping& h) const;
+
+  /// MAX-EVAL of the original query via the witness.
+  Result<bool> MaxEval(const Database& db, const Mapping& h) const;
+
+ private:
+  explicit OptimizedEvaluator(PatternTree witness)
+      : witness_(std::move(witness)) {}
+
+  PatternTree witness_;
+};
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_ANALYSIS_FPT_EVAL_H_

@@ -1,0 +1,348 @@
+#include "src/analysis/semantic.h"
+
+#include <unordered_map>
+
+#include "src/common/algo.h"
+#include "src/cq/cq.h"
+#include "src/wdpt/eval_naive.h"
+#include "src/wdpt/eval_partial.h"
+#include "src/wdpt/subtrees.h"
+
+namespace wdpt {
+
+namespace {
+
+// Rebuilds a PatternTree from kept nodes with (possibly merged) labels.
+// `merged_label[n]` is the label of kept node n; `kept` flags the nodes;
+// children of dropped nodes are dropped transitively by construction.
+PatternTree RebuildTree(const PatternTree& tree,
+                        const std::vector<bool>& kept,
+                        const std::vector<std::vector<Atom>>& labels,
+                        const std::vector<NodeId>& attach_parent) {
+  PatternTree out;
+  std::vector<NodeId> remap(tree.num_nodes(), PatternTree::kNoNode);
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    if (!kept[n]) continue;
+    if (n == PatternTree::kRoot) {
+      remap[n] = PatternTree::kRoot;
+      for (const Atom& a : labels[n]) out.AddAtom(PatternTree::kRoot, a);
+    } else {
+      NodeId parent = remap[attach_parent[n]];
+      WDPT_CHECK(parent != PatternTree::kNoNode);
+      remap[n] = out.AddChild(parent, labels[n]);
+    }
+  }
+  out.SetFreeVariables(tree.free_vars());
+  return out;
+}
+
+}  // namespace
+
+PatternTree Lemma1Prune(const PatternTree& tree) {
+  WDPT_CHECK(tree.validated());
+  // Nodes introducing a free variable.
+  std::vector<bool> introduces(tree.num_nodes(), false);
+  for (VariableId v : tree.free_vars()) {
+    NodeId top = tree.TopNode(v);
+    if (top != PatternTree::kNoNode) introduces[top] = true;
+  }
+  // Keep nodes on root paths to introducing nodes.
+  std::vector<bool> kept(tree.num_nodes(), false);
+  kept[PatternTree::kRoot] = true;
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    if (!introduces[n]) continue;
+    for (NodeId a = n; !kept[a]; a = tree.parent(a)) kept[a] = true;
+  }
+
+  // Merge a free-variable-less kept node with its only kept child: its
+  // atoms move into the child and the node is dropped (the child attaches
+  // to the grandparent).
+  std::vector<std::vector<Atom>> labels(tree.num_nodes());
+  std::vector<NodeId> attach_parent(tree.num_nodes(), PatternTree::kRoot);
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    labels[n] = tree.label(n);
+    attach_parent[n] = tree.parent(n);
+  }
+  // Process top-down: node ids increase with depth.
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    if (!kept[n] || n == PatternTree::kRoot) continue;
+    std::vector<NodeId> kept_children;
+    for (NodeId c : tree.children(n)) {
+      if (kept[c]) kept_children.push_back(c);
+    }
+    bool has_free = false;
+    for (VariableId v : tree.node_vars(n)) {
+      if (SortedContains(tree.free_vars(), v)) {
+        has_free = true;
+        break;
+      }
+    }
+    if (!has_free && kept_children.size() == 1) {
+      NodeId child = kept_children[0];
+      labels[child].insert(labels[child].end(), labels[n].begin(),
+                           labels[n].end());
+      // Re-attach the child where n was attached (n may itself have been
+      // merged away already, so follow attach_parent).
+      attach_parent[child] = attach_parent[n];
+      kept[n] = false;
+    }
+  }
+  PatternTree out = RebuildTree(tree, kept, labels, attach_parent);
+  out.NormalizeLabels();
+  Status status = out.Validate();
+  WDPT_CHECK(status.ok());  // Pruning preserves well-designedness.
+  return out;
+}
+
+Result<PatternTree> Lemma1Shrink(const PatternTree& p_prime,
+                                 const PatternTree& p, const Schema* schema,
+                                 Vocabulary* vocab,
+                                 const SubsumptionOptions& options) {
+  if (!p_prime.validated() || !p.validated()) {
+    return Status::InvalidArgument("pattern trees must be validated");
+  }
+  PatternTree pruned = Lemma1Prune(p_prime);
+
+  // used[n][i]: atom i of node n appears in the image of some witness.
+  std::vector<std::vector<bool>> used(pruned.num_nodes());
+  for (NodeId n = 0; n < pruned.num_nodes(); ++n) {
+    used[n].assign(pruned.label(n).size(), false);
+  }
+
+  Status failure = Status::Ok();
+  bool subsumed = true;
+  bool complete = ForEachRootSubtree(
+      pruned, options.max_subtrees, [&](const SubtreeMask& mask) {
+        std::vector<Atom> atoms = SubtreeAtoms(pruned, mask);
+        CanonicalDatabase canonical =
+            BuildCanonicalDatabase(atoms, schema, vocab);
+        std::vector<VariableId> answer_vars = SortedIntersection(
+            SubtreeVariables(pruned, mask), pruned.free_vars());
+        Mapping a = canonical.FreezeMapping(answer_vars);
+        Result<bool> is_answer = EvalNaive(pruned, canonical.db, a);
+        if (!is_answer.ok()) {
+          failure = is_answer.status();
+          return false;
+        }
+        if (!*is_answer) return true;
+        Result<std::optional<Mapping>> witness =
+            PartialEvalWitness(p, canonical.db, a);
+        if (!witness.ok()) {
+          failure = witness.status();
+          return false;
+        }
+        if (!witness->has_value()) {
+          subsumed = false;  // p_prime is not subsumed by p.
+          return false;
+        }
+        // Image facts of the witness: ground instances of p's minimal
+        // subtree; mark the matching frozen atoms of `pruned` as used.
+        SubtreeMask p_minimal =
+            MinimalSubtreeContaining(p, a.Domain());
+        std::vector<Atom> image =
+            SubstituteMapping(SubtreeAtoms(p, p_minimal), **witness);
+        // Freeze pruned's atoms the same way the canonical database did
+        // and match against the image (both are ground).
+        for (NodeId n = 0; n < pruned.num_nodes(); ++n) {
+          if (!mask[n]) continue;
+          for (size_t i = 0; i < pruned.label(n).size(); ++i) {
+            if (used[n][i]) continue;
+            Atom frozen = pruned.label(n)[i];
+            for (Term& t : frozen.terms) {
+              if (t.is_variable()) {
+                auto it = canonical.frozen.find(t.variable_id());
+                WDPT_CHECK(it != canonical.frozen.end());
+                t = Term::Constant(it->second);
+              }
+            }
+            for (const Atom& img : image) {
+              if (img == frozen) {
+                used[n][i] = true;
+                break;
+              }
+            }
+          }
+        }
+        return true;
+      });
+  if (!failure.ok()) return failure;
+  if (!subsumed) {
+    return Status::InvalidArgument("p_prime is not subsumed by p");
+  }
+  if (!complete) {
+    return Status::ResourceExhausted("too many root subtrees in p_prime");
+  }
+
+  // Build the restricted tree.
+  PatternTree restricted;
+  for (NodeId n = 0; n < pruned.num_nodes(); ++n) {
+    std::vector<Atom> label;
+    for (size_t i = 0; i < pruned.label(n).size(); ++i) {
+      if (used[n][i]) label.push_back(pruned.label(n)[i]);
+    }
+    if (n == PatternTree::kRoot) {
+      for (Atom& atom : label) {
+        restricted.AddAtom(PatternTree::kRoot, std::move(atom));
+      }
+    } else {
+      restricted.AddChild(pruned.parent(n), std::move(label));
+    }
+  }
+  restricted.SetFreeVariables(pruned.free_vars());
+  if (!restricted.Validate().ok()) return pruned;  // Fallback.
+
+  // Verify the sandwich p_prime [= restricted [= p.
+  Result<bool> lower =
+      IsSubsumedBy(p_prime, restricted, schema, vocab, options);
+  if (!lower.ok()) return lower.status();
+  if (!*lower) return pruned;
+  Result<bool> upper = IsSubsumedBy(restricted, p, schema, vocab, options);
+  if (!upper.ok()) return upper.status();
+  if (!*upper) return pruned;
+  return restricted;
+}
+
+bool ForEachWdptQuotient(const PatternTree& tree, uint64_t max_partitions,
+                         const std::function<bool(const PatternTree&)>& cb) {
+  std::vector<VariableId> vars = tree.AllVariables();
+  const size_t n = vars.size();
+  std::vector<bool> is_free(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    is_free[i] = SortedContains(tree.free_vars(), vars[i]);
+  }
+  std::vector<uint32_t> class_of(n, 0);
+  std::vector<uint32_t> class_free_count;
+  uint64_t emitted = 0;
+  bool complete = true;
+  bool stopped = false;
+
+  auto emit = [&](uint32_t num_classes) {
+    std::vector<VariableId> representative(num_classes, UINT32_MAX);
+    for (size_t j = 0; j < n; ++j) {
+      uint32_t c = class_of[j];
+      if (representative[c] == UINT32_MAX ||
+          (is_free[j] &&
+           !SortedContains(tree.free_vars(), representative[c]))) {
+        representative[c] = vars[j];
+      }
+    }
+    std::unordered_map<VariableId, VariableId> subst;
+    for (size_t j = 0; j < n; ++j) {
+      subst.emplace(vars[j], representative[class_of[j]]);
+    }
+    // Apply to every node label.
+    PatternTree image;
+    for (NodeId node = 0; node < tree.num_nodes(); ++node) {
+      std::vector<Atom> label = tree.label(node);
+      for (Atom& a : label) {
+        for (Term& t : a.terms) {
+          if (t.is_variable()) {
+            t = Term::Variable(subst.at(t.variable_id()));
+          }
+        }
+      }
+      if (node == PatternTree::kRoot) {
+        for (const Atom& a : label) image.AddAtom(PatternTree::kRoot, a);
+      } else {
+        image.AddChild(tree.parent(node), std::move(label));
+      }
+    }
+    image.NormalizeLabels();
+    image.SetFreeVariables(tree.free_vars());
+    if (!image.Validate().ok()) return;  // Quotient broke connectedness.
+    if (!cb(image)) stopped = true;
+  };
+
+  std::function<void(size_t, uint32_t)> recurse = [&](size_t i,
+                                                      uint32_t num_classes) {
+    if (stopped || !complete) return;
+    if (i == n) {
+      if (++emitted > max_partitions) {
+        complete = false;
+        return;
+      }
+      emit(num_classes);
+      return;
+    }
+    for (uint32_t c = 0; c <= num_classes && !stopped && complete; ++c) {
+      bool new_class = (c == num_classes);
+      if (new_class) class_free_count.push_back(0);
+      if (is_free[i] && class_free_count[c] >= 1) {
+        if (new_class) class_free_count.pop_back();
+        continue;
+      }
+      class_of[i] = c;
+      if (is_free[i]) ++class_free_count[c];
+      recurse(i + 1, new_class ? num_classes + 1 : num_classes);
+      if (is_free[i]) --class_free_count[c];
+      if (new_class) class_free_count.pop_back();
+    }
+  };
+  recurse(0, 0);
+  return complete;
+}
+
+Result<std::optional<PatternTree>> FindSubsumptionEquivalentInWB(
+    const PatternTree& tree, WidthMeasure measure, int k,
+    const Schema* schema, Vocabulary* vocab,
+    const SemanticSearchOptions& options) {
+  if (!tree.validated()) {
+    return Status::InvalidArgument("pattern tree must be validated");
+  }
+  // Fast path: p itself (pruned) is already in WB(k).
+  PatternTree pruned = Lemma1Prune(tree);
+  Result<bool> in_wb = IsInWB(pruned, measure, k);
+  if (!in_wb.ok()) return in_wb.status();
+  if (*in_wb) return std::optional<PatternTree>(pruned);
+
+  std::optional<PatternTree> witness;
+  Status failure = Status::Ok();
+  bool complete = ForEachWdptQuotient(
+      pruned, options.max_partitions, [&](const PatternTree& quotient) {
+        PatternTree candidate = Lemma1Prune(quotient);
+        Result<bool> ok = IsInWB(candidate, measure, k);
+        if (!ok.ok()) {
+          failure = ok.status();
+          return false;
+        }
+        bool in_class = *ok;
+        if (!in_class && options.use_lemma1_shrink) {
+          // Unused atoms may be the only source of width: shrink against
+          // the original and retry.
+          Result<PatternTree> shrunk = Lemma1Shrink(
+              candidate, tree, schema, vocab, options.subsumption);
+          if (shrunk.ok()) {
+            Result<bool> shrunk_ok = IsInWB(*shrunk, measure, k);
+            if (!shrunk_ok.ok()) {
+              failure = shrunk_ok.status();
+              return false;
+            }
+            if (*shrunk_ok) {
+              candidate = std::move(*shrunk);
+              in_class = true;
+            }
+          }
+        }
+        if (!in_class) return true;
+        Result<bool> equivalent = SubsumptionEquivalent(
+            tree, candidate, schema, vocab, options.subsumption);
+        if (!equivalent.ok()) {
+          failure = equivalent.status();
+          return false;
+        }
+        if (*equivalent) {
+          witness = candidate;
+          return false;
+        }
+        return true;
+      });
+  if (!failure.ok()) return failure;
+  if (witness.has_value()) return witness;
+  if (!complete) {
+    return Status::ResourceExhausted(
+        "quotient enumeration exceeded max_partitions");
+  }
+  return std::optional<PatternTree>();
+}
+
+}  // namespace wdpt

@@ -1,0 +1,76 @@
+// Semantic optimization of WDPTs (Section 5): the Lemma 1 shrinking
+// transformation, quotient enumeration for WDPTs, and a bounded
+// realization of the M(WB(k)) membership test of Theorem 13.
+//
+// The full Theorem 13 decision procedure guesses a WB(k) witness of
+// single-exponential size (NEXPTIME^NP); per DESIGN.md we reproduce it on
+// bounded instances: the candidate space searched here consists of the
+// subsumption-preserving transformations we can enumerate (pruning of
+// answer-irrelevant branches, node merges, and variable-identification
+// quotients), each verified by the exact subsumption-equivalence test.
+// A positive result is always sound (the returned witness is verified);
+// a negative result means no witness exists in the searched space.
+
+#ifndef WDPT_SRC_ANALYSIS_SEMANTIC_H_
+#define WDPT_SRC_ANALYSIS_SEMANTIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "src/analysis/subsumption.h"
+#include "src/analysis/wb.h"
+#include "src/common/status.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// Lemma 1 pruning: drops every node that is not on a path from the root
+/// to a node introducing a free variable, then merges each free-variable-
+/// less node with its only child. The result is subsumption-equivalent to
+/// the input (partial and maximal answers are preserved) and has at most
+/// linearly many nodes in the number of free variables.
+PatternTree Lemma1Prune(const PatternTree& tree);
+
+/// Full Lemma 1 shrinking: given p' [= p, builds p'' with
+/// p' [= p'' [= p by pruning p' and then deleting every atom of p' that
+/// no witness homomorphism from p uses across the root subtrees of p'
+/// (the step bounding witness sizes in Theorems 13/14). The sandwich is
+/// verified; if the restricted tree fails verification (or loses
+/// well-designedness), the pruned tree is returned instead — still a
+/// correct, if larger, witness. Returns an error if p' [= p does not
+/// hold.
+Result<PatternTree> Lemma1Shrink(const PatternTree& p_prime,
+                                 const PatternTree& p, const Schema* schema,
+                                 Vocabulary* vocab,
+                                 const SubsumptionOptions& options =
+                                     SubsumptionOptions());
+
+/// Enumerates quotients of the WDPT: variable partitions with at most one
+/// free variable per class, applied to every label. Quotients violating
+/// well-designedness are skipped. Returns false if `max_partitions` was
+/// exceeded.
+bool ForEachWdptQuotient(const PatternTree& tree, uint64_t max_partitions,
+                         const std::function<bool(const PatternTree&)>& cb);
+
+/// Options for the bounded M(WB(k)) search.
+struct SemanticSearchOptions {
+  uint64_t max_partitions = 200'000;
+  SubsumptionOptions subsumption;
+  /// Additionally apply Lemma1Shrink to quotients that fail the width
+  /// check (slower; can discover witnesses the quotient space alone
+  /// misses because unused atoms keep the width high).
+  bool use_lemma1_shrink = false;
+};
+
+/// Bounded M(WB(k)) membership: searches for a WB(k) WDPT that is
+/// subsumption-equivalent to `tree`; returns the (verified) witness, or
+/// nullopt if none exists in the searched space.
+Result<std::optional<PatternTree>> FindSubsumptionEquivalentInWB(
+    const PatternTree& tree, WidthMeasure measure, int k,
+    const Schema* schema, Vocabulary* vocab,
+    const SemanticSearchOptions& options = SemanticSearchOptions());
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_ANALYSIS_SEMANTIC_H_

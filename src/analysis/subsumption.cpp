@@ -1,0 +1,66 @@
+#include "src/analysis/subsumption.h"
+
+#include "src/common/algo.h"
+#include "src/wdpt/eval_naive.h"
+#include "src/wdpt/eval_partial.h"
+#include "src/wdpt/subtrees.h"
+
+namespace wdpt {
+
+Result<bool> IsSubsumedBy(const PatternTree& p1, const PatternTree& p2,
+                          const Schema* schema, Vocabulary* vocab,
+                          const SubsumptionOptions& options) {
+  if (!p1.validated() || !p2.validated()) {
+    return Status::InvalidArgument("pattern trees must be validated");
+  }
+  bool subsumed = true;
+  Status failure = Status::Ok();
+  bool complete = ForEachRootSubtree(
+      p1, options.max_subtrees, [&](const SubtreeMask& mask) {
+        // Canonical database of the subtree and the frozen answer a_T1.
+        std::vector<Atom> atoms = SubtreeAtoms(p1, mask);
+        CanonicalDatabase canonical =
+            BuildCanonicalDatabase(atoms, schema, vocab);
+        std::vector<VariableId> answer_vars = SortedIntersection(
+            SubtreeVariables(p1, mask), p1.free_vars());
+        Mapping a = canonical.FreezeMapping(answer_vars);
+
+        // Filter: a_T1 must be an answer of p1 over D_T1 (i.e. the frozen
+        // homomorphism is maximal up to existential extensions).
+        Result<bool> is_answer = EvalNaive(p1, canonical.db, a);
+        if (!is_answer.ok()) {
+          failure = is_answer.status();
+          return false;
+        }
+        if (!*is_answer) return true;  // Subtree contributes no obligation.
+
+        Result<bool> partial =
+            PartialEval(p2, canonical.db, a, options.cq_options);
+        if (!partial.ok()) {
+          failure = partial.status();
+          return false;
+        }
+        if (!*partial) {
+          subsumed = false;
+          return false;
+        }
+        return true;
+      });
+  if (!failure.ok()) return failure;
+  if (!subsumed) return false;
+  if (!complete) {
+    return Status::ResourceExhausted("too many root subtrees in p1");
+  }
+  return true;
+}
+
+Result<bool> SubsumptionEquivalent(const PatternTree& p1,
+                                   const PatternTree& p2,
+                                   const Schema* schema, Vocabulary* vocab,
+                                   const SubsumptionOptions& options) {
+  Result<bool> forward = IsSubsumedBy(p1, p2, schema, vocab, options);
+  if (!forward.ok() || !*forward) return forward;
+  return IsSubsumedBy(p2, p1, schema, vocab, options);
+}
+
+}  // namespace wdpt

@@ -1,0 +1,71 @@
+// Subsumption and subsumption-equivalence of WDPTs (Section 4).
+//
+// p1 [= p2 iff for every database D, every answer of p1 over D is
+// subsumed by an answer of p2 over D. The test reduces to the canonical
+// databases of the root subtrees of p1:
+//
+//   p1 [= p2  iff  for every root subtree T1 of p1 such that the frozen
+//   assignment a_T1 is an answer of p1 over the canonical database D_T1,
+//   a_T1 is a *partial* answer of p2 over D_T1.
+//
+// (=>) is immediate. (<=): given any D and h in p1(D) witnessed by a
+// maximal homomorphism on subtree T1, the witness factors through D_T1:
+// maximality makes a_T1 an answer of p1(D_T1); the partial answer of p2
+// composes with the witness homomorphism D_T1 -> D and extends to a
+// maximal answer of p2 over D subsuming h.
+//
+// The universal quantification over root subtrees gives the Pi2P upper
+// bound; when p2 is globally tractable the inner partial-answer check is
+// polynomial, which is the source of the coNP bound of Theorem 11 (note
+// the asymmetry: only p2's class matters for the inner check).
+
+#ifndef WDPT_SRC_ANALYSIS_SUBSUMPTION_H_
+#define WDPT_SRC_ANALYSIS_SUBSUMPTION_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/cq/evaluation.h"
+#include "src/relational/schema.h"
+#include "src/relational/term.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// Options for the subsumption test.
+struct SubsumptionOptions {
+  /// Cap on enumerated root subtrees of the left WDPT.
+  uint64_t max_subtrees = uint64_t{1} << 22;
+  /// Evaluation options for the inner CQ decisions.
+  CqEvalOptions cq_options;
+};
+
+/// SUBSUMPTION: p1 [= p2? Both trees must be validated and share the
+/// schema/vocabulary.
+Result<bool> IsSubsumedBy(const PatternTree& p1, const PatternTree& p2,
+                          const Schema* schema, Vocabulary* vocab,
+                          const SubsumptionOptions& options =
+                              SubsumptionOptions());
+
+/// [=-EQUIVALENCE: p1 [= p2 and p2 [= p1. By Proposition 5 this coincides
+/// with max-equivalence (p1 and p2 have the same maximal answers over
+/// every database).
+Result<bool> SubsumptionEquivalent(const PatternTree& p1,
+                                   const PatternTree& p2,
+                                   const Schema* schema, Vocabulary* vocab,
+                                   const SubsumptionOptions& options =
+                                       SubsumptionOptions());
+
+/// MAXEQUIVALENCE: p1_m(D) == p2_m(D) over every database. Identical to
+/// subsumption-equivalence (Proposition 5); provided as a named alias.
+inline Result<bool> MaxEquivalent(const PatternTree& p1,
+                                  const PatternTree& p2,
+                                  const Schema* schema, Vocabulary* vocab,
+                                  const SubsumptionOptions& options =
+                                      SubsumptionOptions()) {
+  return SubsumptionEquivalent(p1, p2, schema, vocab, options);
+}
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_ANALYSIS_SUBSUMPTION_H_

@@ -1,0 +1,20 @@
+#include "src/analysis/wb.h"
+
+#include "src/wdpt/classify.h"
+
+namespace wdpt {
+
+bool IsWbMeasure(WidthMeasure measure) {
+  return measure == WidthMeasure::kTreewidth ||
+         measure == WidthMeasure::kBetaHypertreewidth;
+}
+
+Result<bool> IsInWB(const PatternTree& tree, WidthMeasure measure, int k) {
+  if (!IsWbMeasure(measure)) {
+    return Status::InvalidArgument(
+        "WB(k) requires a subquery-closed measure (tw or beta-ghw)");
+  }
+  return IsGloballyInWidth(tree, measure, k);
+}
+
+}  // namespace wdpt

@@ -1,0 +1,24 @@
+// The well-behaved classes WB(k) = g-C(k) with C(k) in {TW(k), HW'(k)}
+// (Section 5). The class must be closed under subqueries, which TW(k) is
+// and HW'(k) (beta-hypertreewidth) is by definition; plain HW(k) is not
+// and is therefore rejected here.
+
+#ifndef WDPT_SRC_ANALYSIS_WB_H_
+#define WDPT_SRC_ANALYSIS_WB_H_
+
+#include "src/common/status.h"
+#include "src/cq/approximation.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// True for the measures usable in WB(k) (subquery-closed).
+bool IsWbMeasure(WidthMeasure measure);
+
+/// Syntactic WB(k) membership: is the WDPT globally in C(k)?
+/// `measure` must be kTreewidth or kBetaHypertreewidth.
+Result<bool> IsInWB(const PatternTree& tree, WidthMeasure measure, int k);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_ANALYSIS_WB_H_

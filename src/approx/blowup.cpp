@@ -1,0 +1,152 @@
+#include "src/approx/blowup.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace wdpt {
+
+namespace {
+
+RelationId Rel(Schema* schema, const std::string& name, uint32_t arity) {
+  Result<RelationId> r = schema->AddRelation(name, arity);
+  WDPT_CHECK(r.ok());
+  return r.value();
+}
+
+}  // namespace
+
+BlowupPair MakeBlowupFamily(int n, int k, Schema* schema, Vocabulary* vocab) {
+  WDPT_CHECK(n >= 1 && k >= 2);
+  // Relations.
+  RelationId rel_a = Rel(schema, "blow_a", 1);
+  std::vector<RelationId> rel_ai(n + 1);
+  for (int i = 0; i <= n; ++i) {
+    rel_ai[i] = Rel(schema, "blow_a" + std::to_string(i), 1);
+  }
+  std::vector<RelationId> rel_bi(k + 1);
+  for (int i = 0; i <= k; ++i) {
+    rel_bi[i] = Rel(schema, "blow_b" + std::to_string(i), 1);
+  }
+  std::vector<RelationId> rel_ci(n + 1);
+  for (int i = 1; i <= n; ++i) {
+    rel_ci[i] = Rel(schema, "blow_c" + std::to_string(i), 1);
+  }
+  RelationId rel_d = Rel(schema, "blow_d", 2);
+  RelationId rel_e = Rel(schema, "blow_e", static_cast<uint32_t>(n));
+
+  // Variables.
+  Term x = vocab->Variable("blow_x");
+  std::vector<Term> xi(n + 1);
+  for (int i = 0; i <= n; ++i) {
+    xi[i] = vocab->Variable("blow_x" + std::to_string(i));
+  }
+  std::vector<Term> alpha(k + 1);
+  for (int i = 0; i <= k; ++i) {
+    alpha[i] = vocab->Variable("blow_alpha" + std::to_string(i));
+  }
+  std::vector<Term> z(n + 1);
+  for (int i = 1; i <= n; ++i) {
+    z[i] = vocab->Variable("blow_z" + std::to_string(i));
+  }
+
+  std::vector<VariableId> free_vars;
+  free_vars.push_back(x.variable_id());
+  for (int i = 0; i <= n; ++i) free_vars.push_back(xi[i].variable_id());
+
+  // ---- p1 ------------------------------------------------------------
+  PatternTree p1;
+  p1.AddAtom(PatternTree::kRoot, Atom(rel_a, {x}));
+  for (int i = 0; i <= k; ++i) {
+    p1.AddAtom(PatternTree::kRoot, Atom(rel_bi[i], {alpha[i]}));
+  }
+  for (int i = 1; i <= n; ++i) {
+    p1.AddAtom(PatternTree::kRoot, Atom(rel_ci[i], {alpha[0]}));
+    p1.AddAtom(PatternTree::kRoot, Atom(rel_ci[i], {z[i]}));
+  }
+  p1.AddAtom(PatternTree::kRoot, Atom(rel_d, {alpha[0], alpha[0]}));
+  p1.AddAtom(PatternTree::kRoot, Atom(rel_d, {alpha[1], alpha[1]}));
+  // The big clique: d(a, b) over all distinct pairs from the alphas and
+  // the z's.
+  {
+    std::vector<Term> clique;
+    for (int i = 0; i <= k; ++i) clique.push_back(alpha[i]);
+    for (int i = 1; i <= n; ++i) clique.push_back(z[i]);
+    for (size_t i = 0; i < clique.size(); ++i) {
+      for (size_t j = 0; j < clique.size(); ++j) {
+        if (i != j) p1.AddAtom(PatternTree::kRoot,
+                               Atom(rel_d, {clique[i], clique[j]}));
+      }
+    }
+  }
+  // First leaf: {a_0(x_0), e(z_1, ..., z_n)}.
+  {
+    std::vector<Atom> leaf;
+    leaf.emplace_back(rel_ai[0], std::vector<Term>{xi[0]});
+    std::vector<Term> zs(z.begin() + 1, z.end());
+    leaf.emplace_back(rel_e, zs);
+    p1.AddChild(PatternTree::kRoot, std::move(leaf));
+  }
+  // Leaves i in [n]: {a_i(x_i), b_1(z_i), c_i(alpha_1)}. (The proof
+  // sketch of Theorem 15 makes clear that every leaf uses b_1: including
+  // leaf i in a subtree forces z_i to alpha_1 via the root's b_1(alpha_1)
+  // while the other z_j fall back to alpha_0.)
+  for (int i = 1; i <= n; ++i) {
+    std::vector<Atom> leaf;
+    leaf.emplace_back(rel_ai[i], std::vector<Term>{xi[i]});
+    leaf.emplace_back(rel_bi[1], std::vector<Term>{z[i]});
+    leaf.emplace_back(rel_ci[i], std::vector<Term>{alpha[1]});
+    p1.AddChild(PatternTree::kRoot, std::move(leaf));
+  }
+  p1.SetFreeVariables(free_vars);
+  Status s1 = p1.Validate();
+  WDPT_CHECK(s1.ok());
+
+  // ---- p2 ------------------------------------------------------------
+  PatternTree p2;
+  p2.AddAtom(PatternTree::kRoot, Atom(rel_a, {x}));
+  for (int i = 0; i <= k; ++i) {
+    p2.AddAtom(PatternTree::kRoot, Atom(rel_bi[i], {alpha[i]}));
+  }
+  for (int i = 1; i <= n; ++i) {
+    p2.AddAtom(PatternTree::kRoot, Atom(rel_ci[i], {alpha[0]}));
+  }
+  for (int i = 0; i <= k; ++i) {
+    for (int j = 0; j <= k; ++j) {
+      if (i != j) p2.AddAtom(PatternTree::kRoot,
+                             Atom(rel_d, {alpha[i], alpha[j]}));
+    }
+  }
+  p2.AddAtom(PatternTree::kRoot, Atom(rel_d, {alpha[0], alpha[0]}));
+  p2.AddAtom(PatternTree::kRoot, Atom(rel_d, {alpha[1], alpha[1]}));
+  // First leaf: {a_0(x_0)} plus e(v) for every v in {alpha_0, alpha_1}^n.
+  {
+    std::vector<Atom> leaf;
+    leaf.emplace_back(rel_ai[0], std::vector<Term>{xi[0]});
+    for (uint64_t bits = 0; bits < (uint64_t{1} << n); ++bits) {
+      std::vector<Term> args;
+      args.reserve(n);
+      for (int i = 0; i < n; ++i) {
+        args.push_back((bits >> i) & 1 ? alpha[1] : alpha[0]);
+      }
+      leaf.emplace_back(rel_e, std::move(args));
+    }
+    p2.AddChild(PatternTree::kRoot, std::move(leaf));
+  }
+  // Leaves i in [n]: {a_i(x_i), c_i(alpha_1)}.
+  for (int i = 1; i <= n; ++i) {
+    std::vector<Atom> leaf;
+    leaf.emplace_back(rel_ai[i], std::vector<Term>{xi[i]});
+    leaf.emplace_back(rel_ci[i], std::vector<Term>{alpha[1]});
+    p2.AddChild(PatternTree::kRoot, std::move(leaf));
+  }
+  p2.SetFreeVariables(free_vars);
+  Status s2 = p2.Validate();
+  WDPT_CHECK(s2.ok());
+
+  return BlowupPair{std::move(p1), std::move(p2)};
+}
+
+}  // namespace wdpt

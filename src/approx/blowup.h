@@ -1,0 +1,32 @@
+// The Figure 2 / Theorem 15 exponential blow-up family.
+//
+// For every n >= 1 and k >= 2 the paper constructs WDPTs p1 (size
+// O(n^2)) and p2 (size Omega(2^n)) such that p2 is in WB(k), p2 [= p1,
+// and every WB(k) WDPT between p2 and p1 is at least as large as p2.
+// This module builds both trees so the size gap can be measured
+// (bench_fig2_blowup) and the subsumption/width claims unit-tested.
+
+#ifndef WDPT_SRC_APPROX_BLOWUP_H_
+#define WDPT_SRC_APPROX_BLOWUP_H_
+
+#include "src/relational/schema.h"
+#include "src/relational/term.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// The pair (p1^(n), p2^(n)) of Figure 2.
+struct BlowupPair {
+  PatternTree p1;
+  PatternTree p2;
+};
+
+/// Builds the Figure 2 family for parameters n >= 1 and k >= 2,
+/// declaring the needed relations (a, a_0..a_n, b_0..b_k, c_1..c_n
+/// unary; d binary; e n-ary) in `schema` and interning the
+/// variables in `vocab`. Both trees are validated.
+BlowupPair MakeBlowupFamily(int n, int k, Schema* schema, Vocabulary* vocab);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_APPROX_BLOWUP_H_

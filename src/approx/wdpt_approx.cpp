@@ -1,0 +1,117 @@
+#include "src/approx/wdpt_approx.h"
+
+#include "src/analysis/semantic.h"
+
+namespace wdpt {
+
+namespace {
+
+// Collects the WB(k) quotient candidates of `tree` (pruned), each
+// subsumed by `tree` by construction of quotients (the quotient
+// substitution witnesses the subsumption; we still verify defensively).
+Result<std::vector<PatternTree>> CollectCandidates(
+    const PatternTree& tree, WidthMeasure measure, int k,
+    const Schema* schema, Vocabulary* vocab,
+    const WdptApproximationOptions& options) {
+  std::vector<PatternTree> candidates;
+  Status failure = Status::Ok();
+  PatternTree pruned = Lemma1Prune(tree);
+  bool complete = ForEachWdptQuotient(
+      pruned, options.max_partitions, [&](const PatternTree& quotient) {
+        PatternTree candidate = Lemma1Prune(quotient);
+        Result<bool> in_wb = IsInWB(candidate, measure, k);
+        if (!in_wb.ok()) {
+          failure = in_wb.status();
+          return false;
+        }
+        if (!*in_wb) return true;
+        Result<bool> sound =
+            IsSubsumedBy(candidate, tree, schema, vocab, options.subsumption);
+        if (!sound.ok()) {
+          failure = sound.status();
+          return false;
+        }
+        if (*sound) candidates.push_back(candidate);
+        return true;
+      });
+  if (!failure.ok()) return failure;
+  if (!complete) {
+    return Status::ResourceExhausted(
+        "quotient enumeration exceeded max_partitions");
+  }
+  return candidates;
+}
+
+}  // namespace
+
+Result<std::vector<PatternTree>> ComputeWdptApproximations(
+    const PatternTree& tree, WidthMeasure measure, int k,
+    const Schema* schema, Vocabulary* vocab,
+    const WdptApproximationOptions& options) {
+  if (!tree.validated()) {
+    return Status::InvalidArgument("pattern tree must be validated");
+  }
+  // Fast path: tree itself in WB(k).
+  PatternTree pruned = Lemma1Prune(tree);
+  Result<bool> in_wb = IsInWB(pruned, measure, k);
+  if (!in_wb.ok()) return in_wb.status();
+  if (*in_wb) return std::vector<PatternTree>{pruned};
+
+  Result<std::vector<PatternTree>> candidates =
+      CollectCandidates(tree, measure, k, schema, vocab, options);
+  if (!candidates.ok()) return candidates.status();
+
+  // Keep the [=-maximal candidates, deduplicating equivalents.
+  std::vector<PatternTree>& all = *candidates;
+  std::vector<PatternTree> maximal;
+  for (size_t i = 0; i < all.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < all.size() && !dominated; ++j) {
+      if (i == j) continue;
+      Result<bool> i_in_j =
+          IsSubsumedBy(all[i], all[j], schema, vocab, options.subsumption);
+      if (!i_in_j.ok()) return i_in_j.status();
+      if (!*i_in_j) continue;
+      Result<bool> j_in_i =
+          IsSubsumedBy(all[j], all[i], schema, vocab, options.subsumption);
+      if (!j_in_i.ok()) return j_in_i.status();
+      if (!*j_in_i) {
+        dominated = true;
+      } else if (j < i) {
+        dominated = true;  // Equivalent; keep the first representative.
+      }
+    }
+    if (!dominated) maximal.push_back(all[i]);
+  }
+  return maximal;
+}
+
+Result<bool> IsWdptQuotientApproximation(
+    const PatternTree& candidate, const PatternTree& tree,
+    WidthMeasure measure, int k, const Schema* schema, Vocabulary* vocab,
+    const WdptApproximationOptions& options) {
+  Result<bool> in_wb = IsInWB(candidate, measure, k);
+  if (!in_wb.ok()) return in_wb.status();
+  if (!*in_wb) return false;
+  Result<bool> sound =
+      IsSubsumedBy(candidate, tree, schema, vocab, options.subsumption);
+  if (!sound.ok()) return sound.status();
+  if (!*sound) return false;
+  // No searched candidate strictly in between.
+  Result<std::vector<PatternTree>> maximal =
+      ComputeWdptApproximations(tree, measure, k, schema, vocab, options);
+  if (!maximal.ok()) return maximal.status();
+  for (const PatternTree& m : *maximal) {
+    Result<bool> cand_in_m =
+        IsSubsumedBy(candidate, m, schema, vocab, options.subsumption);
+    if (!cand_in_m.ok()) return cand_in_m.status();
+    if (!*cand_in_m) continue;
+    Result<bool> m_in_cand =
+        IsSubsumedBy(m, candidate, schema, vocab, options.subsumption);
+    if (!m_in_cand.ok()) return m_in_cand.status();
+    if (*m_in_cand) return true;  // Equivalent to a maximal candidate.
+  }
+  return false;
+}
+
+}  // namespace wdpt

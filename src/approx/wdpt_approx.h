@@ -1,0 +1,53 @@
+// WB(k)-approximations of WDPTs (Section 5.2, Theorem 14).
+//
+// A WB(k)-approximation of p is a WDPT p' in WB(k) with p' [= p that is
+// [=-maximal among such. Theorem 15 shows optimal approximations can be
+// exponentially larger than p, so no polynomial candidate space is
+// complete in general. Following the same quotient machinery as for CQs
+// (src/cq/approximation.h) we search the subsumption-preserving quotient
+// space of p:
+//   * every returned WDPT is verified to be in WB(k) and subsumed by p
+//     (soundness is unconditional);
+//   * the returned set consists of the [=-maximal candidates in the
+//     searched space; for single-node WDPTs (CQs) this coincides with
+//     the true C(k)-approximations.
+// The exact exponential-size construction for the paper's Figure 2
+// family lives in src/approx/blowup.h.
+
+#ifndef WDPT_SRC_APPROX_WDPT_APPROX_H_
+#define WDPT_SRC_APPROX_WDPT_APPROX_H_
+
+#include <vector>
+
+#include "src/analysis/subsumption.h"
+#include "src/analysis/wb.h"
+#include "src/common/status.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// Options for WB(k)-approximation search.
+struct WdptApproximationOptions {
+  uint64_t max_partitions = 200'000;
+  SubsumptionOptions subsumption;
+};
+
+/// Computes the [=-maximal WB(k) quotient approximations of `tree`
+/// (up to subsumption-equivalence). If `tree` is itself (after Lemma 1
+/// pruning) in WB(k), the result is that single pruned tree.
+Result<std::vector<PatternTree>> ComputeWdptApproximations(
+    const PatternTree& tree, WidthMeasure measure, int k,
+    const Schema* schema, Vocabulary* vocab,
+    const WdptApproximationOptions& options = WdptApproximationOptions());
+
+/// Decision problem WB(k)-APPROXIMATION restricted to the quotient
+/// space: checks that candidate is in WB(k), candidate [= tree, and no
+/// searched candidate lies strictly between them.
+Result<bool> IsWdptQuotientApproximation(
+    const PatternTree& candidate, const PatternTree& tree,
+    WidthMeasure measure, int k, const Schema* schema, Vocabulary* vocab,
+    const WdptApproximationOptions& options = WdptApproximationOptions());
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_APPROX_WDPT_APPROX_H_

@@ -1,0 +1,62 @@
+// Helpers for sorted-vector set operations, used for variable sets.
+
+#ifndef WDPT_SRC_COMMON_ALGO_H_
+#define WDPT_SRC_COMMON_ALGO_H_
+
+#include <algorithm>
+#include <vector>
+
+namespace wdpt {
+
+/// Sorts and deduplicates `v` in place.
+template <typename T>
+void SortUnique(std::vector<T>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+/// True if sorted vector `v` contains `x`.
+template <typename T>
+bool SortedContains(const std::vector<T>& v, const T& x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+/// Returns the union of two sorted deduplicated vectors.
+template <typename T>
+std::vector<T> SortedUnion(const std::vector<T>& a, const std::vector<T>& b) {
+  std::vector<T> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+/// Returns the intersection of two sorted deduplicated vectors.
+template <typename T>
+std::vector<T> SortedIntersection(const std::vector<T>& a,
+                                  const std::vector<T>& b) {
+  std::vector<T> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+/// Returns a \ b for sorted deduplicated vectors.
+template <typename T>
+std::vector<T> SortedDifference(const std::vector<T>& a,
+                                const std::vector<T>& b) {
+  std::vector<T> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+/// True if sorted deduplicated `a` is a subset of sorted deduplicated `b`.
+template <typename T>
+bool SortedIsSubset(const std::vector<T>& a, const std::vector<T>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_COMMON_ALGO_H_

@@ -1,0 +1,29 @@
+// Hash-combination utilities.
+
+#ifndef WDPT_SRC_COMMON_HASH_H_
+#define WDPT_SRC_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace wdpt {
+
+/// Mixes `value` into `seed` (boost::hash_combine style, 64-bit constants).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + UINT64_C(0x9e3779b97f4a7c15) + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hashes a vector of hashable elements.
+template <typename T>
+size_t HashRange(const std::vector<T>& values) {
+  size_t seed = values.size();
+  std::hash<T> hasher;
+  for (const T& v : values) HashCombine(&seed, hasher(v));
+  return seed;
+}
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_COMMON_HASH_H_

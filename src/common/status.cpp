@@ -1,0 +1,43 @@
+#include "src/common/status.h"
+
+namespace wdpt {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotWellDesigned:
+      return "not-well-designed";
+    case StatusCode::kParseError:
+      return "parse-error";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "WDPT_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace wdpt

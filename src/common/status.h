@@ -1,0 +1,128 @@
+// Lightweight Status / Result error-handling primitives.
+//
+// The library does not throw exceptions across API boundaries. Operations
+// that can fail on user input (parsing, validation of pattern trees, ...)
+// return a Status or a Result<T>; internal invariant violations abort via
+// WDPT_CHECK.
+
+#ifndef WDPT_SRC_COMMON_STATUS_H_
+#define WDPT_SRC_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace wdpt {
+
+/// Broad error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (bad arity, unknown symbol, ...).
+  kNotWellDesigned,   ///< A pattern tree violates well-designedness.
+  kParseError,        ///< The SPARQL-algebra or data parser rejected input.
+  kResourceExhausted, ///< A configured enumeration/size limit was hit.
+  kNotFound,          ///< A looked-up entity does not exist.
+  kInternal,          ///< Invariant violation surfaced as a status.
+};
+
+/// Returns a short human-readable name for `code` ("ok", "parse-error", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail without a payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotWellDesigned(std::string msg) {
+    return Status(StatusCode::kNotWellDesigned, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "code: message" for logging and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Minimal StatusOr-style wrapper.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a failed result; `status` must not be OK.
+  Result(Status status) : storage_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// Returns the error status (OK if the result holds a value).
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(storage_);
+  }
+
+  /// Accessors; must only be called when ok().
+  const T& value() const& { return std::get<T>(storage_); }
+  T& value() & { return std::get<T>(storage_); }
+  T&& value() && { return std::get<T>(std::move(storage_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+/// Aborts the process when `cond` is false. Used for internal invariants
+/// that indicate a bug in the library, never for user input validation.
+#define WDPT_CHECK(cond)                                          \
+  do {                                                            \
+    if (!(cond)) {                                                \
+      ::wdpt::internal::CheckFailed(__FILE__, __LINE__, #cond);   \
+    }                                                             \
+  } while (0)
+
+#ifndef NDEBUG
+#define WDPT_DCHECK(cond) WDPT_CHECK(cond)
+#else
+#define WDPT_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#endif
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_COMMON_STATUS_H_

@@ -1,0 +1,27 @@
+// Small string helpers shared across the library.
+
+#ifndef WDPT_SRC_COMMON_STRINGS_H_
+#define WDPT_SRC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wdpt {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a, b" for sep = ", ").
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// True if `input` starts with `prefix`.
+bool StartsWith(std::string_view input, std::string_view prefix);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_COMMON_STRINGS_H_

@@ -1,0 +1,122 @@
+#include "src/cq/approximation.h"
+
+#include <algorithm>
+
+#include "src/cq/containment.h"
+#include "src/cq/core.h"
+#include "src/cq/quotient.h"
+#include "src/hypergraph/gyo.h"
+#include "src/hypergraph/hypertree.h"
+#include "src/hypergraph/treewidth.h"
+
+namespace wdpt {
+
+const char* WidthMeasureName(WidthMeasure measure) {
+  switch (measure) {
+    case WidthMeasure::kTreewidth:
+      return "tw";
+    case WidthMeasure::kGeneralizedHypertreewidth:
+      return "ghw";
+    case WidthMeasure::kBetaHypertreewidth:
+      return "beta-ghw";
+  }
+  return "unknown";
+}
+
+Result<bool> WidthAtMost(const ConjunctiveQuery& q, WidthMeasure measure,
+                         int k) {
+  Hypergraph h = q.BuildHypergraph(nullptr);
+  switch (measure) {
+    case WidthMeasure::kTreewidth: {
+      Graph primal = h.ToPrimalGraph();
+      bool exact = false;
+      bool result = TreewidthAtMost(primal, k, &exact);
+      if (!exact && !result) {
+        return Status::ResourceExhausted(
+            "query too large for exact treewidth and heuristic exceeded k");
+      }
+      return result;
+    }
+    case WidthMeasure::kGeneralizedHypertreewidth: {
+      if (k >= 1 && IsAlphaAcyclic(h)) return true;
+      if (h.num_vertices > kMaxExactVertices) {
+        return Status::ResourceExhausted(
+            "query too large for exact hypertreewidth");
+      }
+      return FindHypertreeDecomposition(h, k).has_value();
+    }
+    case WidthMeasure::kBetaHypertreewidth: {
+      std::optional<bool> result = BetaGhwAtMost(h, k);
+      if (!result.has_value()) {
+        return Status::ResourceExhausted(
+            "query too large for beta-hypertreewidth enumeration");
+      }
+      return *result;
+    }
+  }
+  return Status::Internal("unknown width measure");
+}
+
+Result<bool> SemanticallyInWidthClass(const ConjunctiveQuery& q,
+                                      WidthMeasure measure, int k,
+                                      const Schema* schema,
+                                      Vocabulary* vocab) {
+  ConjunctiveQuery core = ComputeCore(q, schema, vocab);
+  return WidthAtMost(core, measure, k);
+}
+
+Result<std::vector<ConjunctiveQuery>> ComputeCqApproximations(
+    const ConjunctiveQuery& q, WidthMeasure measure, int k,
+    const Schema* schema, Vocabulary* vocab,
+    const CqApproximationOptions& options) {
+  if (measure == WidthMeasure::kGeneralizedHypertreewidth) {
+    return Status::InvalidArgument(
+        "approximations require a subquery-closed measure (tw or beta-ghw)");
+  }
+  // Fast path: q itself is equivalent to a C(k) query.
+  ConjunctiveQuery q_core = ComputeCore(q, schema, vocab);
+  Result<bool> in_class = WidthAtMost(q_core, measure, k);
+  if (!in_class.ok()) return in_class.status();
+  if (*in_class) return std::vector<ConjunctiveQuery>{q_core};
+
+  // Enumerate quotient images; keep the cored sound candidates in C(k).
+  std::vector<ConjunctiveQuery> candidates;
+  Status failure = Status::Ok();
+  bool complete = ForEachQuotient(
+      q, options.max_partitions, [&](const ConjunctiveQuery& image) {
+        ConjunctiveQuery cored = ComputeCore(image, schema, vocab);
+        Result<bool> ok = WidthAtMost(cored, measure, k);
+        if (!ok.ok()) {
+          failure = ok.status();
+          return false;
+        }
+        if (*ok) candidates.push_back(std::move(cored));
+        return true;
+      });
+  if (!failure.ok()) return failure;
+  if (!complete) {
+    return Status::ResourceExhausted(
+        "quotient enumeration exceeded max_partitions");
+  }
+
+  // Keep containment-maximal candidates, deduplicating equivalents.
+  std::vector<ConjunctiveQuery> maximal;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < candidates.size() && !dominated; ++j) {
+      if (i == j) continue;
+      bool i_in_j = CqContainedIn(candidates[i], candidates[j], schema, vocab);
+      if (!i_in_j) continue;
+      bool j_in_i = CqContainedIn(candidates[j], candidates[i], schema, vocab);
+      if (!j_in_i) {
+        dominated = true;  // Strictly below another candidate.
+      } else if (j < i) {
+        dominated = true;  // Equivalent; keep the first representative.
+      }
+    }
+    if (!dominated) maximal.push_back(candidates[i]);
+  }
+  return maximal;
+}
+
+}  // namespace wdpt

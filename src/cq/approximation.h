@@ -1,0 +1,65 @@
+// Width classes of CQs and C(k)-approximations.
+//
+// TW(k), HW(k) (generalized hypertreewidth, as in the paper's remark) and
+// HW'(k) (beta-hypertreewidth, the subquery-closed restriction used for
+// WB(k)). Approximations follow Barcelo-Libkin-Romero: for constant-free
+// queries every C(k)-approximation is equivalent to a homomorphic image
+// of q, so the maximal sound quotients are exactly the approximations.
+
+#ifndef WDPT_SRC_CQ_APPROXIMATION_H_
+#define WDPT_SRC_CQ_APPROXIMATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/cq/cq.h"
+#include "src/relational/schema.h"
+#include "src/relational/term.h"
+
+namespace wdpt {
+
+/// Structural width measures on CQ hypergraphs.
+enum class WidthMeasure {
+  kTreewidth,                 ///< TW(k).
+  kGeneralizedHypertreewidth, ///< HW(k) in the paper's notation.
+  kBetaHypertreewidth,        ///< HW'(k): every subquery has ghw <= k.
+};
+
+/// Human-readable measure name ("tw", "ghw", "beta-ghw").
+const char* WidthMeasureName(WidthMeasure measure);
+
+/// Syntactic test: width of q's hypergraph at most k. Exact for queries
+/// with at most 64 variables (an error status is returned beyond that for
+/// the hypertree measures; treewidth falls back to a heuristic upper
+/// bound that may report false).
+Result<bool> WidthAtMost(const ConjunctiveQuery& q, WidthMeasure measure,
+                         int k);
+
+/// Semantic test: is q equivalent to some CQ in C(k)? Equivalent to
+/// WidthAtMost(core(q)) since the core is the minimal equivalent query
+/// and width is monotone under subqueries for these measures.
+Result<bool> SemanticallyInWidthClass(const ConjunctiveQuery& q,
+                                      WidthMeasure measure, int k,
+                                      const Schema* schema,
+                                      Vocabulary* vocab);
+
+/// Options for approximation search.
+struct CqApproximationOptions {
+  /// Cap on enumerated variable partitions; exceeded -> error status.
+  uint64_t max_partitions = 5'000'000;
+};
+
+/// All C(k)-approximations of q up to equivalence (cored, sound, maximal
+/// under containment). If q itself is semantically in C(k) the result is
+/// {core(q)}. Intended for kTreewidth and kBetaHypertreewidth (the
+/// subquery-closed measures for which the quotient characterization is
+/// complete); kGeneralizedHypertreewidth is rejected.
+Result<std::vector<ConjunctiveQuery>> ComputeCqApproximations(
+    const ConjunctiveQuery& q, WidthMeasure measure, int k,
+    const Schema* schema, Vocabulary* vocab,
+    const CqApproximationOptions& options = CqApproximationOptions());
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_CQ_APPROXIMATION_H_

@@ -1,0 +1,45 @@
+#include "src/cq/containment.h"
+
+#include "src/common/algo.h"
+#include "src/cq/homomorphism.h"
+
+namespace wdpt {
+
+namespace {
+
+// Homomorphism from q2's body into the canonical database of q1's body
+// that maps every variable of `fixed` (variables of q1) to its frozen
+// constant.
+bool BodyHomomorphismExists(const ConjunctiveQuery& q2,
+                            const ConjunctiveQuery& q1,
+                            const std::vector<VariableId>& fixed,
+                            const Schema* schema, Vocabulary* vocab) {
+  CanonicalDatabase canonical =
+      BuildCanonicalDatabase(q1.atoms, schema, vocab);
+  Mapping seed = canonical.FreezeMapping(fixed);
+  // Fixed variables that do not occur in q1's body have no frozen image;
+  // the seed simply omits them, which can only happen for unsafe queries.
+  return HomomorphismExists(q2.atoms, canonical.db, seed);
+}
+
+}  // namespace
+
+bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                   const Schema* schema, Vocabulary* vocab) {
+  if (q1.free_vars != q2.free_vars) return false;
+  return BodyHomomorphismExists(q2, q1, q1.free_vars, schema, vocab);
+}
+
+bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                  const Schema* schema, Vocabulary* vocab) {
+  return CqContainedIn(q1, q2, schema, vocab) &&
+         CqContainedIn(q2, q1, schema, vocab);
+}
+
+bool CqSubsumedBy(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                  const Schema* schema, Vocabulary* vocab) {
+  if (!SortedIsSubset(q1.free_vars, q2.free_vars)) return false;
+  return BodyHomomorphismExists(q2, q1, q1.free_vars, schema, vocab);
+}
+
+}  // namespace wdpt

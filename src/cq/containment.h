@@ -1,0 +1,35 @@
+// Chandra-Merlin containment and equivalence of CQs, plus the answer-
+// subsumption order on CQs used by the WDPT machinery.
+//
+// With the paper's mapping-based semantics, q1 is contained in q2 only if
+// both have the same free variables; q1 is *subsumed* by q2 (every answer
+// of q1 extends to an answer of q2 over every database) if free(q1) is a
+// subset of free(q2) and a homomorphism from q2's body to the canonical
+// database of q1 fixes free(q1).
+
+#ifndef WDPT_SRC_CQ_CONTAINMENT_H_
+#define WDPT_SRC_CQ_CONTAINMENT_H_
+
+#include "src/cq/cq.h"
+#include "src/relational/schema.h"
+#include "src/relational/term.h"
+
+namespace wdpt {
+
+/// q1 subseteq q2 for every database. Requires identical free-variable
+/// sets (otherwise false, except for the trivial equal case).
+bool CqContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                   const Schema* schema, Vocabulary* vocab);
+
+/// Containment in both directions.
+bool CqEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                  const Schema* schema, Vocabulary* vocab);
+
+/// q1 [= q2 on answers: for every database D and every h1 in q1(D) there
+/// is h2 in q2(D) with h1 [= h2.
+bool CqSubsumedBy(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+                  const Schema* schema, Vocabulary* vocab);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_CQ_CONTAINMENT_H_

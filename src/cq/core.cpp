@@ -1,0 +1,67 @@
+#include "src/cq/core.h"
+
+#include <unordered_map>
+
+#include "src/cq/homomorphism.h"
+
+namespace wdpt {
+
+namespace {
+
+// Looks for an endomorphism of `q` (a homomorphism from q's body to its
+// own canonical database fixing free variables) whose image is a proper
+// subset of q's atoms. On success stores the image query in `smaller`.
+bool FindFoldingEndomorphism(const ConjunctiveQuery& q, const Schema* schema,
+                             Vocabulary* vocab, ConjunctiveQuery* smaller) {
+  CanonicalDatabase canonical = BuildCanonicalDatabase(q.atoms, schema, vocab);
+  Mapping seed = canonical.FreezeMapping(q.free_vars);
+  // Reverse map: frozen constant -> variable.
+  std::unordered_map<ConstantId, VariableId> unfreeze;
+  for (const auto& [v, c] : canonical.frozen) unfreeze.emplace(c, v);
+
+  bool found = false;
+  ForEachHomomorphism(q.atoms, canonical.db, seed, [&](const Mapping& m) {
+    // Apply the endomorphism to every atom; the image is automatically a
+    // subset of q's atoms (facts of the canonical database unfreeze to
+    // exactly the atoms of q).
+    ConjunctiveQuery image;
+    image.free_vars = q.free_vars;
+    image.atoms = q.atoms;
+    for (Atom& a : image.atoms) {
+      for (Term& t : a.terms) {
+        if (!t.is_variable()) continue;
+        std::optional<ConstantId> c = m.Get(t.variable_id());
+        if (!c.has_value()) continue;  // Variable not in the body.
+        auto it = unfreeze.find(*c);
+        if (it != unfreeze.end()) {
+          t = Term::Variable(it->second);
+        } else {
+          t = Term::Constant(*c);
+        }
+      }
+    }
+    image.Normalize();
+    if (image.atoms.size() < q.atoms.size()) {
+      *smaller = std::move(image);
+      found = true;
+      return false;  // Stop the enumeration.
+    }
+    return true;
+  });
+  return found;
+}
+
+}  // namespace
+
+ConjunctiveQuery ComputeCore(const ConjunctiveQuery& q, const Schema* schema,
+                             Vocabulary* vocab) {
+  ConjunctiveQuery current = q;
+  current.Normalize();
+  ConjunctiveQuery smaller;
+  while (FindFoldingEndomorphism(current, schema, vocab, &smaller)) {
+    current = smaller;
+  }
+  return current;
+}
+
+}  // namespace wdpt

@@ -1,0 +1,25 @@
+// Core computation for conjunctive queries.
+//
+// The core of q is the smallest retract of q: a subquery q_c with a
+// homomorphism q -> q_c fixing free variables. Cores are unique up to
+// isomorphism and have the same answers as q over every database; they
+// are the canonical representative for semantic width tests ("is q
+// equivalent to a query of treewidth <= k" iff "tw(core(q)) <= k").
+
+#ifndef WDPT_SRC_CQ_CORE_H_
+#define WDPT_SRC_CQ_CORE_H_
+
+#include "src/cq/cq.h"
+#include "src/relational/schema.h"
+#include "src/relational/term.h"
+
+namespace wdpt {
+
+/// Computes the core of q (free variables are fixed by all folding
+/// endomorphisms). The result is equivalent to q.
+ConjunctiveQuery ComputeCore(const ConjunctiveQuery& q, const Schema* schema,
+                             Vocabulary* vocab);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_CQ_CORE_H_

@@ -1,0 +1,121 @@
+#include "src/cq/cq.h"
+
+#include <algorithm>
+
+#include "src/common/algo.h"
+#include "src/common/status.h"
+#include "src/common/strings.h"
+
+namespace wdpt {
+
+void ConjunctiveQuery::Normalize() {
+  SortUnique(&free_vars);
+  std::sort(atoms.begin(), atoms.end());
+  atoms.erase(std::unique(atoms.begin(), atoms.end()), atoms.end());
+}
+
+std::vector<VariableId> ConjunctiveQuery::ExistentialVariables() const {
+  return SortedDifference(AllVariables(), free_vars);
+}
+
+bool ConjunctiveQuery::IsSafe() const {
+  std::vector<VariableId> all = AllVariables();
+  for (VariableId v : free_vars) {
+    if (!SortedContains(all, v)) return false;
+  }
+  return true;
+}
+
+size_t ConjunctiveQuery::Size() const {
+  size_t size = atoms.size();
+  for (const Atom& a : atoms) size += a.terms.size();
+  return size;
+}
+
+Hypergraph ConjunctiveQuery::BuildHypergraph(
+    std::vector<VariableId>* vertex_to_var) const {
+  std::vector<VariableId> vars = AllVariables();
+  std::unordered_map<VariableId, uint32_t> dense;
+  for (uint32_t i = 0; i < vars.size(); ++i) dense.emplace(vars[i], i);
+  Hypergraph h;
+  h.num_vertices = static_cast<uint32_t>(vars.size());
+  h.edges.reserve(atoms.size());
+  for (const Atom& a : atoms) {
+    std::vector<uint32_t> edge;
+    for (Term t : a.terms) {
+      if (t.is_variable()) edge.push_back(dense.at(t.variable_id()));
+    }
+    SortUnique(&edge);
+    h.edges.push_back(std::move(edge));
+  }
+  if (vertex_to_var != nullptr) *vertex_to_var = std::move(vars);
+  return h;
+}
+
+std::string ConjunctiveQuery::ToString(const Schema& schema,
+                                       const Vocabulary& vocab) const {
+  std::string out = "Ans(";
+  for (size_t i = 0; i < free_vars.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "?" + vocab.VariableName(free_vars[i]);
+  }
+  out += ") <- ";
+  out += AtomsToString(atoms, schema, vocab);
+  return out;
+}
+
+std::vector<Atom> SubstituteMapping(const std::vector<Atom>& atoms,
+                                    const Mapping& m) {
+  std::vector<Atom> out = atoms;
+  for (Atom& a : out) {
+    for (Term& t : a.terms) {
+      if (t.is_variable()) {
+        std::optional<ConstantId> c = m.Get(t.variable_id());
+        if (c.has_value()) t = Term::Constant(*c);
+      }
+    }
+  }
+  return out;
+}
+
+Mapping CanonicalDatabase::FreezeMapping(
+    const std::vector<VariableId>& vars) const {
+  Mapping m;
+  for (VariableId v : vars) {
+    auto it = frozen.find(v);
+    if (it != frozen.end()) {
+      bool ok = m.Bind(v, it->second);
+      WDPT_CHECK(ok);
+    }
+  }
+  return m;
+}
+
+CanonicalDatabase BuildCanonicalDatabase(const std::vector<Atom>& atoms,
+                                         const Schema* schema,
+                                         Vocabulary* vocab) {
+  CanonicalDatabase canonical(schema);
+  for (const Atom& a : atoms) {
+    std::vector<ConstantId> tuple;
+    tuple.reserve(a.terms.size());
+    for (Term t : a.terms) {
+      if (t.is_constant()) {
+        tuple.push_back(t.constant_id());
+        continue;
+      }
+      VariableId v = t.variable_id();
+      auto it = canonical.frozen.find(v);
+      if (it == canonical.frozen.end()) {
+        ConstantId frozen =
+            vocab->ConstantIdOf("_frz_" + vocab->VariableName(v));
+        it = canonical.frozen.emplace(v, frozen).first;
+      }
+      tuple.push_back(it->second);
+    }
+    Status status = canonical.db.AddFact(a.relation, tuple);
+    WDPT_CHECK(status.ok());
+  }
+  return canonical;
+}
+
+}  // namespace wdpt

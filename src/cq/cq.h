@@ -1,0 +1,86 @@
+// Conjunctive queries: representation, hypergraphs, canonical databases.
+//
+// A CQ Ans(x) <- R1(v1), ..., Rm(vm) is a body of atoms plus a set of free
+// variables (Section 2 of the paper). Answers are partial mappings defined
+// exactly on the free variables, matching the paper's mapping-based
+// semantics of q(D).
+
+#ifndef WDPT_SRC_CQ_CQ_H_
+#define WDPT_SRC_CQ_CQ_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hypergraph/hypergraph.h"
+#include "src/relational/atom.h"
+#include "src/relational/database.h"
+#include "src/relational/mapping.h"
+#include "src/relational/schema.h"
+#include "src/relational/term.h"
+
+namespace wdpt {
+
+/// A conjunctive query with set-of-mappings semantics.
+struct ConjunctiveQuery {
+  /// Free (answer) variables; sorted and deduplicated by Normalize().
+  std::vector<VariableId> free_vars;
+  /// Body atoms; deduplicated by Normalize().
+  std::vector<Atom> atoms;
+
+  /// Sorts/deduplicates free_vars and atoms. Call after manual edits.
+  void Normalize();
+
+  /// All variables of the body, sorted.
+  std::vector<VariableId> AllVariables() const { return VariablesOf(atoms); }
+
+  /// Existential (non-free) variables, sorted.
+  std::vector<VariableId> ExistentialVariables() const;
+
+  /// True if the query is Boolean (no free variables).
+  bool IsBoolean() const { return free_vars.empty(); }
+
+  /// True if every free variable occurs in the body.
+  bool IsSafe() const;
+
+  /// Number of atoms plus total number of term positions (a simple |q|).
+  size_t Size() const;
+
+  /// Builds the hypergraph H_q: vertices are the body variables (densely
+  /// renumbered), edges are the atoms' variable sets. If `vertex_to_var`
+  /// is non-null it receives the dense-id -> VariableId translation.
+  Hypergraph BuildHypergraph(std::vector<VariableId>* vertex_to_var) const;
+
+  /// Renders "Ans(?x) <- R(?x, ?y), S(?y)".
+  std::string ToString(const Schema& schema, const Vocabulary& vocab) const;
+};
+
+/// Substitutes `m` into `atoms`: every variable in dom(m) becomes the
+/// mapped constant.
+std::vector<Atom> SubstituteMapping(const std::vector<Atom>& atoms,
+                                    const Mapping& m);
+
+/// The canonical ("frozen") database of a set of atoms: each variable is
+/// replaced by a private fresh constant.
+struct CanonicalDatabase {
+  /// Facts of the frozen body; uses the schema passed to the builder.
+  Database db;
+  /// Variable -> frozen constant.
+  std::unordered_map<VariableId, ConstantId> frozen;
+
+  explicit CanonicalDatabase(const Schema* schema) : db(schema) {}
+
+  /// The mapping sending each of `vars` to its frozen constant. Variables
+  /// without a frozen image (not in the atoms) are skipped.
+  Mapping FreezeMapping(const std::vector<VariableId>& vars) const;
+};
+
+/// Builds the canonical database of `atoms`, minting frozen constants in
+/// `vocab` (named "_frz_<variable name>").
+CanonicalDatabase BuildCanonicalDatabase(const std::vector<Atom>& atoms,
+                                         const Schema* schema,
+                                         Vocabulary* vocab);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_CQ_CQ_H_

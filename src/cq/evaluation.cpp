@@ -1,0 +1,601 @@
+#include "src/cq/evaluation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/algo.h"
+#include "src/common/hash.h"
+#include "src/common/status.h"
+#include "src/cq/homomorphism.h"
+#include "src/hypergraph/gyo.h"
+#include "src/hypergraph/treewidth.h"
+
+namespace wdpt {
+
+namespace {
+
+// A materialized bag: variable list (sorted) and tuple set.
+struct Bag {
+  std::vector<VariableId> vars;
+  std::vector<std::vector<ConstantId>> tuples;
+};
+
+size_t TupleHash(const std::vector<ConstantId>& t) {
+  size_t seed = t.size();
+  for (ConstantId c : t) HashCombine(&seed, c);
+  return seed;
+}
+
+struct TupleVecHash {
+  size_t operator()(const std::vector<ConstantId>& t) const {
+    return TupleHash(t);
+  }
+};
+
+// Projects `tuple` (aligned with `vars`) onto `onto` (subset of vars).
+std::vector<ConstantId> Project(const std::vector<VariableId>& vars,
+                                const std::vector<ConstantId>& tuple,
+                                const std::vector<VariableId>& onto) {
+  std::vector<ConstantId> out;
+  out.reserve(onto.size());
+  for (VariableId v : onto) {
+    auto it = std::lower_bound(vars.begin(), vars.end(), v);
+    WDPT_DCHECK(it != vars.end() && *it == v);
+    out.push_back(tuple[static_cast<size_t>(it - vars.begin())]);
+  }
+  return out;
+}
+
+// Semijoin: keep a's tuples whose projection onto `shared` appears among
+// b's projections onto `shared`.
+void SemijoinInto(Bag* a, const Bag& b,
+                  const std::vector<VariableId>& shared) {
+  if (shared.empty()) {
+    if (b.tuples.empty()) a->tuples.clear();
+    return;
+  }
+  std::unordered_set<std::vector<ConstantId>, TupleVecHash> keys;
+  for (const std::vector<ConstantId>& t : b.tuples) {
+    keys.insert(Project(b.vars, t, shared));
+  }
+  std::vector<std::vector<ConstantId>> kept;
+  for (std::vector<ConstantId>& t : a->tuples) {
+    if (keys.contains(Project(a->vars, t, shared))) {
+      kept.push_back(std::move(t));
+    }
+  }
+  a->tuples = std::move(kept);
+}
+
+// Materializes the distinct projections onto `bag_vars` of the join of
+// `atoms`, via iterative build/probe hash joins with projection
+// pushdown: after each atom, variables needed neither by the bag nor by
+// a remaining atom are projected away and duplicates collapse. Work per
+// step is O(|relation| + |output|) rather than backtracking over the
+// full join, so non-adjacent cover atoms cost their projected sizes,
+// not a cross product.
+std::vector<std::vector<ConstantId>> JoinAndProject(
+    const std::vector<Atom>& atoms, const Database& db,
+    const std::vector<VariableId>& bag_vars) {
+  // Greedy atom order: prefer atoms sharing variables with what is
+  // already joined.
+  std::vector<uint32_t> order;
+  std::vector<bool> used(atoms.size(), false);
+  std::vector<VariableId> bound;
+  for (size_t step = 0; step < atoms.size(); ++step) {
+    size_t best = atoms.size();
+    int best_shared = -1;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (used[i]) continue;
+      int shared = static_cast<int>(
+          SortedIntersection(atoms[i].Variables(), bound).size());
+      if (shared > best_shared) {
+        best_shared = shared;
+        best = i;
+      }
+    }
+    used[best] = true;
+    order.push_back(static_cast<uint32_t>(best));
+    bound = SortedUnion(bound, atoms[best].Variables());
+  }
+
+  auto var_pos = [](const std::vector<VariableId>& vars, VariableId v) {
+    auto it = std::lower_bound(vars.begin(), vars.end(), v);
+    return (it != vars.end() && *it == v)
+               ? static_cast<int>(it - vars.begin())
+               : -1;
+  };
+
+  // Current intermediate relation: tuples over `cur_vars` (sorted).
+  std::vector<VariableId> cur_vars;
+  std::vector<std::vector<ConstantId>> current = {{}};
+  for (size_t step = 0; step < order.size(); ++step) {
+    const Atom& atom = atoms[order[step]];
+    std::vector<VariableId> atom_vars = atom.Variables();
+    // Variables needed after this step.
+    std::vector<VariableId> needed = bag_vars;
+    for (size_t later = step + 1; later < order.size(); ++later) {
+      needed = SortedUnion(needed, atoms[order[later]].Variables());
+    }
+    std::vector<VariableId> next_vars =
+        SortedIntersection(SortedUnion(cur_vars, atom_vars), needed);
+    std::vector<VariableId> join_vars =
+        SortedIntersection(atom_vars, cur_vars);
+    // What the atom contributes beyond the join key.
+    std::vector<VariableId> atom_keep =
+        SortedIntersection(SortedDifference(atom_vars, join_vars), needed);
+
+    const Relation& rel = db.relation(atom.relation);
+    if (rel.size() == 0) return {};
+    WDPT_CHECK(rel.arity() == atom.terms.size());
+
+    // Build: key (join_vars values) -> distinct atom_keep projections.
+    std::unordered_map<std::vector<ConstantId>,
+                       std::unordered_set<std::vector<ConstantId>,
+                                          TupleVecHash>,
+                       TupleVecHash>
+        build;
+    for (uint32_t row = 0; row < rel.size(); ++row) {
+      std::span<const ConstantId> fact = rel.Tuple(row);
+      // Derive the atom-local assignment; reject constant or repeated-
+      // variable mismatches.
+      bool ok = true;
+      std::vector<ConstantId> key(join_vars.size());
+      std::vector<ConstantId> keep(atom_keep.size());
+      std::vector<bool> key_set(join_vars.size(), false);
+      std::vector<bool> keep_set(atom_keep.size(), false);
+      for (uint32_t col = 0; col < fact.size() && ok; ++col) {
+        Term t = atom.terms[col];
+        if (t.is_constant()) {
+          ok = t.constant_id() == fact[col];
+          continue;
+        }
+        VariableId v = t.variable_id();
+        int kp = var_pos(join_vars, v);
+        if (kp >= 0) {
+          if (key_set[kp] && key[kp] != fact[col]) ok = false;
+          key[kp] = fact[col];
+          key_set[kp] = true;
+        }
+        int pp = var_pos(atom_keep, v);
+        if (pp >= 0) {
+          if (keep_set[pp] && keep[pp] != fact[col]) ok = false;
+          keep[pp] = fact[col];
+          keep_set[pp] = true;
+        }
+        // Repeated variables that are neither key nor kept must still
+        // agree across columns.
+        for (uint32_t c2 = col + 1; c2 < fact.size() && ok; ++c2) {
+          if (atom.terms[c2].is_variable() &&
+              atom.terms[c2].variable_id() == v && fact[c2] != fact[col]) {
+            ok = false;
+          }
+        }
+      }
+      if (ok) build[std::move(key)].insert(std::move(keep));
+    }
+    if (build.empty()) return {};
+
+    // Probe.
+    std::unordered_set<std::vector<ConstantId>, TupleVecHash> next_set;
+    std::vector<int> cur_to_next(cur_vars.size());
+    for (size_t i = 0; i < cur_vars.size(); ++i) {
+      cur_to_next[i] = var_pos(next_vars, cur_vars[i]);
+    }
+    std::vector<int> keep_to_next(atom_keep.size());
+    for (size_t i = 0; i < atom_keep.size(); ++i) {
+      keep_to_next[i] = var_pos(next_vars, atom_keep[i]);
+    }
+    std::vector<int> cur_key_pos(join_vars.size());
+    for (size_t i = 0; i < join_vars.size(); ++i) {
+      cur_key_pos[i] = var_pos(cur_vars, join_vars[i]);
+      WDPT_CHECK(cur_key_pos[i] >= 0);
+    }
+    for (const std::vector<ConstantId>& tuple : current) {
+      std::vector<ConstantId> key(join_vars.size());
+      for (size_t i = 0; i < join_vars.size(); ++i) {
+        key[i] = tuple[cur_key_pos[i]];
+      }
+      auto it = build.find(key);
+      if (it == build.end()) continue;
+      for (const std::vector<ConstantId>& keep : it->second) {
+        std::vector<ConstantId> next_tuple(next_vars.size());
+        for (size_t i = 0; i < cur_vars.size(); ++i) {
+          if (cur_to_next[i] >= 0) next_tuple[cur_to_next[i]] = tuple[i];
+        }
+        for (size_t i = 0; i < atom_keep.size(); ++i) {
+          if (keep_to_next[i] >= 0) next_tuple[keep_to_next[i]] = keep[i];
+        }
+        next_set.insert(std::move(next_tuple));
+      }
+    }
+    cur_vars = std::move(next_vars);
+    current.assign(next_set.begin(), next_set.end());
+    if (current.empty()) return {};
+  }
+  // `current` is over cur_vars == bag_vars (every atom processed and the
+  // projection target is exactly the bag).
+  WDPT_CHECK(cur_vars == bag_vars);
+  return current;
+}
+
+// Separates ground atoms (checked directly) from variable atoms.
+bool CheckAndStripGroundAtoms(const std::vector<Atom>& atoms,
+                              const Database& db,
+                              std::vector<Atom>* with_vars) {
+  with_vars->clear();
+  for (const Atom& a : atoms) {
+    if (a.IsGround()) {
+      std::vector<ConstantId> tuple;
+      tuple.reserve(a.terms.size());
+      for (Term t : a.terms) tuple.push_back(t.constant_id());
+      if (!db.ContainsFact(a.relation, tuple)) return false;
+    } else {
+      with_vars->push_back(a);
+    }
+  }
+  return true;
+}
+
+// Core of decomposition-based evaluation over pre-translated bags. Bags
+// must cover every atom of `atoms` (each atom's variables inside some
+// bag). Returns distinct projections of satisfying assignments onto
+// `projection` (sorted).
+std::vector<Mapping> EvaluateOverBags(
+    const std::vector<Atom>& atoms, const Database& db,
+    std::vector<std::vector<VariableId>> bag_vars,
+    const std::vector<std::vector<uint32_t>>& covers,
+    const std::vector<std::pair<uint32_t, uint32_t>>& tree_edges,
+    const std::vector<VariableId>& projection, uint64_t max_answers) {
+  const size_t num_bags = bag_vars.size();
+  if (num_bags == 0) {
+    // All atoms ground (already checked by caller): one empty answer.
+    return {Mapping()};
+  }
+
+  // Assign every atom to some bag containing its variables.
+  std::vector<std::vector<uint32_t>> assigned(num_bags);
+  for (uint32_t ai = 0; ai < atoms.size(); ++ai) {
+    std::vector<VariableId> avars = atoms[ai].Variables();
+    bool placed = false;
+    for (uint32_t bi = 0; bi < num_bags && !placed; ++bi) {
+      if (SortedIsSubset(avars, bag_vars[bi])) {
+        assigned[bi].push_back(ai);
+        placed = true;
+      }
+    }
+    WDPT_CHECK(placed);
+  }
+
+  // Materialize bags: join of cover atoms + assigned atoms, projected to
+  // the bag's variables.
+  std::vector<Bag> bags(num_bags);
+  for (uint32_t bi = 0; bi < num_bags; ++bi) {
+    bags[bi].vars = bag_vars[bi];
+    std::vector<Atom> bag_atoms;
+    std::vector<uint32_t> atom_ids = covers.empty()
+                                         ? std::vector<uint32_t>()
+                                         : covers[bi];
+    for (uint32_t ai : assigned[bi]) atom_ids.push_back(ai);
+    SortUnique(&atom_ids);
+    for (uint32_t ai : atom_ids) bag_atoms.push_back(atoms[ai]);
+    // Ensure every bag variable is mentioned by some bag atom (a bag may
+    // hold interface variables whose atoms were assigned elsewhere, e.g.
+    // in decompositions glued from per-node pieces): add the first atom
+    // mentioning each uncovered variable.
+    {
+      std::vector<VariableId> covered = VariablesOf(bag_atoms);
+      for (VariableId v : bags[bi].vars) {
+        if (SortedContains(covered, v)) continue;
+        bool found = false;
+        for (const Atom& a : atoms) {
+          if (a.Mentions(v)) {
+            bag_atoms.push_back(a);
+            covered = SortedUnion(covered, a.Variables());
+            found = true;
+            break;
+          }
+        }
+        WDPT_CHECK(found);  // Safe queries mention every variable.
+      }
+    }
+    WDPT_CHECK(!bag_atoms.empty());
+    bags[bi].tuples = JoinAndProject(bag_atoms, db, bags[bi].vars);
+  }
+
+  // Root the tree and run the full reducer (bottom-up then top-down
+  // semijoins).
+  std::vector<std::vector<uint32_t>> tree_adj(num_bags);
+  for (const auto& [a, b] : tree_edges) {
+    tree_adj[a].push_back(b);
+    tree_adj[b].push_back(a);
+  }
+  std::vector<uint32_t> parent(num_bags, 0), order;
+  {
+    std::vector<bool> seen(num_bags, false);
+    std::vector<uint32_t> stack = {0};
+    seen[0] = true;
+    while (!stack.empty()) {
+      uint32_t cur = stack.back();
+      stack.pop_back();
+      order.push_back(cur);
+      for (uint32_t next : tree_adj[cur]) {
+        if (!seen[next]) {
+          seen[next] = true;
+          parent[next] = cur;
+          stack.push_back(next);
+        }
+      }
+    }
+    WDPT_CHECK(order.size() == num_bags);  // Tree edges must connect bags.
+  }
+  // Bottom-up: parent semijoin child.
+  for (size_t i = order.size(); i-- > 1;) {
+    uint32_t child = order[i];
+    uint32_t par = parent[child];
+    std::vector<VariableId> shared =
+        SortedIntersection(bags[par].vars, bags[child].vars);
+    SemijoinInto(&bags[par], bags[child], shared);
+  }
+  // Top-down: child semijoin parent.
+  for (size_t i = 1; i < order.size(); ++i) {
+    uint32_t child = order[i];
+    uint32_t par = parent[child];
+    std::vector<VariableId> shared =
+        SortedIntersection(bags[par].vars, bags[child].vars);
+    SemijoinInto(&bags[child], bags[par], shared);
+  }
+  for (const Bag& bag : bags) {
+    if (bag.tuples.empty()) return {};
+  }
+
+  // Enumerate: DFS in top-down order with per-bag hash indexes on the
+  // variables shared with the parent.
+  std::vector<std::vector<VariableId>> shared_with_parent(num_bags);
+  std::vector<std::unordered_map<std::vector<ConstantId>,
+                                 std::vector<uint32_t>, TupleVecHash>>
+      index(num_bags);
+  for (size_t i = 1; i < order.size(); ++i) {
+    uint32_t child = order[i];
+    shared_with_parent[child] =
+        SortedIntersection(bags[parent[child]].vars, bags[child].vars);
+    for (uint32_t ti = 0; ti < bags[child].tuples.size(); ++ti) {
+      index[child][Project(bags[child].vars, bags[child].tuples[ti],
+                           shared_with_parent[child])]
+          .push_back(ti);
+    }
+  }
+
+  std::unordered_set<Mapping, MappingHash> seen_answers;
+  std::vector<Mapping> answers;
+  // Current assignment across bags.
+  std::unordered_map<VariableId, ConstantId> assignment;
+  bool done = false;
+
+  std::function<void(size_t)> dfs = [&](size_t pos) {
+    if (done) return;
+    if (pos == order.size()) {
+      std::vector<Mapping::Entry> entries;
+      for (VariableId v : projection) {
+        auto it = assignment.find(v);
+        WDPT_CHECK(it != assignment.end());
+        entries.emplace_back(v, it->second);
+      }
+      Mapping answer(std::move(entries));
+      if (seen_answers.insert(answer).second) {
+        answers.push_back(std::move(answer));
+        if (max_answers != 0 && answers.size() >= max_answers) done = true;
+      }
+      return;
+    }
+    uint32_t bi = order[pos];
+    const Bag& bag = bags[bi];
+    auto try_tuple = [&](uint32_t ti) {
+      const std::vector<ConstantId>& tuple = bag.tuples[ti];
+      std::vector<VariableId> newly;
+      bool ok = true;
+      for (size_t i = 0; i < bag.vars.size(); ++i) {
+        auto [it, inserted] = assignment.emplace(bag.vars[i], tuple[i]);
+        if (inserted) {
+          newly.push_back(bag.vars[i]);
+        } else if (it->second != tuple[i]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) dfs(pos + 1);
+      for (VariableId v : newly) assignment.erase(v);
+    };
+    if (pos == 0) {
+      for (uint32_t ti = 0; ti < bag.tuples.size() && !done; ++ti) {
+        try_tuple(ti);
+      }
+    } else {
+      std::vector<ConstantId> key;
+      key.reserve(shared_with_parent[bi].size());
+      for (VariableId v : shared_with_parent[bi]) {
+        key.push_back(assignment.at(v));
+      }
+      auto it = index[bi].find(key);
+      if (it == index[bi].end()) return;
+      for (uint32_t ti : it->second) {
+        if (done) return;
+        try_tuple(ti);
+      }
+    }
+  };
+  dfs(0);
+  return answers;
+}
+
+}  // namespace
+
+std::vector<Mapping> EvaluateWithDecomposition(
+    const ConjunctiveQuery& q, const Database& db,
+    const HypertreeDecomposition& hd,
+    const std::vector<VariableId>& vertex_to_var, uint64_t max_answers) {
+  std::vector<Atom> with_vars;
+  if (!CheckAndStripGroundAtoms(q.atoms, db, &with_vars)) return {};
+  // Translate bags from dense vertex ids to variable ids. Covers refer to
+  // hyperedge indexes == q.atoms indexes, which we must remap to the
+  // ground-stripped list.
+  std::vector<std::vector<VariableId>> bag_vars(hd.td.bags.size());
+  for (size_t i = 0; i < hd.td.bags.size(); ++i) {
+    for (uint32_t v : hd.td.bags[i]) bag_vars[i].push_back(vertex_to_var[v]);
+    SortUnique(&bag_vars[i]);
+  }
+  std::vector<uint32_t> old_to_new(q.atoms.size(), UINT32_MAX);
+  {
+    uint32_t next = 0;
+    for (uint32_t ai = 0; ai < q.atoms.size(); ++ai) {
+      if (!q.atoms[ai].IsGround()) old_to_new[ai] = next++;
+    }
+  }
+  std::vector<std::vector<uint32_t>> covers(hd.covers.size());
+  for (size_t i = 0; i < hd.covers.size(); ++i) {
+    for (uint32_t e : hd.covers[i]) {
+      if (old_to_new[e] != UINT32_MAX) covers[i].push_back(old_to_new[e]);
+    }
+  }
+  return EvaluateOverBags(with_vars, db, std::move(bag_vars), covers,
+                          hd.td.edges, q.free_vars, max_answers);
+}
+
+std::optional<std::vector<Mapping>> EvaluateAcyclic(const ConjunctiveQuery& q,
+                                                    const Database& db,
+                                                    uint64_t max_answers) {
+  std::vector<VariableId> vertex_to_var;
+  Hypergraph h = q.BuildHypergraph(&vertex_to_var);
+  JoinTree jt = GyoJoinTree(h);
+  if (!jt.acyclic) return std::nullopt;
+
+  std::vector<Atom> with_vars;
+  if (!CheckAndStripGroundAtoms(q.atoms, db, &with_vars)) {
+    return std::vector<Mapping>();
+  }
+
+  // Bags: one per non-ground atom; tree edges from the GYO join forest
+  // (forest roots chained).
+  std::vector<std::vector<VariableId>> bag_vars;
+  std::vector<std::vector<uint32_t>> covers;
+  std::vector<uint32_t> atom_to_bag(q.atoms.size(), UINT32_MAX);
+  for (uint32_t ai = 0; ai < q.atoms.size(); ++ai) {
+    if (q.atoms[ai].IsGround()) continue;
+    atom_to_bag[ai] = static_cast<uint32_t>(bag_vars.size());
+    std::vector<VariableId> vars = q.atoms[ai].Variables();
+    bag_vars.push_back(std::move(vars));
+    covers.push_back({static_cast<uint32_t>(covers.size())});
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  int last_root = -1;
+  for (uint32_t ai = 0; ai < q.atoms.size(); ++ai) {
+    if (atom_to_bag[ai] == UINT32_MAX) continue;
+    // Walk up the join forest to the nearest non-ground ancestor.
+    uint32_t anc = jt.parent[ai];
+    while (anc != jt.parent[anc] && atom_to_bag[anc] == UINT32_MAX) {
+      anc = jt.parent[anc];
+    }
+    if (anc != ai && atom_to_bag[anc] != UINT32_MAX &&
+        atom_to_bag[anc] != atom_to_bag[ai]) {
+      edges.emplace_back(atom_to_bag[ai], atom_to_bag[anc]);
+    } else if (jt.parent[ai] == ai || atom_to_bag[anc] == UINT32_MAX ||
+               anc == ai) {
+      if (last_root >= 0) {
+        edges.emplace_back(static_cast<uint32_t>(last_root),
+                           atom_to_bag[ai]);
+      }
+      last_root = static_cast<int>(atom_to_bag[ai]);
+    }
+  }
+  return EvaluateOverBags(with_vars, db, std::move(bag_vars), covers, edges,
+                          q.free_vars, max_answers);
+}
+
+bool DecideNonEmpty(const std::vector<Atom>& atoms, const Database& db,
+                    const Mapping& seed, const CqEvalOptions& options) {
+  std::vector<Atom> substituted = SubstituteMapping(atoms, seed);
+  ConjunctiveQuery boolean_q;
+  boolean_q.atoms = std::move(substituted);
+
+  if (options.strategy == CqEvalStrategy::kBacktracking) {
+    std::vector<Atom> with_vars;
+    if (!CheckAndStripGroundAtoms(boolean_q.atoms, db, &with_vars)) {
+      return false;
+    }
+    return HomomorphismExists(with_vars, db, Mapping());
+  }
+
+  std::optional<std::vector<Mapping>> acyclic =
+      EvaluateAcyclic(boolean_q, db, /*max_answers=*/1);
+  if (acyclic.has_value()) return !acyclic->empty();
+
+  std::vector<VariableId> vertex_to_var;
+  Hypergraph h = boolean_q.BuildHypergraph(&vertex_to_var);
+  if (h.num_vertices <= kMaxExactVertices) {
+    for (int k = 2; k <= options.max_auto_width; ++k) {
+      std::optional<HypertreeDecomposition> hd =
+          FindHypertreeDecomposition(h, k);
+      if (hd.has_value()) {
+        return !EvaluateWithDecomposition(boolean_q, db, *hd, vertex_to_var,
+                                          /*max_answers=*/1)
+                    .empty();
+      }
+    }
+  }
+  if (options.strategy == CqEvalStrategy::kDecomposition) {
+    // Width exceeded the probe bound; use the widest decomposition found
+    // via min-fill over the primal graph (still correct, possibly slow).
+    Graph primal = h.ToPrimalGraph();
+    TreeDecomposition td;
+    TreewidthUpperBound(primal, &td);
+    HypertreeDecomposition hd;
+    hd.td = std::move(td);
+    hd.covers.assign(hd.td.bags.size(), {});
+    return !EvaluateWithDecomposition(boolean_q, db, hd, vertex_to_var,
+                                      /*max_answers=*/1)
+                .empty();
+  }
+  // kAuto fallback.
+  std::vector<Atom> with_vars;
+  if (!CheckAndStripGroundAtoms(boolean_q.atoms, db, &with_vars)) {
+    return false;
+  }
+  return HomomorphismExists(with_vars, db, Mapping());
+}
+
+bool CqEval(const ConjunctiveQuery& q, const Database& db, const Mapping& h,
+            const CqEvalOptions& options) {
+  // Answers are defined exactly on the free variables.
+  if (h.Domain() != q.free_vars) return false;
+  return DecideNonEmpty(q.atoms, db, h, options);
+}
+
+std::vector<Mapping> EvaluateCq(const ConjunctiveQuery& q, const Database& db,
+                                const CqEvalOptions& options) {
+  WDPT_CHECK(q.IsSafe());
+  if (options.strategy != CqEvalStrategy::kBacktracking) {
+    std::optional<std::vector<Mapping>> acyclic =
+        EvaluateAcyclic(q, db, options.max_answers);
+    if (acyclic.has_value()) return std::move(*acyclic);
+    std::vector<VariableId> vertex_to_var;
+    Hypergraph hypergraph = q.BuildHypergraph(&vertex_to_var);
+    if (hypergraph.num_vertices <= kMaxExactVertices) {
+      for (int k = 2; k <= options.max_auto_width; ++k) {
+        std::optional<HypertreeDecomposition> hd =
+            FindHypertreeDecomposition(hypergraph, k);
+        if (hd.has_value()) {
+          return EvaluateWithDecomposition(q, db, *hd, vertex_to_var,
+                                           options.max_answers);
+        }
+      }
+    }
+  }
+  std::vector<Atom> with_vars;
+  if (!CheckAndStripGroundAtoms(q.atoms, db, &with_vars)) return {};
+  if (with_vars.empty()) return {Mapping()};
+  return AllHomomorphismProjections(with_vars, db, Mapping(), q.free_vars,
+                                    options.max_answers);
+}
+
+}  // namespace wdpt

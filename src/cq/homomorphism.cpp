@@ -1,0 +1,233 @@
+#include "src/cq/homomorphism.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/algo.h"
+#include "src/common/status.h"
+
+namespace wdpt {
+
+namespace {
+
+// Internal dense assignment: VariableId -> ConstantId or kUnbound.
+constexpr uint64_t kUnbound = UINT64_MAX;
+
+class Searcher {
+ public:
+  Searcher(const std::vector<Atom>& atoms, const Database& db,
+           const Mapping& seed, const HomCallback& callback,
+           const HomSearchLimits& limits)
+      : atoms_(atoms),
+        db_(db),
+        callback_(callback),
+        limits_(limits) {
+    // Size the dense assignment from the maximum variable id seen.
+    uint32_t max_var = 0;
+    for (const Atom& a : atoms_) {
+      for (Term t : a.terms) {
+        if (t.is_variable()) max_var = std::max(max_var, t.variable_id());
+      }
+    }
+    for (const auto& [v, c] : seed.entries()) max_var = std::max(max_var, v);
+    assignment_.assign(max_var + 1, kUnbound);
+    for (const auto& [v, c] : seed.entries()) assignment_[v] = c;
+    // Variables we report: atom variables plus the seed's domain.
+    report_vars_ = VariablesOf(atoms_);
+    for (const auto& [v, c] : seed.entries()) report_vars_.push_back(v);
+    SortUnique(&report_vars_);
+  }
+
+  // Returns false if aborted by the step limit.
+  bool Run() {
+    stopped_ = false;
+    aborted_ = false;
+    Match(std::vector<bool>(atoms_.size(), false), atoms_.size());
+    return !aborted_;
+  }
+
+ private:
+  // Number of bound positions in atom i under the current assignment.
+  // Returns -1 if a constant/bound-variable position mismatches every
+  // possible tuple trivially (not checked here; just counts).
+  int BoundPositions(const Atom& atom) const {
+    int bound = 0;
+    for (Term t : atom.terms) {
+      if (t.is_constant() ||
+          assignment_[t.variable_id()] != kUnbound) {
+        ++bound;
+      }
+    }
+    return bound;
+  }
+
+  // Recursion: `done[i]` marks matched atoms, `remaining` counts them.
+  void Match(std::vector<bool> done, size_t remaining) {
+    if (stopped_ || aborted_) return;
+    if (limits_.max_steps != 0 && ++steps_ > limits_.max_steps) {
+      aborted_ = true;
+      return;
+    }
+    if (remaining == 0) {
+      Report();
+      return;
+    }
+    // Pick the most-constrained remaining atom (max bound positions,
+    // tie-break on smaller relation).
+    size_t best = atoms_.size();
+    int best_bound = -1;
+    size_t best_size = 0;
+    for (size_t i = 0; i < atoms_.size(); ++i) {
+      if (done[i]) continue;
+      int bound = BoundPositions(atoms_[i]);
+      size_t rel_size = db_.relation(atoms_[i].relation).size();
+      if (best == atoms_.size() || bound > best_bound ||
+          (bound == best_bound && rel_size < best_size)) {
+        best = i;
+        best_bound = bound;
+        best_size = rel_size;
+      }
+    }
+    const Atom& atom = atoms_[best];
+    done[best] = true;
+
+    const Relation& rel = db_.relation(atom.relation);
+    if (rel.size() == 0) return;  // No facts: dead branch.
+    WDPT_CHECK(rel.arity() == atom.terms.size());
+
+    // Choose the access path: the most selective bound column's index,
+    // else a full scan.
+    uint32_t index_col = UINT32_MAX;
+    ConstantId index_val = 0;
+    size_t index_size = rel.size() + 1;
+    for (uint32_t col = 0; col < atom.terms.size(); ++col) {
+      Term t = atom.terms[col];
+      ConstantId value;
+      if (t.is_constant()) {
+        value = t.constant_id();
+      } else if (assignment_[t.variable_id()] != kUnbound) {
+        value = static_cast<ConstantId>(assignment_[t.variable_id()]);
+      } else {
+        continue;
+      }
+      size_t size = rel.RowsMatching(col, value).size();
+      if (size < index_size) {
+        index_size = size;
+        index_col = col;
+        index_val = value;
+      }
+    }
+
+    auto try_row = [&](uint32_t row) {
+      std::span<const ConstantId> tuple = rel.Tuple(row);
+      // Bind/check all positions.
+      std::vector<VariableId> newly_bound;
+      bool ok = true;
+      for (uint32_t col = 0; col < tuple.size(); ++col) {
+        Term t = atom.terms[col];
+        if (t.is_constant()) {
+          if (t.constant_id() != tuple[col]) {
+            ok = false;
+            break;
+          }
+          continue;
+        }
+        VariableId v = t.variable_id();
+        if (assignment_[v] == kUnbound) {
+          assignment_[v] = tuple[col];
+          newly_bound.push_back(v);
+        } else if (assignment_[v] != tuple[col]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) Match(done, remaining - 1);
+      for (VariableId v : newly_bound) assignment_[v] = kUnbound;
+    };
+
+    if (index_col != UINT32_MAX) {
+      // The reference returned by RowsMatching stays valid: the database
+      // is not mutated during the search.
+      for (uint32_t row : rel.RowsMatching(index_col, index_val)) {
+        if (stopped_ || aborted_) return;
+        try_row(row);
+      }
+    } else {
+      for (uint32_t row = 0; row < rel.size(); ++row) {
+        if (stopped_ || aborted_) return;
+        try_row(row);
+      }
+    }
+  }
+
+  void Report() {
+    std::vector<Mapping::Entry> entries;
+    entries.reserve(report_vars_.size());
+    for (VariableId v : report_vars_) {
+      WDPT_DCHECK(assignment_[v] != kUnbound);
+      entries.emplace_back(v, static_cast<ConstantId>(assignment_[v]));
+    }
+    if (!callback_(Mapping(std::move(entries)))) stopped_ = true;
+  }
+
+  const std::vector<Atom>& atoms_;
+  const Database& db_;
+  const HomCallback& callback_;
+  HomSearchLimits limits_;
+  std::vector<uint64_t> assignment_;
+  std::vector<VariableId> report_vars_;
+  uint64_t steps_ = 0;
+  bool stopped_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+bool ForEachHomomorphism(const std::vector<Atom>& atoms, const Database& db,
+                         const Mapping& seed, const HomCallback& callback,
+                         const HomSearchLimits& limits) {
+  Searcher searcher(atoms, db, seed, callback, limits);
+  return searcher.Run();
+}
+
+std::optional<Mapping> FindHomomorphism(const std::vector<Atom>& atoms,
+                                        const Database& db,
+                                        const Mapping& seed,
+                                        const HomSearchLimits& limits) {
+  std::optional<Mapping> found;
+  ForEachHomomorphism(
+      atoms, db, seed,
+      [&found](const Mapping& m) {
+        found = m;
+        return false;
+      },
+      limits);
+  return found;
+}
+
+bool HomomorphismExists(const std::vector<Atom>& atoms, const Database& db,
+                        const Mapping& seed, const HomSearchLimits& limits) {
+  return FindHomomorphism(atoms, db, seed, limits).has_value();
+}
+
+std::vector<Mapping> AllHomomorphismProjections(
+    const std::vector<Atom>& atoms, const Database& db, const Mapping& seed,
+    const std::vector<VariableId>& projection, uint64_t max_results,
+    const HomSearchLimits& limits) {
+  std::unordered_set<Mapping, MappingHash> seen;
+  std::vector<Mapping> results;
+  ForEachHomomorphism(
+      atoms, db, seed,
+      [&](const Mapping& m) {
+        Mapping projected = m.RestrictTo(projection);
+        if (seen.insert(projected).second) {
+          results.push_back(std::move(projected));
+          if (max_results != 0 && results.size() >= max_results) return false;
+        }
+        return true;
+      },
+      limits);
+  return results;
+}
+
+}  // namespace wdpt

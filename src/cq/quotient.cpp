@@ -1,0 +1,87 @@
+#include "src/cq/quotient.h"
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/algo.h"
+
+namespace wdpt {
+
+bool ForEachQuotient(const ConjunctiveQuery& q, uint64_t max_partitions,
+                     const QuotientCallback& callback) {
+  std::vector<VariableId> vars = q.AllVariables();
+  const size_t n = vars.size();
+  std::vector<bool> is_free(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    is_free[i] = SortedContains(q.free_vars, vars[i]);
+  }
+
+  // Restricted-growth-string enumeration of partitions. class_of[i] is the
+  // class of vars[i]; class_free_count tracks free variables per class.
+  std::vector<uint32_t> class_of(n, 0);
+  std::vector<uint32_t> class_free_count;
+  uint64_t emitted = 0;
+  bool complete = true;
+  bool stopped = false;
+  // Deduplicate images by their atom sets.
+  std::set<std::vector<Atom>> seen;
+
+  std::function<void(size_t, uint32_t)> recurse = [&](size_t i,
+                                                      uint32_t num_classes) {
+    if (stopped || !complete) return;
+    if (i == n) {
+      if (++emitted > max_partitions) {
+        complete = false;
+        return;
+      }
+      // Representatives: free variable if present, else first member.
+      std::vector<VariableId> representative(num_classes, UINT32_MAX);
+      for (size_t j = 0; j < n; ++j) {
+        uint32_t c = class_of[j];
+        if (representative[c] == UINT32_MAX || is_free[j]) {
+          if (representative[c] == UINT32_MAX ||
+              !SortedContains(q.free_vars, representative[c])) {
+            representative[c] = vars[j];
+          }
+        }
+      }
+      ConjunctiveQuery image;
+      image.free_vars = q.free_vars;
+      image.atoms = q.atoms;
+      std::unordered_map<VariableId, VariableId> subst;
+      for (size_t j = 0; j < n; ++j) {
+        subst.emplace(vars[j], representative[class_of[j]]);
+      }
+      for (Atom& a : image.atoms) {
+        for (Term& t : a.terms) {
+          if (t.is_variable()) {
+            t = Term::Variable(subst.at(t.variable_id()));
+          }
+        }
+      }
+      image.Normalize();
+      if (seen.insert(image.atoms).second) {
+        if (!callback(image)) stopped = true;
+      }
+      return;
+    }
+    for (uint32_t c = 0; c <= num_classes && !stopped && complete; ++c) {
+      bool new_class = (c == num_classes);
+      if (new_class) class_free_count.push_back(0);
+      if (is_free[i] && class_free_count[c] >= 1) {
+        if (new_class) class_free_count.pop_back();
+        continue;  // Two free variables may not be identified.
+      }
+      class_of[i] = c;
+      if (is_free[i]) ++class_free_count[c];
+      recurse(i + 1, new_class ? num_classes + 1 : num_classes);
+      if (is_free[i]) --class_free_count[c];
+      if (new_class) class_free_count.pop_back();
+    }
+  };
+  recurse(0, 0);
+  return complete;
+}
+
+}  // namespace wdpt

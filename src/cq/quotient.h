@@ -1,0 +1,32 @@
+// Enumeration of quotients (homomorphic images) of a CQ.
+//
+// A quotient identifies variables according to a partition of the body
+// variables in which no class contains two free variables; the class
+// representative is the free variable if present. For constant-free
+// queries, every sound approximation candidate (query q' with a
+// homomorphism q -> q' fixing free variables) is captured by a quotient
+// up to renaming (Barcelo-Libkin-Romero, SIAM J. Comput. 2014).
+
+#ifndef WDPT_SRC_CQ_QUOTIENT_H_
+#define WDPT_SRC_CQ_QUOTIENT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/cq/cq.h"
+
+namespace wdpt {
+
+/// Called for each quotient image (normalized, same free variables).
+/// Return false to stop early.
+using QuotientCallback = std::function<bool(const ConjunctiveQuery&)>;
+
+/// Enumerates the quotient images of q; duplicate images (same atom set)
+/// are delivered once. Returns false if `max_partitions` was exceeded
+/// (the enumeration is then incomplete).
+bool ForEachQuotient(const ConjunctiveQuery& q, uint64_t max_partitions,
+                     const QuotientCallback& callback);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_CQ_QUOTIENT_H_

@@ -1,0 +1,108 @@
+#include "src/gen/cq_gen.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace wdpt::gen {
+
+namespace {
+
+std::vector<Term> MakeVars(Vocabulary* vocab, std::string_view prefix,
+                           uint32_t count) {
+  std::vector<Term> vars;
+  vars.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    vars.push_back(
+        vocab->Variable(std::string(prefix) + std::to_string(i)));
+  }
+  return vars;
+}
+
+}  // namespace
+
+RelationId EdgeRelation(Schema* schema, std::string_view name) {
+  Result<RelationId> rel = schema->AddRelation(name, 2);
+  WDPT_CHECK(rel.ok());
+  return *rel;
+}
+
+ConjunctiveQuery MakePathCq(Schema* schema, Vocabulary* vocab, uint32_t len,
+                            std::string_view prefix) {
+  RelationId e = EdgeRelation(schema);
+  std::vector<Term> v = MakeVars(vocab, prefix, len + 1);
+  ConjunctiveQuery q;
+  for (uint32_t i = 0; i < len; ++i) {
+    q.atoms.emplace_back(e, std::vector<Term>{v[i], v[i + 1]});
+  }
+  q.Normalize();
+  return q;
+}
+
+ConjunctiveQuery MakeCycleCq(Schema* schema, Vocabulary* vocab, uint32_t len,
+                             std::string_view prefix) {
+  WDPT_CHECK(len >= 3);
+  RelationId e = EdgeRelation(schema);
+  std::vector<Term> v = MakeVars(vocab, prefix, len);
+  ConjunctiveQuery q;
+  for (uint32_t i = 0; i < len; ++i) {
+    q.atoms.emplace_back(e, std::vector<Term>{v[i], v[(i + 1) % len]});
+  }
+  q.Normalize();
+  return q;
+}
+
+ConjunctiveQuery MakeCliqueCq(Schema* schema, Vocabulary* vocab, uint32_t n,
+                              std::string_view prefix) {
+  WDPT_CHECK(n >= 2);
+  RelationId e = EdgeRelation(schema);
+  std::vector<Term> v = MakeVars(vocab, prefix, n);
+  ConjunctiveQuery q;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (i != j) q.atoms.emplace_back(e, std::vector<Term>{v[i], v[j]});
+    }
+  }
+  q.Normalize();
+  return q;
+}
+
+ConjunctiveQuery MakeGridCq(Schema* schema, Vocabulary* vocab, uint32_t n,
+                            uint32_t m, std::string_view prefix) {
+  RelationId e = EdgeRelation(schema);
+  std::vector<Term> v = MakeVars(vocab, prefix, n * m);
+  auto at = [&](uint32_t r, uint32_t c) { return v[r * m + c]; };
+  ConjunctiveQuery q;
+  for (uint32_t r = 0; r < n; ++r) {
+    for (uint32_t c = 0; c < m; ++c) {
+      if (c + 1 < m) {
+        q.atoms.emplace_back(e, std::vector<Term>{at(r, c), at(r, c + 1)});
+      }
+      if (r + 1 < n) {
+        q.atoms.emplace_back(e, std::vector<Term>{at(r, c), at(r + 1, c)});
+      }
+    }
+  }
+  q.Normalize();
+  return q;
+}
+
+ConjunctiveQuery MakeRandomCq(Schema* schema, Vocabulary* vocab,
+                              uint32_t num_atoms, uint32_t num_vars,
+                              uint64_t seed, std::string_view prefix) {
+  WDPT_CHECK(num_vars >= 1);
+  RelationId e = EdgeRelation(schema);
+  std::vector<Term> v = MakeVars(vocab, prefix, num_vars);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint32_t> pick(0, num_vars - 1);
+  ConjunctiveQuery q;
+  for (uint32_t i = 0; i < num_atoms; ++i) {
+    q.atoms.emplace_back(e, std::vector<Term>{v[pick(rng)], v[pick(rng)]});
+  }
+  q.Normalize();
+  return q;
+}
+
+}  // namespace wdpt::gen

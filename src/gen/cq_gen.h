@@ -1,0 +1,46 @@
+// Conjunctive-query generators: canonical shapes (paths, cycles, cliques,
+// stars, grids) over a binary relation, plus random CQs.
+
+#ifndef WDPT_SRC_GEN_CQ_GEN_H_
+#define WDPT_SRC_GEN_CQ_GEN_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/cq/cq.h"
+#include "src/relational/schema.h"
+#include "src/relational/term.h"
+
+namespace wdpt::gen {
+
+/// Ensures relation `name` (binary) exists and returns its id.
+RelationId EdgeRelation(Schema* schema, std::string_view name = "E");
+
+/// Boolean path query E(x1,x2), ..., E(x_{len}, x_{len+1}); treewidth 1.
+/// Variables are named "<prefix>0".."<prefix><len>".
+ConjunctiveQuery MakePathCq(Schema* schema, Vocabulary* vocab, uint32_t len,
+                            std::string_view prefix = "p");
+
+/// Boolean cycle query of length len >= 3; treewidth 2.
+ConjunctiveQuery MakeCycleCq(Schema* schema, Vocabulary* vocab, uint32_t len,
+                             std::string_view prefix = "c");
+
+/// Boolean clique query over n >= 2 variables (all ordered pairs);
+/// treewidth n - 1.
+ConjunctiveQuery MakeCliqueCq(Schema* schema, Vocabulary* vocab, uint32_t n,
+                              std::string_view prefix = "k");
+
+/// Boolean grid query over an n x m variable grid (horizontal and
+/// vertical edges); treewidth min(n, m).
+ConjunctiveQuery MakeGridCq(Schema* schema, Vocabulary* vocab, uint32_t n,
+                            uint32_t m, std::string_view prefix = "g");
+
+/// Random Boolean CQ with `num_atoms` binary atoms over `num_vars`
+/// variables (uniform endpoints, connected not guaranteed).
+ConjunctiveQuery MakeRandomCq(Schema* schema, Vocabulary* vocab,
+                              uint32_t num_atoms, uint32_t num_vars,
+                              uint64_t seed, std::string_view prefix = "r");
+
+}  // namespace wdpt::gen
+
+#endif  // WDPT_SRC_GEN_CQ_GEN_H_

@@ -1,0 +1,100 @@
+#include "src/gen/reductions.h"
+
+#include <random>
+#include <set>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace wdpt::gen {
+
+ThreeColInstance MakeThreeColInstance(const UndirectedGraph& graph,
+                                      Schema* schema, Vocabulary* vocab,
+                                      uint32_t tag) {
+  Result<RelationId> rel = schema->AddRelation("col_c", 2);
+  WDPT_CHECK(rel.ok());
+  RelationId c = *rel;
+  std::string prefix = "3c" + std::to_string(tag) + "_";
+
+  // Database {c(1,1), c(2,2), c(3,3)}.
+  Database db(schema);
+  ConstantId colors[3];
+  for (int i = 0; i < 3; ++i) {
+    colors[i] = vocab->ConstantIdOf(std::to_string(i + 1));
+    ConstantId tuple[2] = {colors[i], colors[i]};
+    Status status = db.AddFact(c, tuple);
+    WDPT_CHECK(status.ok());
+  }
+
+  // Root: {c(u_i, u_i) | i} and c(x, x).
+  PatternTree tree;
+  Term x = vocab->Variable(prefix + "x");
+  tree.AddAtom(PatternTree::kRoot, Atom(c, {x, x}));
+  std::vector<Term> u(graph.num_vertices);
+  for (uint32_t i = 0; i < graph.num_vertices; ++i) {
+    u[i] = vocab->Variable(prefix + "u" + std::to_string(i));
+    tree.AddAtom(PatternTree::kRoot, Atom(c, {u[i], u[i]}));
+  }
+
+  // Children n_j^k: {c(u_j1, k), c(u_j2, k), c(x_j^k, x_j^k)}.
+  std::vector<VariableId> free_vars = {x.variable_id()};
+  for (uint32_t j = 0; j < graph.edges.size(); ++j) {
+    auto [v1, v2] = graph.edges[j];
+    for (int k = 0; k < 3; ++k) {
+      Term xjk = vocab->Variable(prefix + "x" + std::to_string(j) + "_" +
+                                 std::to_string(k));
+      free_vars.push_back(xjk.variable_id());
+      std::vector<Atom> label;
+      label.emplace_back(c, std::vector<Term>{u[v1],
+                                              Term::Constant(colors[k])});
+      label.emplace_back(c, std::vector<Term>{u[v2],
+                                              Term::Constant(colors[k])});
+      label.emplace_back(c, std::vector<Term>{xjk, xjk});
+      tree.AddChild(PatternTree::kRoot, std::move(label));
+    }
+  }
+  tree.SetFreeVariables(std::move(free_vars));
+  Status status = tree.Validate();
+  WDPT_CHECK(status.ok());
+
+  Mapping h;
+  h.Bind(x.variable_id(), colors[0]);
+  return ThreeColInstance{std::move(tree), std::move(db), std::move(h)};
+}
+
+UndirectedGraph MakeRandomUndirectedGraph(uint32_t num_vertices,
+                                          uint32_t num_edges, uint64_t seed) {
+  UndirectedGraph g;
+  g.num_vertices = num_vertices;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint32_t> pick(0, num_vertices - 1);
+  std::set<std::pair<uint32_t, uint32_t>> used;
+  uint64_t max_edges =
+      static_cast<uint64_t>(num_vertices) * (num_vertices - 1) / 2;
+  while (used.size() < std::min<uint64_t>(num_edges, max_edges)) {
+    uint32_t a = pick(rng);
+    uint32_t b = pick(rng);
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (used.emplace(a, b).second) g.edges.emplace_back(a, b);
+  }
+  return g;
+}
+
+UndirectedGraph MakeCycleGraph(uint32_t n) {
+  UndirectedGraph g;
+  g.num_vertices = n;
+  for (uint32_t i = 0; i < n; ++i) g.edges.emplace_back(i, (i + 1) % n);
+  return g;
+}
+
+UndirectedGraph MakeCompleteGraph(uint32_t n) {
+  UndirectedGraph g;
+  g.num_vertices = n;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) g.edges.emplace_back(i, j);
+  }
+  return g;
+}
+
+}  // namespace wdpt::gen

@@ -1,0 +1,55 @@
+// Hardness-witness constructions from the paper's proofs, usable as
+// adversarial workloads: the 3-colorability reduction of Proposition 3
+// (EVAL(g-TW(1)) is NP-complete).
+
+#ifndef WDPT_SRC_GEN_REDUCTIONS_H_
+#define WDPT_SRC_GEN_REDUCTIONS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/relational/database.h"
+#include "src/relational/mapping.h"
+#include "src/relational/schema.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt::gen {
+
+/// An undirected graph as an edge list over vertices 0..num_vertices-1.
+struct UndirectedGraph {
+  uint32_t num_vertices = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+};
+
+/// Output of the Proposition 3 reduction: G is 3-colorable iff
+/// h in tree(db). The tree is globally in TW(1) (and HW(1)).
+struct ThreeColInstance {
+  PatternTree tree;
+  Database db;
+  Mapping h;
+};
+
+/// Builds the reduction. `schema` gains the binary relation "col_c";
+/// variables are interned in `vocab` with a per-instance prefix derived
+/// from `tag` so several instances can coexist.
+ThreeColInstance MakeThreeColInstance(const UndirectedGraph& graph,
+                                      Schema* schema, Vocabulary* vocab,
+                                      uint32_t tag = 0);
+
+/// Random undirected graph (no duplicate edges, no self-loops).
+UndirectedGraph MakeRandomUndirectedGraph(uint32_t num_vertices,
+                                          uint32_t num_edges, uint64_t seed);
+
+/// A cycle of length n (3-colorable iff n != odd... a cycle is
+/// 3-colorable always; it is 2-colorable iff n is even). Useful as an
+/// always-yes instance family.
+UndirectedGraph MakeCycleGraph(uint32_t n);
+
+/// Complete graph K_n (3-colorable iff n <= 3): a small always-no family
+/// for n >= 4.
+UndirectedGraph MakeCompleteGraph(uint32_t n);
+
+}  // namespace wdpt::gen
+
+#endif  // WDPT_SRC_GEN_REDUCTIONS_H_

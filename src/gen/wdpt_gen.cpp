@@ -1,0 +1,104 @@
+#include "src/gen/wdpt_gen.h"
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/common/algo.h"
+#include "src/common/status.h"
+#include "src/gen/cq_gen.h"
+
+namespace wdpt::gen {
+
+namespace {
+
+struct Builder {
+  PatternTree tree;
+  Schema* schema;
+  Vocabulary* vocab;
+  RelationId edge;
+  const RandomWdptOptions& options;
+  std::mt19937_64 rng;
+  uint64_t var_counter = 0;
+
+  Builder(Schema* s, Vocabulary* v, const RandomWdptOptions& o)
+      : schema(s), vocab(v), edge(EdgeRelation(s)), options(o),
+        rng(o.seed) {}
+
+  Term FreshVar() {
+    return Term::Variable(vocab->FreshVariable("w"));
+  }
+
+  // Builds a path label starting from `anchors` (the variables shared
+  // with the parent; empty for the root) and returns the label plus the
+  // path's variables.
+  std::vector<Atom> MakeLabel(const std::vector<Term>& anchors,
+                              std::vector<Term>* path_vars) {
+    uint32_t len = options.atoms_per_node;
+    std::vector<Term> vars;
+    vars.reserve(len + 1);
+    for (uint32_t i = 0; i <= len; ++i) {
+      if (i < anchors.size()) {
+        vars.push_back(anchors[i]);
+      } else {
+        vars.push_back(FreshVar());
+      }
+    }
+    std::vector<Atom> label;
+    for (uint32_t i = 0; i < len; ++i) {
+      label.emplace_back(edge, std::vector<Term>{vars[i], vars[i + 1]});
+    }
+    *path_vars = std::move(vars);
+    return label;
+  }
+
+  void Grow(NodeId node, const std::vector<Term>& node_path,
+            uint32_t remaining_depth) {
+    if (remaining_depth == 0) return;
+    std::uniform_int_distribution<size_t> pick(0, node_path.size() - 1);
+    for (uint32_t b = 0; b < options.branching; ++b) {
+      // Anchors: `interface_size` variables of the parent path.
+      std::vector<Term> anchors;
+      size_t start = pick(rng);
+      for (uint32_t i = 0; i < options.interface_size; ++i) {
+        anchors.push_back(node_path[(start + i) % node_path.size()]);
+      }
+      std::vector<Term> child_path;
+      std::vector<Atom> label = MakeLabel(anchors, &child_path);
+      NodeId child = tree.AddChild(node, std::move(label));
+      Grow(child, child_path, remaining_depth - 1);
+    }
+  }
+};
+
+}  // namespace
+
+PatternTree MakeRandomChainWdpt(Schema* schema, Vocabulary* vocab,
+                                const RandomWdptOptions& options) {
+  WDPT_CHECK(options.atoms_per_node >= 1);
+  WDPT_CHECK(options.interface_size >= 1 &&
+             options.interface_size <= options.atoms_per_node + 1);
+  Builder builder(schema, vocab, options);
+  std::vector<Term> root_path;
+  std::vector<Atom> root_label = builder.MakeLabel({}, &root_path);
+  for (const Atom& a : root_label) {
+    builder.tree.AddAtom(PatternTree::kRoot, a);
+  }
+  builder.Grow(PatternTree::kRoot, root_path, options.depth);
+
+  // Free variables: root path endpoints plus a random subset.
+  std::vector<VariableId> all = builder.tree.AllVariables();
+  std::vector<VariableId> free_vars = {root_path.front().variable_id(),
+                                       root_path.back().variable_id()};
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (VariableId v : all) {
+    if (coin(builder.rng) < options.free_fraction) free_vars.push_back(v);
+  }
+  SortUnique(&free_vars);
+  builder.tree.SetFreeVariables(std::move(free_vars));
+  Status status = builder.tree.Validate();
+  WDPT_CHECK(status.ok());
+  return std::move(builder.tree);
+}
+
+}  // namespace wdpt::gen

@@ -1,0 +1,37 @@
+// Random WDPT generators with controllable class parameters (tree shape,
+// node-label width, interface size, projection fraction).
+
+#ifndef WDPT_SRC_GEN_WDPT_GEN_H_
+#define WDPT_SRC_GEN_WDPT_GEN_H_
+
+#include <cstdint>
+
+#include "src/relational/schema.h"
+#include "src/relational/term.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt::gen {
+
+/// Shape/class parameters for random chain-labelled WDPTs over the binary
+/// relation "E". Each node's label is a fresh path of `atoms_per_node`
+/// E-atoms; a child shares exactly `interface_size` (1 or 2) variables
+/// with its parent's path, so the result is locally TW(1) and in
+/// BI(interface_size * branching capped appropriately).
+struct RandomWdptOptions {
+  uint32_t depth = 2;           ///< Levels below the root.
+  uint32_t branching = 2;       ///< Children per internal node.
+  uint32_t atoms_per_node = 3;  ///< Path length per node label.
+  uint32_t interface_size = 1;  ///< Shared variables with the parent.
+  double free_fraction = 0.5;   ///< Fraction of variables kept free.
+  uint64_t seed = 1;
+};
+
+/// Builds and validates a random WDPT per `options`; the free variables
+/// are a random subset (always including the root path's endpoints so
+/// answers are non-trivial).
+PatternTree MakeRandomChainWdpt(Schema* schema, Vocabulary* vocab,
+                                const RandomWdptOptions& options);
+
+}  // namespace wdpt::gen
+
+#endif  // WDPT_SRC_GEN_WDPT_GEN_H_

@@ -1,0 +1,85 @@
+#include "src/hypergraph/gyo.h"
+
+#include <algorithm>
+
+#include "src/common/algo.h"
+
+namespace wdpt {
+
+JoinTree GyoJoinTree(const Hypergraph& h) {
+  const size_t m = h.edges.size();
+  JoinTree result;
+  result.parent.resize(m);
+  for (size_t i = 0; i < m; ++i) result.parent[i] = static_cast<uint32_t>(i);
+
+  // Working copies of the edges that shrink as ear vertices are removed.
+  std::vector<std::vector<uint32_t>> work = h.edges;
+  std::vector<bool> active(m, true);
+  // Reverse removal order: children recorded before parents.
+  std::vector<uint32_t> removal;
+
+  // Occurrence counts of vertices among active edges.
+  std::vector<uint32_t> occurrences(h.num_vertices, 0);
+  for (size_t i = 0; i < m; ++i) {
+    for (uint32_t v : work[i]) ++occurrences[v];
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Rule 1: drop vertices occurring in exactly one active edge.
+    for (size_t i = 0; i < m; ++i) {
+      if (!active[i]) continue;
+      std::vector<uint32_t>& edge = work[i];
+      size_t before = edge.size();
+      edge.erase(std::remove_if(edge.begin(), edge.end(),
+                                [&](uint32_t v) {
+                                  return occurrences[v] == 1;
+                                }),
+                 edge.end());
+      if (edge.size() != before) changed = true;
+    }
+    // Rule 2: remove an active edge contained in another active edge.
+    for (size_t i = 0; i < m && !changed; ++i) {
+      if (!active[i]) continue;
+      for (size_t j = 0; j < m; ++j) {
+        if (i == j || !active[j]) continue;
+        if (SortedIsSubset(work[i], work[j])) {
+          active[i] = false;
+          result.parent[i] = static_cast<uint32_t>(j);
+          removal.push_back(static_cast<uint32_t>(i));
+          for (uint32_t v : work[i]) --occurrences[v];
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  size_t remaining = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if (active[i]) {
+      ++remaining;
+      removal.push_back(static_cast<uint32_t>(i));
+      // Roots: either truly reduced (empty) or witnesses of cyclicity.
+    }
+  }
+  // Acyclic iff every surviving edge is fully reduced (empty vertex list);
+  // a single surviving nonempty edge also qualifies per component, but the
+  // ear-removal rule empties the last edge of each component, so emptiness
+  // is the right test.
+  result.acyclic = true;
+  for (size_t i = 0; i < m; ++i) {
+    if (active[i] && !work[i].empty()) {
+      result.acyclic = false;
+      break;
+    }
+  }
+  // Top-down order: reverse of removal order.
+  result.order.assign(removal.rbegin(), removal.rend());
+  return result;
+}
+
+bool IsAlphaAcyclic(const Hypergraph& h) { return GyoJoinTree(h).acyclic; }
+
+}  // namespace wdpt

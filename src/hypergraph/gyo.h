@@ -1,0 +1,33 @@
+// GYO reduction: alpha-acyclicity test and join-tree construction.
+
+#ifndef WDPT_SRC_HYPERGRAPH_GYO_H_
+#define WDPT_SRC_HYPERGRAPH_GYO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hypergraph/hypergraph.h"
+
+namespace wdpt {
+
+/// A join forest over the hyperedges of a hypergraph: parent[e] is the
+/// parent edge of e (parent[e] == e for roots). Valid only if `acyclic`.
+struct JoinTree {
+  bool acyclic = false;
+  std::vector<uint32_t> parent;
+  /// Edge indexes in a root-to-leaf (top-down) order.
+  std::vector<uint32_t> order;
+};
+
+/// Runs the GYO reduction. The hypergraph is acyclic iff the reduction
+/// succeeds; on success the returned structure is a valid join forest:
+/// for every vertex v, the edges containing v form a connected subtree.
+JoinTree GyoJoinTree(const Hypergraph& h);
+
+/// Convenience wrapper for the acyclicity test (= generalized
+/// hypertreewidth 1 for hypergraphs with at least one edge).
+bool IsAlphaAcyclic(const Hypergraph& h);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_HYPERGRAPH_GYO_H_

@@ -1,0 +1,55 @@
+#include "src/hypergraph/hypergraph.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/algo.h"
+
+namespace wdpt {
+
+void Graph::AddEdge(uint32_t a, uint32_t b) {
+  if (a == b || HasEdge(a, b)) return;
+  matrix[static_cast<size_t>(a) * num_vertices + b] = true;
+  matrix[static_cast<size_t>(b) * num_vertices + a] = true;
+  adj[a].insert(std::lower_bound(adj[a].begin(), adj[a].end(), b), b);
+  adj[b].insert(std::lower_bound(adj[b].begin(), adj[b].end(), a), a);
+}
+
+size_t Graph::NumEdges() const {
+  size_t total = 0;
+  for (const std::vector<uint32_t>& n : adj) total += n.size();
+  return total / 2;
+}
+
+Graph Hypergraph::ToPrimalGraph() const {
+  Graph g(num_vertices);
+  for (const std::vector<uint32_t>& e : edges) {
+    for (size_t i = 0; i < e.size(); ++i) {
+      for (size_t j = i + 1; j < e.size(); ++j) {
+        g.AddEdge(e[i], e[j]);
+      }
+    }
+  }
+  return g;
+}
+
+Hypergraph Hypergraph::InducedByEdges(
+    const std::vector<uint32_t>& edge_subset) const {
+  Hypergraph sub;
+  std::unordered_map<uint32_t, uint32_t> remap;
+  for (uint32_t ei : edge_subset) {
+    std::vector<uint32_t> edge;
+    edge.reserve(edges[ei].size());
+    for (uint32_t v : edges[ei]) {
+      auto [it, inserted] =
+          remap.emplace(v, static_cast<uint32_t>(remap.size()));
+      edge.push_back(it->second);
+    }
+    SortUnique(&edge);
+    sub.edges.push_back(std::move(edge));
+  }
+  sub.num_vertices = static_cast<uint32_t>(remap.size());
+  return sub;
+}
+
+}  // namespace wdpt

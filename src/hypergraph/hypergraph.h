@@ -1,0 +1,54 @@
+// Hypergraphs and simple undirected graphs over dense vertex ids.
+//
+// The hypergraph H_q of a CQ q has the variables of q as vertices and the
+// variable sets of its atoms as hyperedges (constants are ignored), as in
+// Section 3.1 of the paper.
+
+#ifndef WDPT_SRC_HYPERGRAPH_HYPERGRAPH_H_
+#define WDPT_SRC_HYPERGRAPH_HYPERGRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wdpt {
+
+/// A hypergraph over vertices 0..num_vertices-1.
+struct Hypergraph {
+  uint32_t num_vertices = 0;
+  /// Each edge is a sorted, deduplicated vertex list. Empty edges allowed
+  /// (they arise from constant-only atoms) and are ignored by algorithms.
+  std::vector<std::vector<uint32_t>> edges;
+
+  /// Returns the primal (Gaifman) graph: vertices adjacent iff co-occurring
+  /// in some hyperedge.
+  struct Graph ToPrimalGraph() const;
+
+  /// Returns the sub-hypergraph induced by the given edge subset, re-mapping
+  /// vertices densely. `edge_subset` holds indexes into `edges`.
+  Hypergraph InducedByEdges(const std::vector<uint32_t>& edge_subset) const;
+};
+
+/// A simple undirected graph with adjacency lists and a matrix.
+struct Graph {
+  explicit Graph(uint32_t n = 0)
+      : num_vertices(n), adj(n), matrix(static_cast<size_t>(n) * n, false) {}
+
+  uint32_t num_vertices;
+  std::vector<std::vector<uint32_t>> adj;  ///< Sorted neighbor lists.
+  std::vector<bool> matrix;                ///< Row-major adjacency matrix.
+
+  bool HasEdge(uint32_t a, uint32_t b) const {
+    return matrix[static_cast<size_t>(a) * num_vertices + b];
+  }
+
+  /// Adds the undirected edge {a, b}; ignores self-loops and duplicates.
+  void AddEdge(uint32_t a, uint32_t b);
+
+  /// Number of undirected edges.
+  size_t NumEdges() const;
+};
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_HYPERGRAPH_HYPERGRAPH_H_

@@ -1,0 +1,253 @@
+#include "src/hypergraph/hypertree.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+
+#include "src/common/algo.h"
+#include "src/common/status.h"
+#include "src/hypergraph/gyo.h"
+#include "src/hypergraph/treewidth.h"
+
+namespace wdpt {
+
+int HypertreeDecomposition::Width() const {
+  int width = 0;
+  for (const std::vector<uint32_t>& cover : covers) {
+    width = std::max(width, static_cast<int>(cover.size()));
+  }
+  return width;
+}
+
+namespace {
+
+// Bitmask helpers (<= 64 vertices).
+uint64_t MaskOf(const std::vector<uint32_t>& vertices) {
+  uint64_t mask = 0;
+  for (uint32_t v : vertices) mask |= uint64_t{1} << v;
+  return mask;
+}
+
+// Exact minimum cover of `target` by masks from `edge_masks`, bounded by
+// `limit`. Returns chosen edge indexes via `cover` (if non-null).
+int CoverSearch(uint64_t target, const std::vector<uint64_t>& edge_masks,
+                int limit, std::vector<uint32_t>* cover) {
+  if (target == 0) return 0;
+  if (limit <= 0) return 1;  // "limit + 1" style overflow for limit = 0.
+  // Branch on the lowest uncovered vertex.
+  uint32_t v = static_cast<uint32_t>(std::countr_zero(target));
+  int best = limit + 1;
+  std::vector<uint32_t> best_cover;
+  for (uint32_t e = 0; e < edge_masks.size(); ++e) {
+    if (!(edge_masks[e] & (uint64_t{1} << v))) continue;
+    std::vector<uint32_t> sub_cover;
+    int sub = CoverSearch(target & ~edge_masks[e], edge_masks,
+                          std::min(limit, best - 1) - 1,
+                          cover != nullptr ? &sub_cover : nullptr);
+    if (sub + 1 < best) {
+      best = sub + 1;
+      if (cover != nullptr) {
+        best_cover = std::move(sub_cover);
+        best_cover.push_back(e);
+      }
+    }
+  }
+  if (cover != nullptr && best <= limit) *cover = std::move(best_cover);
+  return best;
+}
+
+}  // namespace
+
+int EdgeCoverNumber(const Hypergraph& h, const std::vector<uint32_t>& bag,
+                    int limit) {
+  std::vector<uint64_t> edge_masks;
+  edge_masks.reserve(h.edges.size());
+  uint64_t covered_somewhere = 0;
+  uint64_t target = MaskOf(bag);
+  for (const std::vector<uint32_t>& e : h.edges) {
+    uint64_t m = MaskOf(e) & target;
+    covered_somewhere |= m;
+    if (m != 0) edge_masks.push_back(m);
+  }
+  if ((covered_somewhere & target) != target) return -1;
+  int result = CoverSearch(target, edge_masks, limit, nullptr);
+  return result;
+}
+
+namespace {
+
+// Elimination-order search where the admissibility of a bag is
+// "edge cover number <= k" instead of "size <= k + 1".
+class GhwEliminationSearch {
+ public:
+  GhwEliminationSearch(const Graph& primal,
+                       const std::vector<uint64_t>& edge_masks, int k)
+      : n_(primal.num_vertices), k_(k), edge_masks_(edge_masks), rows_(n_, 0) {
+    for (uint32_t v = 0; v < n_; ++v) {
+      for (uint32_t u : primal.adj[v]) rows_[v] |= uint64_t{1} << u;
+    }
+  }
+
+  bool Run(std::vector<uint32_t>* order) {
+    order_.clear();
+    if (n_ == 0) {
+      order->clear();
+      return true;
+    }
+    uint64_t alive = n_ == 64 ? ~uint64_t{0} : ((uint64_t{1} << n_) - 1);
+    if (!Search(alive, rows_)) return false;
+    *order = order_;
+    return true;
+  }
+
+ private:
+  bool Coverable(uint64_t bag_mask) const {
+    std::vector<uint32_t> bag;
+    for (uint32_t v = 0; v < n_; ++v) {
+      if (bag_mask & (uint64_t{1} << v)) bag.push_back(v);
+    }
+    // CoverSearch over masks restricted to the bag.
+    std::vector<uint64_t> masks;
+    for (uint64_t m : edge_masks_) {
+      uint64_t mm = m & bag_mask;
+      if (mm != 0) masks.push_back(mm);
+    }
+    if (bag_mask == 0) return true;
+    uint64_t covered = 0;
+    for (uint64_t m : masks) covered |= m;
+    if (covered != bag_mask) return false;
+    return CoverSearch(bag_mask, masks, k_, nullptr) <= k_;
+  }
+
+  bool Search(uint64_t alive, std::vector<uint64_t> rows) {
+    if (Coverable(alive)) {
+      for (uint32_t v = 0; v < n_; ++v) {
+        if (alive & (uint64_t{1} << v)) order_.push_back(v);
+      }
+      return true;
+    }
+    if (failed_.contains(alive)) return false;
+    for (uint32_t v = 0; v < n_; ++v) {
+      uint64_t bit = uint64_t{1} << v;
+      if (!(alive & bit)) continue;
+      uint64_t bag = (rows[v] & alive) | bit;
+      if (!Coverable(bag)) continue;
+      order_.push_back(v);
+      std::vector<uint64_t> next = rows;
+      uint64_t nb = rows[v] & alive & ~bit;
+      uint64_t rest = nb;
+      while (rest != 0) {
+        uint32_t u = static_cast<uint32_t>(std::countr_zero(rest));
+        rest &= rest - 1;
+        next[u] |= nb & ~(uint64_t{1} << u);
+      }
+      if (Search(alive & ~bit, std::move(next))) return true;
+      order_.pop_back();
+    }
+    failed_.insert(alive);
+    return false;
+  }
+
+  uint32_t n_;
+  int k_;
+  const std::vector<uint64_t>& edge_masks_;
+  std::vector<uint64_t> rows_;
+  std::vector<uint32_t> order_;
+  std::unordered_set<uint64_t> failed_;
+};
+
+}  // namespace
+
+std::optional<HypertreeDecomposition> FindHypertreeDecomposition(
+    const Hypergraph& h, int k) {
+  WDPT_CHECK(h.num_vertices <= kMaxExactVertices);
+  if (k < 0) return std::nullopt;
+  HypertreeDecomposition hd;
+  bool has_nonempty_edge = false;
+  for (const std::vector<uint32_t>& e : h.edges) {
+    if (!e.empty()) has_nonempty_edge = true;
+  }
+  if (!has_nonempty_edge) return hd;  // Empty decomposition, width 0.
+  if (k == 0) return std::nullopt;
+
+  // Fast path: acyclic hypergraphs have ghw 1.
+  std::vector<uint64_t> edge_masks;
+  edge_masks.reserve(h.edges.size());
+  for (const std::vector<uint32_t>& e : h.edges) edge_masks.push_back(MaskOf(e));
+
+  Graph primal = h.ToPrimalGraph();
+  GhwEliminationSearch search(primal, edge_masks, k);
+  std::vector<uint32_t> order;
+  if (!search.Run(&order)) return std::nullopt;
+
+  // The search eliminates a suffix of vertices in one final bag; recover a
+  // full order by keeping it as produced (DecompositionFromOrder treats the
+  // suffix vertices individually, which can only shrink bags).
+  hd.td = DecompositionFromOrder(primal, order);
+  hd.covers.resize(hd.td.bags.size());
+  for (size_t i = 0; i < hd.td.bags.size(); ++i) {
+    std::vector<uint64_t> masks;
+    uint64_t bag_mask = MaskOf(hd.td.bags[i]);
+    std::vector<uint32_t> mask_to_edge;
+    for (uint32_t e = 0; e < edge_masks.size(); ++e) {
+      uint64_t mm = edge_masks[e] & bag_mask;
+      if (mm != 0) {
+        masks.push_back(mm);
+        mask_to_edge.push_back(e);
+      }
+    }
+    std::vector<uint32_t> cover;
+    int size = CoverSearch(bag_mask, masks, k, &cover);
+    WDPT_CHECK(size <= k);
+    for (uint32_t& c : cover) c = mask_to_edge[c];
+    hd.covers[i] = std::move(cover);
+  }
+  return hd;
+}
+
+int GeneralizedHypertreeWidth(const Hypergraph& h,
+                              HypertreeDecomposition* hd) {
+  bool has_nonempty_edge = false;
+  for (const std::vector<uint32_t>& e : h.edges) {
+    if (!e.empty()) has_nonempty_edge = true;
+  }
+  if (!has_nonempty_edge) {
+    if (hd != nullptr) *hd = HypertreeDecomposition();
+    return 0;
+  }
+  if (IsAlphaAcyclic(h)) {
+    // ghw = 1; construct via the search for a concrete witness.
+    std::optional<HypertreeDecomposition> result =
+        FindHypertreeDecomposition(h, 1);
+    WDPT_CHECK(result.has_value());
+    if (hd != nullptr) *hd = std::move(*result);
+    return 1;
+  }
+  for (int k = 2;; ++k) {
+    std::optional<HypertreeDecomposition> result =
+        FindHypertreeDecomposition(h, k);
+    if (result.has_value()) {
+      if (hd != nullptr) *hd = std::move(*result);
+      return k;
+    }
+    WDPT_CHECK(k <= static_cast<int>(h.edges.size()));
+  }
+}
+
+std::optional<bool> BetaGhwAtMost(const Hypergraph& h, int k,
+                                  uint64_t max_subsets) {
+  const size_t m = h.edges.size();
+  if (m >= 63 || (uint64_t{1} << m) > max_subsets) return std::nullopt;
+  for (uint64_t subset = 1; subset < (uint64_t{1} << m); ++subset) {
+    std::vector<uint32_t> edge_subset;
+    for (uint32_t e = 0; e < m; ++e) {
+      if (subset & (uint64_t{1} << e)) edge_subset.push_back(e);
+    }
+    Hypergraph sub = h.InducedByEdges(edge_subset);
+    if (sub.num_vertices > kMaxExactVertices) return std::nullopt;
+    if (!FindHypertreeDecomposition(sub, k).has_value()) return false;
+  }
+  return true;
+}
+
+}  // namespace wdpt

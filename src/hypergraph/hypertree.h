@@ -1,0 +1,58 @@
+// Generalized hypertree width (called hypertreewidth in the paper):
+// exact decision via elimination-order search with edge-cover bag costs,
+// plus the subquery-closed variant HW'(k) (beta-hypertreewidth).
+//
+// We follow the paper's remark and work with the *generalized* notion:
+// ghw(H) <= k iff H has a tree decomposition each of whose bags can be
+// covered by at most k hyperedges. Every tree decomposition refines to an
+// elimination order whose bags are subsets of the original bags, and edge
+// cover number is monotone under subsets, so searching elimination orders
+// is complete.
+
+#ifndef WDPT_SRC_HYPERGRAPH_HYPERTREE_H_
+#define WDPT_SRC_HYPERGRAPH_HYPERTREE_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/hypergraph/hypergraph.h"
+#include "src/hypergraph/tree_decomposition.h"
+
+namespace wdpt {
+
+/// A generalized hypertree decomposition: a tree decomposition plus, for
+/// each bag, a cover by hyperedge indexes with bag subseteq union(cover).
+struct HypertreeDecomposition {
+  TreeDecomposition td;
+  std::vector<std::vector<uint32_t>> covers;
+
+  /// Width = max cover size (0 if there are no bags).
+  int Width() const;
+};
+
+/// Minimum number of hyperedges of `h` needed to cover `bag`, or -1 if a
+/// bag vertex occurs in no hyperedge. Stops early and returns limit + 1 if
+/// the cover number exceeds `limit`.
+int EdgeCoverNumber(const Hypergraph& h, const std::vector<uint32_t>& bag,
+                    int limit);
+
+/// Exact decision "ghw(h) <= k" for hypergraphs with <= 64 vertices.
+/// Returns a witnessing decomposition or nullopt. An edge-free hypergraph
+/// has the empty decomposition (width 0).
+std::optional<HypertreeDecomposition> FindHypertreeDecomposition(
+    const Hypergraph& h, int k);
+
+/// Exact generalized hypertree width for hypergraphs with <= 64 vertices.
+int GeneralizedHypertreeWidth(const Hypergraph& h,
+                              HypertreeDecomposition* hd = nullptr);
+
+/// Decision "every edge-subset-induced sub-hypergraph has ghw <= k"
+/// (HW'(k), beta-hypertreewidth <= k). Enumerates the up-to 2^m edge
+/// subsets; suitable for query-sized inputs. Returns nullopt (undecided)
+/// if more than `max_subsets` subsets would be needed.
+std::optional<bool> BetaGhwAtMost(const Hypergraph& h, int k,
+                                  uint64_t max_subsets = uint64_t{1} << 20);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_HYPERGRAPH_HYPERTREE_H_

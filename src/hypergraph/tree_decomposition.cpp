@@ -1,0 +1,146 @@
+#include "src/hypergraph/tree_decomposition.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/algo.h"
+#include "src/common/status.h"
+
+namespace wdpt {
+
+int TreeDecomposition::Width() const {
+  int width = -1;
+  for (const std::vector<uint32_t>& bag : bags) {
+    width = std::max(width, static_cast<int>(bag.size()) - 1);
+  }
+  return width;
+}
+
+namespace {
+
+// Union-find for the tree check.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  }
+  uint32_t Find(uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Merge(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+bool TreeDecomposition::IsValidFor(const Hypergraph& h,
+                                   std::string* error) const {
+  auto fail = [&error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  if (bags.empty()) {
+    // The empty decomposition is valid only for an edge-free hypergraph.
+    for (const std::vector<uint32_t>& e : h.edges) {
+      if (!e.empty()) return fail("no bags but hypergraph has edges");
+    }
+    return true;
+  }
+  // (3) Edges form a tree.
+  if (edges.size() != bags.size() - 1) return fail("edge count != bags - 1");
+  UnionFind uf(bags.size());
+  for (const auto& [a, b] : edges) {
+    if (a >= bags.size() || b >= bags.size()) return fail("edge out of range");
+    if (!uf.Merge(a, b)) return fail("edges contain a cycle");
+  }
+  // (2) Every hyperedge inside some bag.
+  for (const std::vector<uint32_t>& e : h.edges) {
+    bool covered = e.empty();
+    for (const std::vector<uint32_t>& bag : bags) {
+      if (SortedIsSubset(e, bag)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return fail("hyperedge not covered by any bag");
+  }
+  // (1) Connectedness of each vertex's bags.
+  std::vector<std::vector<uint32_t>> tree_adj(bags.size());
+  for (const auto& [a, b] : edges) {
+    tree_adj[a].push_back(b);
+    tree_adj[b].push_back(a);
+  }
+  for (uint32_t v = 0; v < h.num_vertices; ++v) {
+    std::vector<uint32_t> holding;
+    for (uint32_t i = 0; i < bags.size(); ++i) {
+      if (SortedContains(bags[i], v)) holding.push_back(i);
+    }
+    if (holding.size() <= 1) continue;
+    // BFS within holding bags.
+    std::vector<bool> in_holding(bags.size(), false);
+    for (uint32_t i : holding) in_holding[i] = true;
+    std::vector<bool> seen(bags.size(), false);
+    std::queue<uint32_t> queue;
+    queue.push(holding[0]);
+    seen[holding[0]] = true;
+    size_t reached = 0;
+    while (!queue.empty()) {
+      uint32_t cur = queue.front();
+      queue.pop();
+      ++reached;
+      for (uint32_t next : tree_adj[cur]) {
+        if (in_holding[next] && !seen[next]) {
+          seen[next] = true;
+          queue.push(next);
+        }
+      }
+    }
+    if (reached != holding.size()) {
+      return fail("vertex " + std::to_string(v) + " bags not connected");
+    }
+  }
+  return true;
+}
+
+void TreeDecomposition::RootAt(uint32_t root, std::vector<uint32_t>* parent,
+                               std::vector<uint32_t>* order) const {
+  WDPT_CHECK(root < bags.size());
+  std::vector<std::vector<uint32_t>> tree_adj(bags.size());
+  for (const auto& [a, b] : edges) {
+    tree_adj[a].push_back(b);
+    tree_adj[b].push_back(a);
+  }
+  parent->assign(bags.size(), root);
+  order->clear();
+  std::vector<bool> seen(bags.size(), false);
+  std::queue<uint32_t> queue;
+  queue.push(root);
+  seen[root] = true;
+  while (!queue.empty()) {
+    uint32_t cur = queue.front();
+    queue.pop();
+    order->push_back(cur);
+    for (uint32_t next : tree_adj[cur]) {
+      if (!seen[next]) {
+        seen[next] = true;
+        (*parent)[next] = cur;
+        queue.push(next);
+      }
+    }
+  }
+  WDPT_CHECK(order->size() == bags.size());
+}
+
+}  // namespace wdpt

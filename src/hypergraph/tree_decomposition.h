@@ -1,0 +1,41 @@
+// Tree decompositions of hypergraphs: structure, width, validation.
+
+#ifndef WDPT_SRC_HYPERGRAPH_TREE_DECOMPOSITION_H_
+#define WDPT_SRC_HYPERGRAPH_TREE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/hypergraph/hypergraph.h"
+
+namespace wdpt {
+
+/// A tree decomposition (S, nu): bags of vertices connected by tree edges.
+struct TreeDecomposition {
+  /// Bag contents; each bag is sorted and deduplicated.
+  std::vector<std::vector<uint32_t>> bags;
+  /// Undirected tree edges between bag indexes. A decomposition with b bags
+  /// has exactly b - 1 edges (or 0 for b <= 1).
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+
+  size_t num_bags() const { return bags.size(); }
+
+  /// Width = max bag size - 1 (paper's definition); -1 for no bags.
+  int Width() const;
+
+  /// Checks the tree-decomposition conditions against `h`:
+  /// (1) every vertex's bags form a connected subtree, (2) every hyperedge
+  /// is contained in some bag, (3) the edges form a tree over the bags.
+  bool IsValidFor(const Hypergraph& h, std::string* error = nullptr) const;
+
+  /// Rooted view: parent[i] for a tree rooted at bag `root`, parent of the
+  /// root is itself. Also returns bags in a top-down (BFS) order.
+  void RootAt(uint32_t root, std::vector<uint32_t>* parent,
+              std::vector<uint32_t>* order) const;
+};
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_HYPERGRAPH_TREE_DECOMPOSITION_H_

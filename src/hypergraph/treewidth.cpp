@@ -1,0 +1,264 @@
+#include "src/hypergraph/treewidth.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+
+#include "src/common/algo.h"
+#include "src/common/status.h"
+
+namespace wdpt {
+
+TreeDecomposition DecompositionFromOrder(const Graph& g,
+                                         const std::vector<uint32_t>& order) {
+  const uint32_t n = g.num_vertices;
+  WDPT_CHECK(order.size() == n);
+  TreeDecomposition td;
+  if (n == 0) return td;
+
+  // Working adjacency (sets as sorted vectors) that we mutate with fill-ins.
+  std::vector<std::vector<uint32_t>> adj = g.adj;
+  std::vector<bool> eliminated(n, false);
+  std::vector<uint32_t> position(n);
+  for (uint32_t i = 0; i < n; ++i) position[order[i]] = i;
+
+  td.bags.resize(n);
+  std::vector<int> parent_bag(n, -1);
+  for (uint32_t step = 0; step < n; ++step) {
+    uint32_t v = order[step];
+    std::vector<uint32_t> bag;
+    bag.push_back(v);
+    for (uint32_t u : adj[v]) {
+      if (!eliminated[u]) bag.push_back(u);
+    }
+    SortUnique(&bag);
+    td.bags[step] = bag;
+    // Fill-in: make the remaining neighbors a clique.
+    std::vector<uint32_t> alive_neighbors;
+    for (uint32_t u : adj[v]) {
+      if (!eliminated[u]) alive_neighbors.push_back(u);
+    }
+    for (size_t i = 0; i < alive_neighbors.size(); ++i) {
+      for (size_t j = i + 1; j < alive_neighbors.size(); ++j) {
+        uint32_t a = alive_neighbors[i];
+        uint32_t b = alive_neighbors[j];
+        if (!SortedContains(adj[a], b)) {
+          adj[a].insert(std::lower_bound(adj[a].begin(), adj[a].end(), b), b);
+          adj[b].insert(std::lower_bound(adj[b].begin(), adj[b].end(), a), a);
+        }
+      }
+    }
+    eliminated[v] = true;
+    // Connect to the bag of the earliest-later-eliminated neighbor.
+    if (!alive_neighbors.empty()) {
+      uint32_t best = alive_neighbors[0];
+      for (uint32_t u : alive_neighbors) {
+        if (position[u] < position[best]) best = u;
+      }
+      parent_bag[step] = static_cast<int>(position[best]);
+    }
+  }
+  // Tree edges; join any forest roots in a chain to obtain a single tree.
+  int last_root = -1;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (parent_bag[i] >= 0) {
+      td.edges.emplace_back(i, static_cast<uint32_t>(parent_bag[i]));
+    } else {
+      if (last_root >= 0) {
+        td.edges.emplace_back(static_cast<uint32_t>(last_root), i);
+      }
+      last_root = static_cast<int>(i);
+    }
+  }
+  return td;
+}
+
+std::vector<uint32_t> MinFillOrder(const Graph& g) {
+  const uint32_t n = g.num_vertices;
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint32_t u : g.adj[v]) adj[v][u] = true;
+  }
+  std::vector<bool> eliminated(n, false);
+  std::vector<uint32_t> order;
+  order.reserve(n);
+  for (uint32_t step = 0; step < n; ++step) {
+    uint32_t best = n;
+    long best_fill = -1;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (eliminated[v]) continue;
+      // Count missing edges among alive neighbors.
+      std::vector<uint32_t> nb;
+      for (uint32_t u = 0; u < n; ++u) {
+        if (!eliminated[u] && adj[v][u]) nb.push_back(u);
+      }
+      long fill = 0;
+      for (size_t i = 0; i < nb.size(); ++i) {
+        for (size_t j = i + 1; j < nb.size(); ++j) {
+          if (!adj[nb[i]][nb[j]]) ++fill;
+        }
+      }
+      if (best == n || fill < best_fill ||
+          (fill == best_fill && v < best)) {
+        best = v;
+        best_fill = fill;
+      }
+    }
+    // Eliminate `best`.
+    std::vector<uint32_t> nb;
+    for (uint32_t u = 0; u < n; ++u) {
+      if (!eliminated[u] && adj[best][u]) nb.push_back(u);
+    }
+    for (size_t i = 0; i < nb.size(); ++i) {
+      for (size_t j = i + 1; j < nb.size(); ++j) {
+        adj[nb[i]][nb[j]] = adj[nb[j]][nb[i]] = true;
+      }
+    }
+    eliminated[best] = true;
+    order.push_back(best);
+  }
+  return order;
+}
+
+int TreewidthUpperBound(const Graph& g, TreeDecomposition* td) {
+  TreeDecomposition result = DecompositionFromOrder(g, MinFillOrder(g));
+  int width = result.Width();
+  if (td != nullptr) *td = std::move(result);
+  return width;
+}
+
+namespace {
+
+// Branch-and-bound elimination search over <= 64 vertices.
+class EliminationSearch {
+ public:
+  EliminationSearch(const Graph& g, int k)
+      : n_(g.num_vertices), k_(k), rows_(n_, 0) {
+    for (uint32_t v = 0; v < n_; ++v) {
+      for (uint32_t u : g.adj[v]) rows_[v] |= (uint64_t{1} << u);
+    }
+  }
+
+  // Returns true and fills `order` if an elimination order of width <= k
+  // exists.
+  bool Run(std::vector<uint32_t>* order) {
+    order_.clear();
+    uint64_t alive = n_ == 64 ? ~uint64_t{0}
+                              : ((uint64_t{1} << n_) - 1);
+    if (!Search(alive, rows_)) return false;
+    *order = order_;
+    return true;
+  }
+
+ private:
+  bool Search(uint64_t alive, std::vector<uint64_t> rows) {
+    int alive_count = std::popcount(alive);
+    if (alive_count <= k_ + 1) {
+      // Eliminate the rest in any order: final bag has <= k+1 vertices.
+      for (uint32_t v = 0; v < n_; ++v) {
+        if (alive & (uint64_t{1} << v)) order_.push_back(v);
+      }
+      return true;
+    }
+    if (failed_.contains(alive)) return false;
+
+    // Simplicial shortcut: a vertex whose alive neighborhood is a clique
+    // can always be eliminated first; if its degree exceeds k the clique
+    // witnesses treewidth > k.
+    for (uint32_t v = 0; v < n_; ++v) {
+      uint64_t bit = uint64_t{1} << v;
+      if (!(alive & bit)) continue;
+      uint64_t nb = rows[v] & alive;
+      if (IsClique(nb, rows)) {
+        if (std::popcount(nb) > k_) {
+          failed_.insert(alive);
+          return false;
+        }
+        order_.push_back(v);
+        std::vector<uint64_t> next = rows;  // No fill needed for simplicial.
+        if (Search(alive & ~bit, std::move(next))) return true;
+        order_.pop_back();
+        failed_.insert(alive);
+        return false;  // Simplicial elimination is always safe to commit.
+      }
+    }
+
+    for (uint32_t v = 0; v < n_; ++v) {
+      uint64_t bit = uint64_t{1} << v;
+      if (!(alive & bit)) continue;
+      uint64_t nb = rows[v] & alive;
+      if (std::popcount(nb) > k_) continue;
+      order_.push_back(v);
+      std::vector<uint64_t> next = rows;
+      AddFill(nb, &next);
+      if (Search(alive & ~bit, std::move(next))) return true;
+      order_.pop_back();
+    }
+    failed_.insert(alive);
+    return false;
+  }
+
+  bool IsClique(uint64_t vertices, const std::vector<uint64_t>& rows) const {
+    uint64_t rest = vertices;
+    while (rest != 0) {
+      uint32_t v = static_cast<uint32_t>(std::countr_zero(rest));
+      rest &= rest - 1;
+      uint64_t need = vertices & ~(uint64_t{1} << v);
+      if ((rows[v] & need) != need) return false;
+    }
+    return true;
+  }
+
+  void AddFill(uint64_t nb, std::vector<uint64_t>* rows) const {
+    uint64_t rest = nb;
+    while (rest != 0) {
+      uint32_t v = static_cast<uint32_t>(std::countr_zero(rest));
+      rest &= rest - 1;
+      (*rows)[v] |= nb & ~(uint64_t{1} << v);
+    }
+  }
+
+  uint32_t n_;
+  int k_;
+  std::vector<uint64_t> rows_;
+  std::vector<uint32_t> order_;
+  std::unordered_set<uint64_t> failed_;
+};
+
+}  // namespace
+
+std::optional<TreeDecomposition> FindTreeDecompositionOfWidth(const Graph& g,
+                                                              int k) {
+  WDPT_CHECK(g.num_vertices <= kMaxExactVertices);
+  if (k < 0) return std::nullopt;
+  if (g.num_vertices == 0) return TreeDecomposition();
+  EliminationSearch search(g, k);
+  std::vector<uint32_t> order;
+  if (!search.Run(&order)) return std::nullopt;
+  return DecompositionFromOrder(g, order);
+}
+
+int ExactTreewidth(const Graph& g, TreeDecomposition* td) {
+  if (g.num_vertices == 0) return -1;
+  for (int k = 0; k <= static_cast<int>(g.num_vertices) - 1; ++k) {
+    std::optional<TreeDecomposition> result =
+        FindTreeDecompositionOfWidth(g, k);
+    if (result.has_value()) {
+      if (td != nullptr) *td = std::move(*result);
+      return k;
+    }
+  }
+  WDPT_CHECK(false);  // k = n - 1 always succeeds.
+  return -1;
+}
+
+bool TreewidthAtMost(const Graph& g, int k, bool* exact) {
+  if (g.num_vertices <= kMaxExactVertices) {
+    if (exact != nullptr) *exact = true;
+    return FindTreeDecompositionOfWidth(g, k).has_value();
+  }
+  if (exact != nullptr) *exact = false;
+  return TreewidthUpperBound(g) <= k;
+}
+
+}  // namespace wdpt

@@ -1,0 +1,54 @@
+// Treewidth: elimination orders, heuristics, and exact decision.
+//
+// Queries are small, so the exact algorithms here are designed for graphs
+// of at most 64 vertices (bitset rows + memoized branch and bound over
+// elimination orders). Larger graphs fall back to the min-fill heuristic,
+// which yields an upper bound.
+
+#ifndef WDPT_SRC_HYPERGRAPH_TREEWIDTH_H_
+#define WDPT_SRC_HYPERGRAPH_TREEWIDTH_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/hypergraph/hypergraph.h"
+#include "src/hypergraph/tree_decomposition.h"
+
+namespace wdpt {
+
+/// Builds the tree decomposition induced by eliminating the vertices of `g`
+/// in `order` (a permutation of 0..n-1). Bags are the elimination cliques.
+/// Disconnected graphs yield a decomposition whose components are joined by
+/// arbitrary tree edges (still valid).
+TreeDecomposition DecompositionFromOrder(const Graph& g,
+                                         const std::vector<uint32_t>& order);
+
+/// Greedy min-fill elimination order.
+std::vector<uint32_t> MinFillOrder(const Graph& g);
+
+/// Width of the min-fill decomposition; an upper bound on treewidth.
+/// If `td` is non-null it receives the decomposition.
+int TreewidthUpperBound(const Graph& g, TreeDecomposition* td = nullptr);
+
+/// Maximum number of vertices supported by the exact algorithms.
+inline constexpr uint32_t kMaxExactVertices = 64;
+
+/// Exact decision "treewidth(g) <= k" for graphs with <= 64 vertices.
+/// Returns the witnessing decomposition on success, nullopt otherwise.
+/// WDPT_CHECKs that g.num_vertices <= kMaxExactVertices.
+std::optional<TreeDecomposition> FindTreeDecompositionOfWidth(const Graph& g,
+                                                              int k);
+
+/// Exact treewidth for graphs with <= 64 vertices (0 for edgeless graphs,
+/// -1 for the empty graph). If `td` is non-null it receives an optimal
+/// decomposition.
+int ExactTreewidth(const Graph& g, TreeDecomposition* td = nullptr);
+
+/// Best-effort decision usable at any size: exact when n <= 64, otherwise
+/// the min-fill upper bound (sound for "yes", may report false negatives;
+/// `exact` reports which case applied).
+bool TreewidthAtMost(const Graph& g, int k, bool* exact = nullptr);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_HYPERGRAPH_TREEWIDTH_H_

@@ -1,0 +1,62 @@
+#include "src/relational/atom.h"
+
+#include "src/common/algo.h"
+#include "src/common/strings.h"
+
+namespace wdpt {
+
+void Atom::AppendVariables(std::vector<VariableId>* out) const {
+  for (Term t : terms) {
+    if (t.is_variable()) out->push_back(t.variable_id());
+  }
+}
+
+std::vector<VariableId> Atom::Variables() const {
+  std::vector<VariableId> vars;
+  AppendVariables(&vars);
+  SortUnique(&vars);
+  return vars;
+}
+
+bool Atom::Mentions(VariableId v) const {
+  for (Term t : terms) {
+    if (t.is_variable() && t.variable_id() == v) return true;
+  }
+  return false;
+}
+
+bool Atom::IsGround() const {
+  for (Term t : terms) {
+    if (t.is_variable()) return false;
+  }
+  return true;
+}
+
+std::string Atom::ToString(const Schema& schema,
+                           const Vocabulary& vocab) const {
+  std::string out = schema.Name(relation);
+  out += '(';
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += vocab.TermName(terms[i]);
+  }
+  out += ')';
+  return out;
+}
+
+std::string AtomsToString(const std::vector<Atom>& atoms, const Schema& schema,
+                          const Vocabulary& vocab) {
+  std::vector<std::string> parts;
+  parts.reserve(atoms.size());
+  for (const Atom& a : atoms) parts.push_back(a.ToString(schema, vocab));
+  return StrJoin(parts, ", ");
+}
+
+std::vector<VariableId> VariablesOf(const std::vector<Atom>& atoms) {
+  std::vector<VariableId> vars;
+  for (const Atom& a : atoms) a.AppendVariables(&vars);
+  SortUnique(&vars);
+  return vars;
+}
+
+}  // namespace wdpt

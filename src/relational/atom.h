@@ -1,0 +1,56 @@
+// Relational atoms R(v1, ..., vn) over constants and variables.
+
+#ifndef WDPT_SRC_RELATIONAL_ATOM_H_
+#define WDPT_SRC_RELATIONAL_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/relational/schema.h"
+#include "src/relational/term.h"
+
+namespace wdpt {
+
+/// A relational atom: relation symbol applied to a tuple of terms.
+struct Atom {
+  RelationId relation = 0;
+  std::vector<Term> terms;
+
+  Atom() = default;
+  Atom(RelationId rel, std::vector<Term> ts)
+      : relation(rel), terms(std::move(ts)) {}
+
+  /// Appends the (deduplicated later by caller) variables of the atom.
+  void AppendVariables(std::vector<VariableId>* out) const;
+
+  /// Returns the sorted, deduplicated variables of the atom.
+  std::vector<VariableId> Variables() const;
+
+  /// True if the atom mentions `v`.
+  bool Mentions(VariableId v) const;
+
+  /// True if the atom contains no variables.
+  bool IsGround() const;
+
+  /// Renders "R(?x, a, ?y)".
+  std::string ToString(const Schema& schema, const Vocabulary& vocab) const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.relation == b.relation && a.terms == b.terms;
+  }
+  friend bool operator<(const Atom& a, const Atom& b) {
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.terms < b.terms;
+  }
+};
+
+/// Renders a list of atoms as "R(?x), S(?y)".
+std::string AtomsToString(const std::vector<Atom>& atoms, const Schema& schema,
+                          const Vocabulary& vocab);
+
+/// Sorted, deduplicated variables of a set of atoms.
+std::vector<VariableId> VariablesOf(const std::vector<Atom>& atoms);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_RELATIONAL_ATOM_H_

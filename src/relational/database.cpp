@@ -1,0 +1,161 @@
+#include "src/relational/database.h"
+
+#include <algorithm>
+
+#include "src/common/algo.h"
+#include "src/common/hash.h"
+
+namespace wdpt {
+
+size_t Relation::TupleHash(std::span<const ConstantId> tuple) const {
+  size_t seed = tuple.size();
+  for (ConstantId c : tuple) HashCombine(&seed, std::hash<ConstantId>()(c));
+  return seed;
+}
+
+bool Relation::TupleEquals(size_t row,
+                           std::span<const ConstantId> tuple) const {
+  std::span<const ConstantId> stored = Tuple(row);
+  return std::equal(stored.begin(), stored.end(), tuple.begin());
+}
+
+bool Relation::Insert(std::span<const ConstantId> tuple) {
+  WDPT_CHECK(tuple.size() == arity_);
+  size_t h = TupleHash(tuple);
+  std::vector<uint32_t>& chain = tuple_index_[h];
+  for (uint32_t row : chain) {
+    if (TupleEquals(row, tuple)) return false;
+  }
+  uint32_t row = static_cast<uint32_t>(size());
+  data_.insert(data_.end(), tuple.begin(), tuple.end());
+  chain.push_back(row);
+  // Keep built column indexes current.
+  for (uint32_t col = 0; col < column_index_built_.size(); ++col) {
+    if (column_index_built_[col]) {
+      column_index_[col][tuple[col]].push_back(row);
+    }
+  }
+  return true;
+}
+
+bool Relation::Contains(std::span<const ConstantId> tuple) const {
+  if (tuple.size() != arity_) return false;
+  auto it = tuple_index_.find(TupleHash(tuple));
+  if (it == tuple_index_.end()) return false;
+  for (uint32_t row : it->second) {
+    if (TupleEquals(row, tuple)) return true;
+  }
+  return false;
+}
+
+void Relation::EnsureColumnIndex(uint32_t col) const {
+  if (column_index_.empty()) {
+    column_index_.resize(arity_);
+    column_index_built_.assign(arity_, false);
+  }
+  if (column_index_built_[col]) return;
+  std::unordered_map<ConstantId, std::vector<uint32_t>>& index =
+      column_index_[col];
+  for (uint32_t row = 0; row < size(); ++row) {
+    index[data_[row * arity_ + col]].push_back(row);
+  }
+  column_index_built_[col] = true;
+}
+
+const std::vector<uint32_t>& Relation::RowsMatching(uint32_t col,
+                                                    ConstantId value) const {
+  WDPT_CHECK(col < arity_);
+  EnsureColumnIndex(col);
+  static const std::vector<uint32_t>* empty = new std::vector<uint32_t>();
+  auto it = column_index_[col].find(value);
+  return it == column_index_[col].end() ? *empty : it->second;
+}
+
+Status Database::AddFact(RelationId relation,
+                         std::span<const ConstantId> tuple) {
+  if (relation >= schema_->num_relations()) {
+    return Status::InvalidArgument("unknown relation id " +
+                                   std::to_string(relation));
+  }
+  if (tuple.size() != schema_->Arity(relation)) {
+    return Status::InvalidArgument(
+        "arity mismatch for " + schema_->Name(relation) + ": got " +
+        std::to_string(tuple.size()));
+  }
+  MutableRelation(relation)->Insert(tuple);
+  return Status::Ok();
+}
+
+Status Database::AddAtom(const Atom& atom) {
+  std::vector<ConstantId> tuple;
+  tuple.reserve(atom.terms.size());
+  for (Term t : atom.terms) {
+    if (!t.is_constant()) {
+      return Status::InvalidArgument("database atoms must be ground");
+    }
+    tuple.push_back(t.constant_id());
+  }
+  return AddFact(atom.relation, tuple);
+}
+
+bool Database::ContainsFact(RelationId relation,
+                            std::span<const ConstantId> tuple) const {
+  if (relation >= relations_.size()) return false;
+  return relations_[relation].Contains(tuple);
+}
+
+const Relation& Database::relation(RelationId id) const {
+  if (id < relations_.size()) return relations_[id];
+  static const Relation* empty = new Relation(1);
+  // An untouched relation of any arity has no tuples; the shared empty
+  // relation answers size() == 0 and is never indexed by callers (they
+  // check size first or match arity via the schema).
+  return *empty;
+}
+
+size_t Database::TotalFacts() const {
+  size_t total = 0;
+  for (const Relation& r : relations_) total += r.size();
+  return total;
+}
+
+std::vector<ConstantId> Database::ActiveDomain() const {
+  std::vector<ConstantId> dom;
+  for (RelationId id = 0; id < relations_.size(); ++id) {
+    const Relation& r = relations_[id];
+    for (size_t row = 0; row < r.size(); ++row) {
+      std::span<const ConstantId> t = r.Tuple(row);
+      dom.insert(dom.end(), t.begin(), t.end());
+    }
+  }
+  SortUnique(&dom);
+  return dom;
+}
+
+std::string Database::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  for (RelationId id = 0; id < relations_.size(); ++id) {
+    const Relation& r = relations_[id];
+    for (size_t row = 0; row < r.size(); ++row) {
+      out += schema_->Name(id);
+      out += '(';
+      std::span<const ConstantId> t = r.Tuple(row);
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += vocab.ConstantName(t[i]);
+      }
+      out += ")\n";
+    }
+  }
+  return out;
+}
+
+Relation* Database::MutableRelation(RelationId id) {
+  while (relations_.size() <= id) {
+    RelationId next = static_cast<RelationId>(relations_.size());
+    relations_.emplace_back(schema_->Arity(next));
+  }
+  return &relations_[id];
+}
+
+}  // namespace wdpt

@@ -1,0 +1,101 @@
+// Databases: sets of ground atoms with per-column hash indexes.
+//
+// A Database stores one Relation per relation symbol of its Schema. Tuples
+// are deduplicated (a database is a *set* of facts). Per-column indexes are
+// built lazily and power the homomorphism search in src/cq/.
+
+#ifndef WDPT_SRC_RELATIONAL_DATABASE_H_
+#define WDPT_SRC_RELATIONAL_DATABASE_H_
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relational/atom.h"
+#include "src/relational/schema.h"
+#include "src/relational/term.h"
+
+namespace wdpt {
+
+/// One stored relation: a deduplicated list of fixed-arity tuples.
+class Relation {
+ public:
+  explicit Relation(uint32_t arity) : arity_(arity) {}
+
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return arity_ == 0 ? 0 : data_.size() / arity_; }
+
+  /// Returns the `row`-th tuple.
+  std::span<const ConstantId> Tuple(size_t row) const {
+    return std::span<const ConstantId>(data_.data() + row * arity_, arity_);
+  }
+
+  /// Inserts a tuple; returns false if it was already present.
+  bool Insert(std::span<const ConstantId> tuple);
+
+  /// True if the exact tuple is stored.
+  bool Contains(std::span<const ConstantId> tuple) const;
+
+  /// Rows whose column `col` holds `value`. Builds the column index on
+  /// first use. The returned reference is invalidated by Insert.
+  const std::vector<uint32_t>& RowsMatching(uint32_t col,
+                                            ConstantId value) const;
+
+ private:
+  size_t TupleHash(std::span<const ConstantId> tuple) const;
+  bool TupleEquals(size_t row, std::span<const ConstantId> tuple) const;
+  void EnsureColumnIndex(uint32_t col) const;
+
+  uint32_t arity_;
+  std::vector<ConstantId> data_;  // Flat row-major tuple storage.
+  // Exact-tuple index: hash -> candidate rows (collision chains).
+  std::unordered_map<size_t, std::vector<uint32_t>> tuple_index_;
+  // Lazily built per-column indexes: value -> rows.
+  mutable std::vector<std::unordered_map<ConstantId, std::vector<uint32_t>>>
+      column_index_;
+  mutable std::vector<bool> column_index_built_;
+};
+
+/// A database over a Schema: one Relation per relation symbol.
+class Database {
+ public:
+  /// Creates an empty database. `schema` must outlive the database and may
+  /// gain additional relations afterwards.
+  explicit Database(const Schema* schema) : schema_(schema) {}
+
+  const Schema& schema() const { return *schema_; }
+
+  /// Adds the fact R(tuple). Fails if the arity does not match.
+  Status AddFact(RelationId relation, std::span<const ConstantId> tuple);
+
+  /// Adds a ground atom. Fails if the atom has variables or bad arity.
+  Status AddAtom(const Atom& atom);
+
+  /// True if the fact is present.
+  bool ContainsFact(RelationId relation,
+                    std::span<const ConstantId> tuple) const;
+
+  /// Relation accessor (empty relation if nothing was inserted).
+  const Relation& relation(RelationId id) const;
+
+  /// Total number of stored facts.
+  size_t TotalFacts() const;
+
+  /// Sorted list of all constants appearing in some fact.
+  std::vector<ConstantId> ActiveDomain() const;
+
+  /// Renders all facts, one per line (for debugging and small examples).
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  Relation* MutableRelation(RelationId id);
+
+  const Schema* schema_;
+  std::vector<Relation> relations_;
+};
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_RELATIONAL_DATABASE_H_

@@ -1,0 +1,106 @@
+#include "src/relational/mapping.h"
+
+#include <algorithm>
+
+#include "src/common/algo.h"
+#include "src/common/hash.h"
+#include "src/common/status.h"
+
+namespace wdpt {
+
+Mapping::Mapping(std::vector<Entry> entries) : entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end());
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    WDPT_CHECK(entries_[i - 1].first != entries_[i].first);
+  }
+}
+
+std::optional<ConstantId> Mapping::Get(VariableId v) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), v,
+      [](const Entry& e, VariableId x) { return e.first < x; });
+  if (it != entries_.end() && it->first == v) return it->second;
+  return std::nullopt;
+}
+
+bool Mapping::Bind(VariableId v, ConstantId c) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), v,
+      [](const Entry& e, VariableId x) { return e.first < x; });
+  if (it != entries_.end() && it->first == v) return it->second == c;
+  entries_.insert(it, Entry(v, c));
+  return true;
+}
+
+std::vector<VariableId> Mapping::Domain() const {
+  std::vector<VariableId> dom;
+  dom.reserve(entries_.size());
+  for (const Entry& e : entries_) dom.push_back(e.first);
+  return dom;
+}
+
+bool Mapping::IsSubsumedBy(const Mapping& other) const {
+  if (entries_.size() > other.entries_.size()) return false;
+  for (const Entry& e : entries_) {
+    std::optional<ConstantId> c = other.Get(e.first);
+    if (!c.has_value() || *c != e.second) return false;
+  }
+  return true;
+}
+
+bool Mapping::IsStrictlySubsumedBy(const Mapping& other) const {
+  return entries_.size() < other.entries_.size() && IsSubsumedBy(other);
+}
+
+bool Mapping::CompatibleWith(const Mapping& other) const {
+  const Mapping& small = entries_.size() <= other.entries_.size() ? *this
+                                                                  : other;
+  const Mapping& big = entries_.size() <= other.entries_.size() ? other
+                                                                : *this;
+  for (const Entry& e : small.entries_) {
+    std::optional<ConstantId> c = big.Get(e.first);
+    if (c.has_value() && *c != e.second) return false;
+  }
+  return true;
+}
+
+std::optional<Mapping> Mapping::Union(const Mapping& a, const Mapping& b) {
+  if (!a.CompatibleWith(b)) return std::nullopt;
+  std::vector<Entry> merged;
+  merged.reserve(a.entries_.size() + b.entries_.size());
+  std::merge(a.entries_.begin(), a.entries_.end(), b.entries_.begin(),
+             b.entries_.end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return Mapping(std::move(merged));
+}
+
+Mapping Mapping::RestrictTo(const std::vector<VariableId>& vars) const {
+  std::vector<Entry> kept;
+  for (const Entry& e : entries_) {
+    if (SortedContains(vars, e.first)) kept.push_back(e);
+  }
+  return Mapping(std::move(kept));
+}
+
+std::string Mapping::ToString(const Vocabulary& vocab) const {
+  std::string out = "{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += vocab.VariableName(entries_[i].first);
+    out += " -> ";
+    out += vocab.ConstantName(entries_[i].second);
+  }
+  out += '}';
+  return out;
+}
+
+size_t Mapping::Hash() const {
+  size_t seed = entries_.size();
+  for (const Entry& e : entries_) {
+    HashCombine(&seed, e.first);
+    HashCombine(&seed, e.second);
+  }
+  return seed;
+}
+
+}  // namespace wdpt

@@ -1,0 +1,89 @@
+// Partial mappings h : X -> U and the subsumption order on them.
+//
+// Answers of WDPTs are partial mappings from variables to constants. The
+// subsumption order (Section 2 of the paper): h [= h' iff dom(h) is a
+// subset of dom(h') and both agree on dom(h).
+
+#ifndef WDPT_SRC_RELATIONAL_MAPPING_H_
+#define WDPT_SRC_RELATIONAL_MAPPING_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/relational/term.h"
+
+namespace wdpt {
+
+/// A partial mapping from variables to constants, stored as a sorted
+/// vector of (variable, constant) pairs. Value semantics; cheap to copy
+/// at query-answer sizes.
+class Mapping {
+ public:
+  using Entry = std::pair<VariableId, ConstantId>;
+
+  Mapping() = default;
+  /// Builds a mapping from entries (sorted and checked for duplicates).
+  explicit Mapping(std::vector<Entry> entries);
+
+  /// The empty mapping (defined nowhere).
+  static Mapping Empty() { return Mapping(); }
+
+  /// The constant assigned to `v`, if any.
+  std::optional<ConstantId> Get(VariableId v) const;
+
+  /// True if `v` is in the domain.
+  bool IsDefinedOn(VariableId v) const { return Get(v).has_value(); }
+
+  /// Binds v -> c. Returns false (and leaves the mapping unchanged) if v is
+  /// already bound to a different constant.
+  bool Bind(VariableId v, ConstantId c);
+
+  /// Sorted domain of the mapping.
+  std::vector<VariableId> Domain() const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Subsumption: *this [= other.
+  bool IsSubsumedBy(const Mapping& other) const;
+
+  /// Strict subsumption: *this [= other and not other [= *this.
+  bool IsStrictlySubsumedBy(const Mapping& other) const;
+
+  /// True if the two mappings agree on all shared variables.
+  bool CompatibleWith(const Mapping& other) const;
+
+  /// Union of compatible mappings; nullopt if they conflict.
+  static std::optional<Mapping> Union(const Mapping& a, const Mapping& b);
+
+  /// Restriction of the mapping to the sorted variable set `vars`.
+  Mapping RestrictTo(const std::vector<VariableId>& vars) const;
+
+  /// Renders "{x -> a, y -> b}".
+  std::string ToString(const Vocabulary& vocab) const;
+
+  friend bool operator==(const Mapping& a, const Mapping& b) {
+    return a.entries_ == b.entries_;
+  }
+  friend bool operator<(const Mapping& a, const Mapping& b) {
+    return a.entries_ < b.entries_;
+  }
+
+  /// Hash over all entries (for unordered containers of answers).
+  size_t Hash() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// std::hash adapter for Mapping.
+struct MappingHash {
+  size_t operator()(const Mapping& m) const { return m.Hash(); }
+};
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_RELATIONAL_MAPPING_H_

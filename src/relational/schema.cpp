@@ -1,0 +1,40 @@
+#include "src/relational/schema.h"
+
+namespace wdpt {
+
+Result<RelationId> Schema::AddRelation(std::string_view name, uint32_t arity) {
+  if (arity == 0) {
+    return Status::InvalidArgument("relation arity must be positive: " +
+                                   std::string(name));
+  }
+  RelationId existing = Find(name);
+  if (existing != kNotFound) {
+    if (arities_[existing] != arity) {
+      return Status::InvalidArgument(
+          "relation " + std::string(name) + " redeclared with arity " +
+          std::to_string(arity) + " (was " +
+          std::to_string(arities_[existing]) + ")");
+    }
+    return existing;
+  }
+  RelationId id = names_.Intern(name);
+  WDPT_CHECK(id == arities_.size());
+  arities_.push_back(arity);
+  return id;
+}
+
+RelationId Schema::Find(std::string_view name) const {
+  uint32_t id = names_.Find(name);
+  return id == Interner::kNotInterned ? kNotFound : id;
+}
+
+const std::string& Schema::Name(RelationId id) const {
+  return names_.NameOf(id);
+}
+
+uint32_t Schema::Arity(RelationId id) const {
+  WDPT_CHECK(id < arities_.size());
+  return arities_[id];
+}
+
+}  // namespace wdpt

@@ -1,0 +1,45 @@
+// Relational schemas: named relation symbols with fixed arities.
+
+#ifndef WDPT_SRC_RELATIONAL_SCHEMA_H_
+#define WDPT_SRC_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relational/term.h"
+
+namespace wdpt {
+
+/// Dense id of a relation symbol within a Schema.
+using RelationId = uint32_t;
+
+/// A relational schema sigma: a list of relation symbols with arities.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(const Schema&) = default;
+  Schema& operator=(const Schema&) = default;
+
+  /// Adds (or reuses) the relation `name` with the given arity. Returns an
+  /// error if `name` already exists with a different arity or arity is 0.
+  Result<RelationId> AddRelation(std::string_view name, uint32_t arity);
+
+  /// Returns the id of `name`, or kNotFound if absent.
+  static constexpr RelationId kNotFound = UINT32_MAX;
+  RelationId Find(std::string_view name) const;
+
+  const std::string& Name(RelationId id) const;
+  uint32_t Arity(RelationId id) const;
+  size_t num_relations() const { return arities_.size(); }
+
+ private:
+  Interner names_;
+  std::vector<uint32_t> arities_;
+};
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,51 @@
+#include "src/relational/term.h"
+
+namespace wdpt {
+
+uint32_t Interner::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+uint32_t Interner::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kNotInterned : it->second;
+}
+
+const std::string& Interner::NameOf(uint32_t id) const {
+  WDPT_CHECK(id < names_.size());
+  return names_[id];
+}
+
+VariableId Vocabulary::FreshVariable(std::string_view prefix) {
+  while (true) {
+    std::string name(prefix);
+    name += '#';
+    name += std::to_string(fresh_counter_++);
+    if (variables_.Find(name) == Interner::kNotInterned) {
+      return variables_.Intern(name);
+    }
+  }
+}
+
+ConstantId Vocabulary::FreshConstant(std::string_view prefix) {
+  while (true) {
+    std::string name(prefix);
+    name += '#';
+    name += std::to_string(fresh_counter_++);
+    if (constants_.Find(name) == Interner::kNotInterned) {
+      return constants_.Intern(name);
+    }
+  }
+}
+
+std::string Vocabulary::TermName(Term t) const {
+  if (t.is_variable()) return "?" + VariableName(t.variable_id());
+  return ConstantName(t.constant_id());
+}
+
+}  // namespace wdpt

@@ -1,0 +1,78 @@
+#include "src/sparql/data_loader.h"
+
+#include <vector>
+
+#include "src/common/strings.h"
+
+namespace wdpt::sparql {
+
+Status LoadFacts(std::string_view text, Schema* schema, Vocabulary* vocab,
+                 Database* db) {
+  size_t line_no = 0;
+  for (const std::string& raw : StrSplit(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    size_t open = line.find('(');
+    size_t close = line.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": expected rel(c1, ...)");
+    }
+    std::string_view name = StripWhitespace(line.substr(0, open));
+    if (name.empty()) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": missing relation name");
+    }
+    std::vector<ConstantId> tuple;
+    for (const std::string& field :
+         StrSplit(line.substr(open + 1, close - open - 1), ',')) {
+      std::string_view value = StripWhitespace(field);
+      if (value.empty()) {
+        return Status::ParseError("line " + std::to_string(line_no) +
+                                  ": empty constant");
+      }
+      if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+        value = value.substr(1, value.size() - 2);
+      }
+      tuple.push_back(vocab->ConstantIdOf(value));
+    }
+    Result<RelationId> rel =
+        schema->AddRelation(name, static_cast<uint32_t>(tuple.size()));
+    if (!rel.ok()) return rel.status();
+    Status added = db->AddFact(*rel, tuple);
+    if (!added.ok()) return added;
+  }
+  return Status::Ok();
+}
+
+Status LoadTriples(std::string_view text, RdfContext* ctx, Database* db) {
+  size_t line_no = 0;
+  for (const std::string& raw : StrSplit(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields;
+    std::string current;
+    for (char c : line) {
+      if (c == ' ' || c == '\t') {
+        if (!current.empty()) {
+          fields.push_back(current);
+          current.clear();
+        }
+      } else {
+        current += c;
+      }
+    }
+    if (!current.empty()) fields.push_back(current);
+    if (fields.size() != 3) {
+      return Status::ParseError("line " + std::to_string(line_no) +
+                                ": expected `subject predicate object`");
+    }
+    ctx->AddTriple(db, fields[0], fields[1], fields[2]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace wdpt::sparql

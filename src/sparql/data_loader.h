@@ -1,0 +1,26 @@
+// Plain-text fact loaders for examples, tests and benches.
+
+#ifndef WDPT_SRC_SPARQL_DATA_LOADER_H_
+#define WDPT_SRC_SPARQL_DATA_LOADER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+#include "src/relational/rdf.h"
+#include "src/relational/schema.h"
+
+namespace wdpt::sparql {
+
+/// Loads facts in the form `rel(c1, c2, ...)`, one per line; '#' starts a
+/// comment. Relations are declared on first use with the observed arity.
+Status LoadFacts(std::string_view text, Schema* schema, Vocabulary* vocab,
+                 Database* db);
+
+/// Loads whitespace-separated triples `subject predicate object`, one per
+/// line, into an RDF database; '#' starts a comment.
+Status LoadTriples(std::string_view text, RdfContext* ctx, Database* db);
+
+}  // namespace wdpt::sparql
+
+#endif  // WDPT_SRC_SPARQL_DATA_LOADER_H_

@@ -1,0 +1,85 @@
+#include "src/sparql/lexer.h"
+
+#include <cctype>
+
+namespace wdpt::sparql {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == ':' || c == '.' || c == '/' || c == '-';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '(') {
+      tokens.push_back({TokenKind::kLParen, "(", i++});
+      continue;
+    }
+    if (c == ')') {
+      tokens.push_back({TokenKind::kRParen, ")", i++});
+      continue;
+    }
+    if (c == ',') {
+      tokens.push_back({TokenKind::kComma, ",", i++});
+      continue;
+    }
+    if (c == '?') {
+      size_t start = ++i;
+      while (i < input.size() && IsIdentChar(input[i])) ++i;
+      if (i == start) {
+        return Status::ParseError("empty variable name at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenKind::kVar,
+                        std::string(input.substr(start, i - start)),
+                        start - 1});
+      continue;
+    }
+    if (c == '"') {
+      size_t start = ++i;
+      while (i < input.size() && input[i] != '"') ++i;
+      if (i == input.size()) {
+        return Status::ParseError("unterminated string at offset " +
+                                  std::to_string(start - 1));
+      }
+      tokens.push_back({TokenKind::kString,
+                        std::string(input.substr(start, i - start)),
+                        start - 1});
+      ++i;  // Closing quote.
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      size_t start = i;
+      while (i < input.size() && IsIdentChar(input[i])) ++i;
+      std::string word(input.substr(start, i - start));
+      TokenKind kind = TokenKind::kIdent;
+      if (word == "AND") kind = TokenKind::kAnd;
+      else if (word == "OPT") kind = TokenKind::kOpt;
+      else if (word == "SELECT") kind = TokenKind::kSelect;
+      else if (word == "WHERE") kind = TokenKind::kWhere;
+      tokens.push_back({kind, std::move(word), start});
+      continue;
+    }
+    return Status::ParseError("unexpected character '" + std::string(1, c) +
+                              "' at offset " + std::to_string(i));
+  }
+  tokens.push_back({TokenKind::kEnd, "", input.size()});
+  return tokens;
+}
+
+}  // namespace wdpt::sparql

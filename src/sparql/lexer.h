@@ -1,0 +1,42 @@
+// Lexer for the algebraic {AND, OPT} SPARQL notation of the paper
+// (Perez et al. style), e.g.
+//   (((?x, recorded_by, ?y) AND (?x, published, "after_2010"))
+//      OPT (?x, NME_rating, ?z)) OPT (?y, formed_in, ?z2)
+
+#ifndef WDPT_SRC_SPARQL_LEXER_H_
+#define WDPT_SRC_SPARQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace wdpt::sparql {
+
+enum class TokenKind {
+  kLParen,
+  kRParen,
+  kComma,
+  kAnd,     ///< Keyword AND.
+  kOpt,     ///< Keyword OPT.
+  kSelect,  ///< Keyword SELECT.
+  kWhere,   ///< Keyword WHERE.
+  kVar,     ///< ?name (text holds the name without '?').
+  kIdent,   ///< Bare identifier (constant or relation name).
+  kString,  ///< "quoted" (text holds the unquoted content).
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t position;  ///< Byte offset in the input (for error messages).
+};
+
+/// Tokenizes `input`; '#' starts a line comment.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace wdpt::sparql
+
+#endif  // WDPT_SRC_SPARQL_LEXER_H_

@@ -1,0 +1,56 @@
+#include "src/sparql/printer.h"
+
+#include "src/common/strings.h"
+
+namespace wdpt::sparql {
+
+namespace {
+
+std::string TermToAlgebra(Term t, const Vocabulary& vocab) {
+  if (t.is_variable()) return "?" + vocab.VariableName(t.variable_id());
+  return vocab.ConstantName(t.constant_id());
+}
+
+std::string AtomToAlgebra(const Atom& atom, const Schema& schema,
+                          const Vocabulary& vocab) {
+  std::vector<std::string> parts;
+  parts.reserve(atom.terms.size());
+  for (Term t : atom.terms) parts.push_back(TermToAlgebra(t, vocab));
+  if (atom.terms.size() == 3) {
+    return "(" + StrJoin(parts, ", ") + ")";
+  }
+  return schema.Name(atom.relation) + "(" + StrJoin(parts, ", ") + ")";
+}
+
+std::string NodeToAlgebra(const PatternTree& tree, NodeId n,
+                          const Schema& schema, const Vocabulary& vocab) {
+  std::vector<std::string> atom_strs;
+  for (const Atom& a : tree.label(n)) {
+    atom_strs.push_back(AtomToAlgebra(a, schema, vocab));
+  }
+  std::string expr =
+      atom_strs.empty() ? "()" : StrJoin(atom_strs, " AND ");
+  if (atom_strs.size() > 1) expr = "(" + expr + ")";
+  for (NodeId c : tree.children(n)) {
+    expr = "(" + expr + " OPT " + NodeToAlgebra(tree, c, schema, vocab) + ")";
+  }
+  return expr;
+}
+
+}  // namespace
+
+std::string ToAlgebraString(const PatternTree& tree, const Schema& schema,
+                            const Vocabulary& vocab) {
+  std::string out;
+  if (!tree.IsProjectionFree()) {
+    out += "SELECT";
+    for (VariableId v : tree.free_vars()) {
+      out += " ?" + vocab.VariableName(v);
+    }
+    out += " WHERE ";
+  }
+  out += NodeToAlgebra(tree, PatternTree::kRoot, schema, vocab);
+  return out;
+}
+
+}  // namespace wdpt::sparql

@@ -1,0 +1,24 @@
+// Pretty printer: pattern trees back to the {AND, OPT} algebra.
+
+#ifndef WDPT_SRC_SPARQL_PRINTER_H_
+#define WDPT_SRC_SPARQL_PRINTER_H_
+
+#include <string>
+
+#include "src/relational/schema.h"
+#include "src/relational/term.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt::sparql {
+
+/// Renders the WDPT as an {AND, OPT} expression. Ternary atoms print as
+/// triple patterns "(s, p, o)"; other arities print as "R(t1, ..., tn)"
+/// (still parseable queries over general schemas are out of scope for
+/// the RDF parser, so this form is for display). A SELECT clause is
+/// prepended when the tree projects.
+std::string ToAlgebraString(const PatternTree& tree, const Schema& schema,
+                            const Vocabulary& vocab);
+
+}  // namespace wdpt::sparql
+
+#endif  // WDPT_SRC_SPARQL_PRINTER_H_

@@ -1,0 +1,88 @@
+#include "src/sparql/reify.h"
+
+#include <string>
+
+#include "src/common/status.h"
+
+namespace wdpt::sparql {
+
+Reifier::Reifier(const Schema* source_schema, Schema* rdf_schema,
+                 Vocabulary* vocab)
+    : source_schema_(source_schema),
+      rdf_schema_(rdf_schema),
+      vocab_(vocab) {
+  Result<RelationId> triple = rdf_schema_->AddRelation("triple", 3);
+  WDPT_CHECK(triple.ok());
+  triple_ = *triple;
+  rel_predicate_ = vocab_->ConstantIdOf("rdf:rel");
+}
+
+ConstantId Reifier::RelConstant(RelationId rel) {
+  return vocab_->ConstantIdOf("rel:" + source_schema_->Name(rel));
+}
+
+ConstantId Reifier::PosPredicate(uint32_t position) {
+  return vocab_->ConstantIdOf("rdf:pos" + std::to_string(position + 1));
+}
+
+Database Reifier::ReifyDatabase(const Database& source) {
+  Database out(rdf_schema_);
+  for (RelationId rel = 0; rel < source_schema_->num_relations(); ++rel) {
+    const Relation& relation = source.relation(rel);
+    if (relation.size() == 0) continue;
+    ConstantId rel_const = RelConstant(rel);
+    for (uint32_t row = 0; row < relation.size(); ++row) {
+      ConstantId fact_id =
+          vocab_->FreshConstant("fact:" + source_schema_->Name(rel));
+      ConstantId head[3] = {fact_id, rel_predicate_, rel_const};
+      WDPT_CHECK(out.AddFact(triple_, head).ok());
+      std::span<const ConstantId> tuple = relation.Tuple(row);
+      for (uint32_t col = 0; col < tuple.size(); ++col) {
+        ConstantId body[3] = {fact_id, PosPredicate(col), tuple[col]};
+        WDPT_CHECK(out.AddFact(triple_, body).ok());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Atom> Reifier::ReifyAtom(const Atom& atom, Term witness) {
+  std::vector<Atom> out;
+  out.emplace_back(triple_,
+                   std::vector<Term>{witness,
+                                     Term::Constant(rel_predicate_),
+                                     Term::Constant(
+                                         RelConstant(atom.relation))});
+  for (uint32_t col = 0; col < atom.terms.size(); ++col) {
+    out.emplace_back(
+        triple_,
+        std::vector<Term>{witness, Term::Constant(PosPredicate(col)),
+                          atom.terms[col]});
+  }
+  return out;
+}
+
+PatternTree Reifier::ReifyTree(const PatternTree& source) {
+  WDPT_CHECK(source.validated());
+  PatternTree out;
+  for (NodeId n = 0; n < source.num_nodes(); ++n) {
+    std::vector<Atom> label;
+    for (const Atom& atom : source.label(n)) {
+      Term witness = Term::Variable(vocab_->FreshVariable("rfw"));
+      std::vector<Atom> reified = ReifyAtom(atom, witness);
+      label.insert(label.end(), reified.begin(), reified.end());
+    }
+    if (n == PatternTree::kRoot) {
+      for (Atom& a : label) out.AddAtom(PatternTree::kRoot, std::move(a));
+    } else {
+      // Node ids are preserved: nodes are visited in creation order.
+      out.AddChild(source.parent(n), std::move(label));
+    }
+  }
+  out.SetFreeVariables(source.free_vars());
+  Status status = out.Validate();
+  WDPT_CHECK(status.ok());
+  return out;
+}
+
+}  // namespace wdpt::sparql

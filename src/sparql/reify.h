@@ -1,0 +1,60 @@
+// Reification: embedding WDPTs over arbitrary relational schemas into
+// RDF WDPTs (single ternary relation), constructively realizing the
+// paper's remark that all results carry over to the RDF scenario.
+//
+// A fact R(c1, ..., cn) becomes the triples
+//   (f, "rdf:rel", "rel:R"), (f, "rdf:pos1", c1), ..., (f, "rdf:posn", cn)
+// for a fresh fact id f; an atom R(t1, ..., tn) becomes the same triple
+// patterns with a fresh existential witness variable per atom. Since
+// databases are fact *sets*, the witness of an atom is uniquely
+// determined by the matched tuple, so homomorphisms (and hence answers,
+// partial answers and maximal answers) are in bijection with the
+// original instance's.
+
+#ifndef WDPT_SRC_SPARQL_REIFY_H_
+#define WDPT_SRC_SPARQL_REIFY_H_
+
+#include <vector>
+
+#include "src/relational/database.h"
+#include "src/relational/schema.h"
+#include "src/relational/term.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt::sparql {
+
+/// Shared context for reifying databases and pattern trees consistently.
+/// Uses the *same* vocabulary as the source instance so that answers are
+/// directly comparable; declares relation `triple`/3 in `rdf_schema`.
+class Reifier {
+ public:
+  /// `source_schema` and `vocab` describe the instance being reified and
+  /// must outlive the reifier. Constant names with prefixes "rdf:",
+  /// "rel:" and "fact:" are reserved by the encoding.
+  Reifier(const Schema* source_schema, Schema* rdf_schema,
+          Vocabulary* vocab);
+
+  /// Reifies all facts of `source` (a database over the source schema).
+  Database ReifyDatabase(const Database& source);
+
+  /// Reifies a validated pattern tree over the source schema; the result
+  /// is validated and has the same free variables.
+  PatternTree ReifyTree(const PatternTree& source);
+
+  RelationId triple_relation() const { return triple_; }
+
+ private:
+  std::vector<Atom> ReifyAtom(const Atom& atom, Term witness);
+  ConstantId RelConstant(RelationId rel);
+  ConstantId PosPredicate(uint32_t position);
+
+  const Schema* source_schema_;
+  Schema* rdf_schema_;
+  Vocabulary* vocab_;
+  RelationId triple_;
+  ConstantId rel_predicate_;
+};
+
+}  // namespace wdpt::sparql
+
+#endif  // WDPT_SRC_SPARQL_REIFY_H_

@@ -1,0 +1,51 @@
+#include "src/uwdpt/approx.h"
+
+#include "src/analysis/wb.h"
+
+namespace wdpt {
+
+Result<UnionOfCqs> ComputeUwbApproximation(
+    const UnionWdpt& phi, WidthMeasure measure, int k, const Schema* schema,
+    Vocabulary* vocab, const UwbApproximationOptions& options) {
+  if (!IsWbMeasure(measure)) {
+    return Status::InvalidArgument(
+        "UWB(k) requires a subquery-closed measure (tw or beta-ghw)");
+  }
+  Result<UnionOfCqs> cqs = ToUnionOfCqs(phi, options.max_subtrees);
+  if (!cqs.ok()) return cqs.status();
+  UnionOfCqs reduced = RemoveSubsumedCqs(*cqs, schema, vocab);
+
+  UnionOfCqs approx;
+  for (const ConjunctiveQuery& q : reduced) {
+    Result<std::vector<ConjunctiveQuery>> parts = ComputeCqApproximations(
+        q, measure, k, schema, vocab, options.cq_options);
+    if (!parts.ok()) return parts.status();
+    for (ConjunctiveQuery& part : *parts) approx.push_back(std::move(part));
+  }
+  return RemoveSubsumedCqs(approx, schema, vocab);
+}
+
+Result<bool> IsUwbApproximation(const UnionOfCqs& candidate,
+                                const UnionWdpt& phi, WidthMeasure measure,
+                                int k, const Schema* schema,
+                                Vocabulary* vocab,
+                                const UwbApproximationOptions& options) {
+  // Every member must be (semantically) in C(k).
+  for (const ConjunctiveQuery& q : candidate) {
+    Result<bool> ok = SemanticallyInWidthClass(q, measure, k, schema, vocab);
+    if (!ok.ok()) return ok.status();
+    if (!*ok) return false;
+  }
+  // candidate [= phi: compare against phi_cq (phi ==_s phi_cq).
+  Result<UnionOfCqs> cqs = ToUnionOfCqs(phi, options.max_subtrees);
+  if (!cqs.ok()) return cqs.status();
+  if (!UcqSubsumedBy(candidate, *cqs, schema, vocab)) return false;
+  // Maximality: the canonical approximation must be subsumed by the
+  // candidate.
+  Result<UnionOfCqs> canonical =
+      ComputeUwbApproximation(phi, measure, k, schema, vocab, options);
+  if (!canonical.ok()) return canonical.status();
+  return UcqSubsumedBy(*canonical, candidate, schema, vocab);
+}
+
+}  // namespace wdpt

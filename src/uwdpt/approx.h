@@ -1,0 +1,43 @@
+// UWB(k)-approximations of UWDPTs (Theorem 18, Proposition 10).
+//
+// Since phi ==_s phi_cq and the C(k)-approximation of a union of CQs is
+// the union of the members' approximations, the UWB(k)-approximation of
+// phi is the union of the C(k)-approximations of the CQs in phi_cq —
+// unique up to ==_s, with polynomially sized members.
+
+#ifndef WDPT_SRC_UWDPT_APPROX_H_
+#define WDPT_SRC_UWDPT_APPROX_H_
+
+#include "src/common/status.h"
+#include "src/cq/approximation.h"
+#include "src/uwdpt/to_ucq.h"
+#include "src/uwdpt/uwdpt.h"
+
+namespace wdpt {
+
+/// Options for UWB(k)-approximation.
+struct UwbApproximationOptions {
+  uint64_t max_subtrees = uint64_t{1} << 22;
+  CqApproximationOptions cq_options;
+};
+
+/// Computes the UWB(k)-approximation of phi as a (reduced) union of
+/// C(k) CQs. Requires constant-free members (as the paper assumes for
+/// approximations); `measure` must be kTreewidth or kBetaHypertreewidth.
+Result<UnionOfCqs> ComputeUwbApproximation(
+    const UnionWdpt& phi, WidthMeasure measure, int k, const Schema* schema,
+    Vocabulary* vocab,
+    const UwbApproximationOptions& options = UwbApproximationOptions());
+
+/// Decision problem UWB(k)-APPROXIMATION: is the union of C(k) CQs
+/// `candidate` a UWB(k)-approximation of phi? Per the proof of
+/// Proposition 10 this holds iff candidate [= phi and
+/// approx(phi_cq) [= candidate.
+Result<bool> IsUwbApproximation(
+    const UnionOfCqs& candidate, const UnionWdpt& phi, WidthMeasure measure,
+    int k, const Schema* schema, Vocabulary* vocab,
+    const UwbApproximationOptions& options = UwbApproximationOptions());
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_UWDPT_APPROX_H_

@@ -1,0 +1,60 @@
+#include "src/uwdpt/semantic.h"
+
+#include "src/analysis/wb.h"
+#include "src/cq/core.h"
+
+namespace wdpt {
+
+namespace {
+
+Result<UnionOfCqs> ReducedCqForm(const UnionWdpt& phi, const Schema* schema,
+                                 Vocabulary* vocab, uint64_t max_subtrees) {
+  Result<UnionOfCqs> cqs = ToUnionOfCqs(phi, max_subtrees);
+  if (!cqs.ok()) return cqs.status();
+  return RemoveSubsumedCqs(*cqs, schema, vocab);
+}
+
+}  // namespace
+
+Result<bool> IsInSemanticUWB(const UnionWdpt& phi, WidthMeasure measure,
+                             int k, const Schema* schema, Vocabulary* vocab,
+                             uint64_t max_subtrees) {
+  if (!IsWbMeasure(measure)) {
+    return Status::InvalidArgument(
+        "UWB(k) requires a subquery-closed measure (tw or beta-ghw)");
+  }
+  Result<UnionOfCqs> reduced =
+      ReducedCqForm(phi, schema, vocab, max_subtrees);
+  if (!reduced.ok()) return reduced.status();
+  for (const ConjunctiveQuery& q : *reduced) {
+    Result<bool> in_class =
+        SemanticallyInWidthClass(q, measure, k, schema, vocab);
+    if (!in_class.ok()) return in_class.status();
+    if (!*in_class) return false;
+  }
+  return true;
+}
+
+Result<UnionOfCqs> ConstructUWBEquivalent(const UnionWdpt& phi,
+                                          WidthMeasure measure, int k,
+                                          const Schema* schema,
+                                          Vocabulary* vocab,
+                                          uint64_t max_subtrees) {
+  Result<UnionOfCqs> reduced =
+      ReducedCqForm(phi, schema, vocab, max_subtrees);
+  if (!reduced.ok()) return reduced.status();
+  UnionOfCqs out;
+  for (const ConjunctiveQuery& q : *reduced) {
+    ConjunctiveQuery core = ComputeCore(q, schema, vocab);
+    Result<bool> in_class = WidthAtMost(core, measure, k);
+    if (!in_class.ok()) return in_class.status();
+    if (!*in_class) {
+      return Status::InvalidArgument(
+          "phi is not in M(UWB(k)): a maximal CQ core exceeds width k");
+    }
+    out.push_back(std::move(core));
+  }
+  return out;
+}
+
+}  // namespace wdpt

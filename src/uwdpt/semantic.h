@@ -1,0 +1,35 @@
+// Semantic optimization of UWDPTs (Proposition 9 / Theorem 17): a UWDPT
+// is ==_s-equivalent to a union of WB(k) WDPTs iff every subsumption-
+// maximal CQ of phi_cq is equivalent to a CQ in C(k), i.e. its core has
+// width at most k.
+
+#ifndef WDPT_SRC_UWDPT_SEMANTIC_H_
+#define WDPT_SRC_UWDPT_SEMANTIC_H_
+
+#include "src/common/status.h"
+#include "src/cq/approximation.h"
+#include "src/uwdpt/to_ucq.h"
+#include "src/uwdpt/uwdpt.h"
+
+namespace wdpt {
+
+/// M(UWB(k)) membership (Theorem 17.1). `measure` must be kTreewidth or
+/// kBetaHypertreewidth.
+Result<bool> IsInSemanticUWB(const UnionWdpt& phi, WidthMeasure measure,
+                             int k, const Schema* schema, Vocabulary* vocab,
+                             uint64_t max_subtrees = uint64_t{1} << 22);
+
+/// Theorem 17.2: for phi in M(UWB(k)), constructs a ==_s-equivalent union
+/// of C(k) CQs (single-node WB(k) WDPTs), each of polynomial size (the
+/// cores of the maximal CQs of phi_cq). Error if phi is not in
+/// M(UWB(k)).
+Result<UnionOfCqs> ConstructUWBEquivalent(const UnionWdpt& phi,
+                                          WidthMeasure measure, int k,
+                                          const Schema* schema,
+                                          Vocabulary* vocab,
+                                          uint64_t max_subtrees =
+                                              uint64_t{1} << 22);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_UWDPT_SEMANTIC_H_

@@ -1,0 +1,65 @@
+#include "src/uwdpt/subsumption.h"
+
+#include "src/common/algo.h"
+#include "src/cq/cq.h"
+#include "src/wdpt/eval_naive.h"
+#include "src/wdpt/subtrees.h"
+
+namespace wdpt {
+
+Result<bool> UnionSubsumedBy(const UnionWdpt& phi, const UnionWdpt& phi2,
+                             const Schema* schema, Vocabulary* vocab,
+                             const SubsumptionOptions& options) {
+  for (const PatternTree& member : phi.members) {
+    if (!member.validated()) {
+      return Status::InvalidArgument("members must be validated");
+    }
+    bool subsumed = true;
+    Status failure = Status::Ok();
+    bool complete = ForEachRootSubtree(
+        member, options.max_subtrees, [&](const SubtreeMask& mask) {
+          std::vector<Atom> atoms = SubtreeAtoms(member, mask);
+          CanonicalDatabase canonical =
+              BuildCanonicalDatabase(atoms, schema, vocab);
+          std::vector<VariableId> answer_vars = SortedIntersection(
+              SubtreeVariables(member, mask), member.free_vars());
+          Mapping a = canonical.FreezeMapping(answer_vars);
+          Result<bool> is_answer = EvalNaive(member, canonical.db, a);
+          if (!is_answer.ok()) {
+            failure = is_answer.status();
+            return false;
+          }
+          if (!*is_answer) return true;
+          Result<bool> covered =
+              UnionPartialEval(phi2, canonical.db, a, options.cq_options);
+          if (!covered.ok()) {
+            failure = covered.status();
+            return false;
+          }
+          if (!*covered) {
+            subsumed = false;
+            return false;
+          }
+          return true;
+        });
+    if (!failure.ok()) return failure;
+    if (!subsumed) return false;
+    if (!complete) {
+      return Status::ResourceExhausted("too many root subtrees in member");
+    }
+  }
+  return true;
+}
+
+Result<bool> UnionSubsumptionEquivalent(const UnionWdpt& phi,
+                                        const UnionWdpt& phi2,
+                                        const Schema* schema,
+                                        Vocabulary* vocab,
+                                        const SubsumptionOptions& options) {
+  Result<bool> forward =
+      UnionSubsumedBy(phi, phi2, schema, vocab, options);
+  if (!forward.ok() || !*forward) return forward;
+  return UnionSubsumedBy(phi2, phi, schema, vocab, options);
+}
+
+}  // namespace wdpt

@@ -1,0 +1,32 @@
+// Subsumption between unions of WDPTs (Section 6): phi [= phi' iff over
+// every database each answer of phi is subsumed by an answer of phi'.
+// As in the single-WDPT case the test reduces to the canonical databases
+// of the members' root subtrees, with U-PARTIAL-EVAL as the inner check
+// (Pi2P in general; the inner check is polynomial for unions of
+// globally tractable WDPTs, per Proposition 10's use).
+
+#ifndef WDPT_SRC_UWDPT_SUBSUMPTION_H_
+#define WDPT_SRC_UWDPT_SUBSUMPTION_H_
+
+#include "src/analysis/subsumption.h"
+#include "src/uwdpt/uwdpt.h"
+
+namespace wdpt {
+
+/// phi [= phi'.
+Result<bool> UnionSubsumedBy(const UnionWdpt& phi, const UnionWdpt& phi2,
+                             const Schema* schema, Vocabulary* vocab,
+                             const SubsumptionOptions& options =
+                                 SubsumptionOptions());
+
+/// Both directions.
+Result<bool> UnionSubsumptionEquivalent(const UnionWdpt& phi,
+                                        const UnionWdpt& phi2,
+                                        const Schema* schema,
+                                        Vocabulary* vocab,
+                                        const SubsumptionOptions& options =
+                                            SubsumptionOptions());
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_UWDPT_SUBSUMPTION_H_

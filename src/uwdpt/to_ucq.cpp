@@ -1,0 +1,69 @@
+#include "src/uwdpt/to_ucq.h"
+
+#include <set>
+
+#include "src/cq/containment.h"
+#include "src/wdpt/subtrees.h"
+
+namespace wdpt {
+
+Result<UnionOfCqs> ToUnionOfCqs(const UnionWdpt& phi, uint64_t max_subtrees) {
+  UnionOfCqs cqs;
+  std::set<std::pair<std::vector<VariableId>, std::vector<Atom>>> seen;
+  for (const PatternTree& member : phi.members) {
+    if (!member.validated()) {
+      return Status::InvalidArgument("members must be validated");
+    }
+    bool complete = ForEachRootSubtree(
+        member, max_subtrees, [&](const SubtreeMask& mask) {
+          ConjunctiveQuery q = SubtreeProjectedQuery(member, mask);
+          if (seen.emplace(q.free_vars, q.atoms).second) {
+            cqs.push_back(std::move(q));
+          }
+          return true;
+        });
+    if (!complete) {
+      return Status::ResourceExhausted("too many root subtrees in member");
+    }
+  }
+  return cqs;
+}
+
+UnionOfCqs RemoveSubsumedCqs(const UnionOfCqs& cqs, const Schema* schema,
+                             Vocabulary* vocab) {
+  UnionOfCqs kept;
+  for (size_t i = 0; i < cqs.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < cqs.size() && !dominated; ++j) {
+      if (i == j) continue;
+      if (!CqSubsumedBy(cqs[i], cqs[j], schema, vocab)) continue;
+      bool reverse = CqSubsumedBy(cqs[j], cqs[i], schema, vocab);
+      if (!reverse || j < i) dominated = true;
+    }
+    if (!dominated) kept.push_back(cqs[i]);
+  }
+  return kept;
+}
+
+bool UcqSubsumedBy(const UnionOfCqs& phi1, const UnionOfCqs& phi2,
+                   const Schema* schema, Vocabulary* vocab) {
+  for (const ConjunctiveQuery& q1 : phi1) {
+    bool covered = false;
+    for (const ConjunctiveQuery& q2 : phi2) {
+      if (CqSubsumedBy(q1, q2, schema, vocab)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool UcqSubsumptionEquivalent(const UnionOfCqs& phi1, const UnionOfCqs& phi2,
+                              const Schema* schema, Vocabulary* vocab) {
+  return UcqSubsumedBy(phi1, phi2, schema, vocab) &&
+         UcqSubsumedBy(phi2, phi1, schema, vocab);
+}
+
+}  // namespace wdpt

@@ -1,0 +1,45 @@
+// The translation phi -> phi_cq (Section 6): one CQ r_T' per root
+// subtree of each member, with phi ==_s phi_cq. The reduced form
+// phi_cq^r drops CQs subsumed by other CQs, preserving ==_s.
+
+#ifndef WDPT_SRC_UWDPT_TO_UCQ_H_
+#define WDPT_SRC_UWDPT_TO_UCQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/cq/cq.h"
+#include "src/relational/schema.h"
+#include "src/relational/term.h"
+#include "src/uwdpt/uwdpt.h"
+
+namespace wdpt {
+
+/// A union of CQs.
+using UnionOfCqs = std::vector<ConjunctiveQuery>;
+
+/// phi_cq: every r_T' over every member, syntactically deduplicated.
+/// Error if the (possibly exponential) number of root subtrees exceeds
+/// `max_subtrees`.
+Result<UnionOfCqs> ToUnionOfCqs(const UnionWdpt& phi,
+                                uint64_t max_subtrees = uint64_t{1} << 22);
+
+/// Removes every CQ subsumed by (and not equivalent to) another CQ in the
+/// union; among [=-equivalent CQs one representative is kept. The result
+/// is ==_s-equivalent to the input.
+UnionOfCqs RemoveSubsumedCqs(const UnionOfCqs& cqs, const Schema* schema,
+                             Vocabulary* vocab);
+
+/// UCQ subsumption: phi1 [= phi2 iff every member of phi1 is [= some
+/// member of phi2 (canonical-database argument).
+bool UcqSubsumedBy(const UnionOfCqs& phi1, const UnionOfCqs& phi2,
+                   const Schema* schema, Vocabulary* vocab);
+
+/// Both directions.
+bool UcqSubsumptionEquivalent(const UnionOfCqs& phi1, const UnionOfCqs& phi2,
+                              const Schema* schema, Vocabulary* vocab);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_UWDPT_TO_UCQ_H_

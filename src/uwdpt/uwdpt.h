@@ -1,0 +1,56 @@
+// Unions of WDPTs (Section 6): structure and the evaluation variants
+// U-EVAL, U-PARTIAL-EVAL and U-MAX-EVAL (Theorem 16).
+
+#ifndef WDPT_SRC_UWDPT_UWDPT_H_
+#define WDPT_SRC_UWDPT_UWDPT_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/cq/evaluation.h"
+#include "src/relational/database.h"
+#include "src/relational/mapping.h"
+#include "src/wdpt/enumerate.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// A union of WDPTs. Members need not share free variables.
+struct UnionWdpt {
+  std::vector<PatternTree> members;
+
+  /// Validates every member.
+  Status Validate();
+};
+
+/// phi(D): union of the members' answer sets, deduplicated.
+Result<std::vector<Mapping>> EvaluateUnion(
+    const UnionWdpt& phi, const Database& db,
+    const EnumerationLimits& limits = EnumerationLimits());
+
+/// U-EVAL: h in phi(D)? Uses the general evaluator per member.
+Result<bool> UnionEval(const UnionWdpt& phi, const Database& db,
+                       const Mapping& h);
+
+/// U-EVAL via the bounded-interface DP per member (Theorem 16.1:
+/// LOGCFL for unions of locally tractable WDPTs of bounded interface).
+Result<bool> UnionEvalTractable(const UnionWdpt& phi, const Database& db,
+                                const Mapping& h,
+                                const CqEvalOptions& options =
+                                    CqEvalOptions());
+
+/// U-PARTIAL-EVAL: is some h' in phi(D) with h [= h'? Tractable for
+/// unions of globally tractable WDPTs.
+Result<bool> UnionPartialEval(const UnionWdpt& phi, const Database& db,
+                              const Mapping& h,
+                              const CqEvalOptions& options = CqEvalOptions());
+
+/// U-MAX-EVAL: is h a maximal element of phi(D)'s projections, i.e.
+/// h in phi_m(D)? Tractable for unions of globally tractable WDPTs.
+Result<bool> UnionMaxEval(const UnionWdpt& phi, const Database& db,
+                          const Mapping& h,
+                          const CqEvalOptions& options = CqEvalOptions());
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_UWDPT_UWDPT_H_

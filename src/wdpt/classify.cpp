@@ -1,0 +1,99 @@
+#include "src/wdpt/classify.h"
+
+#include <algorithm>
+
+#include "src/common/algo.h"
+#include "src/hypergraph/treewidth.h"
+#include "src/wdpt/subtrees.h"
+
+namespace wdpt {
+
+namespace {
+
+// Boolean CQ of a node's label.
+ConjunctiveQuery NodeQuery(const PatternTree& tree, NodeId n) {
+  ConjunctiveQuery q;
+  q.atoms = tree.label(n);
+  q.Normalize();
+  return q;
+}
+
+}  // namespace
+
+Result<bool> IsLocallyInWidth(const PatternTree& tree, WidthMeasure measure,
+                              int k) {
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    Result<bool> node_ok = WidthAtMost(NodeQuery(tree, n), measure, k);
+    if (!node_ok.ok()) return node_ok.status();
+    if (!*node_ok) return false;
+  }
+  return true;
+}
+
+int InterfaceWidth(const PatternTree& tree) {
+  int width = 0;
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    std::vector<VariableId> child_vars;
+    for (NodeId c : tree.children(n)) {
+      const std::vector<VariableId>& cv = tree.node_vars(c);
+      child_vars.insert(child_vars.end(), cv.begin(), cv.end());
+    }
+    SortUnique(&child_vars);
+    std::vector<VariableId> shared =
+        SortedIntersection(tree.node_vars(n), child_vars);
+    width = std::max(width, static_cast<int>(shared.size()));
+  }
+  return width;
+}
+
+Result<bool> IsGloballyInWidth(const PatternTree& tree, WidthMeasure measure,
+                               int k, uint64_t max_subtrees) {
+  if (measure != WidthMeasure::kGeneralizedHypertreewidth) {
+    // Monotone measures: the full-tree query dominates every subtree.
+    return WidthAtMost(tree.QueryOfFullTree(), measure, k);
+  }
+  bool all_ok = true;
+  Status failure = Status::Ok();
+  bool complete = ForEachRootSubtree(
+      tree, max_subtrees, [&](const SubtreeMask& mask) {
+        Result<bool> ok = WidthAtMost(SubtreeQuery(tree, mask), measure, k);
+        if (!ok.ok()) {
+          failure = ok.status();
+          return false;
+        }
+        if (!*ok) {
+          all_ok = false;
+          return false;
+        }
+        return true;
+      });
+  if (!failure.ok()) return failure;
+  if (!all_ok) return false;
+  if (!complete) {
+    return Status::ResourceExhausted("too many root subtrees to enumerate");
+  }
+  return true;
+}
+
+Result<WdptClassification> ClassifyWdpt(const PatternTree& tree, int k) {
+  WdptClassification result;
+  result.interface_width = InterfaceWidth(tree);
+  result.projection_free = tree.IsProjectionFree();
+  int local_tw = -1;
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    ConjunctiveQuery q = NodeQuery(tree, n);
+    Graph primal = q.BuildHypergraph(nullptr).ToPrimalGraph();
+    if (primal.num_vertices > kMaxExactVertices) {
+      return Status::ResourceExhausted("node too large for exact treewidth");
+    }
+    local_tw = std::max(local_tw, ExactTreewidth(primal));
+  }
+  result.local_treewidth = local_tw;
+  result.locally_tw_k = local_tw <= k;
+  Result<bool> global = IsGloballyInWidth(tree, WidthMeasure::kTreewidth, k);
+  if (!global.ok()) return global.status();
+  result.globally_tw_k = *global;
+  return result;
+}
+
+}  // namespace wdpt

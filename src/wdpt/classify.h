@@ -1,0 +1,54 @@
+// Classification of WDPTs into the paper's tractability classes:
+// local tractability (l-C), bounded interface (BI(c)), and global
+// tractability (g-C) — Section 3.
+//
+// Useful structural facts exploited here:
+//  * Treewidth is monotone under subqueries, so p is globally in TW(k)
+//    iff tw(q_T) <= k (only hypertreewidth needs per-subtree checks).
+//  * Likewise p is globally in HW'(k) (beta) iff beta-ghw(q_T) <= k,
+//    because the atom subsets of root subtrees are exactly the atom
+//    subsets of the full tree.
+
+#ifndef WDPT_SRC_WDPT_CLASSIFY_H_
+#define WDPT_SRC_WDPT_CLASSIFY_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/cq/approximation.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// Local tractability: every node's Boolean CQ is in the width class.
+Result<bool> IsLocallyInWidth(const PatternTree& tree, WidthMeasure measure,
+                              int k);
+
+/// Interface width: the maximum over nodes t of the number of variables
+/// shared between lambda(t) and the labels of t's children. p is in BI(c)
+/// iff InterfaceWidth(p) <= c.
+int InterfaceWidth(const PatternTree& tree);
+
+/// Global tractability: every root subtree's CQ q_T' is in the class.
+/// For kGeneralizedHypertreewidth this enumerates root subtrees (capped
+/// by `max_subtrees`, error on overflow); the other measures reduce to a
+/// single check on q_T.
+Result<bool> IsGloballyInWidth(const PatternTree& tree, WidthMeasure measure,
+                               int k,
+                               uint64_t max_subtrees = uint64_t{1} << 22);
+
+/// Summary of a WDPT's position in the paper's class lattice.
+struct WdptClassification {
+  int interface_width = 0;
+  int local_treewidth = -1;        ///< max over nodes of tw(node CQ).
+  bool globally_tw_k = false;      ///< g-TW(k) for the requested k.
+  bool locally_tw_k = false;       ///< l-TW(k) for the requested k.
+  bool projection_free = false;
+};
+
+/// Computes the classification for treewidth bound `k`.
+Result<WdptClassification> ClassifyWdpt(const PatternTree& tree, int k);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_WDPT_CLASSIFY_H_

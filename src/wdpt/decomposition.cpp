@@ -1,0 +1,87 @@
+#include "src/wdpt/decomposition.h"
+
+#include <unordered_map>
+
+#include "src/common/algo.h"
+#include "src/cq/cq.h"
+#include "src/hypergraph/treewidth.h"
+#include "src/wdpt/classify.h"
+
+namespace wdpt {
+
+Result<GlobalDecomposition> BuildGlobalTreeDecomposition(
+    const PatternTree& tree, int k) {
+  if (!tree.validated()) {
+    return Status::InvalidArgument("pattern tree must be validated");
+  }
+  GlobalDecomposition out;
+  ConjunctiveQuery full = tree.QueryOfFullTree();
+  out.hypergraph = full.BuildHypergraph(&out.vertex_to_var);
+  std::unordered_map<VariableId, uint32_t> dense;
+  for (uint32_t i = 0; i < out.vertex_to_var.size(); ++i) {
+    dense.emplace(out.vertex_to_var[i], i);
+  }
+
+  // Interface variables of each node: shared with parent or children.
+  auto interface_vars = [&](NodeId n) {
+    std::vector<VariableId> shared = tree.ParentInterface(n);
+    std::vector<VariableId> child_vars;
+    for (NodeId c : tree.children(n)) {
+      const std::vector<VariableId>& cv = tree.node_vars(c);
+      child_vars.insert(child_vars.end(), cv.begin(), cv.end());
+    }
+    SortUnique(&child_vars);
+    return SortedUnion(shared,
+                       SortedIntersection(tree.node_vars(n), child_vars));
+  };
+
+  // Per-node decompositions, glued together.
+  std::vector<uint32_t> anchor_bag(tree.num_nodes(), 0);
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    ConjunctiveQuery node_q;
+    node_q.atoms = tree.label(n);
+    node_q.Normalize();
+    std::vector<VariableId> node_vars;
+    Hypergraph node_h = node_q.BuildHypergraph(&node_vars);
+    Graph primal = node_h.ToPrimalGraph();
+    if (primal.num_vertices > kMaxExactVertices) {
+      return Status::InvalidArgument("node label has more than 64 variables");
+    }
+    std::optional<TreeDecomposition> local =
+        FindTreeDecompositionOfWidth(primal, k);
+    if (!local.has_value()) {
+      return Status::InvalidArgument(
+          "node label treewidth exceeds k: the tree is not locally in "
+          "TW(k)");
+    }
+    // Translate to global dense ids and extend every bag by the node's
+    // interface.
+    std::vector<uint32_t> iface;
+    for (VariableId v : interface_vars(n)) iface.push_back(dense.at(v));
+    SortUnique(&iface);
+
+    uint32_t base = static_cast<uint32_t>(out.td.bags.size());
+    if (local->bags.empty()) {
+      // Variable-free (or empty) label: a single interface bag.
+      out.td.bags.push_back(iface);
+    } else {
+      for (const std::vector<uint32_t>& bag : local->bags) {
+        std::vector<uint32_t> global_bag = iface;
+        for (uint32_t v : bag) global_bag.push_back(dense.at(node_vars[v]));
+        SortUnique(&global_bag);
+        out.td.bags.push_back(std::move(global_bag));
+      }
+      for (const auto& [a, b] : local->edges) {
+        out.td.edges.emplace_back(base + a, base + b);
+      }
+    }
+    anchor_bag[n] = base;
+    if (n != PatternTree::kRoot) {
+      out.td.edges.emplace_back(anchor_bag[tree.parent(n)], base);
+    }
+  }
+  WDPT_DCHECK(out.td.IsValidFor(out.hypergraph));
+  return out;
+}
+
+}  // namespace wdpt

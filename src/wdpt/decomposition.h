@@ -1,0 +1,41 @@
+// Constructive Proposition 2.1: from local tractability and bounded
+// interface to global tractability.
+//
+// For a WDPT that is locally in TW(k) with interface width c, a tree
+// decomposition of the full query q_T of width at most k + 2c is built
+// by decomposing each node label separately (width <= k), adding the
+// node's interface variables (<= c towards the parent, <= c towards the
+// children) to every bag, and linking each node's decomposition to its
+// parent's. Every root subtree's query inherits a sub-decomposition, so
+// the tree is globally in TW(k + 2c) — exactly Proposition 2's bound,
+// here with an explicit witness usable by the decomposition-based
+// evaluators.
+
+#ifndef WDPT_SRC_WDPT_DECOMPOSITION_H_
+#define WDPT_SRC_WDPT_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hypergraph/tree_decomposition.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// A tree decomposition of q_T's hypergraph together with the dense
+/// vertex <-> variable translation.
+struct GlobalDecomposition {
+  TreeDecomposition td;
+  Hypergraph hypergraph;                  ///< q_T's hypergraph.
+  std::vector<VariableId> vertex_to_var;  ///< Dense id -> variable.
+};
+
+/// Builds the Proposition 2 decomposition. Fails with kInvalidArgument
+/// if some node label's treewidth exceeds k (the tree is not locally in
+/// TW(k)) or a label has more than 64 variables.
+Result<GlobalDecomposition> BuildGlobalTreeDecomposition(
+    const PatternTree& tree, int k);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_WDPT_DECOMPOSITION_H_

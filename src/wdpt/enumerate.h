@@ -1,0 +1,72 @@
+// Full answer enumeration: p(D) and the maximal-mapping semantics p_m(D)
+// (Definition 2 and Section 3.4 of the paper).
+
+#ifndef WDPT_SRC_WDPT_ENUMERATE_H_
+#define WDPT_SRC_WDPT_ENUMERATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+#include "src/relational/mapping.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// Limits for answer enumeration. Enumeration of maximal homomorphisms is
+/// worst-case exponential in |p| and output-sized in |D|.
+struct EnumerationLimits {
+  /// Cap on produced maximal homomorphisms before deduplication
+  /// (0 = unlimited). Exceeding it yields kResourceExhausted.
+  uint64_t max_homomorphisms = uint64_t{1} << 22;
+  /// Cap on per-node extension steps explored during the recursive
+  /// product construction (0 = unlimited). Guards against instances
+  /// whose sets of maximal homomorphisms are combinatorially huge.
+  uint64_t max_steps = uint64_t{1} << 26;
+};
+
+/// Enumerates the maximal homomorphisms from p to D (deduplicated).
+/// The callback may return false to stop early.
+Status ForEachMaximalHomomorphism(
+    const PatternTree& tree, const Database& db,
+    const std::function<bool(const Mapping&)>& callback,
+    const EnumerationLimits& limits = EnumerationLimits());
+
+/// p(D): projections of the maximal homomorphisms onto the free
+/// variables, deduplicated. Uses the projection-aware enumerator below.
+Result<std::vector<Mapping>> EvaluateWdpt(
+    const PatternTree& tree, const Database& db,
+    const EnumerationLimits& limits = EnumerationLimits());
+
+/// Projection-aware computation of p(D): per child subtree, maximal
+/// completions are deduplicated by their projection onto the free
+/// variables *before* the cross-child product is taken, and completion
+/// sets are memoized on the child's interface assignment. Equivalent to
+/// projecting ForEachMaximalHomomorphism's output, but the intermediate
+/// blow-up is bounded by answer counts instead of homomorphism counts —
+/// often exponentially smaller when optional branches have many
+/// existential matches.
+Result<std::vector<Mapping>> EvaluateWdptProjected(
+    const PatternTree& tree, const Database& db,
+    const EnumerationLimits& limits = EnumerationLimits());
+
+/// Reference implementation of p(D) via full maximal-homomorphism
+/// enumeration (kept for differential testing and as the baseline in
+/// the ablation benches).
+Result<std::vector<Mapping>> EvaluateWdptByFullEnumeration(
+    const PatternTree& tree, const Database& db,
+    const EnumerationLimits& limits = EnumerationLimits());
+
+/// p_m(D): the subsumption-maximal elements of p(D) (Section 3.4).
+Result<std::vector<Mapping>> EvaluateWdptMaximal(
+    const PatternTree& tree, const Database& db,
+    const EnumerationLimits& limits = EnumerationLimits());
+
+/// Filters the subsumption-maximal mappings out of `mappings`.
+std::vector<Mapping> MaximalMappings(const std::vector<Mapping>& mappings);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_WDPT_ENUMERATE_H_

@@ -1,0 +1,41 @@
+#include "src/wdpt/eval_max.h"
+
+#include "src/common/algo.h"
+#include "src/wdpt/subtrees.h"
+
+namespace wdpt {
+
+Result<bool> MaxEval(const PatternTree& tree, const Database& db,
+                     const Mapping& h, const CqEvalOptions& options) {
+  if (!tree.validated()) {
+    return Status::InvalidArgument("pattern tree must be validated");
+  }
+  std::vector<VariableId> dom = h.Domain();
+  if (!SortedIsSubset(dom, tree.free_vars())) return false;
+
+  // (1) Some homomorphism projects to exactly h. Any subtree covering
+  // dom(h) contains the minimal one, so if that already introduces an
+  // extra free variable, every candidate does.
+  SubtreeMask minimal = MinimalSubtreeContaining(tree, dom);
+  std::vector<VariableId> minimal_free =
+      SortedIntersection(SubtreeVariables(tree, minimal), tree.free_vars());
+  if (minimal_free != dom) return false;
+  if (!DecideNonEmpty(SubtreeAtoms(tree, minimal), db, h, options)) {
+    return false;
+  }
+
+  // (2) No strictly larger partial answer: for every other free variable
+  // x, no homomorphism extends h and binds x.
+  for (VariableId x : SortedDifference(tree.free_vars(), dom)) {
+    std::vector<VariableId> extended = dom;
+    extended.push_back(x);
+    SortUnique(&extended);
+    SubtreeMask with_x = MinimalSubtreeContaining(tree, extended);
+    if (DecideNonEmpty(SubtreeAtoms(tree, with_x), db, h, options)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wdpt

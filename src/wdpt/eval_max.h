@@ -1,0 +1,30 @@
+// MAX-EVAL under the maximal-mapping semantics (Section 3.4, Theorem 9).
+//
+// p_m(D) consists of the subsumption-maximal answers. h is in p_m(D) iff
+// (1) some homomorphism projects to exactly h: the minimal root subtree
+//     T' covering dom(h) must introduce no further free variable and the
+//     instantiated q_T' must be satisfiable; and
+// (2) h is not extendable: for every free variable x outside dom(h), the
+//     minimal subtree covering dom(h) and x is unsatisfiable under h.
+// Both reduce to CQ satisfiability of subtree queries, hence tractable
+// for globally tractable WDPTs.
+
+#ifndef WDPT_SRC_WDPT_EVAL_MAX_H_
+#define WDPT_SRC_WDPT_EVAL_MAX_H_
+
+#include "src/common/status.h"
+#include "src/cq/evaluation.h"
+#include "src/relational/database.h"
+#include "src/relational/mapping.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// MAX-EVAL: is h in p_m(D)?
+Result<bool> MaxEval(const PatternTree& tree, const Database& db,
+                     const Mapping& h,
+                     const CqEvalOptions& options = CqEvalOptions());
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_WDPT_EVAL_MAX_H_

@@ -1,0 +1,102 @@
+#include "src/wdpt/eval_naive.h"
+
+#include "src/common/algo.h"
+#include "src/cq/homomorphism.h"
+
+namespace wdpt {
+
+namespace {
+
+enum class NodeStatus { kNotEnterable, kGood, kBad };
+
+class NaiveEvaluator {
+ public:
+  NaiveEvaluator(const PatternTree& tree, const Database& db,
+                 const Mapping& h)
+      : tree_(tree), db_(db), h_(h) {
+    // needs_entry_[n]: the subtree rooted at n holds the top node of some
+    // variable in dom(h); such subtrees must be entered.
+    needs_entry_.assign(tree_.num_nodes(), false);
+    for (const auto& [v, c] : h_.entries()) {
+      NodeId top = tree_.TopNode(v);
+      if (top != PatternTree::kNoNode) needs_entry_[top] = true;
+    }
+    // Node ids increase with depth; a reverse pass propagates upwards.
+    for (NodeId n = static_cast<NodeId>(tree_.num_nodes()); n-- > 1;) {
+      if (needs_entry_[n]) {
+        needs_entry_[tree_.parent(n)] = true;
+      }
+    }
+  }
+
+  bool Run() {
+    return Evaluate(PatternTree::kRoot, Mapping()) == NodeStatus::kGood;
+  }
+
+ private:
+  // Status of entering node `c` when the ancestors are matched by `e`.
+  //
+  // Phase 1 looks for a *good* extension: h-consistent on the node's
+  // free variables and recursively safe at every child. Seeding the
+  // search with h's values prunes hard instead of filtering post hoc.
+  // Phase 2 (only reached when no good extension exists) distinguishes
+  // BAD (some extension exists, so maximality forces entry and dooms the
+  // parent) from NOT_ENTERABLE with a single unconstrained probe.
+  NodeStatus Evaluate(NodeId c, const Mapping& e) {
+    // Free variables of the label; every extension binds all of them.
+    std::vector<VariableId> node_free =
+        SortedIntersection(tree_.node_vars(c), tree_.free_vars());
+    bool goodable = true;
+    Mapping good_seed = e;
+    for (VariableId x : node_free) {
+      std::optional<ConstantId> wanted = h_.Get(x);
+      if (!wanted.has_value()) {
+        goodable = false;  // Any extension binds x outside dom(h).
+        break;
+      }
+      if (!good_seed.Bind(x, *wanted)) {
+        goodable = false;  // e already disagrees with h on x.
+        break;
+      }
+    }
+    bool good = false;
+    if (goodable) {
+      ForEachHomomorphism(tree_.label(c), db_, good_seed,
+                          [&](const Mapping& ext) {
+                            for (NodeId d : tree_.children(c)) {
+                              NodeStatus st = Evaluate(d, ext);
+                              if (st == NodeStatus::kBad) return true;
+                              if (st == NodeStatus::kNotEnterable &&
+                                  needs_entry_[d]) {
+                                return true;
+                              }
+                            }
+                            good = true;
+                            return false;  // One good extension suffices.
+                          });
+    }
+    if (good) return NodeStatus::kGood;
+    return HomomorphismExists(tree_.label(c), db_, e)
+               ? NodeStatus::kBad
+               : NodeStatus::kNotEnterable;
+  }
+
+  const PatternTree& tree_;
+  const Database& db_;
+  const Mapping& h_;
+  std::vector<bool> needs_entry_;
+};
+
+}  // namespace
+
+Result<bool> EvalNaive(const PatternTree& tree, const Database& db,
+                       const Mapping& h) {
+  if (!tree.validated()) {
+    return Status::InvalidArgument("pattern tree must be validated");
+  }
+  if (!SortedIsSubset(h.Domain(), tree.free_vars())) return false;
+  NaiveEvaluator evaluator(tree, db, h);
+  return evaluator.Run();
+}
+
+}  // namespace wdpt

@@ -1,0 +1,29 @@
+// General-purpose WDPT evaluation (EVAL(C_all), Sigma2P-complete).
+//
+// Decides h in p(D) for arbitrary WDPTs by the forced-entry recursion:
+// a maximal homomorphism must enter every enterable child, so a partial
+// homomorphism e "survives" at a node iff each enterable child can be
+// entered with an extension that binds free variables consistently with h
+// and recursively survives, and every child holding a required free
+// variable is entered. Worst-case exponential in |p| (as expected from
+// Theorem 1) but polynomial in |D| for fixed p.
+
+#ifndef WDPT_SRC_WDPT_EVAL_NAIVE_H_
+#define WDPT_SRC_WDPT_EVAL_NAIVE_H_
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+#include "src/relational/mapping.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// EVAL: is h in p(D)? `tree` must be validated; h must be defined on a
+/// subset of the free variables (otherwise the answer is trivially
+/// false, which is what is returned).
+Result<bool> EvalNaive(const PatternTree& tree, const Database& db,
+                       const Mapping& h);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_WDPT_EVAL_NAIVE_H_

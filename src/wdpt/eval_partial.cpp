@@ -1,0 +1,35 @@
+#include "src/wdpt/eval_partial.h"
+
+#include "src/common/algo.h"
+#include "src/cq/homomorphism.h"
+#include "src/wdpt/subtrees.h"
+
+namespace wdpt {
+
+Result<bool> PartialEval(const PatternTree& tree, const Database& db,
+                         const Mapping& h, const CqEvalOptions& options) {
+  if (!tree.validated()) {
+    return Status::InvalidArgument("pattern tree must be validated");
+  }
+  // Answers are defined on free variables only.
+  if (!SortedIsSubset(h.Domain(), tree.free_vars())) return false;
+  SubtreeMask minimal = MinimalSubtreeContaining(tree, h.Domain());
+  return DecideNonEmpty(SubtreeAtoms(tree, minimal), db, h, options);
+}
+
+Result<std::optional<Mapping>> PartialEvalWitness(const PatternTree& tree,
+                                                  const Database& db,
+                                                  const Mapping& h) {
+  if (!tree.validated()) {
+    return Status::InvalidArgument("pattern tree must be validated");
+  }
+  if (!SortedIsSubset(h.Domain(), tree.free_vars())) {
+    return std::optional<Mapping>();
+  }
+  SubtreeMask minimal = MinimalSubtreeContaining(tree, h.Domain());
+  std::optional<Mapping> hom =
+      FindHomomorphism(SubtreeAtoms(tree, minimal), db, h);
+  return hom;
+}
+
+}  // namespace wdpt

@@ -1,0 +1,36 @@
+// PARTIAL-EVAL (Section 3.3, Theorem 8).
+//
+// h is a partial answer to p over D iff some answer of p(D) subsumes h.
+// Because every homomorphism extends to a maximal one with a larger
+// projection, this holds iff some homomorphism from p to D extends h,
+// which in turn holds on the *minimal* root subtree containing h's
+// variables. For globally tractable WDPTs the resulting instantiated CQ
+// is in TW(k)/HW(k), so the structured CQ evaluator decides it in
+// polynomial time (the paper sharpens this to LOGCFL).
+
+#ifndef WDPT_SRC_WDPT_EVAL_PARTIAL_H_
+#define WDPT_SRC_WDPT_EVAL_PARTIAL_H_
+
+#include "src/common/status.h"
+#include "src/cq/evaluation.h"
+#include "src/relational/database.h"
+#include "src/relational/mapping.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// PARTIAL-EVAL: is there h' in p(D) with h [= h'?
+Result<bool> PartialEval(const PatternTree& tree, const Database& db,
+                         const Mapping& h,
+                         const CqEvalOptions& options = CqEvalOptions());
+
+/// Like PartialEval but returns a witnessing homomorphism (defined on the
+/// minimal root subtree covering dom(h)), or nullopt when h is not a
+/// partial answer. Used by the Lemma 1 shrinking machinery, which needs
+/// the witness's image.
+Result<std::optional<Mapping>> PartialEvalWitness(
+    const PatternTree& tree, const Database& db, const Mapping& h);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_WDPT_EVAL_PARTIAL_H_

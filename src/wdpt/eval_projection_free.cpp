@@ -1,0 +1,64 @@
+#include "src/wdpt/eval_projection_free.h"
+
+#include "src/common/algo.h"
+#include "src/cq/cq.h"
+#include "src/wdpt/subtrees.h"
+
+namespace wdpt {
+
+Result<bool> EvalProjectionFree(const PatternTree& tree, const Database& db,
+                                const Mapping& h,
+                                const CqEvalOptions& options) {
+  if (!tree.validated()) {
+    return Status::InvalidArgument("pattern tree must be validated");
+  }
+  if (!tree.IsProjectionFree()) {
+    return Status::InvalidArgument("tree has projected-out variables");
+  }
+  std::vector<VariableId> dom = h.Domain();
+  if (!SortedIsSubset(dom, tree.free_vars())) return false;
+
+  // T*: maximal parent-closed node set whose labels are fully bound by h
+  // and satisfied in D.
+  std::vector<bool> in_star(tree.num_nodes(), false);
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    if (n != PatternTree::kRoot && !in_star[tree.parent(n)]) continue;
+    if (!SortedIsSubset(tree.node_vars(n), dom)) continue;
+    // Fully bound: all atoms become ground; check them against D.
+    std::vector<Atom> ground = SubstituteMapping(tree.label(n), h);
+    bool satisfied = true;
+    for (const Atom& a : ground) {
+      WDPT_CHECK(a.IsGround());
+      std::vector<ConstantId> tuple;
+      tuple.reserve(a.terms.size());
+      for (Term t : a.terms) tuple.push_back(t.constant_id());
+      if (!db.ContainsFact(a.relation, tuple)) {
+        satisfied = false;
+        break;
+      }
+    }
+    if (satisfied) in_star[n] = true;
+  }
+  if (!in_star[PatternTree::kRoot]) return false;
+
+  // (a) T* must bind exactly dom(h).
+  std::vector<VariableId> star_vars = SubtreeVariables(tree, in_star);
+  if (star_vars != dom) return false;
+
+  // (b) Maximality: no excluded child with new variables is enterable.
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    if (!in_star[n]) continue;
+    for (NodeId c : tree.children(n)) {
+      if (in_star[c]) continue;
+      if (SortedIsSubset(tree.node_vars(c), dom)) {
+        // No new variables: entering c would not produce a strictly
+        // larger mapping; irrelevant for maximality.
+        continue;
+      }
+      if (DecideNonEmpty(tree.label(c), db, h, options)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace wdpt

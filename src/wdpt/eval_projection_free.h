@@ -1,0 +1,29 @@
+// EVAL for projection-free WDPTs (Theorem 4; coNP-complete in general,
+// polynomial under local tractability).
+//
+// Without projection an answer determines its subtree: h in p(D) iff the
+// maximal root subtree T* whose nodes are fully bound and satisfied by h
+// covers exactly dom(h), and no excluded child with new variables can be
+// entered. Each step is a node-local CQ test, so the paper's Theorem 4
+// follows by plugging in a tractable node evaluator.
+
+#ifndef WDPT_SRC_WDPT_EVAL_PROJECTION_FREE_H_
+#define WDPT_SRC_WDPT_EVAL_PROJECTION_FREE_H_
+
+#include "src/common/status.h"
+#include "src/cq/evaluation.h"
+#include "src/relational/database.h"
+#include "src/relational/mapping.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// EVAL for projection-free WDPTs: is h in p(D)? Returns an error status
+/// if `tree` is not projection-free.
+Result<bool> EvalProjectionFree(const PatternTree& tree, const Database& db,
+                                const Mapping& h,
+                                const CqEvalOptions& options = CqEvalOptions());
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_WDPT_EVAL_PROJECTION_FREE_H_

@@ -1,0 +1,40 @@
+// Tractable exact evaluation for locally tractable WDPTs of bounded
+// interface (Theorems 6 and 7, following the construction of Appendix
+// A.1).
+//
+// The algorithm materializes, per node t of the maximal candidate
+// subtree T'', the relation of interface assignments (the existential
+// variables shared with the parent, |.| <= c under BI(c)) together with a
+// three-valued status:
+//   NOT_ENTERABLE -- lambda(t) has no homomorphism under the assignment,
+//   GOOD          -- enterable, with an extension that is consistent with
+//                    h and whose children are recursively safe,
+//   BAD           -- enterable but every extension is fatal (it binds a
+//                    free variable inconsistently with h, makes a
+//                    forbidden frontier child enterable, or dooms a child).
+// Combining the statuses along the tree is the acyclic Boolean CQ over
+// the derived database D' from the paper's proof sketch; with local
+// tractability and bounded interface every step is polynomial.
+//
+// The procedure is *correct for every WDPT* (the DP is exact); the class
+// restrictions only bound its running time.
+
+#ifndef WDPT_SRC_WDPT_EVAL_TRACTABLE_H_
+#define WDPT_SRC_WDPT_EVAL_TRACTABLE_H_
+
+#include "src/common/status.h"
+#include "src/cq/evaluation.h"
+#include "src/relational/database.h"
+#include "src/relational/mapping.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// EVAL via the bounded-interface dynamic program: is h in p(D)?
+Result<bool> EvalTractable(const PatternTree& tree, const Database& db,
+                           const Mapping& h,
+                           const CqEvalOptions& options = CqEvalOptions());
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_WDPT_EVAL_TRACTABLE_H_

@@ -1,0 +1,153 @@
+#include "src/wdpt/pattern_tree.h"
+
+#include <algorithm>
+
+#include "src/common/algo.h"
+
+namespace wdpt {
+
+NodeId PatternTree::AddChild(NodeId parent, std::vector<Atom> atoms) {
+  WDPT_CHECK(parent < nodes_.size());
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node node;
+  node.parent = parent;
+  node.atoms = std::move(atoms);
+  node.vars = VariablesOf(node.atoms);
+  node.depth = nodes_[parent].depth + 1;
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(id);
+  validated_ = false;
+  return id;
+}
+
+void PatternTree::AddAtom(NodeId node, Atom atom) {
+  WDPT_CHECK(node < nodes_.size());
+  nodes_[node].atoms.push_back(std::move(atom));
+  nodes_[node].vars = VariablesOf(nodes_[node].atoms);
+  validated_ = false;
+}
+
+void PatternTree::SetFreeVariables(std::vector<VariableId> vars) {
+  SortUnique(&vars);
+  free_vars_ = std::move(vars);
+  validated_ = false;
+}
+
+void PatternTree::NormalizeLabels() {
+  for (Node& node : nodes_) {
+    std::sort(node.atoms.begin(), node.atoms.end());
+    node.atoms.erase(std::unique(node.atoms.begin(), node.atoms.end()),
+                     node.atoms.end());
+    node.vars = VariablesOf(node.atoms);
+  }
+  validated_ = false;
+}
+
+uint32_t PatternTree::depth(NodeId n) const { return nodes_[n].depth; }
+
+std::vector<VariableId> PatternTree::AllVariables() const {
+  std::vector<VariableId> all;
+  for (const Node& node : nodes_) {
+    all.insert(all.end(), node.vars.begin(), node.vars.end());
+  }
+  SortUnique(&all);
+  return all;
+}
+
+bool PatternTree::IsProjectionFree() const {
+  return AllVariables() == free_vars_;
+}
+
+size_t PatternTree::Size() const {
+  size_t size = 0;
+  for (const Node& node : nodes_) {
+    size += node.atoms.size();
+    for (const Atom& a : node.atoms) size += a.terms.size();
+  }
+  return size;
+}
+
+Status PatternTree::Validate() {
+  top_node_.clear();
+  // Collect, per variable, the set of mentioning nodes.
+  std::unordered_map<VariableId, std::vector<NodeId>> mentions;
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    for (VariableId v : nodes_[n].vars) mentions[v].push_back(n);
+  }
+  // Condition (2): the mentioning nodes of each variable are connected.
+  // In a tree, a node set S is connected iff exactly one element of S has
+  // its parent outside S (or is the root) and all others have parents in S.
+  for (const auto& [v, node_list] : mentions) {
+    std::vector<bool> in_set(nodes_.size(), false);
+    for (NodeId n : node_list) in_set[n] = true;
+    NodeId top = kNoNode;
+    for (NodeId n : node_list) {
+      bool has_parent_inside = (n != kRoot) && in_set[parent(n)];
+      if (!has_parent_inside) {
+        if (top != kNoNode) {
+          return Status::NotWellDesigned(
+              "variable occurs in disconnected nodes (id " +
+              std::to_string(v) + ")");
+        }
+        top = n;
+      }
+    }
+    WDPT_CHECK(top != kNoNode);
+    top_node_.emplace(v, top);
+  }
+  // Condition (3): free variables must be mentioned.
+  for (VariableId v : free_vars_) {
+    if (!mentions.contains(v)) {
+      return Status::NotWellDesigned("free variable not mentioned (id " +
+                                     std::to_string(v) + ")");
+    }
+  }
+  validated_ = true;
+  return Status::Ok();
+}
+
+NodeId PatternTree::TopNode(VariableId v) const {
+  WDPT_CHECK(validated_);
+  auto it = top_node_.find(v);
+  return it == top_node_.end() ? kNoNode : it->second;
+}
+
+std::vector<VariableId> PatternTree::ParentInterface(NodeId n) const {
+  if (n == kRoot) return {};
+  return SortedIntersection(nodes_[n].vars, nodes_[parent(n)].vars);
+}
+
+ConjunctiveQuery PatternTree::QueryOfFullTree() const {
+  ConjunctiveQuery q;
+  for (const Node& node : nodes_) {
+    q.atoms.insert(q.atoms.end(), node.atoms.begin(), node.atoms.end());
+  }
+  q.free_vars = AllVariables();
+  q.Normalize();
+  return q;
+}
+
+std::string PatternTree::ToString(const Schema& schema,
+                                  const Vocabulary& vocab) const {
+  std::string out = "WDPT(free: ";
+  for (size_t i = 0; i < free_vars_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "?" + vocab.VariableName(free_vars_[i]);
+  }
+  out += ")\n";
+  // Depth-first render.
+  std::vector<std::pair<NodeId, uint32_t>> stack = {{kRoot, 0}};
+  while (!stack.empty()) {
+    auto [n, indent] = stack.back();
+    stack.pop_back();
+    out.append(indent * 2, ' ');
+    out += "- {" + AtomsToString(nodes_[n].atoms, schema, vocab) + "}\n";
+    const std::vector<NodeId>& kids = nodes_[n].children;
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.emplace_back(*it, indent + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace wdpt

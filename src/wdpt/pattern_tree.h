@@ -1,0 +1,122 @@
+// Well-designed pattern trees (Definition 1 of the paper).
+//
+// A WDPT (T, lambda, x) is a rooted tree whose nodes carry sets of
+// relational atoms, such that the nodes mentioning any fixed variable are
+// connected, together with a tuple x of free variables. A PatternTree is
+// built incrementally (AddChild / AddAtom / SetFreeVariables) and then
+// validated; the evaluation algorithms require Validate() to have
+// succeeded and use the derived per-variable top-node table.
+
+#ifndef WDPT_SRC_WDPT_PATTERN_TREE_H_
+#define WDPT_SRC_WDPT_PATTERN_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/cq/cq.h"
+#include "src/relational/atom.h"
+#include "src/relational/schema.h"
+#include "src/relational/term.h"
+
+namespace wdpt {
+
+/// Node handle within a PatternTree. The root is always node 0.
+using NodeId = uint32_t;
+
+/// A (candidate) well-designed pattern tree.
+class PatternTree {
+ public:
+  /// Creates a tree with an empty root label and no free variables.
+  PatternTree() { nodes_.emplace_back(); }
+
+  static constexpr NodeId kRoot = 0;
+
+  /// Adds a child of `parent` with the given label; returns its id.
+  NodeId AddChild(NodeId parent, std::vector<Atom> atoms);
+
+  /// Appends an atom to a node's label.
+  void AddAtom(NodeId node, Atom atom);
+
+  /// Declares the free variables x (deduplicated, sorted).
+  void SetFreeVariables(std::vector<VariableId> vars);
+
+  /// Sorts and deduplicates every node label (atom multisets are
+  /// semantically sets).
+  void NormalizeLabels();
+
+  // -- Structure accessors ------------------------------------------------
+
+  size_t num_nodes() const { return nodes_.size(); }
+  NodeId parent(NodeId n) const { return nodes_[n].parent; }
+  const std::vector<NodeId>& children(NodeId n) const {
+    return nodes_[n].children;
+  }
+  const std::vector<Atom>& label(NodeId n) const { return nodes_[n].atoms; }
+  const std::vector<VariableId>& free_vars() const { return free_vars_; }
+  /// Depth of node (root = 0).
+  uint32_t depth(NodeId n) const;
+
+  /// Variables mentioned in the node's label (sorted).
+  const std::vector<VariableId>& node_vars(NodeId n) const {
+    return nodes_[n].vars;
+  }
+
+  /// All variables mentioned anywhere in the tree (sorted).
+  std::vector<VariableId> AllVariables() const;
+
+  /// True if x contains every mentioned variable (projection-free WDPT).
+  bool IsProjectionFree() const;
+
+  /// |p|: size of the CQ q_T in standard notation.
+  size_t Size() const;
+
+  // -- Well-designedness ---------------------------------------------------
+
+  /// Checks Definition 1: (2) for every variable the mentioning nodes are
+  /// connected in T, (3) free variables are mentioned in T. On success,
+  /// derived tables (top nodes) are (re)built.
+  Status Validate();
+
+  /// True if Validate() succeeded since the last mutation.
+  bool validated() const { return validated_; }
+
+  /// Topmost node mentioning `v` (unique by well-designedness). Only valid
+  /// after Validate(). Returns kNoNode for unmentioned variables.
+  static constexpr NodeId kNoNode = UINT32_MAX;
+  NodeId TopNode(VariableId v) const;
+
+  /// The existential variables shared between node n's label and its
+  /// parent's label (the upward interface I_n). Empty for the root. Only
+  /// valid after Validate(). Includes free variables when
+  /// `include_free` (the evaluation DP needs all shared variables).
+  std::vector<VariableId> ParentInterface(NodeId n) const;
+
+  // -- CQ views ------------------------------------------------------------
+
+  /// q_T: the CQ of the full tree with *all* variables free.
+  ConjunctiveQuery QueryOfFullTree() const;
+
+  /// Renders an indented multi-line description.
+  std::string ToString(const Schema& schema, const Vocabulary& vocab) const;
+
+ private:
+  struct Node {
+    NodeId parent = 0;
+    std::vector<NodeId> children;
+    std::vector<Atom> atoms;
+    std::vector<VariableId> vars;  // Sorted label variables.
+    uint32_t depth = 0;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<VariableId> free_vars_;
+  bool validated_ = false;
+  std::unordered_map<VariableId, NodeId> top_node_;
+};
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_WDPT_PATTERN_TREE_H_

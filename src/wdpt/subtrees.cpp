@@ -1,0 +1,165 @@
+#include "src/wdpt/subtrees.h"
+
+#include "src/common/algo.h"
+#include "src/common/status.h"
+
+namespace wdpt {
+
+SubtreeMask FullSubtree(const PatternTree& tree) {
+  return SubtreeMask(tree.num_nodes(), true);
+}
+
+namespace {
+
+// Recursive enumeration: nodes are processed in id order (parents have
+// smaller ids than children by construction of AddChild).
+struct SubtreeEnumerator {
+  const PatternTree& tree;
+  uint64_t remaining;
+  const std::function<bool(const SubtreeMask&)>& cb;
+  SubtreeMask mask;
+  bool stopped = false;
+  bool overflow = false;
+
+  SubtreeEnumerator(const PatternTree& t, uint64_t max,
+                    const std::function<bool(const SubtreeMask&)>& c)
+      : tree(t), remaining(max), cb(c), mask(t.num_nodes(), false) {}
+
+  // Enumerate inclusion choices for the children of every node in the
+  // current mask. `frontier` holds candidate nodes (children of included
+  // nodes, not yet decided).
+  void Recurse(std::vector<NodeId> frontier) {
+    if (stopped || overflow) return;
+    if (frontier.empty()) {
+      if (remaining == 0) {
+        overflow = true;
+        return;
+      }
+      --remaining;
+      if (!cb(mask)) stopped = true;
+      return;
+    }
+    NodeId n = frontier.back();
+    frontier.pop_back();
+    // Choice 1: exclude n (and its whole subtree).
+    Recurse(frontier);
+    if (stopped || overflow) return;
+    // Choice 2: include n; its children join the frontier.
+    mask[n] = true;
+    for (NodeId c : tree.children(n)) frontier.push_back(c);
+    Recurse(std::move(frontier));
+    mask[n] = false;
+  }
+};
+
+}  // namespace
+
+bool ForEachRootSubtree(const PatternTree& tree, uint64_t max_subtrees,
+                        const std::function<bool(const SubtreeMask&)>& cb) {
+  SubtreeEnumerator enumerator(tree, max_subtrees, cb);
+  enumerator.mask[PatternTree::kRoot] = true;
+  std::vector<NodeId> frontier = tree.children(PatternTree::kRoot);
+  enumerator.Recurse(std::move(frontier));
+  return !enumerator.overflow;
+}
+
+uint64_t CountRootSubtrees(const PatternTree& tree, uint64_t cap) {
+  uint64_t count = 0;
+  ForEachRootSubtree(tree, cap, [&count](const SubtreeMask&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+std::vector<VariableId> SubtreeVariables(const PatternTree& tree,
+                                         const SubtreeMask& mask) {
+  std::vector<VariableId> vars;
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    if (mask[n]) {
+      const std::vector<VariableId>& nv = tree.node_vars(n);
+      vars.insert(vars.end(), nv.begin(), nv.end());
+    }
+  }
+  SortUnique(&vars);
+  return vars;
+}
+
+std::vector<Atom> SubtreeAtoms(const PatternTree& tree,
+                               const SubtreeMask& mask) {
+  std::vector<Atom> atoms;
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    if (mask[n]) {
+      const std::vector<Atom>& label = tree.label(n);
+      atoms.insert(atoms.end(), label.begin(), label.end());
+    }
+  }
+  return atoms;
+}
+
+ConjunctiveQuery SubtreeQuery(const PatternTree& tree,
+                              const SubtreeMask& mask) {
+  ConjunctiveQuery q;
+  q.atoms = SubtreeAtoms(tree, mask);
+  q.free_vars = SubtreeVariables(tree, mask);
+  q.Normalize();
+  return q;
+}
+
+ConjunctiveQuery SubtreeProjectedQuery(const PatternTree& tree,
+                                       const SubtreeMask& mask) {
+  ConjunctiveQuery q;
+  q.atoms = SubtreeAtoms(tree, mask);
+  q.free_vars =
+      SortedIntersection(SubtreeVariables(tree, mask), tree.free_vars());
+  q.Normalize();
+  return q;
+}
+
+SubtreeMask MinimalSubtreeContaining(const PatternTree& tree,
+                                     const std::vector<VariableId>& vars) {
+  SubtreeMask mask(tree.num_nodes(), false);
+  mask[PatternTree::kRoot] = true;
+  for (VariableId v : vars) {
+    NodeId top = tree.TopNode(v);
+    WDPT_CHECK(top != PatternTree::kNoNode);
+    for (NodeId n = top; !mask[n]; n = tree.parent(n)) mask[n] = true;
+  }
+  return mask;
+}
+
+SubtreeMask MaximalSubtreeWithFreeVarsWithin(
+    const PatternTree& tree, const std::vector<VariableId>& allowed) {
+  // introduces_forbidden[n]: n is the top node of a free variable outside
+  // `allowed`.
+  std::vector<bool> introduces_forbidden(tree.num_nodes(), false);
+  for (VariableId v : tree.free_vars()) {
+    if (!SortedContains(allowed, v)) {
+      NodeId top = tree.TopNode(v);
+      if (top != PatternTree::kNoNode) introduces_forbidden[top] = true;
+    }
+  }
+  SubtreeMask mask(tree.num_nodes(), false);
+  // Top-down: node ids increase with depth (children created after
+  // parents), so a single forward pass works.
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    if (introduces_forbidden[n]) continue;
+    if (n == PatternTree::kRoot) {
+      mask[n] = true;
+    } else {
+      mask[n] = mask[tree.parent(n)];
+    }
+  }
+  return mask;
+}
+
+bool IsValidRootSubtree(const PatternTree& tree, const SubtreeMask& mask) {
+  if (mask.size() != tree.num_nodes()) return false;
+  if (!mask[PatternTree::kRoot]) return false;
+  for (NodeId n = 1; n < tree.num_nodes(); ++n) {
+    if (mask[n] && !mask[tree.parent(n)]) return false;
+  }
+  return true;
+}
+
+}  // namespace wdpt

@@ -1,0 +1,69 @@
+// Root-subtree machinery: enumeration, minimal/maximal subtrees, and the
+// CQ views q_T' (all subtree variables free) and r_T' (projection onto
+// the WDPT's free variables), as used throughout Sections 2-6.
+
+#ifndef WDPT_SRC_WDPT_SUBTREES_H_
+#define WDPT_SRC_WDPT_SUBTREES_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/cq/cq.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// A root subtree is a parent-closed node set containing the root,
+/// represented as an inclusion flag per node.
+using SubtreeMask = std::vector<bool>;
+
+/// The mask of the full tree.
+SubtreeMask FullSubtree(const PatternTree& tree);
+
+/// Enumerates every subtree of T rooted in r. Returns false if the cap
+/// `max_subtrees` was hit (enumeration incomplete). The callback may
+/// return false to stop early (the function still returns true).
+bool ForEachRootSubtree(const PatternTree& tree, uint64_t max_subtrees,
+                        const std::function<bool(const SubtreeMask&)>& cb);
+
+/// Number of root subtrees (capped at `cap`; exact when below it).
+uint64_t CountRootSubtrees(const PatternTree& tree, uint64_t cap);
+
+/// Sorted variables mentioned inside the subtree.
+std::vector<VariableId> SubtreeVariables(const PatternTree& tree,
+                                         const SubtreeMask& mask);
+
+/// All atoms of the subtree's nodes.
+std::vector<Atom> SubtreeAtoms(const PatternTree& tree,
+                               const SubtreeMask& mask);
+
+/// q_T': the CQ with the subtree's atoms and *all* its variables free.
+ConjunctiveQuery SubtreeQuery(const PatternTree& tree,
+                              const SubtreeMask& mask);
+
+/// r_T': like q_T' but projected onto the WDPT's free variables.
+ConjunctiveQuery SubtreeProjectedQuery(const PatternTree& tree,
+                                       const SubtreeMask& mask);
+
+/// The minimal root subtree whose variables include `vars` (each variable
+/// must be mentioned in the tree; the caller checks TopNode != kNoNode).
+/// Unique by well-designedness: the union of the root paths to each
+/// variable's top node.
+SubtreeMask MinimalSubtreeContaining(const PatternTree& tree,
+                                     const std::vector<VariableId>& vars);
+
+/// The maximal root subtree none of whose nodes introduces a free
+/// variable outside `allowed`: node t belongs iff no node on the path
+/// from the root to t is the top node of a free variable not in
+/// `allowed` (sorted). The root may itself violate the condition, in
+/// which case the mask is all-false and the caller must reject.
+SubtreeMask MaximalSubtreeWithFreeVarsWithin(
+    const PatternTree& tree, const std::vector<VariableId>& allowed);
+
+/// True if every included node's parent is included and the root is in.
+bool IsValidRootSubtree(const PatternTree& tree, const SubtreeMask& mask);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_WDPT_SUBTREES_H_

@@ -1,0 +1,156 @@
+// Additional analysis-layer coverage: the MaxEquivalent alias, the
+// tractable union evaluator, resource-limit statuses, and hypertree
+// measures at the WDPT level.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/subsumption.h"
+#include "src/gen/cq_gen.h"
+#include "src/gen/db_gen.h"
+#include "src/uwdpt/uwdpt.h"
+#include "src/wdpt/classify.h"
+#include "src/wdpt/enumerate.h"
+
+namespace wdpt {
+namespace {
+
+class AnalysisExtra : public ::testing::Test {
+ protected:
+  Schema schema_;
+  Vocabulary vocab_;
+
+  Term V(const std::string& name) { return vocab_.Variable(name); }
+  Atom Edge(Term a, Term b) {
+    return Atom(gen::EdgeRelation(&schema_), {a, b});
+  }
+};
+
+TEST_F(AnalysisExtra, MaxEquivalentAliasAgrees) {
+  PatternTree p;
+  p.AddAtom(PatternTree::kRoot, Edge(V("x"), V("y")));
+  p.AddChild(PatternTree::kRoot, {Edge(V("y"), V("z"))});
+  p.SetFreeVariables({V("x").variable_id(), V("z").variable_id()});
+  ASSERT_TRUE(p.Validate().ok());
+  Result<bool> eq = MaxEquivalent(p, p, &schema_, &vocab_);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST_F(AnalysisExtra, UnionEvalTractableAgreesWithGeneral) {
+  UnionWdpt phi;
+  PatternTree m1;
+  m1.AddAtom(PatternTree::kRoot, Edge(V("x"), V("y")));
+  m1.AddChild(PatternTree::kRoot, {Edge(V("y"), V("z"))});
+  m1.SetFreeVariables(m1.AllVariables());
+  ASSERT_TRUE(m1.Validate().ok());
+  phi.members.push_back(std::move(m1));
+  PatternTree m2;
+  m2.AddAtom(PatternTree::kRoot, Edge(V("u"), V("u")));
+  m2.SetFreeVariables({V("u").variable_id()});
+  ASSERT_TRUE(m2.Validate().ok());
+  phi.members.push_back(std::move(m2));
+
+  gen::RandomGraphOptions gopts;
+  gopts.num_vertices = 5;
+  gopts.num_edges = 12;
+  gopts.seed = 4;
+  RelationId e;
+  Database db = gen::MakeRandomGraphDb(&schema_, &vocab_, gopts, &e);
+  Result<std::vector<Mapping>> answers = EvaluateUnion(phi, db);
+  ASSERT_TRUE(answers.ok());
+  for (const Mapping& m : *answers) {
+    Result<bool> general = UnionEval(phi, db, m);
+    Result<bool> tractable = UnionEvalTractable(phi, db, m);
+    ASSERT_TRUE(general.ok() && tractable.ok());
+    EXPECT_TRUE(*general);
+    EXPECT_TRUE(*tractable);
+  }
+  // A mapping outside the union.
+  Mapping bogus;
+  bogus.Bind(V("u").variable_id(), vocab_.ConstantIdOf("nowhere"));
+  Result<bool> general = UnionEval(phi, db, bogus);
+  Result<bool> tractable = UnionEvalTractable(phi, db, bogus);
+  ASSERT_TRUE(general.ok() && tractable.ok());
+  EXPECT_FALSE(*general);
+  EXPECT_FALSE(*tractable);
+}
+
+TEST_F(AnalysisExtra, SubsumptionSubtreeCapSurfacesStatus) {
+  // A left tree with 2^8 subtrees and a cap of 4.
+  PatternTree p;
+  p.AddAtom(PatternTree::kRoot, Edge(V("x"), V("y")));
+  for (int i = 0; i < 8; ++i) {
+    p.AddChild(PatternTree::kRoot,
+               {Edge(V("y"), V("c" + std::to_string(i)))});
+  }
+  p.SetFreeVariables(p.AllVariables());
+  ASSERT_TRUE(p.Validate().ok());
+  SubsumptionOptions options;
+  options.max_subtrees = 4;
+  Result<bool> r = IsSubsumedBy(p, p, &schema_, &vocab_, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(AnalysisExtra, WdptHypertreeMeasures) {
+  // A node label that is acyclic but of treewidth 3: theta-style query
+  // with a covering wide atom.
+  Result<RelationId> t4 = schema_.AddRelation("T4x", 4);
+  ASSERT_TRUE(t4.ok());
+  std::vector<Term> vars = {V("h1"), V("h2"), V("h3"), V("h4")};
+  PatternTree tree;
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i + 1; j < 4; ++j) {
+      tree.AddAtom(PatternTree::kRoot, Edge(vars[i], vars[j]));
+    }
+  }
+  tree.AddAtom(PatternTree::kRoot, Atom(*t4, vars));
+  tree.SetFreeVariables({});
+  ASSERT_TRUE(tree.Validate().ok());
+
+  Result<bool> local_hw = IsLocallyInWidth(
+      tree, WidthMeasure::kGeneralizedHypertreewidth, 1);
+  ASSERT_TRUE(local_hw.ok());
+  EXPECT_TRUE(*local_hw);  // Acyclic thanks to the covering atom.
+  Result<bool> local_tw =
+      IsLocallyInWidth(tree, WidthMeasure::kTreewidth, 2);
+  ASSERT_TRUE(local_tw.ok());
+  EXPECT_FALSE(*local_tw);  // Treewidth is 3.
+  // Global hypertree check enumerates subtrees; a single node is fine.
+  Result<bool> global_hw = IsGloballyInWidth(
+      tree, WidthMeasure::kGeneralizedHypertreewidth, 1);
+  ASSERT_TRUE(global_hw.ok());
+  EXPECT_TRUE(*global_hw);
+  // Beta measure sees the uncovered clique subquery.
+  Result<bool> global_beta = IsGloballyInWidth(
+      tree, WidthMeasure::kBetaHypertreewidth, 1);
+  ASSERT_TRUE(global_beta.ok());
+  EXPECT_FALSE(*global_beta);
+}
+
+TEST_F(AnalysisExtra, GlobalHypertreeSubtreeEnumerationMatters) {
+  // ghw is not subquery-monotone: the root alone (covered clique) has
+  // ghw 1, but the subtree {root, child} where the child "peels" a
+  // vertex off the wide atom... simpler: verify the enumeration path
+  // reports per-subtree violations. Root: triangle covered by a ternary
+  // atom (ghw 1); child: repeats the triangle without cover. The
+  // subtree {root, child} still holds the covering atom, so it stays
+  // ghw 1 — but the classification must check every subtree and concur.
+  Result<RelationId> t3 = schema_.AddRelation("T3x", 3);
+  ASSERT_TRUE(t3.ok());
+  PatternTree tree;
+  tree.AddAtom(PatternTree::kRoot, Edge(V("g1"), V("g2")));
+  tree.AddAtom(PatternTree::kRoot, Edge(V("g2"), V("g3")));
+  tree.AddAtom(PatternTree::kRoot, Edge(V("g3"), V("g1")));
+  tree.AddAtom(PatternTree::kRoot, Atom(*t3, {V("g1"), V("g2"), V("g3")}));
+  tree.AddChild(PatternTree::kRoot, {Edge(V("g1"), V("g4"))});
+  tree.SetFreeVariables({});
+  ASSERT_TRUE(tree.Validate().ok());
+  Result<bool> global_hw = IsGloballyInWidth(
+      tree, WidthMeasure::kGeneralizedHypertreewidth, 1);
+  ASSERT_TRUE(global_hw.ok());
+  EXPECT_TRUE(*global_hw);
+}
+
+}  // namespace
+}  // namespace wdpt

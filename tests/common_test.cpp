@@ -1,0 +1,98 @@
+// Tests for the common utilities: Status/Result, strings, sorted-vector
+// algorithms and hashing.
+
+#include <gtest/gtest.h>
+
+#include "src/common/algo.h"
+#include "src/common/hash.h"
+#include "src/common/status.h"
+#include "src/common/strings.h"
+
+namespace wdpt {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "ok");
+
+  Status bad = Status::InvalidArgument("boom");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.message(), "boom");
+  EXPECT_EQ(bad.ToString(), "invalid-argument: boom");
+
+  EXPECT_EQ(Status::NotWellDesigned("x").code(),
+            StatusCode::kNotWellDesigned);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "parse-error");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "internal");
+}
+
+TEST(ResultTest, ValueAndStatus) {
+  Result<int> value(42);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  EXPECT_TRUE(value.status().ok());
+
+  Result<int> error(Status::NotFound("missing"));
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveSemantics) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> taken = std::move(r).value();
+  EXPECT_EQ(taken.size(), 3u);
+}
+
+TEST(StringsTest, JoinSplitStrip) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ", "), "");
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(AlgoTest, SortedSetOperations) {
+  std::vector<int> v = {3, 1, 2, 3, 1};
+  SortUnique(&v);
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3}));
+  EXPECT_TRUE(SortedContains(v, 2));
+  EXPECT_FALSE(SortedContains(v, 4));
+
+  std::vector<int> a = {1, 3, 5};
+  std::vector<int> b = {2, 3, 4};
+  EXPECT_EQ(SortedUnion(a, b), (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(SortedIntersection(a, b), (std::vector<int>{3}));
+  EXPECT_EQ(SortedDifference(a, b), (std::vector<int>{1, 5}));
+  EXPECT_TRUE(SortedIsSubset({3}, a));
+  EXPECT_FALSE(SortedIsSubset({2}, a));
+  EXPECT_TRUE(SortedIsSubset({}, a));
+}
+
+TEST(HashTest, CombineAndRange) {
+  size_t s1 = 0, s2 = 0;
+  HashCombine(&s1, 1);
+  HashCombine(&s2, 2);
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(HashRange(std::vector<int>{1, 2}),
+            HashRange(std::vector<int>{1, 2}));
+  EXPECT_NE(HashRange(std::vector<int>{1, 2}),
+            HashRange(std::vector<int>{2, 1}));
+}
+
+}  // namespace
+}  // namespace wdpt

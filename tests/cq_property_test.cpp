@@ -1,0 +1,205 @@
+// Parameterized property tests over random CQs and databases:
+// cross-strategy evaluation agreement, core laws, containment-order
+// laws, and width-measure consistency.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/cq/containment.h"
+#include "src/cq/core.h"
+#include "src/cq/evaluation.h"
+#include "src/cq/homomorphism.h"
+#include "src/gen/cq_gen.h"
+#include "src/gen/db_gen.h"
+#include "src/hypergraph/gyo.h"
+#include "src/hypergraph/hypertree.h"
+#include "src/hypergraph/treewidth.h"
+
+namespace wdpt {
+namespace {
+
+struct RandomCqCase {
+  Schema schema;
+  Vocabulary vocab;
+  Database db;
+  ConjunctiveQuery q;
+
+  explicit RandomCqCase(uint64_t seed) : db(&schema) {
+    uint32_t num_atoms = 3 + seed % 4;
+    uint32_t num_vars = 3 + (seed / 2) % 3;
+    q = gen::MakeRandomCq(&schema, &vocab, num_atoms, num_vars, seed);
+    // Promote some variables to free.
+    std::vector<VariableId> all = q.AllVariables();
+    for (size_t i = 0; i < all.size(); i += 2) {
+      q.free_vars.push_back(all[i]);
+    }
+    q.Normalize();
+    gen::RandomGraphOptions gopts;
+    gopts.num_vertices = 6;
+    gopts.num_edges = 15;
+    gopts.seed = seed * 101 + 3;
+    RelationId e;
+    db = gen::MakeRandomGraphDb(&schema, &vocab, gopts, &e);
+  }
+};
+
+class CqProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CqProperties, EvaluationStrategiesAgree) {
+  RandomCqCase c(GetParam());
+  CqEvalOptions naive;
+  naive.strategy = CqEvalStrategy::kBacktracking;
+  CqEvalOptions structured;
+  structured.strategy = CqEvalStrategy::kDecomposition;
+  std::vector<Mapping> a = EvaluateCq(c.q, c.db, naive);
+  std::vector<Mapping> b = EvaluateCq(c.q, c.db, structured);
+  std::vector<Mapping> d = EvaluateCq(c.q, c.db);  // kAuto.
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::sort(d.begin(), d.end());
+  EXPECT_EQ(a, b) << "seed " << GetParam();
+  EXPECT_EQ(a, d) << "seed " << GetParam();
+}
+
+TEST_P(CqProperties, MembershipMatchesEnumeration) {
+  RandomCqCase c(GetParam());
+  std::vector<Mapping> answers = EvaluateCq(c.q, c.db);
+  for (const Mapping& m : answers) {
+    EXPECT_TRUE(CqEval(c.q, c.db, m));
+  }
+  // Perturbed mappings: change one binding to a fresh constant.
+  ConstantId alien = c.vocab.ConstantIdOf("alien");
+  for (const Mapping& m : answers) {
+    if (m.empty()) continue;
+    std::vector<Mapping::Entry> entries = m.entries();
+    entries[0].second = alien;
+    Mapping mutated(entries);
+    bool expected =
+        std::count(answers.begin(), answers.end(), mutated) > 0;
+    EXPECT_EQ(CqEval(c.q, c.db, mutated), expected);
+  }
+}
+
+TEST_P(CqProperties, CoreIsEquivalentAndIdempotent) {
+  RandomCqCase c(GetParam());
+  ConjunctiveQuery core = ComputeCore(c.q, &c.schema, &c.vocab);
+  EXPECT_TRUE(CqEquivalent(c.q, core, &c.schema, &c.vocab))
+      << "seed " << GetParam();
+  ConjunctiveQuery core2 = ComputeCore(core, &c.schema, &c.vocab);
+  EXPECT_EQ(core.atoms, core2.atoms);
+  // Cores are no larger.
+  EXPECT_LE(core.atoms.size(), c.q.atoms.size());
+  // Semantically identical answers.
+  std::vector<Mapping> qa = EvaluateCq(c.q, c.db);
+  std::vector<Mapping> ca = EvaluateCq(core, c.db);
+  std::sort(qa.begin(), qa.end());
+  std::sort(ca.begin(), ca.end());
+  EXPECT_EQ(qa, ca);
+}
+
+TEST_P(CqProperties, ContainmentIsReflexiveAndSound) {
+  RandomCqCase c1(GetParam());
+  EXPECT_TRUE(CqContainedIn(c1.q, c1.q, &c1.schema, &c1.vocab));
+  // Adding atoms can only shrink the answer set: q+ subseteq q.
+  ConjunctiveQuery plus = c1.q;
+  plus.atoms.push_back(c1.q.atoms.front());
+  {
+    // A genuinely new atom sharing a variable.
+    Atom extra = c1.q.atoms.front();
+    std::reverse(extra.terms.begin(), extra.terms.end());
+    plus.atoms.push_back(extra);
+  }
+  plus.Normalize();
+  EXPECT_TRUE(CqContainedIn(plus, c1.q, &c1.schema, &c1.vocab))
+      << "seed " << GetParam();
+  // And the answer sets on the sample database respect it.
+  std::vector<Mapping> qa = EvaluateCq(c1.q, c1.db);
+  std::vector<Mapping> pa = EvaluateCq(plus, c1.db);
+  for (const Mapping& m : pa) {
+    EXPECT_EQ(std::count(qa.begin(), qa.end(), m), 1);
+  }
+}
+
+TEST_P(CqProperties, SubsumptionImpliesAnswerCoverageOnSamples) {
+  RandomCqCase c(GetParam());
+  // q with fewer free variables is subsumed by q with more.
+  ConjunctiveQuery wide = c.q;
+  wide.free_vars = wide.AllVariables();
+  EXPECT_TRUE(CqSubsumedBy(c.q, wide, &c.schema, &c.vocab));
+  std::vector<Mapping> narrow_answers = EvaluateCq(c.q, c.db);
+  std::vector<Mapping> wide_answers = EvaluateCq(wide, c.db);
+  for (const Mapping& h : narrow_answers) {
+    bool covered = false;
+    for (const Mapping& h2 : wide_answers) {
+      if (h.IsSubsumedBy(h2)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "seed " << GetParam();
+  }
+}
+
+TEST_P(CqProperties, WidthMeasureConsistency) {
+  RandomCqCase c(GetParam());
+  Hypergraph h = c.q.BuildHypergraph(nullptr);
+  // Acyclic iff ghw(q) == 1 (for hypergraphs with a nonempty edge).
+  bool has_edge = false;
+  for (const std::vector<uint32_t>& e : h.edges) {
+    if (!e.empty()) has_edge = true;
+  }
+  if (has_edge) {
+    EXPECT_EQ(IsAlphaAcyclic(h), GeneralizedHypertreeWidth(h) == 1);
+  }
+  // tw(q) <= k implies ghw(q) <= k + 1 (binary atoms: each pair of
+  // primal-graph vertices in a bag is coverable by one edge per vertex;
+  // in general TW(k) subseteq HW(k+1)).
+  Graph primal = h.ToPrimalGraph();
+  int tw = ExactTreewidth(primal);
+  if (tw >= 0) {
+    HypertreeDecomposition hd;
+    int ghw = GeneralizedHypertreeWidth(h, &hd);
+    EXPECT_LE(ghw, tw + 1) << "seed " << GetParam();
+    std::string error;
+    EXPECT_TRUE(hd.td.IsValidFor(h, &error)) << error;
+  }
+  // beta-ghw >= ghw.
+  for (int k = 1; k <= 3; ++k) {
+    std::optional<bool> beta = BetaGhwAtMost(h, k);
+    if (beta.has_value() && *beta) {
+      EXPECT_TRUE(FindHypertreeDecomposition(h, k).has_value());
+    }
+  }
+}
+
+TEST_P(CqProperties, HomomorphismEnumerationIsExhaustive) {
+  RandomCqCase c(GetParam());
+  // Count homomorphisms two ways: full enumeration vs sum over
+  // projections of a partition variable.
+  size_t direct = 0;
+  ForEachHomomorphism(c.q.atoms, c.db, Mapping(), [&](const Mapping&) {
+    ++direct;
+    return true;
+  });
+  std::vector<VariableId> vars = c.q.AllVariables();
+  if (!vars.empty()) {
+    VariableId v = vars.front();
+    size_t by_value = 0;
+    for (ConstantId cid : c.db.ActiveDomain()) {
+      Mapping seed;
+      seed.Bind(v, cid);
+      ForEachHomomorphism(c.q.atoms, c.db, seed, [&](const Mapping&) {
+        ++by_value;
+        return true;
+      });
+    }
+    EXPECT_EQ(direct, by_value) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CqProperties,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+}  // namespace
+}  // namespace wdpt

@@ -1,0 +1,458 @@
+// Tests for the CQ engine: homomorphism search, evaluation strategies,
+// containment, cores, quotients and approximations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/cq/approximation.h"
+#include "src/cq/containment.h"
+#include "src/cq/core.h"
+#include "src/cq/cq.h"
+#include "src/cq/evaluation.h"
+#include "src/cq/homomorphism.h"
+#include "src/cq/quotient.h"
+#include "src/gen/cq_gen.h"
+#include "src/gen/db_gen.h"
+
+namespace wdpt {
+namespace {
+
+class CqFixture : public ::testing::Test {
+ protected:
+  Schema schema_;
+  Vocabulary vocab_;
+
+  RelationId E() { return gen::EdgeRelation(&schema_); }
+
+  Term V(const std::string& name) { return vocab_.Variable(name); }
+  Term C(const std::string& name) { return vocab_.Constant(name); }
+
+  Atom Edge(Term a, Term b) { return Atom(E(), {a, b}); }
+
+  // A small directed graph database.
+  Database MakeTriangleWithTail() {
+    Database db(&schema_);
+    auto add = [&](const std::string& a, const std::string& b) {
+      ConstantId t[2] = {vocab_.ConstantIdOf(a), vocab_.ConstantIdOf(b)};
+      WDPT_CHECK(db.AddFact(E(), t).ok());
+    };
+    add("a", "b");
+    add("b", "c");
+    add("c", "a");
+    add("c", "d");
+    return db;
+  }
+};
+
+TEST_F(CqFixture, HomomorphismFindsPath) {
+  Database db = MakeTriangleWithTail();
+  std::vector<Atom> path = {Edge(V("x"), V("y")), Edge(V("y"), V("z"))};
+  std::optional<Mapping> hom = FindHomomorphism(path, db);
+  ASSERT_TRUE(hom.has_value());
+  EXPECT_EQ(hom->size(), 3u);
+}
+
+TEST_F(CqFixture, HomomorphismRespectsSeed) {
+  Database db = MakeTriangleWithTail();
+  std::vector<Atom> path = {Edge(V("x"), V("y"))};
+  Mapping seed;
+  seed.Bind(V("x").variable_id(), vocab_.ConstantIdOf("c"));
+  std::vector<Mapping> all = AllHomomorphismProjections(
+      path, db, seed, {V("y").variable_id()});
+  // c -> a and c -> d.
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST_F(CqFixture, HomomorphismHandlesConstants) {
+  Database db = MakeTriangleWithTail();
+  std::vector<Atom> q = {Edge(C("a"), V("y"))};
+  std::optional<Mapping> hom = FindHomomorphism(q, db);
+  ASSERT_TRUE(hom.has_value());
+  EXPECT_EQ(*hom->Get(V("y").variable_id()), vocab_.ConstantIdOf("b"));
+  std::vector<Atom> bad = {Edge(C("d"), V("y"))};
+  EXPECT_FALSE(HomomorphismExists(bad, db));
+}
+
+TEST_F(CqFixture, EmptyRelationMeansNoHomomorphism) {
+  Database db(&schema_);
+  std::vector<Atom> q = {Edge(V("x"), V("y"))};
+  EXPECT_FALSE(HomomorphismExists(q, db));
+}
+
+TEST_F(CqFixture, EnumerationCountsAllHomomorphisms) {
+  Database db = MakeTriangleWithTail();
+  std::vector<Atom> q = {Edge(V("x"), V("y"))};
+  size_t count = 0;
+  EXPECT_TRUE(ForEachHomomorphism(q, db, Mapping(), [&](const Mapping&) {
+    ++count;
+    return true;
+  }));
+  EXPECT_EQ(count, 4u);  // One per edge.
+}
+
+TEST_F(CqFixture, StepLimitAborts) {
+  Schema schema;
+  Vocabulary vocab;
+  gen::RandomGraphOptions opts;
+  opts.num_vertices = 50;
+  opts.num_edges = 600;
+  RelationId e;
+  Database db = gen::MakeRandomGraphDb(&schema, &vocab, opts, &e);
+  ConjunctiveQuery q = gen::MakePathCq(&schema, &vocab, 6);
+  HomSearchLimits limits;
+  limits.max_steps = 5;
+  size_t count = 0;
+  bool complete = ForEachHomomorphism(q.atoms, db, Mapping(),
+                                      [&](const Mapping&) {
+                                        ++count;
+                                        return true;
+                                      },
+                                      limits);
+  EXPECT_FALSE(complete);
+}
+
+TEST_F(CqFixture, CqEvalChecksExactDomain) {
+  Database db = MakeTriangleWithTail();
+  ConjunctiveQuery q;
+  q.atoms = {Edge(V("x"), V("y"))};
+  q.free_vars = {V("x").variable_id()};
+  q.Normalize();
+  Mapping good;
+  good.Bind(V("x").variable_id(), vocab_.ConstantIdOf("a"));
+  EXPECT_TRUE(CqEval(q, db, good));
+  Mapping wrong_domain = good;
+  wrong_domain.Bind(V("y").variable_id(), vocab_.ConstantIdOf("b"));
+  EXPECT_FALSE(CqEval(q, db, wrong_domain));
+  Mapping no_match;
+  no_match.Bind(V("x").variable_id(), vocab_.ConstantIdOf("d"));
+  EXPECT_FALSE(CqEval(q, db, no_match));
+}
+
+TEST_F(CqFixture, EvaluationStrategiesAgreeOnAcyclicQuery) {
+  Database db = MakeTriangleWithTail();
+  ConjunctiveQuery q;
+  q.atoms = {Edge(V("x"), V("y")), Edge(V("y"), V("z"))};
+  q.free_vars = {V("x").variable_id(), V("z").variable_id()};
+  q.Normalize();
+
+  CqEvalOptions naive;
+  naive.strategy = CqEvalStrategy::kBacktracking;
+  std::vector<Mapping> a = EvaluateCq(q, db, naive);
+  std::vector<Mapping> b = EvaluateCq(q, db);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST_F(CqFixture, EvaluationStrategiesAgreeOnCyclicQuery) {
+  Database db = MakeTriangleWithTail();
+  // Triangle query: x -> y -> z -> x.
+  ConjunctiveQuery q;
+  q.atoms = {Edge(V("x"), V("y")), Edge(V("y"), V("z")),
+             Edge(V("z"), V("x"))};
+  q.free_vars = {V("x").variable_id()};
+  q.Normalize();
+  CqEvalOptions naive;
+  naive.strategy = CqEvalStrategy::kBacktracking;
+  std::vector<Mapping> a = EvaluateCq(q, db, naive);
+  std::vector<Mapping> b = EvaluateCq(q, db);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 3u);  // Every triangle vertex.
+}
+
+TEST_F(CqFixture, AcyclicEvaluatorRejectsCyclicQuery) {
+  Database db = MakeTriangleWithTail();
+  ConjunctiveQuery q;
+  q.atoms = {Edge(V("x"), V("y")), Edge(V("y"), V("z")),
+             Edge(V("z"), V("x"))};
+  q.Normalize();
+  EXPECT_FALSE(EvaluateAcyclic(q, db).has_value());
+}
+
+TEST_F(CqFixture, GroundAtomsAreChecked) {
+  Database db = MakeTriangleWithTail();
+  ConjunctiveQuery q;
+  q.atoms = {Edge(C("a"), C("b")), Edge(V("x"), V("y"))};
+  q.Normalize();
+  EXPECT_FALSE(EvaluateCq(q, db).empty());
+  ConjunctiveQuery q2;
+  q2.atoms = {Edge(C("b"), C("a")), Edge(V("x"), V("y"))};
+  q2.Normalize();
+  EXPECT_TRUE(EvaluateCq(q2, db).empty());
+}
+
+TEST_F(CqFixture, DecideNonEmptyAgreesAcrossStrategies) {
+  Schema schema;
+  Vocabulary vocab;
+  gen::RandomGraphOptions opts;
+  opts.num_vertices = 12;
+  opts.num_edges = 30;
+  RelationId e;
+  Database db = gen::MakeRandomGraphDb(&schema, &vocab, opts, &e);
+  for (uint32_t len = 2; len <= 5; ++len) {
+    ConjunctiveQuery cyc = gen::MakeCycleCq(&schema, &vocab, len + 1,
+                                            "cyc" + std::to_string(len));
+    CqEvalOptions naive;
+    naive.strategy = CqEvalStrategy::kBacktracking;
+    CqEvalOptions structured;
+    structured.strategy = CqEvalStrategy::kDecomposition;
+    EXPECT_EQ(DecideNonEmpty(cyc.atoms, db, Mapping(), naive),
+              DecideNonEmpty(cyc.atoms, db, Mapping(), structured))
+        << "cycle length " << len + 1;
+  }
+}
+
+// ---- Containment -------------------------------------------------------
+
+TEST_F(CqFixture, ChandraMerlinContainment) {
+  // Path of length 2 is contained in path of length 1 (Boolean).
+  ConjunctiveQuery p1 = gen::MakePathCq(&schema_, &vocab_, 1, "s");
+  ConjunctiveQuery p2 = gen::MakePathCq(&schema_, &vocab_, 2, "t");
+  EXPECT_TRUE(CqContainedIn(p2, p1, &schema_, &vocab_));
+  EXPECT_FALSE(CqContainedIn(p1, p2, &schema_, &vocab_));
+}
+
+TEST_F(CqFixture, ContainmentWithFreeVariables) {
+  // q1(x) <- E(x,y), E(y,z);  q2(x) <- E(x,y). q1 subseteq q2.
+  ConjunctiveQuery q1, q2;
+  q1.atoms = {Edge(V("x"), V("y")), Edge(V("y"), V("z"))};
+  q1.free_vars = {V("x").variable_id()};
+  q1.Normalize();
+  q2.atoms = {Edge(V("x"), V("w"))};
+  q2.free_vars = {V("x").variable_id()};
+  q2.Normalize();
+  EXPECT_TRUE(CqContainedIn(q1, q2, &schema_, &vocab_));
+  EXPECT_FALSE(CqContainedIn(q2, q1, &schema_, &vocab_));
+  EXPECT_FALSE(CqEquivalent(q1, q2, &schema_, &vocab_));
+}
+
+TEST_F(CqFixture, ContainmentRequiresSameFreeVars) {
+  ConjunctiveQuery q1, q2;
+  q1.atoms = {Edge(V("x"), V("y"))};
+  q1.free_vars = {V("x").variable_id()};
+  q1.Normalize();
+  q2 = q1;
+  q2.free_vars = {V("x").variable_id(), V("y").variable_id()};
+  q2.Normalize();
+  EXPECT_FALSE(CqContainedIn(q1, q2, &schema_, &vocab_));
+  // But subsumption holds: q1's answers extend to q2's.
+  EXPECT_TRUE(CqSubsumedBy(q1, q2, &schema_, &vocab_));
+  EXPECT_FALSE(CqSubsumedBy(q2, q1, &schema_, &vocab_));
+}
+
+TEST_F(CqFixture, EquivalentVariantsDetected) {
+  ConjunctiveQuery q1, q2;
+  q1.atoms = {Edge(V("x"), V("y"))};
+  q1.Normalize();
+  // Same pattern with a redundant second copy.
+  q2.atoms = {Edge(V("u"), V("v")), Edge(V("u2"), V("v2"))};
+  q2.Normalize();
+  EXPECT_TRUE(CqEquivalent(q1, q2, &schema_, &vocab_));
+}
+
+// ---- Cores ---------------------------------------------------------------
+
+TEST_F(CqFixture, CoreCollapsesRedundantAtoms) {
+  // E(x,y), E(u,v) folds to a single atom.
+  ConjunctiveQuery q;
+  q.atoms = {Edge(V("x"), V("y")), Edge(V("u"), V("v"))};
+  q.Normalize();
+  ConjunctiveQuery core = ComputeCore(q, &schema_, &vocab_);
+  EXPECT_EQ(core.atoms.size(), 1u);
+  EXPECT_TRUE(CqEquivalent(q, core, &schema_, &vocab_));
+}
+
+TEST_F(CqFixture, CoreKeepsTriangle) {
+  ConjunctiveQuery tri = gen::MakeCycleCq(&schema_, &vocab_, 3, "tri");
+  ConjunctiveQuery core = ComputeCore(tri, &schema_, &vocab_);
+  EXPECT_EQ(core.atoms.size(), 3u);
+}
+
+TEST_F(CqFixture, CoreOfEvenCycleIsEdgeLoopFree) {
+  // C4 folds onto a single back-and-forth edge pair (its core is one
+  // directed edge pattern... for directed cycles the core of an even
+  // directed cycle is the cycle itself; use an undirected-style encoding
+  // with both directions to see folding).
+  ConjunctiveQuery q;
+  q.atoms = {Edge(V("a"), V("b")), Edge(V("b"), V("a")),
+             Edge(V("c"), V("d")), Edge(V("d"), V("c"))};
+  q.Normalize();
+  ConjunctiveQuery core = ComputeCore(q, &schema_, &vocab_);
+  EXPECT_EQ(core.atoms.size(), 2u);
+}
+
+TEST_F(CqFixture, CoreFixesFreeVariables) {
+  // q(x,y) <- E(x,y), E(u,v): the (u,v) part folds onto (x,y) but x, y
+  // stay.
+  ConjunctiveQuery q;
+  q.atoms = {Edge(V("x"), V("y")), Edge(V("u"), V("v"))};
+  q.free_vars = {V("x").variable_id(), V("y").variable_id()};
+  q.Normalize();
+  ConjunctiveQuery core = ComputeCore(q, &schema_, &vocab_);
+  EXPECT_EQ(core.atoms.size(), 1u);
+  EXPECT_EQ(core.free_vars, q.free_vars);
+  // With all four free, nothing folds.
+  ConjunctiveQuery q2 = q;
+  q2.free_vars = {V("x").variable_id(), V("y").variable_id(),
+                  V("u").variable_id(), V("v").variable_id()};
+  ConjunctiveQuery core2 = ComputeCore(q2, &schema_, &vocab_);
+  EXPECT_EQ(core2.atoms.size(), 2u);
+}
+
+// ---- Quotients -----------------------------------------------------------
+
+TEST_F(CqFixture, QuotientCountMatchesBellNumbers) {
+  // Boolean query with 3 independent variables: unary atoms.
+  Result<RelationId> u = schema_.AddRelation("U", 1);
+  ASSERT_TRUE(u.ok());
+  ConjunctiveQuery q;
+  q.atoms = {Atom(*u, {V("q1")}), Atom(*u, {V("q2")}), Atom(*u, {V("q3")})};
+  q.Normalize();
+  size_t count = 0;
+  EXPECT_TRUE(ForEachQuotient(q, 1000, [&](const ConjunctiveQuery&) {
+    ++count;
+    return true;
+  }));
+  // Bell(3) = 5 partitions; images deduplicate by (named) atom set:
+  // {U(q1),U(q2),U(q3)}, {U(q1),U(q3)}, {U(q1),U(q2)} (two partitions
+  // produce this one), {U(q1)} -> 4 distinct images.
+  EXPECT_EQ(count, 4u);
+}
+
+TEST_F(CqFixture, QuotientsNeverMergeFreeVariables) {
+  ConjunctiveQuery q;
+  q.atoms = {Edge(V("x"), V("y"))};
+  q.free_vars = {V("x").variable_id(), V("y").variable_id()};
+  q.Normalize();
+  EXPECT_TRUE(ForEachQuotient(q, 1000, [&](const ConjunctiveQuery& image) {
+    EXPECT_EQ(image.free_vars, q.free_vars);
+    EXPECT_EQ(image.atoms.size(), 1u);
+    return true;
+  }));
+}
+
+TEST_F(CqFixture, QuotientLimitReported) {
+  ConjunctiveQuery q = gen::MakeCliqueCq(&schema_, &vocab_, 6, "ql");
+  EXPECT_FALSE(ForEachQuotient(q, 3, [](const ConjunctiveQuery&) {
+    return true;
+  }));
+}
+
+// ---- Width classes and approximations -------------------------------------
+
+TEST_F(CqFixture, WidthChecksOnCanonicalQueries) {
+  ConjunctiveQuery path = gen::MakePathCq(&schema_, &vocab_, 4, "wp");
+  ConjunctiveQuery clique = gen::MakeCliqueCq(&schema_, &vocab_, 4, "wk");
+  Result<bool> r1 = WidthAtMost(path, WidthMeasure::kTreewidth, 1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(*r1);
+  Result<bool> r2 = WidthAtMost(clique, WidthMeasure::kTreewidth, 2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(*r2);
+  Result<bool> r3 =
+      WidthAtMost(path, WidthMeasure::kGeneralizedHypertreewidth, 1);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(*r3);
+  Result<bool> r4 = WidthAtMost(path, WidthMeasure::kBetaHypertreewidth, 1);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_TRUE(*r4);
+}
+
+TEST_F(CqFixture, SemanticWidthSeesThroughRedundancy) {
+  // Triangle with a pendant copy folds to the triangle: semantically
+  // tw 2, not 1.
+  ConjunctiveQuery tri = gen::MakeCycleCq(&schema_, &vocab_, 3, "sw");
+  Result<bool> in1 = SemanticallyInWidthClass(
+      tri, WidthMeasure::kTreewidth, 1, &schema_, &vocab_);
+  ASSERT_TRUE(in1.ok());
+  EXPECT_FALSE(*in1);
+  // A path that wraps via duplicated variables: E(x,y), E(x2,y) has core
+  // of one atom -> semantically tw 1 trivially; sanity check true case.
+  ConjunctiveQuery q;
+  q.atoms = {Edge(V("m1"), V("m2")), Edge(V("m3"), V("m2"))};
+  q.Normalize();
+  Result<bool> in2 = SemanticallyInWidthClass(
+      q, WidthMeasure::kTreewidth, 1, &schema_, &vocab_);
+  ASSERT_TRUE(in2.ok());
+  EXPECT_TRUE(*in2);
+}
+
+TEST_F(CqFixture, TriangleApproximationIsSelfLoop) {
+  // The TW(1)-approximation of the Boolean triangle is the self-loop
+  // E(z, z) (the only sound collapse).
+  ConjunctiveQuery tri = gen::MakeCycleCq(&schema_, &vocab_, 3, "ap");
+  Result<std::vector<ConjunctiveQuery>> approx = ComputeCqApproximations(
+      tri, WidthMeasure::kTreewidth, 1, &schema_, &vocab_);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_EQ(approx->size(), 1u);
+  const ConjunctiveQuery& a = (*approx)[0];
+  EXPECT_EQ(a.atoms.size(), 1u);
+  EXPECT_EQ(a.atoms[0].terms[0], a.atoms[0].terms[1]);
+  EXPECT_TRUE(CqContainedIn(a, tri, &schema_, &vocab_));
+}
+
+TEST_F(CqFixture, EvenCycleApproximationIsPath) {
+  // C4 (directed cycle of length 4): its TW(1)-approximations are sound
+  // collapses; every approximation must be contained in C4 and have
+  // treewidth <= 1.
+  ConjunctiveQuery c4 = gen::MakeCycleCq(&schema_, &vocab_, 4, "c4");
+  Result<std::vector<ConjunctiveQuery>> approx = ComputeCqApproximations(
+      c4, WidthMeasure::kTreewidth, 1, &schema_, &vocab_);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_FALSE(approx->empty());
+  for (const ConjunctiveQuery& a : *approx) {
+    EXPECT_TRUE(CqContainedIn(a, c4, &schema_, &vocab_));
+    Result<bool> w = WidthAtMost(a, WidthMeasure::kTreewidth, 1);
+    ASSERT_TRUE(w.ok());
+    EXPECT_TRUE(*w);
+  }
+}
+
+TEST_F(CqFixture, InClassQueryApproximatesToItsCore) {
+  ConjunctiveQuery path = gen::MakePathCq(&schema_, &vocab_, 3, "ic");
+  Result<std::vector<ConjunctiveQuery>> approx = ComputeCqApproximations(
+      path, WidthMeasure::kTreewidth, 1, &schema_, &vocab_);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_EQ(approx->size(), 1u);
+  EXPECT_TRUE(CqEquivalent((*approx)[0], path, &schema_, &vocab_));
+}
+
+TEST_F(CqFixture, ApproximationRejectsNonClosedMeasure) {
+  ConjunctiveQuery tri = gen::MakeCycleCq(&schema_, &vocab_, 3, "nm");
+  Result<std::vector<ConjunctiveQuery>> approx = ComputeCqApproximations(
+      tri, WidthMeasure::kGeneralizedHypertreewidth, 1, &schema_, &vocab_);
+  EXPECT_FALSE(approx.ok());
+}
+
+TEST_F(CqFixture, ApproximationSoundnessOnRandomQueries) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    ConjunctiveQuery q = gen::MakeRandomCq(&schema_, &vocab_, 6, 5, seed,
+                                           "rs" + std::to_string(seed));
+    Result<std::vector<ConjunctiveQuery>> approx = ComputeCqApproximations(
+        q, WidthMeasure::kTreewidth, 1, &schema_, &vocab_);
+    ASSERT_TRUE(approx.ok());
+    ASSERT_FALSE(approx->empty());
+    for (const ConjunctiveQuery& a : *approx) {
+      EXPECT_TRUE(CqContainedIn(a, q, &schema_, &vocab_)) << "seed " << seed;
+      Result<bool> w = WidthAtMost(a, WidthMeasure::kTreewidth, 1);
+      ASSERT_TRUE(w.ok());
+      EXPECT_TRUE(*w);
+    }
+    // Maximality within the returned set: no candidate strictly contains
+    // another.
+    for (const ConjunctiveQuery& a : *approx) {
+      for (const ConjunctiveQuery& b : *approx) {
+        if (&a == &b) continue;
+        EXPECT_FALSE(CqContainedIn(a, b, &schema_, &vocab_) &&
+                     !CqContainedIn(b, a, &schema_, &vocab_));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wdpt

@@ -1,0 +1,133 @@
+// Tests for the workload generators (src/gen): shapes, sizes,
+// determinism, and reduction structure.
+
+#include <gtest/gtest.h>
+
+#include "src/cq/evaluation.h"
+#include "src/gen/cq_gen.h"
+#include "src/gen/db_gen.h"
+#include "src/gen/reductions.h"
+#include "src/gen/wdpt_gen.h"
+#include "src/hypergraph/treewidth.h"
+#include "src/wdpt/classify.h"
+
+namespace wdpt {
+namespace {
+
+TEST(DbGenTest, RandomGraphSizeAndDeterminism) {
+  Schema s1, s2;
+  Vocabulary v1, v2;
+  gen::RandomGraphOptions opts;
+  opts.num_vertices = 20;
+  opts.num_edges = 50;
+  opts.seed = 9;
+  RelationId e1, e2;
+  Database db1 = gen::MakeRandomGraphDb(&s1, &v1, opts, &e1);
+  Database db2 = gen::MakeRandomGraphDb(&s2, &v2, opts, &e2);
+  EXPECT_EQ(db1.TotalFacts(), 50u);
+  EXPECT_EQ(db1.ToString(v1), db2.ToString(v2));  // Seeded determinism.
+  // Requesting more edges than possible caps at n^2.
+  gen::RandomGraphOptions small;
+  small.num_vertices = 3;
+  small.num_edges = 100;
+  small.seed = 1;
+  Database db3 = gen::MakeRandomGraphDb(&s1, &v1, small, &e1);
+  EXPECT_EQ(db3.TotalFacts(), 9u);
+}
+
+TEST(DbGenTest, MusicCatalogRespectsFractions) {
+  RdfContext ctx;
+  gen::MusicCatalogOptions opts;
+  opts.num_bands = 50;
+  opts.records_per_band = 2;
+  opts.rating_fraction = 0.0;
+  opts.formed_fraction = 1.0;
+  opts.recent_fraction = 1.0;
+  Database db = gen::MakeMusicCatalog(&ctx, opts);
+  // Per band: 1 formed_in + 2 * (recorded_by + published) = 5 triples.
+  EXPECT_EQ(db.TotalFacts(), 50u * 5u);
+}
+
+TEST(CqGenTest, ShapesHaveExpectedSizes) {
+  Schema schema;
+  Vocabulary vocab;
+  EXPECT_EQ(gen::MakePathCq(&schema, &vocab, 4, "g1").atoms.size(), 4u);
+  EXPECT_EQ(gen::MakeCycleCq(&schema, &vocab, 5, "g2").atoms.size(), 5u);
+  EXPECT_EQ(gen::MakeCliqueCq(&schema, &vocab, 4, "g3").atoms.size(), 12u);
+  ConjunctiveQuery grid = gen::MakeGridCq(&schema, &vocab, 3, 3, "g4");
+  EXPECT_EQ(grid.atoms.size(), 12u);  // 2 * 3 * 2 horizontal+vertical.
+  Graph primal = grid.BuildHypergraph(nullptr).ToPrimalGraph();
+  EXPECT_EQ(ExactTreewidth(primal), 3);
+}
+
+TEST(CqGenTest, RandomCqIsDeterministicPerSeed) {
+  Schema schema;
+  Vocabulary vocab;
+  ConjunctiveQuery a = gen::MakeRandomCq(&schema, &vocab, 5, 4, 3, "gr");
+  ConjunctiveQuery b = gen::MakeRandomCq(&schema, &vocab, 5, 4, 3, "gr");
+  EXPECT_EQ(a.atoms, b.atoms);
+}
+
+TEST(WdptGenTest, InterfaceSizeControlsClass) {
+  Schema schema;
+  Vocabulary vocab;
+  for (uint32_t iface = 1; iface <= 2; ++iface) {
+    gen::RandomWdptOptions opts;
+    opts.depth = 2;
+    opts.branching = 2;
+    opts.atoms_per_node = 3;
+    opts.interface_size = iface;
+    opts.seed = 11 + iface;
+    PatternTree tree = gen::MakeRandomChainWdpt(&schema, &vocab, opts);
+    // Interface width is bounded by branching * iface.
+    EXPECT_LE(InterfaceWidth(tree),
+              static_cast<int>(opts.branching * iface));
+    Result<bool> local = IsLocallyInWidth(tree, WidthMeasure::kTreewidth, 1);
+    ASSERT_TRUE(local.ok());
+    EXPECT_TRUE(*local);
+  }
+}
+
+TEST(ReductionTest, GraphFamilies) {
+  gen::UndirectedGraph cycle = gen::MakeCycleGraph(5);
+  EXPECT_EQ(cycle.edges.size(), 5u);
+  gen::UndirectedGraph k4 = gen::MakeCompleteGraph(4);
+  EXPECT_EQ(k4.edges.size(), 6u);
+  gen::UndirectedGraph random = gen::MakeRandomUndirectedGraph(10, 15, 3);
+  EXPECT_EQ(random.edges.size(), 15u);
+  for (auto [a, b] : random.edges) {
+    EXPECT_NE(a, b);
+    EXPECT_LT(a, 10u);
+    EXPECT_LT(b, 10u);
+  }
+}
+
+TEST(ReductionTest, InstanceShape) {
+  Schema schema;
+  Vocabulary vocab;
+  gen::UndirectedGraph g = gen::MakeCycleGraph(4);
+  gen::ThreeColInstance inst =
+      gen::MakeThreeColInstance(g, &schema, &vocab, 9);
+  // Root + 3 children per edge.
+  EXPECT_EQ(inst.tree.num_nodes(), 1u + 3u * g.edges.size());
+  EXPECT_EQ(inst.db.TotalFacts(), 3u);
+  // Free variables: x plus one per child.
+  EXPECT_EQ(inst.tree.free_vars().size(), 1u + 3u * g.edges.size());
+  EXPECT_EQ(inst.h.size(), 1u);
+}
+
+TEST(ReductionTest, TwoInstancesCoexistViaTags) {
+  Schema schema;
+  Vocabulary vocab;
+  gen::ThreeColInstance a = gen::MakeThreeColInstance(
+      gen::MakeCycleGraph(3), &schema, &vocab, 1);
+  gen::ThreeColInstance b = gen::MakeThreeColInstance(
+      gen::MakeCompleteGraph(4), &schema, &vocab, 2);
+  // Distinct variable spaces; both valid.
+  EXPECT_TRUE(a.tree.validated());
+  EXPECT_TRUE(b.tree.validated());
+  EXPECT_NE(a.h, b.h);
+}
+
+}  // namespace
+}  // namespace wdpt

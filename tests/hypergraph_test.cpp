@@ -1,0 +1,287 @@
+// Tests for hypergraphs, tree decompositions, treewidth, GYO, and
+// generalized hypertree width.
+
+#include <gtest/gtest.h>
+
+#include "src/hypergraph/gyo.h"
+#include "src/hypergraph/hypergraph.h"
+#include "src/hypergraph/hypertree.h"
+#include "src/hypergraph/tree_decomposition.h"
+#include "src/hypergraph/treewidth.h"
+
+namespace wdpt {
+namespace {
+
+Graph PathGraph(uint32_t n) {
+  Graph g(n);
+  for (uint32_t i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
+  return g;
+}
+
+Graph CycleGraph(uint32_t n) {
+  Graph g(n);
+  for (uint32_t i = 0; i < n; ++i) g.AddEdge(i, (i + 1) % n);
+  return g;
+}
+
+Graph CliqueGraph(uint32_t n) {
+  Graph g(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  return g;
+}
+
+Graph GridGraph(uint32_t rows, uint32_t cols) {
+  Graph g(rows * cols);
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.AddEdge(r * cols + c, r * cols + c + 1);
+      if (r + 1 < rows) g.AddEdge(r * cols + c, (r + 1) * cols + c);
+    }
+  }
+  return g;
+}
+
+Hypergraph GraphToHypergraph(const Graph& g) {
+  Hypergraph h;
+  h.num_vertices = g.num_vertices;
+  for (uint32_t v = 0; v < g.num_vertices; ++v) {
+    for (uint32_t u : g.adj[v]) {
+      if (v < u) h.edges.push_back({v, u});
+    }
+  }
+  return h;
+}
+
+TEST(GraphTest, AddEdgeDeduplicates) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(0, 0);  // Self-loop ignored.
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(HypergraphTest, PrimalGraphOfTriangleEdge) {
+  Hypergraph h;
+  h.num_vertices = 4;
+  h.edges = {{0, 1, 2}, {2, 3}};
+  Graph primal = h.ToPrimalGraph();
+  EXPECT_TRUE(primal.HasEdge(0, 1));
+  EXPECT_TRUE(primal.HasEdge(0, 2));
+  EXPECT_TRUE(primal.HasEdge(1, 2));
+  EXPECT_TRUE(primal.HasEdge(2, 3));
+  EXPECT_FALSE(primal.HasEdge(0, 3));
+}
+
+TEST(HypergraphTest, InducedByEdgesRemapsDensely) {
+  Hypergraph h;
+  h.num_vertices = 5;
+  h.edges = {{0, 1}, {2, 3}, {3, 4}};
+  Hypergraph sub = h.InducedByEdges({1, 2});
+  EXPECT_EQ(sub.num_vertices, 3u);
+  EXPECT_EQ(sub.edges.size(), 2u);
+}
+
+TEST(TreewidthTest, ExactValuesOnCanonicalGraphs) {
+  EXPECT_EQ(ExactTreewidth(PathGraph(6)), 1);
+  EXPECT_EQ(ExactTreewidth(CycleGraph(5)), 2);
+  EXPECT_EQ(ExactTreewidth(CliqueGraph(5)), 4);
+  EXPECT_EQ(ExactTreewidth(GridGraph(3, 4)), 3);
+  EXPECT_EQ(ExactTreewidth(Graph(3)), 0);  // Edgeless.
+  EXPECT_EQ(ExactTreewidth(Graph(0)), -1);
+}
+
+TEST(TreewidthTest, DecompositionFromOrderIsValid) {
+  Graph g = GridGraph(3, 3);
+  TreeDecomposition td = DecompositionFromOrder(g, MinFillOrder(g));
+  std::string error;
+  EXPECT_TRUE(td.IsValidFor(GraphToHypergraph(g), &error)) << error;
+  EXPECT_GE(td.Width(), 3);
+}
+
+TEST(TreewidthTest, ExactDecompositionIsValidAndOptimal) {
+  Graph g = CycleGraph(7);
+  TreeDecomposition td;
+  int tw = ExactTreewidth(g, &td);
+  EXPECT_EQ(tw, 2);
+  EXPECT_EQ(td.Width(), 2);
+  std::string error;
+  EXPECT_TRUE(td.IsValidFor(GraphToHypergraph(g), &error)) << error;
+}
+
+TEST(TreewidthTest, DecisionMatchesExact) {
+  Graph g = CliqueGraph(4);
+  EXPECT_FALSE(FindTreeDecompositionOfWidth(g, 2).has_value());
+  EXPECT_TRUE(FindTreeDecompositionOfWidth(g, 3).has_value());
+  bool exact = false;
+  EXPECT_TRUE(TreewidthAtMost(g, 3, &exact));
+  EXPECT_TRUE(exact);
+  EXPECT_FALSE(TreewidthAtMost(g, 2));
+}
+
+TEST(TreewidthTest, UpperBoundNeverBelowExact) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Graph g(8);
+    // Pseudo-random graph from the seed.
+    uint64_t state = seed * 0x9e3779b97f4a7c15 + 1;
+    for (int e = 0; e < 12; ++e) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      uint32_t a = (state >> 33) % 8;
+      uint32_t b = (state >> 13) % 8;
+      if (a != b) g.AddEdge(a, b);
+    }
+    EXPECT_GE(TreewidthUpperBound(g), ExactTreewidth(g));
+  }
+}
+
+TEST(TreeDecompositionValidation, DetectsBrokenDecompositions) {
+  Hypergraph h;
+  h.num_vertices = 3;
+  h.edges = {{0, 1}, {1, 2}};
+  TreeDecomposition td;
+  td.bags = {{0, 1}, {1, 2}};
+  td.edges = {{0, 1}};
+  EXPECT_TRUE(td.IsValidFor(h));
+  // Missing coverage.
+  TreeDecomposition bad1;
+  bad1.bags = {{0, 1}};
+  bad1.edges = {};
+  EXPECT_FALSE(bad1.IsValidFor(h));
+  // Disconnected occurrence of vertex 1.
+  TreeDecomposition bad2;
+  bad2.bags = {{0, 1}, {0, 2}, {1, 2}};
+  bad2.edges = {{0, 1}, {1, 2}};
+  EXPECT_FALSE(bad2.IsValidFor(h));
+}
+
+TEST(GyoTest, AcyclicAndCyclicHypergraphs) {
+  Hypergraph path;
+  path.num_vertices = 4;
+  path.edges = {{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_TRUE(IsAlphaAcyclic(path));
+
+  Hypergraph triangle;
+  triangle.num_vertices = 3;
+  triangle.edges = {{0, 1}, {1, 2}, {0, 2}};
+  EXPECT_FALSE(IsAlphaAcyclic(triangle));
+
+  // A covering 3-edge makes the triangle alpha-acyclic.
+  Hypergraph covered = triangle;
+  covered.edges.push_back({0, 1, 2});
+  EXPECT_TRUE(IsAlphaAcyclic(covered));
+}
+
+TEST(GyoTest, JoinTreeParentStructure) {
+  Hypergraph h;
+  h.num_vertices = 5;
+  h.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}};
+  JoinTree jt = GyoJoinTree(h);
+  ASSERT_TRUE(jt.acyclic);
+  EXPECT_EQ(jt.parent.size(), 4u);
+  EXPECT_EQ(jt.order.size(), 4u);
+  // Exactly one root.
+  int roots = 0;
+  for (uint32_t e = 0; e < jt.parent.size(); ++e) {
+    if (jt.parent[e] == e) ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST(GyoTest, DisconnectedAcyclicHypergraph) {
+  Hypergraph h;
+  h.num_vertices = 4;
+  h.edges = {{0, 1}, {2, 3}};
+  EXPECT_TRUE(IsAlphaAcyclic(h));
+}
+
+TEST(EdgeCoverTest, ExactCoverNumbers) {
+  Hypergraph h;
+  h.num_vertices = 4;
+  h.edges = {{0, 1}, {1, 2}, {2, 3}, {0, 1, 2}};
+  EXPECT_EQ(EdgeCoverNumber(h, {0, 1, 2}, 4), 1);
+  EXPECT_EQ(EdgeCoverNumber(h, {0, 1, 2, 3}, 4), 2);
+  EXPECT_EQ(EdgeCoverNumber(h, {3}, 4), 1);
+  // Uncoverable vertex.
+  Hypergraph h2;
+  h2.num_vertices = 2;
+  h2.edges = {{0}};
+  EXPECT_EQ(EdgeCoverNumber(h2, {1}, 4), -1);
+}
+
+TEST(HypertreeTest, AcyclicHasWidthOne) {
+  Hypergraph path;
+  path.num_vertices = 4;
+  path.edges = {{0, 1}, {1, 2}, {2, 3}};
+  HypertreeDecomposition hd;
+  EXPECT_EQ(GeneralizedHypertreeWidth(path, &hd), 1);
+  EXPECT_EQ(hd.Width(), 1);
+  std::string error;
+  EXPECT_TRUE(hd.td.IsValidFor(path, &error)) << error;
+}
+
+TEST(HypertreeTest, TriangleHasWidthTwoButCoveredTriangleOne) {
+  Hypergraph triangle;
+  triangle.num_vertices = 3;
+  triangle.edges = {{0, 1}, {1, 2}, {0, 2}};
+  EXPECT_EQ(GeneralizedHypertreeWidth(triangle), 2);
+  EXPECT_FALSE(FindHypertreeDecomposition(triangle, 1).has_value());
+  ASSERT_TRUE(FindHypertreeDecomposition(triangle, 2).has_value());
+
+  Hypergraph covered = triangle;
+  covered.edges.push_back({0, 1, 2});
+  EXPECT_EQ(GeneralizedHypertreeWidth(covered), 1);
+}
+
+TEST(HypertreeTest, CliqueOfBinaryEdges) {
+  // K5 with binary edges: tw = 4 but ghw = ceil(5/2) = 3.
+  Graph k5 = CliqueGraph(5);
+  Hypergraph h = GraphToHypergraph(k5);
+  EXPECT_EQ(GeneralizedHypertreeWidth(h), 3);
+}
+
+TEST(HypertreeTest, DecompositionCoversAreValid) {
+  Graph k4 = CliqueGraph(4);
+  Hypergraph h = GraphToHypergraph(k4);
+  HypertreeDecomposition hd;
+  int width = GeneralizedHypertreeWidth(h, &hd);
+  EXPECT_EQ(width, 2);
+  std::string error;
+  EXPECT_TRUE(hd.td.IsValidFor(h, &error)) << error;
+  ASSERT_EQ(hd.covers.size(), hd.td.bags.size());
+  for (size_t i = 0; i < hd.td.bags.size(); ++i) {
+    // Each bag vertex inside the union of its cover edges.
+    std::vector<bool> covered(h.num_vertices, false);
+    for (uint32_t e : hd.covers[i]) {
+      for (uint32_t v : h.edges[e]) covered[v] = true;
+    }
+    for (uint32_t v : hd.td.bags[i]) EXPECT_TRUE(covered[v]);
+  }
+}
+
+TEST(BetaHypertreeTest, SubqueryClosedness) {
+  // The triangle plus covering edge is alpha-acyclic but NOT beta-ghw 1:
+  // the sub-hypergraph {01, 12, 02} has ghw 2.
+  Hypergraph covered;
+  covered.num_vertices = 3;
+  covered.edges = {{0, 1}, {1, 2}, {0, 2}, {0, 1, 2}};
+  std::optional<bool> beta1 = BetaGhwAtMost(covered, 1);
+  ASSERT_TRUE(beta1.has_value());
+  EXPECT_FALSE(*beta1);
+  std::optional<bool> beta2 = BetaGhwAtMost(covered, 2);
+  ASSERT_TRUE(beta2.has_value());
+  EXPECT_TRUE(*beta2);
+
+  Hypergraph path;
+  path.num_vertices = 3;
+  path.edges = {{0, 1}, {1, 2}};
+  std::optional<bool> path_beta = BetaGhwAtMost(path, 1);
+  ASSERT_TRUE(path_beta.has_value());
+  EXPECT_TRUE(*path_beta);
+}
+
+}  // namespace
+}  // namespace wdpt

@@ -1,0 +1,187 @@
+// Coverage for the smaller surfaces: printers/ToString renderers,
+// tree-decomposition rooting, enumeration limits, and defensive paths.
+
+#include <gtest/gtest.h>
+
+#include "src/gen/cq_gen.h"
+#include "src/gen/db_gen.h"
+#include "src/hypergraph/tree_decomposition.h"
+#include "src/relational/rdf.h"
+#include "src/sparql/parser.h"
+#include "src/sparql/printer.h"
+#include "src/wdpt/enumerate.h"
+#include "src/wdpt/subtrees.h"
+
+namespace wdpt {
+namespace {
+
+TEST(RenderTest, CqToString) {
+  Schema schema;
+  Vocabulary vocab;
+  ConjunctiveQuery q = gen::MakePathCq(&schema, &vocab, 1, "rt");
+  q.free_vars = q.AllVariables();
+  std::string s = q.ToString(schema, vocab);
+  EXPECT_NE(s.find("Ans(?rt0, ?rt1)"), std::string::npos);
+  EXPECT_NE(s.find("E(?rt0, ?rt1)"), std::string::npos);
+}
+
+TEST(RenderTest, DatabaseToString) {
+  RdfContext ctx;
+  Database db = ctx.MakeDatabase();
+  ctx.AddTriple(&db, "a", "p", "b");
+  std::string s = db.ToString(ctx.vocab());
+  EXPECT_EQ(s, "triple(a, p, b)\n");
+}
+
+TEST(RenderTest, PatternTreeToString) {
+  RdfContext ctx;
+  Result<PatternTree> tree =
+      sparql::ParseQuery("(?x, p, ?y) OPT (?y, q, ?z)", &ctx);
+  ASSERT_TRUE(tree.ok());
+  std::string s = tree->ToString(ctx.schema(), ctx.vocab());
+  EXPECT_NE(s.find("WDPT(free: ?x, ?y, ?z)"), std::string::npos);
+  EXPECT_NE(s.find("- {triple(?x, p, ?y)}"), std::string::npos);
+  EXPECT_NE(s.find("  - {triple(?y, q, ?z)}"), std::string::npos);
+}
+
+TEST(RenderTest, AlgebraPrinterNonTernaryAtoms) {
+  Schema schema;
+  Vocabulary vocab;
+  RelationId r = *schema.AddRelation("Bin", 2);
+  PatternTree tree;
+  tree.AddAtom(PatternTree::kRoot,
+               Atom(r, {vocab.Variable("a"), vocab.Variable("b")}));
+  tree.SetFreeVariables({vocab.Variable("a").variable_id()});
+  ASSERT_TRUE(tree.Validate().ok());
+  std::string s = sparql::ToAlgebraString(tree, schema, vocab);
+  EXPECT_NE(s.find("SELECT ?a WHERE"), std::string::npos);
+  EXPECT_NE(s.find("Bin(?a, ?b)"), std::string::npos);
+}
+
+TEST(TreeDecompositionTest, RootAtProducesTopDownOrder) {
+  TreeDecomposition td;
+  td.bags = {{0}, {0, 1}, {1, 2}, {2, 3}};
+  td.edges = {{1, 0}, {1, 2}, {2, 3}};
+  std::vector<uint32_t> parent, order;
+  td.RootAt(2, &parent, &order);
+  EXPECT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(parent[2], 2u);
+  // Every node appears after its parent.
+  std::vector<uint32_t> position(4);
+  for (uint32_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (uint32_t n = 0; n < 4; ++n) {
+    if (n != 2u) {
+      EXPECT_LT(position[parent[n]], position[n]);
+    }
+  }
+}
+
+TEST(EnumerationLimitsTest, HomomorphismCapReported) {
+  Schema schema;
+  Vocabulary vocab;
+  gen::RandomGraphOptions gopts;
+  gopts.num_vertices = 10;
+  gopts.num_edges = 40;
+  gopts.seed = 5;
+  RelationId e;
+  Database db = gen::MakeRandomGraphDb(&schema, &vocab, gopts, &e);
+  // Projection-free edge query: one maximal hom per edge.
+  PatternTree tree;
+  tree.AddAtom(PatternTree::kRoot,
+               Atom(e, {vocab.Variable("lx"), vocab.Variable("ly")}));
+  tree.SetFreeVariables(tree.AllVariables());
+  ASSERT_TRUE(tree.Validate().ok());
+  EnumerationLimits limits;
+  limits.max_homomorphisms = 5;  // Fewer than the 40 maximal homs.
+  size_t delivered = 0;
+  Status status = ForEachMaximalHomomorphism(
+      tree, db,
+      [&](const Mapping&) {
+        ++delivered;
+        return true;
+      },
+      limits);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_LE(delivered, 6u);
+}
+
+TEST(EnumerationLimitsTest, CallbackEarlyStopIsNotAnError) {
+  Schema schema;
+  Vocabulary vocab;
+  gen::RandomGraphOptions gopts;
+  gopts.num_vertices = 10;
+  gopts.num_edges = 40;
+  gopts.seed = 5;
+  RelationId e;
+  Database db = gen::MakeRandomGraphDb(&schema, &vocab, gopts, &e);
+  PatternTree tree;
+  tree.AddAtom(PatternTree::kRoot,
+               Atom(e, {vocab.Variable("sx"), vocab.Variable("sy")}));
+  tree.SetFreeVariables(tree.AllVariables());
+  ASSERT_TRUE(tree.Validate().ok());
+  size_t delivered = 0;
+  Status status = ForEachMaximalHomomorphism(tree, db, [&](const Mapping&) {
+    return ++delivered < 3;
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(delivered, 3u);
+}
+
+TEST(EnumerationLimitsTest, ProjectedEvaluatorStepCap) {
+  Schema schema;
+  Vocabulary vocab;
+  gen::RandomGraphOptions gopts;
+  gopts.num_vertices = 12;
+  gopts.num_edges = 60;
+  gopts.seed = 6;
+  RelationId e;
+  Database db = gen::MakeRandomGraphDb(&schema, &vocab, gopts, &e);
+  PatternTree tree;
+  tree.AddAtom(PatternTree::kRoot,
+               Atom(e, {vocab.Variable("px"), vocab.Variable("py")}));
+  tree.AddChild(PatternTree::kRoot,
+                {Atom(e, {vocab.Variable("py"), vocab.Variable("pz")})});
+  tree.SetFreeVariables(tree.AllVariables());
+  ASSERT_TRUE(tree.Validate().ok());
+  EnumerationLimits limits;
+  limits.max_steps = 3;
+  Result<std::vector<Mapping>> answers =
+      EvaluateWdptProjected(tree, db, limits);
+  EXPECT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SubtreeErrorTest, SubtreeCapReported) {
+  RdfContext ctx;
+  PatternTree tree;
+  tree.AddAtom(PatternTree::kRoot, ctx.TriplePattern("?x", "p", "?y"));
+  for (int i = 0; i < 6; ++i) {
+    tree.AddChild(PatternTree::kRoot,
+                  {ctx.TriplePattern("?x", "q" + std::to_string(i),
+                                     "?z" + std::to_string(i))});
+  }
+  tree.SetFreeVariables(tree.AllVariables());
+  ASSERT_TRUE(tree.Validate().ok());
+  // 2^6 = 64 subtrees; cap below that.
+  EXPECT_FALSE(ForEachRootSubtree(tree, 10, [](const SubtreeMask&) {
+    return true;
+  }));
+  EXPECT_TRUE(ForEachRootSubtree(tree, 64, [](const SubtreeMask&) {
+    return true;
+  }));
+}
+
+TEST(VocabularyReserved, FrozenPrefixDoesNotCollide) {
+  // The canonical-database freezing uses the "_frz_" prefix; interning a
+  // user constant with that name shares the id (documented reservation),
+  // but fresh constants never collide.
+  Vocabulary vocab;
+  ConstantId a = vocab.FreshConstant("x");
+  ConstantId b = vocab.FreshConstant("x");
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace wdpt

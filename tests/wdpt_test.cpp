@@ -1,0 +1,249 @@
+// Tests for the pattern-tree structure, well-designedness validation,
+// subtree machinery and class checks.
+
+#include <gtest/gtest.h>
+
+#include "src/cq/cq.h"
+#include "src/gen/wdpt_gen.h"
+#include "src/relational/rdf.h"
+#include "src/wdpt/classify.h"
+#include "src/wdpt/pattern_tree.h"
+#include "src/wdpt/subtrees.h"
+
+namespace wdpt {
+namespace {
+
+// The Figure 1 WDPT of the paper.
+PatternTree MakeFigure1Tree(RdfContext* ctx) {
+  PatternTree tree;
+  tree.AddAtom(PatternTree::kRoot,
+               ctx->TriplePattern("?x", "recorded_by", "?y"));
+  tree.AddAtom(PatternTree::kRoot,
+               ctx->TriplePattern("?x", "published", "after_2010"));
+  tree.AddChild(PatternTree::kRoot,
+                {ctx->TriplePattern("?x", "NME_rating", "?z")});
+  tree.AddChild(PatternTree::kRoot,
+                {ctx->TriplePattern("?y", "formed_in", "?z2")});
+  tree.SetFreeVariables(tree.AllVariables());
+  WDPT_CHECK(tree.Validate().ok());
+  return tree;
+}
+
+TEST(PatternTreeTest, Figure1StructureAndSize) {
+  RdfContext ctx;
+  PatternTree tree = MakeFigure1Tree(&ctx);
+  EXPECT_EQ(tree.num_nodes(), 3u);
+  EXPECT_EQ(tree.children(PatternTree::kRoot).size(), 2u);
+  EXPECT_EQ(tree.label(PatternTree::kRoot).size(), 2u);
+  EXPECT_TRUE(tree.IsProjectionFree());
+  EXPECT_EQ(tree.AllVariables().size(), 4u);
+  EXPECT_GT(tree.Size(), 0u);
+  EXPECT_EQ(tree.depth(PatternTree::kRoot), 0u);
+  EXPECT_EQ(tree.depth(1), 1u);
+}
+
+TEST(PatternTreeTest, WellDesignednessViolationDetected) {
+  RdfContext ctx;
+  PatternTree tree;
+  tree.AddAtom(PatternTree::kRoot, ctx.TriplePattern("?x", "p", "?y"));
+  NodeId c1 = tree.AddChild(PatternTree::kRoot,
+                            {ctx.TriplePattern("?x", "q", "?z")});
+  // ?z occurs in two disconnected nodes (sibling of c1's parent path).
+  tree.AddChild(PatternTree::kRoot, {ctx.TriplePattern("?y", "r", "?z")});
+  (void)c1;
+  tree.SetFreeVariables(tree.AllVariables());
+  Status status = tree.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotWellDesigned);
+}
+
+TEST(PatternTreeTest, FreeVariableMustBeMentioned) {
+  RdfContext ctx;
+  PatternTree tree;
+  tree.AddAtom(PatternTree::kRoot, ctx.TriplePattern("?x", "p", "?y"));
+  tree.SetFreeVariables({ctx.vocab().Variable("ghost").variable_id()});
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(PatternTreeTest, TopNodeIsTopmostMention) {
+  RdfContext ctx;
+  PatternTree tree = MakeFigure1Tree(&ctx);
+  VariableId x = ctx.vocab().Variable("x").variable_id();
+  VariableId z = ctx.vocab().Variable("z").variable_id();
+  EXPECT_EQ(tree.TopNode(x), PatternTree::kRoot);
+  EXPECT_EQ(tree.TopNode(z), 1u);
+  EXPECT_EQ(tree.TopNode(ctx.vocab().Variable("nowhere").variable_id()),
+            PatternTree::kNoNode);
+}
+
+TEST(PatternTreeTest, ParentInterface) {
+  RdfContext ctx;
+  PatternTree tree = MakeFigure1Tree(&ctx);
+  VariableId x = ctx.vocab().Variable("x").variable_id();
+  VariableId y = ctx.vocab().Variable("y").variable_id();
+  EXPECT_EQ(tree.ParentInterface(1), (std::vector<VariableId>{x}));
+  EXPECT_EQ(tree.ParentInterface(2), (std::vector<VariableId>{y}));
+  EXPECT_TRUE(tree.ParentInterface(PatternTree::kRoot).empty());
+}
+
+TEST(PatternTreeTest, QueryOfFullTree) {
+  RdfContext ctx;
+  PatternTree tree = MakeFigure1Tree(&ctx);
+  ConjunctiveQuery q = tree.QueryOfFullTree();
+  EXPECT_EQ(q.atoms.size(), 4u);
+  EXPECT_EQ(q.free_vars.size(), 4u);
+}
+
+TEST(SubtreeTest, CountAndEnumerate) {
+  RdfContext ctx;
+  PatternTree tree = MakeFigure1Tree(&ctx);
+  // Root alone, root+c1, root+c2, all: 4 subtrees.
+  EXPECT_EQ(CountRootSubtrees(tree, 100), 4u);
+  size_t valid = 0;
+  ForEachRootSubtree(tree, 100, [&](const SubtreeMask& mask) {
+    EXPECT_TRUE(IsValidRootSubtree(tree, mask));
+    ++valid;
+    return true;
+  });
+  EXPECT_EQ(valid, 4u);
+}
+
+TEST(SubtreeTest, DeepChainSubtrees) {
+  RdfContext ctx;
+  PatternTree tree;
+  tree.AddAtom(PatternTree::kRoot, ctx.TriplePattern("?a0", "p", "?a1"));
+  NodeId cur = PatternTree::kRoot;
+  for (int i = 1; i <= 4; ++i) {
+    cur = tree.AddChild(
+        cur, {ctx.TriplePattern("?a" + std::to_string(i), "p",
+                                "?a" + std::to_string(i + 1))});
+  }
+  tree.SetFreeVariables(tree.AllVariables());
+  ASSERT_TRUE(tree.Validate().ok());
+  // A chain of 5 nodes has 5 rooted subtrees (prefixes).
+  EXPECT_EQ(CountRootSubtrees(tree, 100), 5u);
+}
+
+TEST(SubtreeTest, SubtreeQueriesAndProjection) {
+  RdfContext ctx;
+  PatternTree tree = MakeFigure1Tree(&ctx);
+  SubtreeMask mask(tree.num_nodes(), false);
+  mask[PatternTree::kRoot] = true;
+  mask[1] = true;
+  ConjunctiveQuery q = SubtreeQuery(tree, mask);
+  EXPECT_EQ(q.atoms.size(), 3u);
+  EXPECT_EQ(q.free_vars.size(), 3u);  // x, y, z (all subtree vars free).
+  ConjunctiveQuery r = SubtreeProjectedQuery(tree, mask);
+  EXPECT_EQ(r.free_vars.size(), 3u);  // Projection-free tree: same.
+}
+
+TEST(SubtreeTest, MinimalSubtreeContainingVariables) {
+  RdfContext ctx;
+  PatternTree tree = MakeFigure1Tree(&ctx);
+  VariableId z = ctx.vocab().Variable("z").variable_id();
+  SubtreeMask mask = MinimalSubtreeContaining(tree, {z});
+  EXPECT_TRUE(mask[PatternTree::kRoot]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_FALSE(mask[2]);
+  SubtreeMask root_only = MinimalSubtreeContaining(tree, {});
+  EXPECT_TRUE(root_only[PatternTree::kRoot]);
+  EXPECT_FALSE(root_only[1]);
+}
+
+TEST(SubtreeTest, MaximalSubtreeWithFreeVarsWithin) {
+  RdfContext ctx;
+  PatternTree tree = MakeFigure1Tree(&ctx);
+  VariableId x = ctx.vocab().Variable("x").variable_id();
+  VariableId y = ctx.vocab().Variable("y").variable_id();
+  VariableId z = ctx.vocab().Variable("z").variable_id();
+  // Allowing x, y, z forbids only z2's node.
+  SubtreeMask mask = MaximalSubtreeWithFreeVarsWithin(tree, {x, y, z});
+  EXPECT_TRUE(mask[PatternTree::kRoot]);
+  EXPECT_TRUE(mask[1]);
+  EXPECT_FALSE(mask[2]);
+  // Allowing nothing forbids the root itself (it introduces x and y).
+  SubtreeMask none = MaximalSubtreeWithFreeVarsWithin(tree, {});
+  EXPECT_FALSE(none[PatternTree::kRoot]);
+}
+
+TEST(ClassifyTest, Figure1IsLocallyTw1AndBi2) {
+  RdfContext ctx;
+  PatternTree tree = MakeFigure1Tree(&ctx);
+  Result<bool> local = IsLocallyInWidth(tree, WidthMeasure::kTreewidth, 1);
+  ASSERT_TRUE(local.ok());
+  EXPECT_TRUE(*local);  // Example 6 of the paper.
+  EXPECT_EQ(InterfaceWidth(tree), 2);  // x with child 1, y with child 2.
+  Result<bool> global = IsGloballyInWidth(tree, WidthMeasure::kTreewidth, 1);
+  ASSERT_TRUE(global.ok());
+  EXPECT_TRUE(*global);
+}
+
+TEST(ClassifyTest, GlobalTreewidthEqualsFullTreeCheck) {
+  // Proposition 2 direction: local tractability + bounded interface
+  // implies global tractability (with a larger constant).
+  Schema schema;
+  Vocabulary vocab;
+  gen::RandomWdptOptions opts;
+  opts.depth = 2;
+  opts.branching = 2;
+  opts.atoms_per_node = 3;
+  opts.interface_size = 1;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    opts.seed = seed;
+    PatternTree tree = gen::MakeRandomChainWdpt(&schema, &vocab, opts);
+    Result<bool> local = IsLocallyInWidth(tree, WidthMeasure::kTreewidth, 1);
+    ASSERT_TRUE(local.ok());
+    EXPECT_TRUE(*local);
+    int c = InterfaceWidth(tree);
+    Result<bool> global =
+        IsGloballyInWidth(tree, WidthMeasure::kTreewidth, 1 + 2 * c);
+    ASSERT_TRUE(global.ok());
+    EXPECT_TRUE(*global) << "seed " << seed << " c=" << c;
+  }
+}
+
+TEST(ClassifyTest, ClassificationSummary) {
+  RdfContext ctx;
+  PatternTree tree = MakeFigure1Tree(&ctx);
+  Result<WdptClassification> c = ClassifyWdpt(tree, 1);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->locally_tw_k);
+  EXPECT_TRUE(c->globally_tw_k);
+  EXPECT_TRUE(c->projection_free);
+  EXPECT_EQ(c->interface_width, 2);
+  EXPECT_EQ(c->local_treewidth, 1);
+}
+
+TEST(ClassifyTest, UnboundedInterfaceDetected) {
+  // A root with a child sharing many variables.
+  Schema schema;
+  Vocabulary vocab;
+  RelationId r5 = *schema.AddRelation("R5", 5);
+  std::vector<Term> vars;
+  for (int i = 0; i < 5; ++i) {
+    vars.push_back(vocab.Variable("iv" + std::to_string(i)));
+  }
+  PatternTree tree;
+  tree.AddAtom(PatternTree::kRoot, Atom(r5, vars));
+  tree.AddChild(PatternTree::kRoot, {Atom(r5, vars)});
+  tree.SetFreeVariables({});
+  ASSERT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(InterfaceWidth(tree), 5);
+}
+
+TEST(GenTest, RandomWdptRespectsRequestedShape) {
+  Schema schema;
+  Vocabulary vocab;
+  gen::RandomWdptOptions opts;
+  opts.depth = 3;
+  opts.branching = 2;
+  opts.atoms_per_node = 2;
+  opts.seed = 7;
+  PatternTree tree = gen::MakeRandomChainWdpt(&schema, &vocab, opts);
+  // 1 + 2 + 4 + 8 nodes.
+  EXPECT_EQ(tree.num_nodes(), 15u);
+  EXPECT_TRUE(tree.validated());
+}
+
+}  // namespace
+}  // namespace wdpt
