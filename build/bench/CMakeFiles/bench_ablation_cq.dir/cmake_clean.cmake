@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cq.dir/bench_ablation_cq.cpp.o"
+  "CMakeFiles/bench_ablation_cq.dir/bench_ablation_cq.cpp.o.d"
+  "bench_ablation_cq"
+  "bench_ablation_cq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_interface.dir/bench_ablation_interface.cpp.o"
+  "CMakeFiles/bench_ablation_interface.dir/bench_ablation_interface.cpp.o.d"
+  "bench_ablation_interface"
+  "bench_ablation_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_blowup.dir/bench_fig2_blowup.cpp.o"
+  "CMakeFiles/bench_fig2_blowup.dir/bench_fig2_blowup.cpp.o.d"
+  "bench_fig2_blowup"
+  "bench_fig2_blowup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_blowup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

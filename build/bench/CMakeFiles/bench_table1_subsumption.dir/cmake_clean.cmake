@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_subsumption.dir/bench_table1_subsumption.cpp.o"
+  "CMakeFiles/bench_table1_subsumption.dir/bench_table1_subsumption.cpp.o.d"
+  "bench_table1_subsumption"
+  "bench_table1_subsumption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_subsumption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_semantic.dir/bench_table2_semantic.cpp.o"
+  "CMakeFiles/bench_table2_semantic.dir/bench_table2_semantic.cpp.o.d"
+  "bench_table2_semantic"
+  "bench_table2_semantic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_semantic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/music_catalog.dir/music_catalog.cpp.o"
+  "CMakeFiles/music_catalog.dir/music_catalog.cpp.o.d"
+  "music_catalog"
+  "music_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/music_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

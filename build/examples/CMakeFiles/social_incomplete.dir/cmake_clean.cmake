@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_incomplete.dir/social_incomplete.cpp.o"
+  "CMakeFiles/social_incomplete.dir/social_incomplete.cpp.o.d"
+  "social_incomplete"
+  "social_incomplete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_incomplete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/fpt_eval.cpp" "src/CMakeFiles/wdpt.dir/analysis/fpt_eval.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/analysis/fpt_eval.cpp.o.d"
+  "/root/repo/src/analysis/semantic.cpp" "src/CMakeFiles/wdpt.dir/analysis/semantic.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/analysis/semantic.cpp.o.d"
+  "/root/repo/src/analysis/subsumption.cpp" "src/CMakeFiles/wdpt.dir/analysis/subsumption.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/analysis/subsumption.cpp.o.d"
+  "/root/repo/src/analysis/wb.cpp" "src/CMakeFiles/wdpt.dir/analysis/wb.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/analysis/wb.cpp.o.d"
+  "/root/repo/src/approx/blowup.cpp" "src/CMakeFiles/wdpt.dir/approx/blowup.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/approx/blowup.cpp.o.d"
+  "/root/repo/src/approx/wdpt_approx.cpp" "src/CMakeFiles/wdpt.dir/approx/wdpt_approx.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/approx/wdpt_approx.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/wdpt.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/wdpt.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/common/strings.cpp.o.d"
+  "/root/repo/src/cq/approximation.cpp" "src/CMakeFiles/wdpt.dir/cq/approximation.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/cq/approximation.cpp.o.d"
+  "/root/repo/src/cq/containment.cpp" "src/CMakeFiles/wdpt.dir/cq/containment.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/cq/containment.cpp.o.d"
+  "/root/repo/src/cq/core.cpp" "src/CMakeFiles/wdpt.dir/cq/core.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/cq/core.cpp.o.d"
+  "/root/repo/src/cq/cq.cpp" "src/CMakeFiles/wdpt.dir/cq/cq.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/cq/cq.cpp.o.d"
+  "/root/repo/src/cq/evaluation.cpp" "src/CMakeFiles/wdpt.dir/cq/evaluation.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/cq/evaluation.cpp.o.d"
+  "/root/repo/src/cq/homomorphism.cpp" "src/CMakeFiles/wdpt.dir/cq/homomorphism.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/cq/homomorphism.cpp.o.d"
+  "/root/repo/src/cq/quotient.cpp" "src/CMakeFiles/wdpt.dir/cq/quotient.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/cq/quotient.cpp.o.d"
+  "/root/repo/src/gen/cq_gen.cpp" "src/CMakeFiles/wdpt.dir/gen/cq_gen.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/gen/cq_gen.cpp.o.d"
+  "/root/repo/src/gen/db_gen.cpp" "src/CMakeFiles/wdpt.dir/gen/db_gen.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/gen/db_gen.cpp.o.d"
+  "/root/repo/src/gen/reductions.cpp" "src/CMakeFiles/wdpt.dir/gen/reductions.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/gen/reductions.cpp.o.d"
+  "/root/repo/src/gen/wdpt_gen.cpp" "src/CMakeFiles/wdpt.dir/gen/wdpt_gen.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/gen/wdpt_gen.cpp.o.d"
+  "/root/repo/src/hypergraph/gyo.cpp" "src/CMakeFiles/wdpt.dir/hypergraph/gyo.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/hypergraph/gyo.cpp.o.d"
+  "/root/repo/src/hypergraph/hypergraph.cpp" "src/CMakeFiles/wdpt.dir/hypergraph/hypergraph.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/hypergraph/hypergraph.cpp.o.d"
+  "/root/repo/src/hypergraph/hypertree.cpp" "src/CMakeFiles/wdpt.dir/hypergraph/hypertree.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/hypergraph/hypertree.cpp.o.d"
+  "/root/repo/src/hypergraph/tree_decomposition.cpp" "src/CMakeFiles/wdpt.dir/hypergraph/tree_decomposition.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/hypergraph/tree_decomposition.cpp.o.d"
+  "/root/repo/src/hypergraph/treewidth.cpp" "src/CMakeFiles/wdpt.dir/hypergraph/treewidth.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/hypergraph/treewidth.cpp.o.d"
+  "/root/repo/src/relational/atom.cpp" "src/CMakeFiles/wdpt.dir/relational/atom.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/relational/atom.cpp.o.d"
+  "/root/repo/src/relational/database.cpp" "src/CMakeFiles/wdpt.dir/relational/database.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/relational/database.cpp.o.d"
+  "/root/repo/src/relational/mapping.cpp" "src/CMakeFiles/wdpt.dir/relational/mapping.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/relational/mapping.cpp.o.d"
+  "/root/repo/src/relational/rdf.cpp" "src/CMakeFiles/wdpt.dir/relational/rdf.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/relational/rdf.cpp.o.d"
+  "/root/repo/src/relational/schema.cpp" "src/CMakeFiles/wdpt.dir/relational/schema.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/relational/schema.cpp.o.d"
+  "/root/repo/src/relational/term.cpp" "src/CMakeFiles/wdpt.dir/relational/term.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/relational/term.cpp.o.d"
+  "/root/repo/src/sparql/data_loader.cpp" "src/CMakeFiles/wdpt.dir/sparql/data_loader.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/sparql/data_loader.cpp.o.d"
+  "/root/repo/src/sparql/lexer.cpp" "src/CMakeFiles/wdpt.dir/sparql/lexer.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/sparql/lexer.cpp.o.d"
+  "/root/repo/src/sparql/parser.cpp" "src/CMakeFiles/wdpt.dir/sparql/parser.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/sparql/parser.cpp.o.d"
+  "/root/repo/src/sparql/printer.cpp" "src/CMakeFiles/wdpt.dir/sparql/printer.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/sparql/printer.cpp.o.d"
+  "/root/repo/src/sparql/reify.cpp" "src/CMakeFiles/wdpt.dir/sparql/reify.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/sparql/reify.cpp.o.d"
+  "/root/repo/src/uwdpt/approx.cpp" "src/CMakeFiles/wdpt.dir/uwdpt/approx.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/uwdpt/approx.cpp.o.d"
+  "/root/repo/src/uwdpt/semantic.cpp" "src/CMakeFiles/wdpt.dir/uwdpt/semantic.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/uwdpt/semantic.cpp.o.d"
+  "/root/repo/src/uwdpt/subsumption.cpp" "src/CMakeFiles/wdpt.dir/uwdpt/subsumption.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/uwdpt/subsumption.cpp.o.d"
+  "/root/repo/src/uwdpt/to_ucq.cpp" "src/CMakeFiles/wdpt.dir/uwdpt/to_ucq.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/uwdpt/to_ucq.cpp.o.d"
+  "/root/repo/src/uwdpt/uwdpt.cpp" "src/CMakeFiles/wdpt.dir/uwdpt/uwdpt.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/uwdpt/uwdpt.cpp.o.d"
+  "/root/repo/src/wdpt/classify.cpp" "src/CMakeFiles/wdpt.dir/wdpt/classify.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/wdpt/classify.cpp.o.d"
+  "/root/repo/src/wdpt/decomposition.cpp" "src/CMakeFiles/wdpt.dir/wdpt/decomposition.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/wdpt/decomposition.cpp.o.d"
+  "/root/repo/src/wdpt/enumerate.cpp" "src/CMakeFiles/wdpt.dir/wdpt/enumerate.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/wdpt/enumerate.cpp.o.d"
+  "/root/repo/src/wdpt/eval_max.cpp" "src/CMakeFiles/wdpt.dir/wdpt/eval_max.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/wdpt/eval_max.cpp.o.d"
+  "/root/repo/src/wdpt/eval_naive.cpp" "src/CMakeFiles/wdpt.dir/wdpt/eval_naive.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/wdpt/eval_naive.cpp.o.d"
+  "/root/repo/src/wdpt/eval_partial.cpp" "src/CMakeFiles/wdpt.dir/wdpt/eval_partial.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/wdpt/eval_partial.cpp.o.d"
+  "/root/repo/src/wdpt/eval_projection_free.cpp" "src/CMakeFiles/wdpt.dir/wdpt/eval_projection_free.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/wdpt/eval_projection_free.cpp.o.d"
+  "/root/repo/src/wdpt/eval_tractable.cpp" "src/CMakeFiles/wdpt.dir/wdpt/eval_tractable.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/wdpt/eval_tractable.cpp.o.d"
+  "/root/repo/src/wdpt/pattern_tree.cpp" "src/CMakeFiles/wdpt.dir/wdpt/pattern_tree.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/wdpt/pattern_tree.cpp.o.d"
+  "/root/repo/src/wdpt/subtrees.cpp" "src/CMakeFiles/wdpt.dir/wdpt/subtrees.cpp.o" "gcc" "src/CMakeFiles/wdpt.dir/wdpt/subtrees.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

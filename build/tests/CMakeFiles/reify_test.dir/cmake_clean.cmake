@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reify_test.dir/reify_test.cpp.o"
+  "CMakeFiles/reify_test.dir/reify_test.cpp.o.d"
+  "reify_test"
+  "reify_test.pdb"
+  "reify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

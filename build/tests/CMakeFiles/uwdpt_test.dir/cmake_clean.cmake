@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uwdpt_test.dir/uwdpt_test.cpp.o"
+  "CMakeFiles/uwdpt_test.dir/uwdpt_test.cpp.o.d"
+  "uwdpt_test"
+  "uwdpt_test.pdb"
+  "uwdpt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uwdpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdpt_eval_test.dir/wdpt_eval_test.cpp.o"
+  "CMakeFiles/wdpt_eval_test.dir/wdpt_eval_test.cpp.o.d"
+  "wdpt_eval_test"
+  "wdpt_eval_test.pdb"
+  "wdpt_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdpt_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

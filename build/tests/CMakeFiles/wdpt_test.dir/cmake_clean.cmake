@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdpt_test.dir/wdpt_test.cpp.o"
+  "CMakeFiles/wdpt_test.dir/wdpt_test.cpp.o.d"
+  "wdpt_test"
+  "wdpt_test.pdb"
+  "wdpt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

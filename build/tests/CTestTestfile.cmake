@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/hypergraph_test[1]_include.cmake")
+include("/root/repo/build/tests/cq_test[1]_include.cmake")
+include("/root/repo/build/tests/wdpt_test[1]_include.cmake")
+include("/root/repo/build/tests/wdpt_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/subsumption_test[1]_include.cmake")
+include("/root/repo/build/tests/semantic_test[1]_include.cmake")
+include("/root/repo/build/tests/uwdpt_test[1]_include.cmake")
+include("/root/repo/build/tests/sparql_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_examples_test[1]_include.cmake")
+include("/root/repo/build/tests/reify_test[1]_include.cmake")
+include("/root/repo/build/tests/cq_property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/wdpt_property_test[1]_include.cmake")
+include("/root/repo/build/tests/decomposition_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_extra_test[1]_include.cmake")

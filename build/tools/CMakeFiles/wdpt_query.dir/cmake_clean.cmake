@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdpt_query.dir/wdpt_query.cpp.o"
+  "CMakeFiles/wdpt_query.dir/wdpt_query.cpp.o.d"
+  "wdpt_query"
+  "wdpt_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdpt_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
