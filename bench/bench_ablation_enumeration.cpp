@@ -16,6 +16,7 @@
 
 #include "src/gen/cq_gen.h"
 #include "src/gen/db_gen.h"
+#include "src/engine/engine.h"
 #include "src/wdpt/enumerate.h"
 
 namespace wdpt::bench {
@@ -70,9 +71,9 @@ void BM_Enumerate_Projected(benchmark::State& state) {
   Instance inst(static_cast<uint32_t>(state.range(0)), /*vertices=*/30,
                 /*degree=*/4);
   size_t answers = 0;
+  Engine engine;
   for (auto _ : state) {
-    Result<std::vector<Mapping>> r =
-        EvaluateWdptProjected(inst.tree, inst.db);
+    Result<std::vector<Mapping>> r = engine.Enumerate(inst.tree, inst.db);
     WDPT_CHECK(r.ok());
     answers = r->size();
     benchmark::DoNotOptimize(r);
@@ -84,9 +85,9 @@ BENCHMARK(BM_Enumerate_Projected)->DenseRange(1, 4)->DenseRange(6, 10, 2);
 void BM_Enumerate_Projected_DbSweep(benchmark::State& state) {
   Instance inst(/*branches=*/3, static_cast<uint32_t>(state.range(0)),
                 /*degree=*/4);
+  Engine engine;
   for (auto _ : state) {
-    Result<std::vector<Mapping>> r =
-        EvaluateWdptProjected(inst.tree, inst.db);
+    Result<std::vector<Mapping>> r = engine.Enumerate(inst.tree, inst.db);
     WDPT_CHECK(r.ok());
     benchmark::DoNotOptimize(r);
   }

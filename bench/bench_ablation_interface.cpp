@@ -16,7 +16,7 @@
 #include "src/gen/db_gen.h"
 #include "bench/bench_util.h"
 #include "src/wdpt/classify.h"
-#include "src/wdpt/eval_tractable.h"
+#include "src/engine/engine.h"
 
 namespace wdpt::bench {
 namespace {
@@ -63,8 +63,11 @@ void BM_InterfaceWidthSweep(benchmark::State& state) {
   uint32_t c = static_cast<uint32_t>(state.range(0));
   InterfaceInstance inst(c, /*db_vertices=*/40, /*seed=*/31);
   Mapping h = FirstAnswer(inst.tree, inst.db);
+  Engine engine;
+  EvalOptions opts;
+  opts.algorithm = EvalAlgorithm::kTractableDP;
   for (auto _ : state) {
-    Result<bool> r = EvalTractable(inst.tree, inst.db, h);
+    Result<bool> r = engine.Eval(inst.tree, inst.db, h, opts);
     WDPT_CHECK(r.ok());
     benchmark::DoNotOptimize(r);
   }
@@ -77,8 +80,11 @@ void BM_InterfaceDbSweep_SmallC(benchmark::State& state) {
   uint32_t n = static_cast<uint32_t>(state.range(0));
   InterfaceInstance inst(/*c=*/1, n, /*seed=*/33);
   Mapping h = FirstAnswer(inst.tree, inst.db);
+  Engine engine;
+  EvalOptions opts;
+  opts.algorithm = EvalAlgorithm::kTractableDP;
   for (auto _ : state) {
-    Result<bool> r = EvalTractable(inst.tree, inst.db, h);
+    Result<bool> r = engine.Eval(inst.tree, inst.db, h, opts);
     WDPT_CHECK(r.ok());
     benchmark::DoNotOptimize(r);
   }
@@ -90,8 +96,11 @@ void BM_InterfaceDbSweep_LargeC(benchmark::State& state) {
   uint32_t n = static_cast<uint32_t>(state.range(0));
   InterfaceInstance inst(/*c=*/3, n, /*seed=*/34);
   Mapping h = FirstAnswer(inst.tree, inst.db);
+  Engine engine;
+  EvalOptions opts;
+  opts.algorithm = EvalAlgorithm::kTractableDP;
   for (auto _ : state) {
-    Result<bool> r = EvalTractable(inst.tree, inst.db, h);
+    Result<bool> r = engine.Eval(inst.tree, inst.db, h, opts);
     WDPT_CHECK(r.ok());
     benchmark::DoNotOptimize(r);
   }

@@ -8,15 +8,16 @@
 //
 // Run: ./build/examples/music_catalog [num_bands]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "src/engine/engine.h"
 #include "src/gen/db_gen.h"
 #include "src/relational/rdf.h"
 #include "src/sparql/parser.h"
-#include "src/wdpt/enumerate.h"
-#include "src/wdpt/eval_partial.h"
 
 int main(int argc, char** argv) {
   using namespace wdpt;
@@ -42,7 +43,8 @@ int main(int argc, char** argv) {
   WDPT_CHECK(parsed.ok());
   PatternTree tree = std::move(*parsed);
 
-  Result<std::vector<Mapping>> answers = EvaluateWdpt(tree, db);
+  Engine engine;
+  Result<std::vector<Mapping>> answers = engine.Enumerate(tree, db);
   WDPT_CHECK(answers.ok());
 
   VariableId rating = ctx.vocab().Variable("rating").variable_id();
@@ -76,13 +78,24 @@ int main(int argc, char** argv) {
 
   // Partial-answer lookup: which bands have at least one qualifying
   // record (PARTIAL-EVAL drives an autocomplete-style check without
-  // enumerating everything).
-  Mapping probe;
-  probe.Bind(ctx.vocab().Variable("band").variable_id(),
-             ctx.vocab().Constant("band0").constant_id());
-  Result<bool> partial = PartialEval(tree, db, probe);
+  // enumerating everything). The probes run as one engine batch across
+  // the thread pool.
+  VariableId band_var = ctx.vocab().Variable("band").variable_id();
+  std::vector<Mapping> probes;
+  for (uint32_t i = 0; i < std::min(num_bands, 8u); ++i) {
+    Mapping probe;
+    probe.Bind(band_var,
+               ctx.vocab().Constant("band" + std::to_string(i)).constant_id());
+    probes.push_back(std::move(probe));
+  }
+  EvalOptions partial_options;
+  partial_options.semantics = EvalSemantics::kPartial;
+  Result<std::vector<bool>> partial =
+      engine.EvalBatch(tree, db, probes, partial_options);
   WDPT_CHECK(partial.ok());
-  std::printf("PARTIAL-EVAL(band = band0): %s\n",
-              *partial ? "has qualifying records" : "no records");
+  for (size_t i = 0; i < probes.size(); ++i) {
+    std::printf("PARTIAL-EVAL(band = band%zu): %s\n", i,
+                (*partial)[i] ? "has qualifying records" : "no records");
+  }
   return 0;
 }

@@ -21,7 +21,7 @@
 #include "src/gen/db_gen.h"
 #include "src/uwdpt/approx.h"
 #include "src/uwdpt/semantic.h"
-#include "src/wdpt/enumerate.h"
+#include "src/engine/engine.h"
 
 int main() {
   using namespace wdpt;
@@ -87,17 +87,18 @@ int main() {
 
   // Compare original vs approximation on a random graph: the
   // approximation is sound (answers subsumed by the original's answers).
+  Engine engine;
   gen::RandomGraphOptions gopts;
   gopts.num_vertices = 40;
   gopts.num_edges = 160;
   gopts.seed = 5;
   RelationId e2;
   Database db = gen::MakeRandomGraphDb(&schema, &vocab, gopts, &e2);
-  Result<std::vector<Mapping>> exact = EvaluateWdpt(rigid, db);
+  Result<std::vector<Mapping>> exact = engine.Enumerate(rigid, db);
   WDPT_CHECK(exact.ok());
   if (!approx->empty()) {
     Result<std::vector<Mapping>> approximate =
-        EvaluateWdpt((*approx)[0], db);
+        engine.Enumerate((*approx)[0], db);
     WDPT_CHECK(approximate.ok());
     size_t sound = 0;
     for (const Mapping& m : *approximate) {

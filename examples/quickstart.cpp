@@ -10,15 +10,11 @@
 #include <cstdio>
 #include <string>
 
+#include "src/engine/engine.h"
 #include "src/relational/rdf.h"
 #include "src/sparql/data_loader.h"
 #include "src/sparql/parser.h"
 #include "src/sparql/printer.h"
-#include "src/wdpt/classify.h"
-#include "src/wdpt/enumerate.h"
-#include "src/wdpt/eval_max.h"
-#include "src/wdpt/eval_partial.h"
-#include "src/wdpt/eval_tractable.h"
 
 namespace {
 
@@ -58,18 +54,23 @@ int main() {
   std::printf("Database (%zu triples):\n%s\n", db.TotalFacts(),
               db.ToString(ctx.vocab()).c_str());
 
-  // 3. Classify: locally TW(1), interface width 2 (Example 6).
-  Result<WdptClassification> cls = ClassifyWdpt(tree, 1);
-  WDPT_CHECK(cls.ok());
+  // 3. Classify via the engine's plan: locally TW(1), interface width 2
+  // (Example 6). The plan is cached; later calls on the same tree hit it.
+  Engine engine;
+  Result<std::shared_ptr<const Plan>> plan =
+      engine.GetPlan(tree, PlanOptions{1, EvalAlgorithm::kAuto});
+  WDPT_CHECK(plan.ok());
+  const WdptClassification& cls = (*plan)->classification();
   std::printf(
       "Classification: locally TW(1)=%s, interface width=%d, "
-      "globally TW(1)=%s, projection-free=%s\n\n",
-      cls->locally_tw_k ? "yes" : "no", cls->interface_width,
-      cls->globally_tw_k ? "yes" : "no",
-      cls->projection_free ? "yes" : "no");
+      "globally TW(1)=%s, projection-free=%s, algorithm=%s\n\n",
+      cls.locally_tw_k ? "yes" : "no", cls.interface_width,
+      cls.globally_tw_k ? "yes" : "no",
+      cls.projection_free ? "yes" : "no",
+      EvalAlgorithmName((*plan)->algorithm()));
 
   // 4. Evaluate: p(D) per Example 2.
-  Result<std::vector<Mapping>> answers = EvaluateWdpt(tree, db);
+  Result<std::vector<Mapping>> answers = engine.Enumerate(tree, db);
   WDPT_CHECK(answers.ok());
   std::printf("p(D) (Example 2): %zu answers\n", answers->size());
   for (const Mapping& m : *answers) {
@@ -80,8 +81,11 @@ int main() {
   tree.SetFreeVariables({ctx.vocab().Variable("y").variable_id(),
                          ctx.vocab().Variable("z").variable_id()});
   WDPT_CHECK(tree.Validate().ok());
-  Result<std::vector<Mapping>> projected = EvaluateWdpt(tree, db);
-  Result<std::vector<Mapping>> maximal = EvaluateWdptMaximal(tree, db);
+  Result<std::vector<Mapping>> projected = engine.Enumerate(tree, db);
+  EnumerateOptions maximal_options;
+  maximal_options.maximal = true;
+  Result<std::vector<Mapping>> maximal =
+      engine.Enumerate(tree, db, maximal_options);
   WDPT_CHECK(projected.ok() && maximal.ok());
   std::printf("\nProjected to {y, z} (Example 7):\n  p(D):\n");
   for (const Mapping& m : *projected) {
@@ -96,9 +100,12 @@ int main() {
   Mapping candidate;
   candidate.Bind(ctx.vocab().Variable("y").variable_id(),
                  ctx.vocab().Constant("Caribou").constant_id());
-  Result<bool> eval = EvalTractable(tree, db, candidate);
-  Result<bool> partial = PartialEval(tree, db, candidate);
-  Result<bool> max = MaxEval(tree, db, candidate);
+  EvalOptions eval_options;
+  Result<bool> eval = engine.Eval(tree, db, candidate, eval_options);
+  eval_options.semantics = EvalSemantics::kPartial;
+  Result<bool> partial = engine.Eval(tree, db, candidate, eval_options);
+  eval_options.semantics = EvalSemantics::kMaximal;
+  Result<bool> max = engine.Eval(tree, db, candidate, eval_options);
   WDPT_CHECK(eval.ok() && partial.ok() && max.ok());
   std::printf("\nFor h = %s:\n  EVAL (h in p(D)):        %s\n"
               "  PARTIAL-EVAL:            %s\n"

@@ -9,17 +9,16 @@
 //
 // Run: ./build/examples/social_incomplete [num_people]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <random>
 #include <string>
+#include <vector>
 
+#include "src/engine/engine.h"
 #include "src/relational/database.h"
 #include "src/relational/schema.h"
-#include "src/wdpt/classify.h"
-#include "src/wdpt/enumerate.h"
-#include "src/wdpt/eval_naive.h"
-#include "src/wdpt/eval_tractable.h"
 #include "src/wdpt/pattern_tree.h"
 
 int main(int argc, char** argv) {
@@ -76,30 +75,44 @@ int main(int argc, char** argv) {
   tree.SetFreeVariables(tree.AllVariables());
   WDPT_CHECK(tree.Validate().ok());
 
-  Result<WdptClassification> cls = ClassifyWdpt(tree, 1);
-  WDPT_CHECK(cls.ok());
+  Engine engine;
+  Result<std::shared_ptr<const Plan>> plan =
+      engine.GetPlan(tree, PlanOptions{1, EvalAlgorithm::kAuto});
+  WDPT_CHECK(plan.ok());
+  const WdptClassification& cls = (*plan)->classification();
   std::printf("query class: l-TW(1)=%s, BI(%d), g-TW(1)=%s\n",
-              cls->locally_tw_k ? "yes" : "no", cls->interface_width,
-              cls->globally_tw_k ? "yes" : "no");
+              cls.locally_tw_k ? "yes" : "no", cls.interface_width,
+              cls.globally_tw_k ? "yes" : "no");
 
-  Result<std::vector<Mapping>> answers = EvaluateWdpt(tree, db);
+  Result<std::vector<Mapping>> answers = engine.Enumerate(tree, db);
   WDPT_CHECK(answers.ok());
-  Result<std::vector<Mapping>> maximal = EvaluateWdptMaximal(tree, db);
+  EnumerateOptions maximal_options;
+  maximal_options.maximal = true;
+  Result<std::vector<Mapping>> maximal =
+      engine.Enumerate(tree, db, maximal_options);
   WDPT_CHECK(maximal.ok());
   std::printf("answers: %zu under p(D), %zu under p_m(D)\n",
               answers->size(), maximal->size());
 
-  // Cross-check the two EVAL algorithms on a few sampled answers.
-  size_t checked = 0;
-  for (const Mapping& m : *answers) {
-    if (++checked > 5) break;
-    Result<bool> naive = EvalNaive(tree, db, m);
-    Result<bool> tractable = EvalTractable(tree, db, m);
-    WDPT_CHECK(naive.ok() && tractable.ok());
-    WDPT_CHECK(*naive && *tractable);
+  // Cross-check the two EVAL algorithms on a few sampled answers, each
+  // side evaluated as one engine batch over the thread pool.
+  std::vector<Mapping> sample(answers->begin(),
+                              answers->begin() +
+                                  std::min<size_t>(answers->size(), 5));
+  EvalOptions naive_options;
+  naive_options.algorithm = EvalAlgorithm::kNaive;
+  EvalOptions dp_options;
+  dp_options.algorithm = EvalAlgorithm::kTractableDP;
+  Result<std::vector<bool>> naive =
+      engine.EvalBatch(tree, db, sample, naive_options);
+  Result<std::vector<bool>> tractable =
+      engine.EvalBatch(tree, db, sample, dp_options);
+  WDPT_CHECK(naive.ok() && tractable.ok());
+  for (size_t i = 0; i < sample.size(); ++i) {
+    WDPT_CHECK((*naive)[i] && (*tractable)[i]);
   }
   std::printf("EVAL cross-check on %zu answers: naive == tractable\n",
-              checked);
+              sample.size());
 
   // Show the richest answers (most bindings).
   size_t best = 0;

@@ -38,8 +38,10 @@ PatternTree RebuildTree(const PatternTree& tree,
 
 }  // namespace
 
-PatternTree Lemma1Prune(const PatternTree& tree) {
-  WDPT_CHECK(tree.validated());
+Result<PatternTree> Lemma1Prune(const PatternTree& tree) {
+  if (!tree.validated()) {
+    return Status::InvalidArgument("pattern tree must be validated");
+  }
   // Nodes introducing a free variable.
   std::vector<bool> introduces(tree.num_nodes(), false);
   for (VariableId v : tree.free_vars()) {
@@ -90,7 +92,11 @@ PatternTree Lemma1Prune(const PatternTree& tree) {
   PatternTree out = RebuildTree(tree, kept, labels, attach_parent);
   out.NormalizeLabels();
   Status status = out.Validate();
-  WDPT_CHECK(status.ok());  // Pruning preserves well-designedness.
+  if (!status.ok()) {
+    // Pruning preserves well-designedness; reaching this is a bug.
+    return Status::Internal("pruned tree failed validation: " +
+                            status.message());
+  }
   return out;
 }
 
@@ -101,7 +107,9 @@ Result<PatternTree> Lemma1Shrink(const PatternTree& p_prime,
   if (!p_prime.validated() || !p.validated()) {
     return Status::InvalidArgument("pattern trees must be validated");
   }
-  PatternTree pruned = Lemma1Prune(p_prime);
+  Result<PatternTree> pruned_result = Lemma1Prune(p_prime);
+  if (!pruned_result.ok()) return pruned_result.status();
+  PatternTree pruned = std::move(*pruned_result);
 
   // used[n][i]: atom i of node n appears in the image of some witness.
   std::vector<std::vector<bool>> used(pruned.num_nodes());
@@ -202,8 +210,12 @@ Result<PatternTree> Lemma1Shrink(const PatternTree& p_prime,
   return restricted;
 }
 
-bool ForEachWdptQuotient(const PatternTree& tree, uint64_t max_partitions,
-                         const std::function<bool(const PatternTree&)>& cb) {
+Result<bool> ForEachWdptQuotient(
+    const PatternTree& tree, uint64_t max_partitions,
+    const std::function<bool(const PatternTree&)>& cb) {
+  if (!tree.validated()) {
+    return Status::InvalidArgument("pattern tree must be validated");
+  }
   std::vector<VariableId> vars = tree.AllVariables();
   const size_t n = vars.size();
   std::vector<bool> is_free(n, false);
@@ -290,16 +302,23 @@ Result<std::optional<PatternTree>> FindSubsumptionEquivalentInWB(
     return Status::InvalidArgument("pattern tree must be validated");
   }
   // Fast path: p itself (pruned) is already in WB(k).
-  PatternTree pruned = Lemma1Prune(tree);
+  Result<PatternTree> pruned_result = Lemma1Prune(tree);
+  if (!pruned_result.ok()) return pruned_result.status();
+  PatternTree pruned = std::move(*pruned_result);
   Result<bool> in_wb = IsInWB(pruned, measure, k);
   if (!in_wb.ok()) return in_wb.status();
   if (*in_wb) return std::optional<PatternTree>(pruned);
 
   std::optional<PatternTree> witness;
   Status failure = Status::Ok();
-  bool complete = ForEachWdptQuotient(
+  Result<bool> complete = ForEachWdptQuotient(
       pruned, options.max_partitions, [&](const PatternTree& quotient) {
-        PatternTree candidate = Lemma1Prune(quotient);
+        Result<PatternTree> candidate_result = Lemma1Prune(quotient);
+        if (!candidate_result.ok()) {
+          failure = candidate_result.status();
+          return false;
+        }
+        PatternTree candidate = std::move(*candidate_result);
         Result<bool> ok = IsInWB(candidate, measure, k);
         if (!ok.ok()) {
           failure = ok.status();
@@ -337,8 +356,9 @@ Result<std::optional<PatternTree>> FindSubsumptionEquivalentInWB(
         return true;
       });
   if (!failure.ok()) return failure;
+  if (!complete.ok()) return complete.status();
   if (witness.has_value()) return witness;
-  if (!complete) {
+  if (!*complete) {
     return Status::ResourceExhausted(
         "quotient enumeration exceeded max_partitions");
   }

@@ -30,7 +30,8 @@ namespace wdpt {
 /// less node with its only child. The result is subsumption-equivalent to
 /// the input (partial and maximal answers are preserved) and has at most
 /// linearly many nodes in the number of free variables.
-PatternTree Lemma1Prune(const PatternTree& tree);
+/// kInvalidArgument if `tree` is not validated.
+Result<PatternTree> Lemma1Prune(const PatternTree& tree);
 
 /// Full Lemma 1 shrinking: given p' [= p, builds p'' with
 /// p' [= p'' [= p by pruning p' and then deleting every atom of p' that
@@ -48,10 +49,12 @@ Result<PatternTree> Lemma1Shrink(const PatternTree& p_prime,
 
 /// Enumerates quotients of the WDPT: variable partitions with at most one
 /// free variable per class, applied to every label. Quotients violating
-/// well-designedness are skipped. Returns false if `max_partitions` was
-/// exceeded.
-bool ForEachWdptQuotient(const PatternTree& tree, uint64_t max_partitions,
-                         const std::function<bool(const PatternTree&)>& cb);
+/// well-designedness are skipped. The value is true iff the enumeration
+/// was complete (false: `max_partitions` was exceeded);
+/// kInvalidArgument if `tree` is not validated.
+Result<bool> ForEachWdptQuotient(
+    const PatternTree& tree, uint64_t max_partitions,
+    const std::function<bool(const PatternTree&)>& cb);
 
 /// Options for the bounded M(WB(k)) search.
 struct SemanticSearchOptions {

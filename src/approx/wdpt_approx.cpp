@@ -15,10 +15,16 @@ Result<std::vector<PatternTree>> CollectCandidates(
     const WdptApproximationOptions& options) {
   std::vector<PatternTree> candidates;
   Status failure = Status::Ok();
-  PatternTree pruned = Lemma1Prune(tree);
-  bool complete = ForEachWdptQuotient(
-      pruned, options.max_partitions, [&](const PatternTree& quotient) {
-        PatternTree candidate = Lemma1Prune(quotient);
+  Result<PatternTree> pruned = Lemma1Prune(tree);
+  if (!pruned.ok()) return pruned.status();
+  Result<bool> complete = ForEachWdptQuotient(
+      *pruned, options.max_partitions, [&](const PatternTree& quotient) {
+        Result<PatternTree> candidate_result = Lemma1Prune(quotient);
+        if (!candidate_result.ok()) {
+          failure = candidate_result.status();
+          return false;
+        }
+        PatternTree candidate = std::move(*candidate_result);
         Result<bool> in_wb = IsInWB(candidate, measure, k);
         if (!in_wb.ok()) {
           failure = in_wb.status();
@@ -35,7 +41,8 @@ Result<std::vector<PatternTree>> CollectCandidates(
         return true;
       });
   if (!failure.ok()) return failure;
-  if (!complete) {
+  if (!complete.ok()) return complete.status();
+  if (!*complete) {
     return Status::ResourceExhausted(
         "quotient enumeration exceeded max_partitions");
   }
@@ -52,10 +59,11 @@ Result<std::vector<PatternTree>> ComputeWdptApproximations(
     return Status::InvalidArgument("pattern tree must be validated");
   }
   // Fast path: tree itself in WB(k).
-  PatternTree pruned = Lemma1Prune(tree);
-  Result<bool> in_wb = IsInWB(pruned, measure, k);
+  Result<PatternTree> pruned = Lemma1Prune(tree);
+  if (!pruned.ok()) return pruned.status();
+  Result<bool> in_wb = IsInWB(*pruned, measure, k);
   if (!in_wb.ok()) return in_wb.status();
-  if (*in_wb) return std::vector<PatternTree>{pruned};
+  if (*in_wb) return std::vector<PatternTree>{*pruned};
 
   Result<std::vector<PatternTree>> candidates =
       CollectCandidates(tree, measure, k, schema, vocab, options);

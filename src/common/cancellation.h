@@ -1,0 +1,122 @@
+// Cooperative cancellation tokens with deadlines.
+//
+// A CancelToken is a cheap, copyable handle to shared cancellation state.
+// Long-running evaluation loops poll ShouldStop() at safe points and wind
+// down early when it fires; the Engine then reports kCancelled or
+// kDeadlineExceeded instead of a partial answer. A default-constructed
+// token is "null": it never fires and polling it costs a pointer test.
+//
+// Tokens can be chained (Child): a child fires when it or any ancestor
+// fires, which lets the engine combine a caller-supplied token with a
+// per-call deadline without mutating the caller's state.
+
+#ifndef WDPT_SRC_COMMON_CANCELLATION_H_
+#define WDPT_SRC_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/status.h"
+
+namespace wdpt {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Null token: never cancelled, no deadline.
+  CancelToken() = default;
+
+  /// A fresh token with live state and no deadline.
+  static CancelToken Create() { return CancelToken(std::make_shared<State>()); }
+
+  /// A fresh token that fires once `deadline` passes.
+  static CancelToken WithDeadline(Clock::time_point deadline) {
+    CancelToken token = Create();
+    token.SetDeadline(deadline);
+    return token;
+  }
+
+  /// A token that fires when it or `parent` fires. A null parent yields an
+  /// ordinary independent token.
+  static CancelToken Child(const CancelToken& parent) {
+    CancelToken token = Create();
+    token.state_->parent = parent.state_;
+    return token;
+  }
+
+  /// True if this token carries live state (polling a null token is a no-op).
+  bool valid() const { return state_ != nullptr; }
+
+  /// Requests cancellation; no-op on a null token. Thread-safe.
+  void RequestCancel() const {
+    if (state_) state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  /// Sets/overwrites the deadline; no-op on a null token. Thread-safe.
+  void SetDeadline(Clock::time_point deadline) const {
+    if (state_) {
+      state_->deadline_ns.store(deadline.time_since_epoch().count(),
+                                std::memory_order_relaxed);
+    }
+  }
+
+  /// True once cancellation was requested or a deadline passed, on this
+  /// token or any ancestor. Safe to call from any thread, at any rate;
+  /// reads one clock when a deadline is set.
+  bool ShouldStop() const {
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      if (s->cancelled.load(std::memory_order_relaxed)) return true;
+      int64_t deadline = s->deadline_ns.load(std::memory_order_relaxed);
+      if (deadline != kNoDeadline &&
+          Clock::now().time_since_epoch().count() >= deadline) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True if a deadline (on this token or an ancestor) has passed —
+  /// distinguishes kDeadlineExceeded from kCancelled after a stop.
+  bool DeadlineExpired() const {
+    for (const State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+      int64_t deadline = s->deadline_ns.load(std::memory_order_relaxed);
+      if (deadline != kNoDeadline &&
+          Clock::now().time_since_epoch().count() >= deadline) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  static constexpr int64_t kNoDeadline = INT64_MAX;
+
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<int64_t> deadline_ns{kNoDeadline};
+    std::shared_ptr<const State> parent;
+  };
+
+  explicit CancelToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// The status a stopped computation should report: kDeadlineExceeded when
+/// the stop came from a deadline, kCancelled for an explicit request, OK
+/// if the token never fired.
+inline Status StatusFromToken(const CancelToken& token) {
+  if (!token.valid() || !token.ShouldStop()) return Status::Ok();
+  if (token.DeadlineExpired()) {
+    return Status::DeadlineExceeded("evaluation deadline expired");
+  }
+  return Status::Cancelled("evaluation cancelled");
+}
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_COMMON_CANCELLATION_H_

@@ -1,0 +1,15 @@
+#include "src/common/metrics.h"
+
+namespace wdpt::metrics {
+
+std::atomic<uint64_t>& HomomorphismCalls() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
+std::atomic<uint64_t>& SemijoinPasses() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
+}  // namespace wdpt::metrics

@@ -1,0 +1,35 @@
+// Process-wide evaluation counters.
+//
+// The hot kernels (homomorphism search, semijoin reduction) bump these
+// relaxed atomics; the engine snapshots them before and after a phase and
+// reports the delta in EngineStats. Counters are global on purpose: the
+// kernels are leaf routines shared by every caller, and threading a stats
+// sink through every signature would tax the non-engine entry points.
+
+#ifndef WDPT_SRC_COMMON_METRICS_H_
+#define WDPT_SRC_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace wdpt::metrics {
+
+/// Completed homomorphism searches (ForEachHomomorphism calls).
+std::atomic<uint64_t>& HomomorphismCalls();
+
+/// Pairwise semijoin reduction passes inside decomposition evaluation.
+std::atomic<uint64_t>& SemijoinPasses();
+
+/// Relaxed snapshot helper.
+inline uint64_t Load(std::atomic<uint64_t>& counter) {
+  return counter.load(std::memory_order_relaxed);
+}
+
+/// Relaxed increment helper for the hot paths.
+inline void Bump(std::atomic<uint64_t>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace wdpt::metrics
+
+#endif  // WDPT_SRC_COMMON_METRICS_H_

@@ -16,6 +16,10 @@ const char* StatusCodeName(StatusCode code) {
       return "resource-exhausted";
     case StatusCode::kNotFound:
       return "not-found";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
     case StatusCode::kInternal:
       return "internal";
   }

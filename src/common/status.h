@@ -17,6 +17,26 @@
 namespace wdpt {
 
 /// Broad error categories used across the library.
+///
+/// Error taxonomy (the contract every public API follows):
+///  * Caller mistakes — kInvalidArgument (malformed values, unvalidated
+///    trees), kNotWellDesigned (Definition 1 violated), kParseError
+///    (rejected query/data text). Fix the input and retry.
+///  * Capacity — kResourceExhausted: a configured enumeration/size cap
+///    was hit; the computation is incomplete but the process is healthy.
+///    Retrying with larger limits may succeed.
+///  * Scheduling — kDeadlineExceeded (a per-call/batch deadline passed)
+///    and kCancelled (a CancelToken fired). Both mean "stopped early, no
+///    partial answer is returned"; retrying the identical call can
+///    succeed.
+///  * Lookup — kNotFound: the requested entity/witness does not exist in
+///    the searched space.
+///  * Bugs — kInternal: an invariant violation surfaced as a status
+///    instead of a WDPT_CHECK abort.
+///
+/// Fallible operations return Status (no payload) or Result<T>. Pure
+/// predicates with no failure mode (e.g. structural tests on validated
+/// inputs) stay plain bool.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,   ///< Malformed input (bad arity, unknown symbol, ...).
@@ -24,6 +44,8 @@ enum class StatusCode {
   kParseError,        ///< The SPARQL-algebra or data parser rejected input.
   kResourceExhausted, ///< A configured enumeration/size limit was hit.
   kNotFound,          ///< A looked-up entity does not exist.
+  kDeadlineExceeded,  ///< A deadline expired before the call finished.
+  kCancelled,         ///< A cancellation token fired mid-call.
   kInternal,          ///< Invariant violation surfaced as a status.
 };
 
@@ -54,6 +76,12 @@ class Status {
   }
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -6,6 +6,7 @@
 
 #include "src/common/algo.h"
 #include "src/common/hash.h"
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/cq/homomorphism.h"
 #include "src/hypergraph/gyo.h"
@@ -51,6 +52,7 @@ std::vector<ConstantId> Project(const std::vector<VariableId>& vars,
 // b's projections onto `shared`.
 void SemijoinInto(Bag* a, const Bag& b,
                   const std::vector<VariableId>& shared) {
+  metrics::Bump(metrics::SemijoinPasses());
   if (shared.empty()) {
     if (b.tuples.empty()) a->tuples.clear();
     return;
@@ -77,7 +79,7 @@ void SemijoinInto(Bag* a, const Bag& b,
 // not a cross product.
 std::vector<std::vector<ConstantId>> JoinAndProject(
     const std::vector<Atom>& atoms, const Database& db,
-    const std::vector<VariableId>& bag_vars) {
+    const std::vector<VariableId>& bag_vars, const CancelToken& cancel) {
   // Greedy atom order: prefer atoms sharing variables with what is
   // already joined.
   std::vector<uint32_t> order;
@@ -111,6 +113,7 @@ std::vector<std::vector<ConstantId>> JoinAndProject(
   std::vector<VariableId> cur_vars;
   std::vector<std::vector<ConstantId>> current = {{}};
   for (size_t step = 0; step < order.size(); ++step) {
+    if (cancel.valid() && cancel.ShouldStop()) return {};
     const Atom& atom = atoms[order[step]];
     std::vector<VariableId> atom_vars = atom.Variables();
     // Variables needed after this step.
@@ -192,7 +195,11 @@ std::vector<std::vector<ConstantId>> JoinAndProject(
       cur_key_pos[i] = var_pos(cur_vars, join_vars[i]);
       WDPT_CHECK(cur_key_pos[i] >= 0);
     }
+    uint64_t probes = 0;
     for (const std::vector<ConstantId>& tuple : current) {
+      if (cancel.valid() && (++probes & 0xFFF) == 0 && cancel.ShouldStop()) {
+        return {};
+      }
       std::vector<ConstantId> key(join_vars.size());
       for (size_t i = 0; i < join_vars.size(); ++i) {
         key[i] = tuple[cur_key_pos[i]];
@@ -247,7 +254,8 @@ std::vector<Mapping> EvaluateOverBags(
     std::vector<std::vector<VariableId>> bag_vars,
     const std::vector<std::vector<uint32_t>>& covers,
     const std::vector<std::pair<uint32_t, uint32_t>>& tree_edges,
-    const std::vector<VariableId>& projection, uint64_t max_answers) {
+    const std::vector<VariableId>& projection, uint64_t max_answers,
+    const CancelToken& cancel) {
   const size_t num_bags = bag_vars.size();
   if (num_bags == 0) {
     // All atoms ground (already checked by caller): one empty answer.
@@ -301,7 +309,8 @@ std::vector<Mapping> EvaluateOverBags(
       }
     }
     WDPT_CHECK(!bag_atoms.empty());
-    bags[bi].tuples = JoinAndProject(bag_atoms, db, bags[bi].vars);
+    if (cancel.valid() && cancel.ShouldStop()) return {};
+    bags[bi].tuples = JoinAndProject(bag_atoms, db, bags[bi].vars, cancel);
   }
 
   // Root the tree and run the full reducer (bottom-up then top-down
@@ -373,8 +382,13 @@ std::vector<Mapping> EvaluateOverBags(
   std::unordered_map<VariableId, ConstantId> assignment;
   bool done = false;
 
+  uint64_t dfs_steps = 0;
   std::function<void(size_t)> dfs = [&](size_t pos) {
     if (done) return;
+    if (cancel.valid() && (++dfs_steps & 0xFFF) == 0 && cancel.ShouldStop()) {
+      done = true;
+      return;
+    }
     if (pos == order.size()) {
       std::vector<Mapping::Entry> entries;
       for (VariableId v : projection) {
@@ -434,7 +448,8 @@ std::vector<Mapping> EvaluateOverBags(
 std::vector<Mapping> EvaluateWithDecomposition(
     const ConjunctiveQuery& q, const Database& db,
     const HypertreeDecomposition& hd,
-    const std::vector<VariableId>& vertex_to_var, uint64_t max_answers) {
+    const std::vector<VariableId>& vertex_to_var, uint64_t max_answers,
+    const CancelToken& cancel) {
   std::vector<Atom> with_vars;
   if (!CheckAndStripGroundAtoms(q.atoms, db, &with_vars)) return {};
   // Translate bags from dense vertex ids to variable ids. Covers refer to
@@ -459,12 +474,13 @@ std::vector<Mapping> EvaluateWithDecomposition(
     }
   }
   return EvaluateOverBags(with_vars, db, std::move(bag_vars), covers,
-                          hd.td.edges, q.free_vars, max_answers);
+                          hd.td.edges, q.free_vars, max_answers, cancel);
 }
 
 std::optional<std::vector<Mapping>> EvaluateAcyclic(const ConjunctiveQuery& q,
                                                     const Database& db,
-                                                    uint64_t max_answers) {
+                                                    uint64_t max_answers,
+                                                    const CancelToken& cancel) {
   std::vector<VariableId> vertex_to_var;
   Hypergraph h = q.BuildHypergraph(&vertex_to_var);
   JoinTree jt = GyoJoinTree(h);
@@ -509,11 +525,14 @@ std::optional<std::vector<Mapping>> EvaluateAcyclic(const ConjunctiveQuery& q,
     }
   }
   return EvaluateOverBags(with_vars, db, std::move(bag_vars), covers, edges,
-                          q.free_vars, max_answers);
+                          q.free_vars, max_answers, cancel);
 }
 
 bool DecideNonEmpty(const std::vector<Atom>& atoms, const Database& db,
                     const Mapping& seed, const CqEvalOptions& options) {
+  if (options.cancel.valid() && options.cancel.ShouldStop()) return false;
+  HomSearchLimits hom_limits;
+  hom_limits.cancel = options.cancel;
   std::vector<Atom> substituted = SubstituteMapping(atoms, seed);
   ConjunctiveQuery boolean_q;
   boolean_q.atoms = std::move(substituted);
@@ -523,11 +542,11 @@ bool DecideNonEmpty(const std::vector<Atom>& atoms, const Database& db,
     if (!CheckAndStripGroundAtoms(boolean_q.atoms, db, &with_vars)) {
       return false;
     }
-    return HomomorphismExists(with_vars, db, Mapping());
+    return HomomorphismExists(with_vars, db, Mapping(), hom_limits);
   }
 
   std::optional<std::vector<Mapping>> acyclic =
-      EvaluateAcyclic(boolean_q, db, /*max_answers=*/1);
+      EvaluateAcyclic(boolean_q, db, /*max_answers=*/1, options.cancel);
   if (acyclic.has_value()) return !acyclic->empty();
 
   std::vector<VariableId> vertex_to_var;
@@ -538,7 +557,7 @@ bool DecideNonEmpty(const std::vector<Atom>& atoms, const Database& db,
           FindHypertreeDecomposition(h, k);
       if (hd.has_value()) {
         return !EvaluateWithDecomposition(boolean_q, db, *hd, vertex_to_var,
-                                          /*max_answers=*/1)
+                                          /*max_answers=*/1, options.cancel)
                     .empty();
       }
     }
@@ -553,7 +572,7 @@ bool DecideNonEmpty(const std::vector<Atom>& atoms, const Database& db,
     hd.td = std::move(td);
     hd.covers.assign(hd.td.bags.size(), {});
     return !EvaluateWithDecomposition(boolean_q, db, hd, vertex_to_var,
-                                      /*max_answers=*/1)
+                                      /*max_answers=*/1, options.cancel)
                 .empty();
   }
   // kAuto fallback.
@@ -561,7 +580,7 @@ bool DecideNonEmpty(const std::vector<Atom>& atoms, const Database& db,
   if (!CheckAndStripGroundAtoms(boolean_q.atoms, db, &with_vars)) {
     return false;
   }
-  return HomomorphismExists(with_vars, db, Mapping());
+  return HomomorphismExists(with_vars, db, Mapping(), hom_limits);
 }
 
 bool CqEval(const ConjunctiveQuery& q, const Database& db, const Mapping& h,
@@ -576,7 +595,7 @@ std::vector<Mapping> EvaluateCq(const ConjunctiveQuery& q, const Database& db,
   WDPT_CHECK(q.IsSafe());
   if (options.strategy != CqEvalStrategy::kBacktracking) {
     std::optional<std::vector<Mapping>> acyclic =
-        EvaluateAcyclic(q, db, options.max_answers);
+        EvaluateAcyclic(q, db, options.max_answers, options.cancel);
     if (acyclic.has_value()) return std::move(*acyclic);
     std::vector<VariableId> vertex_to_var;
     Hypergraph hypergraph = q.BuildHypergraph(&vertex_to_var);
@@ -586,7 +605,8 @@ std::vector<Mapping> EvaluateCq(const ConjunctiveQuery& q, const Database& db,
             FindHypertreeDecomposition(hypergraph, k);
         if (hd.has_value()) {
           return EvaluateWithDecomposition(q, db, *hd, vertex_to_var,
-                                           options.max_answers);
+                                           options.max_answers,
+                                           options.cancel);
         }
       }
     }
@@ -594,8 +614,10 @@ std::vector<Mapping> EvaluateCq(const ConjunctiveQuery& q, const Database& db,
   std::vector<Atom> with_vars;
   if (!CheckAndStripGroundAtoms(q.atoms, db, &with_vars)) return {};
   if (with_vars.empty()) return {Mapping()};
+  HomSearchLimits hom_limits;
+  hom_limits.cancel = options.cancel;
   return AllHomomorphismProjections(with_vars, db, Mapping(), q.free_vars,
-                                    options.max_answers);
+                                    options.max_answers, hom_limits);
 }
 
 }  // namespace wdpt

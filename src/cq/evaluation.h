@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/cancellation.h"
 #include "src/cq/cq.h"
 #include "src/hypergraph/hypertree.h"
 #include "src/relational/database.h"
@@ -37,6 +38,12 @@ struct CqEvalOptions {
   int max_auto_width = 3;
   /// Cap on returned answers (0 = unlimited).
   uint64_t max_answers = 0;
+  /// Cooperative cancellation/deadline token, polled at safe points of
+  /// every evaluation strategy. When it fires, the boolean deciders
+  /// return false and the enumerators return what they had — callers that
+  /// must distinguish "stopped" from "empty" (the Engine) inspect the
+  /// token afterwards and surface kCancelled / kDeadlineExceeded.
+  CancelToken cancel;
 };
 
 /// True iff h (defined exactly on the free variables) is an answer:
@@ -62,13 +69,14 @@ bool DecideNonEmpty(const std::vector<Atom>& atoms, const Database& db,
 std::vector<Mapping> EvaluateWithDecomposition(
     const ConjunctiveQuery& q, const Database& db,
     const HypertreeDecomposition& hd,
-    const std::vector<VariableId>& vertex_to_var, uint64_t max_answers = 0);
+    const std::vector<VariableId>& vertex_to_var, uint64_t max_answers = 0,
+    const CancelToken& cancel = CancelToken());
 
 /// Yannakakis-style evaluation for alpha-acyclic queries. Returns nullopt
 /// if the query's hypergraph is not acyclic.
-std::optional<std::vector<Mapping>> EvaluateAcyclic(const ConjunctiveQuery& q,
-                                                    const Database& db,
-                                                    uint64_t max_answers = 0);
+std::optional<std::vector<Mapping>> EvaluateAcyclic(
+    const ConjunctiveQuery& q, const Database& db, uint64_t max_answers = 0,
+    const CancelToken& cancel = CancelToken());
 
 }  // namespace wdpt
 

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/common/algo.h"
+#include "src/common/metrics.h"
 #include "src/common/status.h"
 
 namespace wdpt {
@@ -64,7 +65,14 @@ class Searcher {
   // Recursion: `done[i]` marks matched atoms, `remaining` counts them.
   void Match(std::vector<bool> done, size_t remaining) {
     if (stopped_ || aborted_) return;
-    if (limits_.max_steps != 0 && ++steps_ > limits_.max_steps) {
+    ++steps_;
+    if (limits_.max_steps != 0 && steps_ > limits_.max_steps) {
+      aborted_ = true;
+      return;
+    }
+    // Poll cancellation every 1024 steps (a ShouldStop reads the clock).
+    if (limits_.cancel.valid() && (steps_ & 0x3FF) == 0 &&
+        limits_.cancel.ShouldStop()) {
       aborted_ = true;
       return;
     }
@@ -186,6 +194,7 @@ class Searcher {
 bool ForEachHomomorphism(const std::vector<Atom>& atoms, const Database& db,
                          const Mapping& seed, const HomCallback& callback,
                          const HomSearchLimits& limits) {
+  metrics::Bump(metrics::HomomorphismCalls());
   Searcher searcher(atoms, db, seed, callback, limits);
   return searcher.Run();
 }

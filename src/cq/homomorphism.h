@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/common/cancellation.h"
 #include "src/relational/atom.h"
 #include "src/relational/database.h"
 #include "src/relational/mapping.h"
@@ -24,6 +25,9 @@ struct HomSearchLimits {
   /// Hard cap on backtracking steps; 0 = unlimited. When the cap is hit
   /// the search reports `aborted` through ForEachHomomorphism's return.
   uint64_t max_steps = 0;
+  /// Cooperative cancellation; polled periodically during backtracking.
+  /// A fired token aborts the search like a hit step limit.
+  CancelToken cancel;
 };
 
 /// Invoked for every found homomorphism, restricted to the variables of

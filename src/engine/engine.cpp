@@ -1,0 +1,204 @@
+#include "src/engine/engine.h"
+
+#include <thread>
+#include <utility>
+
+#include "src/wdpt/eval_max.h"
+#include "src/wdpt/eval_naive.h"
+#include "src/wdpt/eval_partial.h"
+#include "src/wdpt/eval_projection_free.h"
+#include "src/wdpt/eval_tractable.h"
+
+namespace wdpt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+unsigned ResolveThreads(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+uint64_t ElapsedNs(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+}  // namespace
+
+Engine::Engine(const EngineOptions& options)
+    : pool_(ResolveThreads(options.num_threads)),
+      plan_cache_(options.plan_cache_capacity) {}
+
+CancelToken Engine::EffectiveToken(
+    const CancelToken& caller,
+    std::optional<std::chrono::nanoseconds> deadline) {
+  if (!deadline.has_value()) return caller;
+  CancelToken token = CancelToken::Child(caller);
+  token.SetDeadline(Clock::now() + *deadline);
+  return token;
+}
+
+Result<std::shared_ptr<const Plan>> Engine::GetPlan(
+    const PatternTree& tree, const PlanOptions& options) {
+  std::string key = CanonicalPlanKey(tree, options);
+  if (std::shared_ptr<const Plan> cached = plan_cache_.Find(key)) {
+    StatsCollector::Bump(stats_.plan_cache_hits);
+    return cached;
+  }
+  StatsCollector::Bump(stats_.plan_cache_misses);
+  Clock::time_point start = Clock::now();
+  Result<std::shared_ptr<const Plan>> plan = Plan::Build(tree, options);
+  StatsCollector::Bump(stats_.plan_build_ns, ElapsedNs(start));
+  if (!plan.ok()) return plan.status();
+  StatsCollector::Bump(stats_.plans_built);
+  plan_cache_.Insert(key, *plan);
+  return plan;
+}
+
+Result<bool> Engine::EvalWithPlan(const Plan& plan, const Database& db,
+                                  const Mapping& h,
+                                  const EvalOptions& options,
+                                  const CancelToken& token) {
+  // An already-fired token (e.g. a zero deadline) never starts work.
+  Status token_status = StatusFromToken(token);
+  if (!token_status.ok()) {
+    NoteStatus(token_status);
+    return token_status;
+  }
+
+  CqEvalOptions cq = options.cq;
+  cq.cancel = token;
+
+  Result<bool> result = false;
+  switch (options.semantics) {
+    case EvalSemantics::kStandard:
+      switch (plan.algorithm()) {
+        case EvalAlgorithm::kNaive:
+          result = EvalNaive(plan.tree(), db, h, cq);
+          break;
+        case EvalAlgorithm::kTractableDP:
+          result = EvalTractable(plan.tree(), db, h, cq);
+          break;
+        case EvalAlgorithm::kProjectionFree:
+          result = EvalProjectionFree(plan.tree(), db, h, cq);
+          break;
+        case EvalAlgorithm::kAuto:
+          return Status::Internal("plan retains kAuto algorithm");
+      }
+      break;
+    case EvalSemantics::kPartial:
+      result = PartialEval(plan.tree(), db, h, cq);
+      break;
+    case EvalSemantics::kMaximal:
+      result = MaxEval(plan.tree(), db, h, cq);
+      break;
+  }
+
+  // A fired token invalidates whatever the wound-down computation
+  // returned: surface the terminal status instead of a partial answer.
+  token_status = StatusFromToken(token);
+  if (!token_status.ok()) {
+    NoteStatus(token_status);
+    return token_status;
+  }
+  return result;
+}
+
+void Engine::NoteStatus(const Status& status) {
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    StatsCollector::Bump(stats_.deadline_exceeded);
+  } else if (status.code() == StatusCode::kCancelled) {
+    StatsCollector::Bump(stats_.cancelled);
+  }
+}
+
+Result<bool> Engine::Eval(const PatternTree& tree, const Database& db,
+                          const Mapping& h, const EvalOptions& options) {
+  StatsCollector::Bump(stats_.eval_calls);
+  PlanOptions plan_options{options.width_bound, options.algorithm};
+  Result<std::shared_ptr<const Plan>> plan = GetPlan(tree, plan_options);
+  if (!plan.ok()) return plan.status();
+  CancelToken token = EffectiveToken(options.cancel, options.deadline);
+  Clock::time_point start = Clock::now();
+  Result<bool> result = EvalWithPlan(**plan, db, h, options, token);
+  StatsCollector::Bump(stats_.eval_ns, ElapsedNs(start));
+  return result;
+}
+
+Result<std::vector<bool>> Engine::EvalBatch(const PatternTree& tree,
+                                            const Database& db,
+                                            const std::vector<Mapping>& hs,
+                                            const EvalOptions& options) {
+  StatsCollector::Bump(stats_.batch_calls);
+  StatsCollector::Bump(stats_.batch_tasks, hs.size());
+  PlanOptions plan_options{options.width_bound, options.algorithm};
+  Result<std::shared_ptr<const Plan>> plan = GetPlan(tree, plan_options);
+  if (!plan.ok()) return plan.status();
+  if (hs.empty()) return std::vector<bool>();
+
+  // Per-column indexes are built lazily on first probe; warm them now so
+  // the concurrent tasks only ever read the database.
+  db.WarmColumnIndexes();
+
+  std::shared_ptr<const Plan> shared_plan = *plan;
+  // vector<bool> is bit-packed (concurrent element writes race), so the
+  // workers fill a byte buffer.
+  std::vector<uint8_t> values(hs.size(), 0);
+  std::vector<Status> statuses(hs.size(), Status::Ok());
+  BatchLatch latch(hs.size());
+
+  Clock::time_point start = Clock::now();
+  for (size_t i = 0; i < hs.size(); ++i) {
+    pool_.Submit([this, &db, &hs, &options, shared_plan, &values, &statuses,
+                  &latch, i] {
+      // Each task gets its own deadline window, measured from task start.
+      CancelToken token = EffectiveToken(options.cancel, options.deadline);
+      Result<bool> r =
+          EvalWithPlan(*shared_plan, db, hs[i], options, token);
+      if (r.ok()) {
+        values[i] = *r ? 1 : 0;
+      } else {
+        statuses[i] = r.status();
+      }
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+  StatsCollector::Bump(stats_.eval_ns, ElapsedNs(start));
+
+  // Deterministic error reporting: first failure in index order wins.
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  std::vector<bool> results(hs.size());
+  for (size_t i = 0; i < hs.size(); ++i) results[i] = values[i] != 0;
+  return results;
+}
+
+Result<std::vector<Mapping>> Engine::Enumerate(
+    const PatternTree& tree, const Database& db,
+    const EnumerateOptions& options) {
+  StatsCollector::Bump(stats_.enumerate_calls);
+  CancelToken token = EffectiveToken(options.cancel, options.deadline);
+  Status token_status = StatusFromToken(token);
+  if (!token_status.ok()) {
+    NoteStatus(token_status);
+    return token_status;
+  }
+  EnumerationLimits limits = options.limits;
+  limits.cancel = token;
+  Clock::time_point start = Clock::now();
+  Result<std::vector<Mapping>> result =
+      options.maximal ? EvaluateWdptMaximal(tree, db, limits)
+                      : EvaluateWdpt(tree, db, limits);
+  StatsCollector::Bump(stats_.enumerate_ns, ElapsedNs(start));
+  if (!result.ok()) NoteStatus(result.status());
+  return result;
+}
+
+}  // namespace wdpt

@@ -1,0 +1,142 @@
+// The evaluation engine: single public entry point for WDPT evaluation.
+//
+// Engine unifies the five evaluation routines (EvalNaive, EvalTractable,
+// EvalProjectionFree, PartialEval, MaxEval) behind one call,
+//
+//   engine.Eval(tree, db, h, {.semantics = EvalSemantics::kStandard});
+//
+// chooses the algorithm from the tree's cached classification (kAuto),
+// fans batches of candidate mappings across a fixed thread pool
+// (EvalBatch), runs answer enumeration (Enumerate), and enforces
+// deadlines / cooperative cancellation end to end: when a deadline
+// expires the engine returns kDeadlineExceeded — never a partial answer.
+//
+// Plans (classification + decomposition) are cached per canonical tree;
+// see plan.h and docs/ENGINE.md for the lifecycle.
+
+#ifndef WDPT_SRC_ENGINE_ENGINE_H_
+#define WDPT_SRC_ENGINE_ENGINE_H_
+
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/cancellation.h"
+#include "src/common/status.h"
+#include "src/cq/evaluation.h"
+#include "src/engine/plan.h"
+#include "src/engine/stats.h"
+#include "src/engine/thread_pool.h"
+#include "src/relational/database.h"
+#include "src/relational/mapping.h"
+#include "src/wdpt/enumerate.h"
+#include "src/wdpt/pattern_tree.h"
+
+namespace wdpt {
+
+/// Which answer relation a query runs against.
+enum class EvalSemantics {
+  kStandard,  ///< h in p(D)         (EVAL, Section 3.1/3.2).
+  kPartial,   ///< h partial answer  (PARTIAL-EVAL, Section 3.3).
+  kMaximal,   ///< h in p_m(D)       (MAX-EVAL, Section 3.4).
+};
+
+/// Per-call options for Engine::Eval / EvalBatch.
+struct EvalOptions {
+  EvalSemantics semantics = EvalSemantics::kStandard;
+  /// kAuto resolves from the plan's classification. Partial/maximal
+  /// semantics have a single algorithm each; this field only steers
+  /// kStandard.
+  EvalAlgorithm algorithm = EvalAlgorithm::kAuto;
+  /// Treewidth bound for classification / decomposition (cache-key part).
+  int width_bound = 1;
+  /// Options forwarded to the CQ evaluation substrate (strategy etc.).
+  /// Its `cancel` field is overwritten by the engine's effective token.
+  CqEvalOptions cq;
+  /// Per-call (per-task in EvalBatch) deadline, relative to call start.
+  std::optional<std::chrono::nanoseconds> deadline;
+  /// Caller-owned cancellation; combined with the deadline via a child
+  /// token, so the caller's token is never mutated.
+  CancelToken cancel;
+};
+
+/// Options for Engine::Enumerate.
+struct EnumerateOptions {
+  /// Maximal-mapping semantics p_m(D) instead of p(D).
+  bool maximal = false;
+  EnumerationLimits limits;
+  std::optional<std::chrono::nanoseconds> deadline;
+  CancelToken cancel;
+};
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// Worker threads for EvalBatch; 0 = hardware concurrency.
+  unsigned num_threads = 0;
+  /// LRU capacity of the plan cache (plans retired least-recently-used).
+  size_t plan_cache_capacity = 128;
+};
+
+class Engine {
+ public:
+  explicit Engine(const EngineOptions& options = EngineOptions());
+
+  /// EVAL / PARTIAL-EVAL / MAX-EVAL of a single candidate mapping,
+  /// through the cached plan. Returns kDeadlineExceeded / kCancelled when
+  /// the effective token fires before a definite answer.
+  Result<bool> Eval(const PatternTree& tree, const Database& db,
+                    const Mapping& h,
+                    const EvalOptions& options = EvalOptions());
+
+  /// Evaluates every mapping of `hs` against the same (tree, db) on the
+  /// thread pool. Results are positionally aligned with `hs` and
+  /// bit-identical to sequential Eval calls. If any task fails (including
+  /// by deadline), the first failure in index order is returned and the
+  /// batch yields no partial answers.
+  Result<std::vector<bool>> EvalBatch(
+      const PatternTree& tree, const Database& db,
+      const std::vector<Mapping>& hs,
+      const EvalOptions& options = EvalOptions());
+
+  /// p(D) (or p_m(D) with options.maximal) via the projection-aware
+  /// enumerator, with engine-level deadline/cancellation handling.
+  Result<std::vector<Mapping>> Enumerate(
+      const PatternTree& tree, const Database& db,
+      const EnumerateOptions& options = EnumerateOptions());
+
+  /// The cached (or freshly built) plan for a tree. Exposed for the CLI's
+  /// --classify path and for tests; Eval/EvalBatch call this internally.
+  Result<std::shared_ptr<const Plan>> GetPlan(const PatternTree& tree,
+                                              const PlanOptions& options);
+
+  /// Snapshot of the engine's counters and timers.
+  EngineStats stats() const { return stats_.Snapshot(); }
+  void ResetStats() { stats_.Reset(); }
+
+  unsigned num_threads() const { return pool_.num_threads(); }
+
+ private:
+  /// Combines the caller token and the per-call deadline. Null when
+  /// neither is set (polling stays free).
+  static CancelToken EffectiveToken(const CancelToken& caller,
+                                    std::optional<std::chrono::nanoseconds>
+                                        deadline);
+
+  /// Dispatch on (semantics, plan->algorithm()) with `token` installed in
+  /// the CQ options; converts a fired token into its status.
+  Result<bool> EvalWithPlan(const Plan& plan, const Database& db,
+                            const Mapping& h, const EvalOptions& options,
+                            const CancelToken& token);
+
+  /// Records a terminal status in the early-termination counters.
+  void NoteStatus(const Status& status);
+
+  ThreadPool pool_;
+  PlanCache plan_cache_;
+  StatsCollector stats_;
+};
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_ENGINE_ENGINE_H_

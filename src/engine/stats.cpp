@@ -1,0 +1,36 @@
+#include "src/engine/stats.h"
+
+namespace wdpt {
+
+namespace {
+
+std::string Millis(uint64_t ns) {
+  // Render with two decimals without pulling in <iomanip>.
+  uint64_t hundredths = ns / 10000;
+  return std::to_string(hundredths / 100) + "." +
+         (hundredths % 100 < 10 ? "0" : "") +
+         std::to_string(hundredths % 100) + " ms";
+}
+
+}  // namespace
+
+std::string EngineStats::ToString() const {
+  std::string out;
+  out += "plans built:         " + std::to_string(plans_built) + "\n";
+  out += "plan cache hits:     " + std::to_string(plan_cache_hits) + "\n";
+  out += "plan cache misses:   " + std::to_string(plan_cache_misses) + "\n";
+  out += "eval calls:          " + std::to_string(eval_calls) + "\n";
+  out += "batch calls:         " + std::to_string(batch_calls) + " (" +
+         std::to_string(batch_tasks) + " tasks)\n";
+  out += "enumerate calls:     " + std::to_string(enumerate_calls) + "\n";
+  out += "deadline exceeded:   " + std::to_string(deadline_exceeded) + "\n";
+  out += "cancelled:           " + std::to_string(cancelled) + "\n";
+  out += "homomorphism calls:  " + std::to_string(homomorphism_calls) + "\n";
+  out += "semijoin passes:     " + std::to_string(semijoin_passes) + "\n";
+  out += "plan build time:     " + Millis(plan_build_ns) + "\n";
+  out += "eval time:           " + Millis(eval_ns) + "\n";
+  out += "enumerate time:      " + Millis(enumerate_ns) + "\n";
+  return out;
+}
+
+}  // namespace wdpt

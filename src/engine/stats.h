@@ -1,0 +1,117 @@
+// Engine observability: counters and phase timers.
+//
+// A StatsCollector lives inside the Engine and is bumped with relaxed
+// atomics from any thread; stats() snapshots it into the plain
+// EngineStats struct that the CLI prints and the benches assert on.
+// Kernel-level counters (homomorphism calls, semijoin passes) come from
+// src/common/metrics.h: the collector records the process-wide values at
+// construction/reset and reports deltas since then.
+
+#ifndef WDPT_SRC_ENGINE_STATS_H_
+#define WDPT_SRC_ENGINE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/common/metrics.h"
+
+namespace wdpt {
+
+/// A point-in-time snapshot of an Engine's activity.
+struct EngineStats {
+  // Plan cache.
+  uint64_t plans_built = 0;
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_misses = 0;
+
+  // Work items.
+  uint64_t eval_calls = 0;        ///< Single-mapping Eval calls.
+  uint64_t batch_calls = 0;       ///< EvalBatch invocations.
+  uint64_t batch_tasks = 0;       ///< Mappings fanned out across batches.
+  uint64_t enumerate_calls = 0;   ///< Enumerate invocations.
+
+  // Early terminations.
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;
+
+  // Kernel work since construction / the last ResetStats.
+  uint64_t homomorphism_calls = 0;
+  uint64_t semijoin_passes = 0;
+
+  // Wall time per phase, nanoseconds.
+  uint64_t plan_build_ns = 0;
+  uint64_t eval_ns = 0;       ///< Includes batch task execution.
+  uint64_t enumerate_ns = 0;
+
+  /// Multi-line human-readable rendering (for the CLI's --stats flag).
+  std::string ToString() const;
+};
+
+/// Thread-safe accumulator behind EngineStats.
+class StatsCollector {
+ public:
+  StatsCollector() { Reset(); }
+
+  void Reset() {
+    plans_built.store(0, std::memory_order_relaxed);
+    plan_cache_hits.store(0, std::memory_order_relaxed);
+    plan_cache_misses.store(0, std::memory_order_relaxed);
+    eval_calls.store(0, std::memory_order_relaxed);
+    batch_calls.store(0, std::memory_order_relaxed);
+    batch_tasks.store(0, std::memory_order_relaxed);
+    enumerate_calls.store(0, std::memory_order_relaxed);
+    deadline_exceeded.store(0, std::memory_order_relaxed);
+    cancelled.store(0, std::memory_order_relaxed);
+    plan_build_ns.store(0, std::memory_order_relaxed);
+    eval_ns.store(0, std::memory_order_relaxed);
+    enumerate_ns.store(0, std::memory_order_relaxed);
+    hom_calls_base = metrics::Load(metrics::HomomorphismCalls());
+    semijoin_base = metrics::Load(metrics::SemijoinPasses());
+  }
+
+  EngineStats Snapshot() const {
+    EngineStats s;
+    s.plans_built = plans_built.load(std::memory_order_relaxed);
+    s.plan_cache_hits = plan_cache_hits.load(std::memory_order_relaxed);
+    s.plan_cache_misses = plan_cache_misses.load(std::memory_order_relaxed);
+    s.eval_calls = eval_calls.load(std::memory_order_relaxed);
+    s.batch_calls = batch_calls.load(std::memory_order_relaxed);
+    s.batch_tasks = batch_tasks.load(std::memory_order_relaxed);
+    s.enumerate_calls = enumerate_calls.load(std::memory_order_relaxed);
+    s.deadline_exceeded = deadline_exceeded.load(std::memory_order_relaxed);
+    s.cancelled = cancelled.load(std::memory_order_relaxed);
+    s.homomorphism_calls =
+        metrics::Load(metrics::HomomorphismCalls()) - hom_calls_base;
+    s.semijoin_passes = metrics::Load(metrics::SemijoinPasses()) - semijoin_base;
+    s.plan_build_ns = plan_build_ns.load(std::memory_order_relaxed);
+    s.eval_ns = eval_ns.load(std::memory_order_relaxed);
+    s.enumerate_ns = enumerate_ns.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  static void Bump(std::atomic<uint64_t>& counter, uint64_t delta = 1) {
+    counter.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> plans_built{0};
+  std::atomic<uint64_t> plan_cache_hits{0};
+  std::atomic<uint64_t> plan_cache_misses{0};
+  std::atomic<uint64_t> eval_calls{0};
+  std::atomic<uint64_t> batch_calls{0};
+  std::atomic<uint64_t> batch_tasks{0};
+  std::atomic<uint64_t> enumerate_calls{0};
+  std::atomic<uint64_t> deadline_exceeded{0};
+  std::atomic<uint64_t> cancelled{0};
+  std::atomic<uint64_t> plan_build_ns{0};
+  std::atomic<uint64_t> eval_ns{0};
+  std::atomic<uint64_t> enumerate_ns{0};
+
+ private:
+  uint64_t hom_calls_base = 0;
+  uint64_t semijoin_base = 0;
+};
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_ENGINE_STATS_H_

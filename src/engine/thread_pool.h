@@ -1,0 +1,73 @@
+// A fixed-size worker pool for the evaluation engine.
+//
+// Deliberately minimal: Submit enqueues a task, the destructor drains the
+// queue and joins. Batch completion is the caller's concern (the Engine
+// counts down a latch per batch) — the pool itself never blocks producers
+// beyond the queue mutex.
+
+#ifndef WDPT_SRC_ENGINE_THREAD_POOL_H_
+#define WDPT_SRC_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wdpt {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1; 0 is clamped to 1 — the
+  /// Engine resolves hardware_concurrency before constructing the pool).
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Drains remaining tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not block on each other (no nested
+  /// Submit-and-wait from within a task), or the pool can deadlock.
+  void Submit(std::function<void()> task);
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Blocks a producer until `count` task completions are signalled.
+/// (std::latch without the single-use restriction diagnostics; kept local
+/// so the pool header stays dependency-free.)
+class BatchLatch {
+ public:
+  explicit BatchLatch(size_t count) : remaining_(count) {}
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (remaining_ > 0 && --remaining_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t remaining_;
+};
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_ENGINE_THREAD_POOL_H_

@@ -62,6 +62,10 @@ void Relation::EnsureColumnIndex(uint32_t col) const {
   column_index_built_[col] = true;
 }
 
+void Relation::WarmColumnIndexes() const {
+  for (uint32_t col = 0; col < arity_; ++col) EnsureColumnIndex(col);
+}
+
 const std::vector<uint32_t>& Relation::RowsMatching(uint32_t col,
                                                     ConstantId value) const {
   WDPT_CHECK(col < arity_);
@@ -117,6 +121,10 @@ size_t Database::TotalFacts() const {
   size_t total = 0;
   for (const Relation& r : relations_) total += r.size();
   return total;
+}
+
+void Database::WarmColumnIndexes() const {
+  for (const Relation& r : relations_) r.WarmColumnIndexes();
 }
 
 std::vector<ConstantId> Database::ActiveDomain() const {

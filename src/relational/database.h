@@ -40,8 +40,17 @@ class Relation {
 
   /// Rows whose column `col` holds `value`. Builds the column index on
   /// first use. The returned reference is invalidated by Insert.
+  ///
+  /// The lazy build mutates shared state, so concurrent first-touch reads
+  /// race; call WarmColumnIndexes (directly or via the Database) before
+  /// sharing a relation across threads.
   const std::vector<uint32_t>& RowsMatching(uint32_t col,
                                             ConstantId value) const;
+
+  /// Eagerly builds every per-column index. After this call, RowsMatching
+  /// is a pure read and safe to invoke from multiple threads concurrently
+  /// (as long as no Insert runs).
+  void WarmColumnIndexes() const;
 
  private:
   size_t TupleHash(std::span<const ConstantId> tuple) const;
@@ -85,6 +94,11 @@ class Database {
 
   /// Sorted list of all constants appearing in some fact.
   std::vector<ConstantId> ActiveDomain() const;
+
+  /// Eagerly builds all per-column indexes of all relations, making
+  /// subsequent lookups read-only. The Engine calls this before fanning
+  /// evaluation tasks across threads.
+  void WarmColumnIndexes() const;
 
   /// Renders all facts, one per line (for debugging and small examples).
   std::string ToString(const Vocabulary& vocab) const;

@@ -13,10 +13,11 @@ Result<UnionOfCqs> ComputeUwbApproximation(
   }
   Result<UnionOfCqs> cqs = ToUnionOfCqs(phi, options.max_subtrees);
   if (!cqs.ok()) return cqs.status();
-  UnionOfCqs reduced = RemoveSubsumedCqs(*cqs, schema, vocab);
+  Result<UnionOfCqs> reduced = RemoveSubsumedCqs(*cqs, schema, vocab);
+  if (!reduced.ok()) return reduced.status();
 
   UnionOfCqs approx;
-  for (const ConjunctiveQuery& q : reduced) {
+  for (const ConjunctiveQuery& q : *reduced) {
     Result<std::vector<ConjunctiveQuery>> parts = ComputeCqApproximations(
         q, measure, k, schema, vocab, options.cq_options);
     if (!parts.ok()) return parts.status();
@@ -39,7 +40,8 @@ Result<bool> IsUwbApproximation(const UnionOfCqs& candidate,
   // candidate [= phi: compare against phi_cq (phi ==_s phi_cq).
   Result<UnionOfCqs> cqs = ToUnionOfCqs(phi, options.max_subtrees);
   if (!cqs.ok()) return cqs.status();
-  if (!UcqSubsumedBy(candidate, *cqs, schema, vocab)) return false;
+  Result<bool> sound = UcqSubsumedBy(candidate, *cqs, schema, vocab);
+  if (!sound.ok() || !*sound) return sound;
   // Maximality: the canonical approximation must be subsumed by the
   // candidate.
   Result<UnionOfCqs> canonical =

@@ -29,8 +29,11 @@ Result<UnionOfCqs> ToUnionOfCqs(const UnionWdpt& phi, uint64_t max_subtrees) {
   return cqs;
 }
 
-UnionOfCqs RemoveSubsumedCqs(const UnionOfCqs& cqs, const Schema* schema,
-                             Vocabulary* vocab) {
+Result<UnionOfCqs> RemoveSubsumedCqs(const UnionOfCqs& cqs,
+                                     const Schema* schema, Vocabulary* vocab) {
+  if (schema == nullptr || vocab == nullptr) {
+    return Status::InvalidArgument("schema and vocabulary must be non-null");
+  }
   UnionOfCqs kept;
   for (size_t i = 0; i < cqs.size(); ++i) {
     bool dominated = false;
@@ -45,8 +48,11 @@ UnionOfCqs RemoveSubsumedCqs(const UnionOfCqs& cqs, const Schema* schema,
   return kept;
 }
 
-bool UcqSubsumedBy(const UnionOfCqs& phi1, const UnionOfCqs& phi2,
-                   const Schema* schema, Vocabulary* vocab) {
+Result<bool> UcqSubsumedBy(const UnionOfCqs& phi1, const UnionOfCqs& phi2,
+                           const Schema* schema, Vocabulary* vocab) {
+  if (schema == nullptr || vocab == nullptr) {
+    return Status::InvalidArgument("schema and vocabulary must be non-null");
+  }
   for (const ConjunctiveQuery& q1 : phi1) {
     bool covered = false;
     for (const ConjunctiveQuery& q2 : phi2) {
@@ -60,10 +66,13 @@ bool UcqSubsumedBy(const UnionOfCqs& phi1, const UnionOfCqs& phi2,
   return true;
 }
 
-bool UcqSubsumptionEquivalent(const UnionOfCqs& phi1, const UnionOfCqs& phi2,
-                              const Schema* schema, Vocabulary* vocab) {
-  return UcqSubsumedBy(phi1, phi2, schema, vocab) &&
-         UcqSubsumedBy(phi2, phi1, schema, vocab);
+Result<bool> UcqSubsumptionEquivalent(const UnionOfCqs& phi1,
+                                      const UnionOfCqs& phi2,
+                                      const Schema* schema,
+                                      Vocabulary* vocab) {
+  Result<bool> forward = UcqSubsumedBy(phi1, phi2, schema, vocab);
+  if (!forward.ok() || !*forward) return forward;
+  return UcqSubsumedBy(phi2, phi1, schema, vocab);
 }
 
 }  // namespace wdpt

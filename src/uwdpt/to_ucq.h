@@ -27,18 +27,22 @@ Result<UnionOfCqs> ToUnionOfCqs(const UnionWdpt& phi,
 
 /// Removes every CQ subsumed by (and not equivalent to) another CQ in the
 /// union; among [=-equivalent CQs one representative is kept. The result
-/// is ==_s-equivalent to the input.
-UnionOfCqs RemoveSubsumedCqs(const UnionOfCqs& cqs, const Schema* schema,
-                             Vocabulary* vocab);
+/// is ==_s-equivalent to the input. kInvalidArgument on null
+/// schema/vocabulary.
+Result<UnionOfCqs> RemoveSubsumedCqs(const UnionOfCqs& cqs,
+                                     const Schema* schema, Vocabulary* vocab);
 
 /// UCQ subsumption: phi1 [= phi2 iff every member of phi1 is [= some
-/// member of phi2 (canonical-database argument).
-bool UcqSubsumedBy(const UnionOfCqs& phi1, const UnionOfCqs& phi2,
-                   const Schema* schema, Vocabulary* vocab);
+/// member of phi2 (canonical-database argument). kInvalidArgument on null
+/// schema/vocabulary.
+Result<bool> UcqSubsumedBy(const UnionOfCqs& phi1, const UnionOfCqs& phi2,
+                           const Schema* schema, Vocabulary* vocab);
 
 /// Both directions.
-bool UcqSubsumptionEquivalent(const UnionOfCqs& phi1, const UnionOfCqs& phi2,
-                              const Schema* schema, Vocabulary* vocab);
+Result<bool> UcqSubsumptionEquivalent(const UnionOfCqs& phi1,
+                                      const UnionOfCqs& phi2,
+                                      const Schema* schema,
+                                      Vocabulary* vocab);
 
 }  // namespace wdpt
 

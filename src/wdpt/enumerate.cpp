@@ -20,6 +20,10 @@ class MaximalHomEnumerator {
   Status Run() {
     // The root is mandatory: if it is not enterable, p(D) is empty.
     Complete(Mapping(), {PatternTree::kRoot});
+    // Token state is sticky, so consult it directly: the inner search may
+    // have aborted on it before any callback-side poll noticed.
+    Status token_status = StatusFromToken(limits_.cancel);
+    if (!token_status.ok()) return token_status;
     if (overflow_) {
       return Status::ResourceExhausted(
           "maximal-homomorphism enumeration exceeded its limits");
@@ -36,32 +40,41 @@ class MaximalHomEnumerator {
   // subtrees share no unbound variables), so they are processed left to
   // right, each branching over its own extensions.
   void Complete(const Mapping& e, std::vector<NodeId> pending) {
-    if (stopped_ || overflow_) return;
+    if (stopped_ || overflow_ || cancelled_) return;
+    if (limits_.cancel.valid() && limits_.cancel.ShouldStop()) {
+      cancelled_ = true;
+      return;
+    }
     if (pending.empty()) {
       Emit(e);
       return;
     }
     NodeId c = pending.back();
     pending.pop_back();
+    HomSearchLimits hom_limits;
+    hom_limits.cancel = limits_.cancel;
     // Enumerate extensions of e over lambda(c).
     bool enterable = false;
-    ForEachHomomorphism(tree_.label(c), db_, e, [&](const Mapping& ext) {
-      enterable = true;
-      if (limits_.max_steps != 0 && ++steps_ > limits_.max_steps) {
-        overflow_ = true;
-        return false;
-      }
-      // Determine which children of c are enterable under ext; they are
-      // mandatory (maximality), the rest are dropped.
-      std::vector<NodeId> next = pending;
-      for (NodeId d : tree_.children(c)) {
-        if (HomomorphismExists(tree_.label(d), db_, ext)) {
-          next.push_back(d);
-        }
-      }
-      Complete(ext, std::move(next));
-      return !(stopped_ || overflow_);
-    });
+    ForEachHomomorphism(
+        tree_.label(c), db_, e,
+        [&](const Mapping& ext) {
+          enterable = true;
+          if (limits_.max_steps != 0 && ++steps_ > limits_.max_steps) {
+            overflow_ = true;
+            return false;
+          }
+          // Determine which children of c are enterable under ext; they
+          // are mandatory (maximality), the rest are dropped.
+          std::vector<NodeId> next = pending;
+          for (NodeId d : tree_.children(c)) {
+            if (HomomorphismExists(tree_.label(d), db_, ext, hom_limits)) {
+              next.push_back(d);
+            }
+          }
+          Complete(ext, std::move(next));
+          return !(stopped_ || overflow_ || cancelled_);
+        },
+        hom_limits);
     // `c` unenterable can only happen for the root here: children are
     // only scheduled after an explicit enterability test, and
     // enterability depends on variables already bound in e.
@@ -88,6 +101,7 @@ class MaximalHomEnumerator {
   uint64_t steps_ = 0;
   bool stopped_ = false;
   bool overflow_ = false;
+  bool cancelled_ = false;
 };
 
 }  // namespace
@@ -136,6 +150,8 @@ class ProjectedEvaluator {
   Result<std::vector<Mapping>> Run() {
     std::optional<std::vector<Mapping>> root =
         Completions(PatternTree::kRoot, Mapping());
+    Status token_status = StatusFromToken(limits_.cancel);
+    if (!token_status.ok()) return token_status;
     if (overflow_) {
       return Status::ResourceExhausted(
           "projected answer enumeration exceeded its limits");
@@ -149,7 +165,12 @@ class ProjectedEvaluator {
     if (limits_.max_steps != 0 && ++steps_ > limits_.max_steps) {
       overflow_ = true;
     }
-    return !overflow_;
+    // Poll cancellation every 1024 steps (a ShouldStop reads the clock).
+    if (limits_.cancel.valid() && (steps_ & 0x3FF) == 0 &&
+        limits_.cancel.ShouldStop()) {
+      cancelled_ = true;
+    }
+    return !(overflow_ || cancelled_);
   }
 
   // Projected maximal completions of the subtree rooted at `c` given the
@@ -165,44 +186,49 @@ class ProjectedEvaluator {
     std::vector<VariableId> node_free =
         SortedIntersection(tree_.node_vars(c), tree_.free_vars());
     std::unordered_set<Mapping, MappingHash> results;
+    HomSearchLimits hom_limits;
+    hom_limits.cancel = limits_.cancel;
     bool enterable = false;
-    ForEachHomomorphism(tree_.label(c), db_, key, [&](const Mapping& ext) {
-      enterable = true;
-      if (!Step()) return false;
-      // Child completion sets under this extension.
-      std::vector<std::vector<Mapping>> child_sets;
-      for (NodeId d : tree_.children(c)) {
-        std::optional<std::vector<Mapping>> cs = Completions(d, ext);
-        if (overflow_) return false;
-        if (cs.has_value()) child_sets.push_back(std::move(*cs));
-      }
-      // Product of the children's projected completions.
-      Mapping base = ext.RestrictTo(node_free);
-      std::function<void(size_t, const Mapping&)> combine =
-          [&](size_t idx, const Mapping& acc) {
-            if (overflow_) return;
-            if (idx == child_sets.size()) {
-              if (!Step()) return;
-              results.insert(acc);
-              return;
-            }
-            for (const Mapping& m : child_sets[idx]) {
-              std::optional<Mapping> merged = Mapping::Union(acc, m);
-              // Shared free variables are seeded consistently, so the
-              // union always succeeds.
-              WDPT_DCHECK(merged.has_value());
-              combine(idx + 1, *merged);
-              if (overflow_) return;
-            }
-          };
-      combine(0, base);
-      return !overflow_;
-    });
+    ForEachHomomorphism(
+        tree_.label(c), db_, key,
+        [&](const Mapping& ext) {
+          enterable = true;
+          if (!Step()) return false;
+          // Child completion sets under this extension.
+          std::vector<std::vector<Mapping>> child_sets;
+          for (NodeId d : tree_.children(c)) {
+            std::optional<std::vector<Mapping>> cs = Completions(d, ext);
+            if (overflow_ || cancelled_) return false;
+            if (cs.has_value()) child_sets.push_back(std::move(*cs));
+          }
+          // Product of the children's projected completions.
+          Mapping base = ext.RestrictTo(node_free);
+          std::function<void(size_t, const Mapping&)> combine =
+              [&](size_t idx, const Mapping& acc) {
+                if (overflow_ || cancelled_) return;
+                if (idx == child_sets.size()) {
+                  if (!Step()) return;
+                  results.insert(acc);
+                  return;
+                }
+                for (const Mapping& m : child_sets[idx]) {
+                  std::optional<Mapping> merged = Mapping::Union(acc, m);
+                  // Shared free variables are seeded consistently, so the
+                  // union always succeeds.
+                  WDPT_DCHECK(merged.has_value());
+                  combine(idx + 1, *merged);
+                  if (overflow_ || cancelled_) return;
+                }
+              };
+          combine(0, base);
+          return !(overflow_ || cancelled_);
+        },
+        hom_limits);
     std::optional<std::vector<Mapping>> out;
     if (enterable) {
       out.emplace(results.begin(), results.end());
     }
-    if (!overflow_) node_memo.emplace(std::move(key), out);
+    if (!(overflow_ || cancelled_)) node_memo.emplace(std::move(key), out);
     return out;
   }
 
@@ -215,6 +241,7 @@ class ProjectedEvaluator {
       memo_;
   uint64_t steps_ = 0;
   bool overflow_ = false;
+  bool cancelled_ = false;
 };
 
 }  // namespace

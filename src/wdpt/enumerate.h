@@ -8,6 +8,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/common/cancellation.h"
 #include "src/common/status.h"
 #include "src/relational/database.h"
 #include "src/relational/mapping.h"
@@ -25,6 +26,9 @@ struct EnumerationLimits {
   /// product construction (0 = unlimited). Guards against instances
   /// whose sets of maximal homomorphisms are combinatorially huge.
   uint64_t max_steps = uint64_t{1} << 26;
+  /// Cooperative cancellation; polled during enumeration. A fired token
+  /// aborts with kDeadlineExceeded / kCancelled (never a partial answer).
+  CancelToken cancel;
 };
 
 /// Enumerates the maximal homomorphisms from p to D (deduplicated).

@@ -1,3 +1,6 @@
+// Deprecated entry point: prefer wdpt::Engine with
+// EvalSemantics::kMaximal (src/engine/engine.h).
+//
 // MAX-EVAL under the maximal-mapping semantics (Section 3.4, Theorem 9).
 //
 // p_m(D) consists of the subsumption-maximal answers. h is in p_m(D) iff

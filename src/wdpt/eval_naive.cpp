@@ -12,8 +12,9 @@ enum class NodeStatus { kNotEnterable, kGood, kBad };
 class NaiveEvaluator {
  public:
   NaiveEvaluator(const PatternTree& tree, const Database& db,
-                 const Mapping& h)
+                 const Mapping& h, const CqEvalOptions& options)
       : tree_(tree), db_(db), h_(h) {
+    hom_limits_.cancel = options.cancel;
     // needs_entry_[n]: the subtree rooted at n holds the top node of some
     // variable in dom(h); such subtrees must be entered.
     needs_entry_.assign(tree_.num_nodes(), false);
@@ -61,22 +62,23 @@ class NaiveEvaluator {
     }
     bool good = false;
     if (goodable) {
-      ForEachHomomorphism(tree_.label(c), db_, good_seed,
-                          [&](const Mapping& ext) {
-                            for (NodeId d : tree_.children(c)) {
-                              NodeStatus st = Evaluate(d, ext);
-                              if (st == NodeStatus::kBad) return true;
-                              if (st == NodeStatus::kNotEnterable &&
-                                  needs_entry_[d]) {
-                                return true;
-                              }
-                            }
-                            good = true;
-                            return false;  // One good extension suffices.
-                          });
+      ForEachHomomorphism(
+          tree_.label(c), db_, good_seed,
+          [&](const Mapping& ext) {
+            for (NodeId d : tree_.children(c)) {
+              NodeStatus st = Evaluate(d, ext);
+              if (st == NodeStatus::kBad) return true;
+              if (st == NodeStatus::kNotEnterable && needs_entry_[d]) {
+                return true;
+              }
+            }
+            good = true;
+            return false;  // One good extension suffices.
+          },
+          hom_limits_);
     }
     if (good) return NodeStatus::kGood;
-    return HomomorphismExists(tree_.label(c), db_, e)
+    return HomomorphismExists(tree_.label(c), db_, e, hom_limits_)
                ? NodeStatus::kBad
                : NodeStatus::kNotEnterable;
   }
@@ -84,18 +86,19 @@ class NaiveEvaluator {
   const PatternTree& tree_;
   const Database& db_;
   const Mapping& h_;
+  HomSearchLimits hom_limits_;
   std::vector<bool> needs_entry_;
 };
 
 }  // namespace
 
 Result<bool> EvalNaive(const PatternTree& tree, const Database& db,
-                       const Mapping& h) {
+                       const Mapping& h, const CqEvalOptions& options) {
   if (!tree.validated()) {
     return Status::InvalidArgument("pattern tree must be validated");
   }
   if (!SortedIsSubset(h.Domain(), tree.free_vars())) return false;
-  NaiveEvaluator evaluator(tree, db, h);
+  NaiveEvaluator evaluator(tree, db, h, options);
   return evaluator.Run();
 }
 

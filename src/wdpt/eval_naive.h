@@ -1,3 +1,8 @@
+// Deprecated entry point: prefer wdpt::Engine (src/engine/engine.h),
+// which dispatches here for EvalAlgorithm::kNaive and adds plan caching,
+// batching, and deadline handling. This function remains the kernel the
+// engine calls and keeps working for direct use.
+//
 // General-purpose WDPT evaluation (EVAL(C_all), Sigma2P-complete).
 //
 // Decides h in p(D) for arbitrary WDPTs by the forced-entry recursion:
@@ -12,6 +17,7 @@
 #define WDPT_SRC_WDPT_EVAL_NAIVE_H_
 
 #include "src/common/status.h"
+#include "src/cq/evaluation.h"
 #include "src/relational/database.h"
 #include "src/relational/mapping.h"
 #include "src/wdpt/pattern_tree.h"
@@ -20,9 +26,12 @@ namespace wdpt {
 
 /// EVAL: is h in p(D)? `tree` must be validated; h must be defined on a
 /// subset of the free variables (otherwise the answer is trivially
-/// false, which is what is returned).
+/// false, which is what is returned). Only options.cancel is consulted
+/// (the forced-entry recursion does per-node backtracking searches, not
+/// CQ-strategy evaluation).
 Result<bool> EvalNaive(const PatternTree& tree, const Database& db,
-                       const Mapping& h);
+                       const Mapping& h,
+                       const CqEvalOptions& options = CqEvalOptions());
 
 }  // namespace wdpt
 

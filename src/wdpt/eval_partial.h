@@ -1,3 +1,6 @@
+// Deprecated entry point: prefer wdpt::Engine with
+// EvalSemantics::kPartial (src/engine/engine.h).
+//
 // PARTIAL-EVAL (Section 3.3, Theorem 8).
 //
 // h is a partial answer to p over D iff some answer of p(D) subsumes h.

@@ -1,3 +1,7 @@
+// Deprecated entry point: prefer wdpt::Engine (src/engine/engine.h),
+// which dispatches here for EvalAlgorithm::kProjectionFree (the kAuto
+// default on projection-free trees).
+//
 // EVAL for projection-free WDPTs (Theorem 4; coNP-complete in general,
 // polynomial under local tractability).
 //

@@ -1,3 +1,8 @@
+// Deprecated entry point: prefer wdpt::Engine (src/engine/engine.h),
+// which dispatches here for EvalAlgorithm::kTractableDP (the kAuto
+// default on locally tractable trees) and adds plan caching, batching,
+// and deadline handling.
+//
 // Tractable exact evaluation for locally tractable WDPTs of bounded
 // interface (Theorems 6 and 7, following the construction of Appendix
 // A.1).

@@ -100,8 +100,9 @@ TEST(PipelineTest, ParseClassifyEvaluateOptimize) {
   }
 
   // The pruned tree is subsumption-equivalent and evaluation agrees.
-  PatternTree pruned = Lemma1Prune(tree);
-  Result<bool> eq = SubsumptionEquivalent(tree, pruned, &ctx.schema(),
+  Result<PatternTree> pruned = Lemma1Prune(tree);
+  ASSERT_TRUE(pruned.ok());
+  Result<bool> eq = SubsumptionEquivalent(tree, *pruned, &ctx.schema(),
                                           &ctx.vocab());
   ASSERT_TRUE(eq.ok());
   EXPECT_TRUE(*eq);
@@ -139,8 +140,8 @@ TEST(PipelineTest, UnionPipelineOnRdfQuery) {
       phi, WidthMeasure::kTreewidth, 1, &ctx.schema(), &ctx.vocab());
   ASSERT_TRUE(approx.ok());
   // phi is already in the class, so the approximation is equivalent.
-  EXPECT_TRUE(UcqSubsumptionEquivalent(*equivalent, *approx, &ctx.schema(),
-                                       &ctx.vocab()));
+  EXPECT_TRUE(*UcqSubsumptionEquivalent(*equivalent, *approx, &ctx.schema(),
+                                        &ctx.vocab()));
 }
 
 // ---- Evaluation corner cases ----------------------------------------------

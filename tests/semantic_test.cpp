@@ -41,9 +41,10 @@ TEST_F(SemanticFixture, Lemma1PruneDropsAnswerIrrelevantBranches) {
   tree.SetFreeVariables({V("x").variable_id(), V("f").variable_id()});
   ASSERT_TRUE(tree.Validate().ok());
 
-  PatternTree pruned = Lemma1Prune(tree);
-  EXPECT_EQ(pruned.num_nodes(), 2u);
-  Result<bool> eq = SubsumptionEquivalent(tree, pruned, &schema_, &vocab_);
+  Result<PatternTree> pruned = Lemma1Prune(tree);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->num_nodes(), 2u);
+  Result<bool> eq = SubsumptionEquivalent(tree, *pruned, &schema_, &vocab_);
   ASSERT_TRUE(eq.ok());
   EXPECT_TRUE(*eq);
 }
@@ -58,10 +59,11 @@ TEST_F(SemanticFixture, Lemma1PruneMergesFreeVarLessChainNodes) {
   tree.SetFreeVariables({V("x").variable_id(), V("f").variable_id()});
   ASSERT_TRUE(tree.Validate().ok());
 
-  PatternTree pruned = Lemma1Prune(tree);
-  EXPECT_EQ(pruned.num_nodes(), 2u);
-  EXPECT_EQ(pruned.label(1).size(), 2u);  // Merged label.
-  Result<bool> eq = SubsumptionEquivalent(tree, pruned, &schema_, &vocab_);
+  Result<PatternTree> pruned = Lemma1Prune(tree);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->num_nodes(), 2u);
+  EXPECT_EQ(pruned->label(1).size(), 2u);  // Merged label.
+  Result<bool> eq = SubsumptionEquivalent(tree, *pruned, &schema_, &vocab_);
   ASSERT_TRUE(eq.ok());
   EXPECT_TRUE(*eq);
 }
@@ -73,13 +75,16 @@ TEST_F(SemanticFixture, WdptQuotientsPreserveStructure) {
   tree.SetFreeVariables({V("x").variable_id()});
   ASSERT_TRUE(tree.Validate().ok());
   size_t count = 0;
-  EXPECT_TRUE(ForEachWdptQuotient(tree, 1000, [&](const PatternTree& q) {
-    EXPECT_EQ(q.num_nodes(), tree.num_nodes());
-    EXPECT_EQ(q.free_vars(), tree.free_vars());
-    EXPECT_TRUE(q.validated());
-    ++count;
-    return true;
-  }));
+  Result<bool> complete =
+      ForEachWdptQuotient(tree, 1000, [&](const PatternTree& q) {
+        EXPECT_EQ(q.num_nodes(), tree.num_nodes());
+        EXPECT_EQ(q.free_vars(), tree.free_vars());
+        EXPECT_TRUE(q.validated());
+        ++count;
+        return true;
+      });
+  ASSERT_TRUE(complete.ok());
+  EXPECT_TRUE(*complete);
   EXPECT_GT(count, 1u);
 }
 

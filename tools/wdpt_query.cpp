@@ -1,37 +1,40 @@
 // wdpt_query: command-line evaluation of {AND, OPT} queries over triple
-// data.
+// data, driven by the wdpt::Engine.
 //
 // Usage:
 //   wdpt_query --data FILE --query 'QUERY' [--maximal] [--classify]
-//              [--limit N]
+//              [--limit N] [--deadline-ms N] [--threads N] [--stats]
 //
 // The data file holds whitespace-separated triples (one per line, '#'
 // comments). The query uses the paper's algebraic notation, e.g.
 //   'SELECT ?y WHERE ((?x, recorded_by, ?y) OPT (?x, NME_rating, ?r))'
 //
 // Prints one answer mapping per line; --maximal switches to the
-// maximal-mapping semantics p_m(D); --classify prints the tractability
-// classification instead of evaluating.
+// maximal-mapping semantics p_m(D); --classify prints the engine plan and
+// tractability classification instead of evaluating; --deadline-ms bounds
+// the evaluation wall time; --stats dumps the engine's counters and
+// timers to stderr after the run.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "src/engine/engine.h"
 #include "src/relational/rdf.h"
 #include "src/sparql/data_loader.h"
 #include "src/sparql/parser.h"
 #include "src/sparql/printer.h"
-#include "src/wdpt/classify.h"
-#include "src/wdpt/enumerate.h"
 
 namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --data FILE --query 'QUERY' [--maximal] "
-               "[--classify] [--limit N]\n",
+               "[--classify] [--limit N] [--deadline-ms N] [--threads N] "
+               "[--stats]\n",
                argv0);
   return 2;
 }
@@ -44,7 +47,10 @@ int main(int argc, char** argv) {
   std::string query;
   bool maximal = false;
   bool classify = false;
+  bool show_stats = false;
   uint64_t limit = 0;
+  uint64_t deadline_ms = 0;
+  unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--data" && i + 1 < argc) {
@@ -55,8 +61,14 @@ int main(int argc, char** argv) {
       maximal = true;
     } else if (arg == "--classify") {
       classify = true;
+    } else if (arg == "--stats") {
+      show_stats = true;
     } else if (arg == "--limit" && i + 1 < argc) {
       limit = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       return Usage(argv[0]);
     }
@@ -86,32 +98,49 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  EngineOptions engine_options;
+  engine_options.num_threads = threads;
+  Engine engine(engine_options);
+
   if (classify) {
     for (int k = 1; k <= 3; ++k) {
-      Result<WdptClassification> cls = ClassifyWdpt(*tree, k);
-      if (!cls.ok()) {
+      Result<std::shared_ptr<const Plan>> plan =
+          engine.GetPlan(*tree, PlanOptions{k, EvalAlgorithm::kAuto});
+      if (!plan.ok()) {
         std::fprintf(stderr, "classification error: %s\n",
-                     cls.status().ToString().c_str());
+                     plan.status().ToString().c_str());
         return 1;
       }
+      const WdptClassification& cls = (*plan)->classification();
       std::printf(
           "k=%d: locally-TW(k)=%s globally-TW(k)=%s interface=%d "
-          "projection-free=%s\n",
-          k, cls->locally_tw_k ? "yes" : "no",
-          cls->globally_tw_k ? "yes" : "no", cls->interface_width,
-          cls->projection_free ? "yes" : "no");
+          "projection-free=%s algorithm=%s\n",
+          k, cls.locally_tw_k ? "yes" : "no",
+          cls.globally_tw_k ? "yes" : "no", cls.interface_width,
+          cls.projection_free ? "yes" : "no",
+          EvalAlgorithmName((*plan)->algorithm()));
+    }
+    if (show_stats) {
+      std::fprintf(stderr, "--- engine stats ---\n%s",
+                   engine.stats().ToString().c_str());
     }
     return 0;
   }
 
-  EnumerationLimits limits;
-  if (limit != 0) limits.max_homomorphisms = limit;
-  Result<std::vector<Mapping>> answers =
-      maximal ? EvaluateWdptMaximal(*tree, db, limits)
-              : EvaluateWdpt(*tree, db, limits);
+  EnumerateOptions options;
+  options.maximal = maximal;
+  if (limit != 0) options.limits.max_homomorphisms = limit;
+  if (deadline_ms != 0) {
+    options.deadline = std::chrono::milliseconds(deadline_ms);
+  }
+  Result<std::vector<Mapping>> answers = engine.Enumerate(*tree, db, options);
   if (!answers.ok()) {
     std::fprintf(stderr, "evaluation error: %s\n",
                  answers.status().ToString().c_str());
+    if (show_stats) {
+      std::fprintf(stderr, "--- engine stats ---\n%s",
+                   engine.stats().ToString().c_str());
+    }
     return 1;
   }
   size_t shown = 0;
@@ -121,5 +150,9 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "%zu answer(s) under %s semantics\n",
                answers->size(), maximal ? "maximal-mapping" : "standard");
+  if (show_stats) {
+    std::fprintf(stderr, "--- engine stats ---\n%s",
+                 engine.stats().ToString().c_str());
+  }
   return 0;
 }
