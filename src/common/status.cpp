@@ -20,10 +20,26 @@ const char* StatusCodeName(StatusCode code) {
       return "deadline-exceeded";
     case StatusCode::kCancelled:
       return "cancelled";
+    case StatusCode::kOverloaded:
+      return "overloaded";
     case StatusCode::kInternal:
       return "internal";
   }
   return "unknown";
+}
+
+StatusCode StatusCodeFromName(std::string_view name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotWellDesigned, StatusCode::kParseError,
+      StatusCode::kResourceExhausted, StatusCode::kNotFound,
+      StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
+      StatusCode::kOverloaded,   StatusCode::kInternal,
+  };
+  for (StatusCode code : kAll) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
 }
 
 std::string Status::ToString() const {

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -29,6 +30,9 @@ namespace wdpt {
 ///    and kCancelled (a CancelToken fired). Both mean "stopped early, no
 ///    partial answer is returned"; retrying the identical call can
 ///    succeed.
+///  * Load shedding — kOverloaded: an admission-controlled component
+///    (the query server) rejected the request without queuing it. The
+///    request was not started; retry after backing off.
 ///  * Lookup — kNotFound: the requested entity/witness does not exist in
 ///    the searched space.
 ///  * Bugs — kInternal: an invariant violation surfaced as a status
@@ -46,11 +50,16 @@ enum class StatusCode {
   kNotFound,          ///< A looked-up entity does not exist.
   kDeadlineExceeded,  ///< A deadline expired before the call finished.
   kCancelled,         ///< A cancellation token fired mid-call.
+  kOverloaded,        ///< Rejected by admission control; retry later.
   kInternal,          ///< Invariant violation surfaced as a status.
 };
 
 /// Returns a short human-readable name for `code` ("ok", "parse-error", ...).
 const char* StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName: parses a code name back into the enum
+/// (used by the server wire protocol). Unknown names map to kInternal.
+StatusCode StatusCodeFromName(std::string_view name);
 
 /// Result of an operation that can fail without a payload.
 class Status {
@@ -82,6 +91,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

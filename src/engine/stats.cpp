@@ -33,4 +33,33 @@ std::string EngineStats::ToString() const {
   return out;
 }
 
+std::string EngineStats::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  auto field = [&](const char* name, uint64_t value) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+  };
+  field("plans_built", plans_built);
+  field("plan_cache_hits", plan_cache_hits);
+  field("plan_cache_misses", plan_cache_misses);
+  field("eval_calls", eval_calls);
+  field("batch_calls", batch_calls);
+  field("batch_tasks", batch_tasks);
+  field("enumerate_calls", enumerate_calls);
+  field("deadline_exceeded", deadline_exceeded);
+  field("cancelled", cancelled);
+  field("homomorphism_calls", homomorphism_calls);
+  field("semijoin_passes", semijoin_passes);
+  field("plan_build_ns", plan_build_ns);
+  field("eval_ns", eval_ns);
+  field("enumerate_ns", enumerate_ns);
+  out += "}";
+  return out;
+}
+
 }  // namespace wdpt

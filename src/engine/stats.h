@@ -44,8 +44,14 @@ struct EngineStats {
   uint64_t eval_ns = 0;       ///< Includes batch task execution.
   uint64_t enumerate_ns = 0;
 
-  /// Multi-line human-readable rendering (for the CLI's --stats flag).
+  /// Multi-line human-readable rendering.
   std::string ToString() const;
+
+  /// Single-line JSON object with every counter/timer as a numeric
+  /// field (snake_case, times in nanoseconds). Shared by
+  /// `wdpt_query --stats` and the server's STATS response so external
+  /// tooling sees one schema.
+  std::string ToJson() const;
 };
 
 /// Thread-safe accumulator behind EngineStats.

@@ -1,0 +1,64 @@
+// Bounded admission with immediate rejection under overload.
+//
+// The server admits at most `capacity` query requests in flight
+// (queued for a worker or executing). TryAdmit never blocks: when the
+// budget is spent the request is rejected on the session thread with
+// kOverloaded and a retry-after hint, so a traffic spike degrades into
+// fast, explicit rejections instead of an unbounded queue whose tail
+// latency grows without limit.
+
+#ifndef WDPT_SRC_SERVER_ADMISSION_H_
+#define WDPT_SRC_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace wdpt::server {
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(size_t capacity) : capacity_(capacity) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Claims an in-flight slot; false (without blocking) when all
+  /// `capacity` slots are taken.
+  bool TryAdmit() {
+    size_t current = in_flight_.load(std::memory_order_relaxed);
+    while (current < capacity_) {
+      if (in_flight_.compare_exchange_weak(current, current + 1,
+                                           std::memory_order_acq_rel)) {
+        admitted_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Returns the slot claimed by a successful TryAdmit.
+  void Release() { in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  size_t capacity() const { return capacity_; }
+  size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  uint64_t admitted() const {
+    return admitted_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const size_t capacity_;
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace wdpt::server
+
+#endif  // WDPT_SRC_SERVER_ADMISSION_H_

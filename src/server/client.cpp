@@ -1,0 +1,57 @@
+#include "src/server/client.h"
+
+#include <utility>
+
+namespace wdpt::server {
+
+Status Client::Connect(const std::string& host, uint16_t port,
+                       uint32_t max_frame_bytes) {
+  if (connected()) return Status::InvalidArgument("client already connected");
+  Result<int> fd = ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  max_frame_bytes_ = max_frame_bytes;
+  return Status::Ok();
+}
+
+void Client::Close() {
+  CloseSocket(fd_);
+  fd_ = -1;
+}
+
+Result<Response> Client::Call(const Request& request) {
+  if (!connected()) return Status::InvalidArgument("client not connected");
+  Status sent = WriteFrame(fd_, SerializeRequest(request), max_frame_bytes_);
+  if (!sent.ok()) return sent;
+  Result<std::string> frame = ReadFrame(fd_, max_frame_bytes_);
+  if (!frame.ok()) return frame.status();
+  return ParseResponse(*frame);
+}
+
+Result<Response> Client::Query(const sparql::QueryRequest& query) {
+  Request request;
+  request.command = Command::kQuery;
+  request.query = query;
+  return Call(request);
+}
+
+Result<Response> Client::Ping() {
+  Request request;
+  request.command = Command::kPing;
+  return Call(request);
+}
+
+Result<Response> Client::Stats() {
+  Request request;
+  request.command = Command::kStats;
+  return Call(request);
+}
+
+Result<Response> Client::Reload(std::string triples) {
+  Request request;
+  request.command = Command::kReload;
+  request.body = std::move(triples);
+  return Call(request);
+}
+
+}  // namespace wdpt::server

@@ -1,0 +1,57 @@
+// Client library for the WDPT query server.
+//
+// A Client owns one connection and issues framed request/response
+// round-trips. A Result error means the *transport* failed (cannot
+// connect, connection dropped, unparseable frame); an application-level
+// failure (parse error, deadline, overload, ...) arrives as a normal
+// Response whose `code` is not kOk — callers inspect `response.code`
+// the same way they would inspect a local Status. The client is not
+// thread-safe; use one Client per thread (connections are cheap).
+
+#ifndef WDPT_SRC_SERVER_CLIENT_H_
+#define WDPT_SRC_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/server/frame.h"
+#include "src/server/protocol.h"
+#include "src/sparql/request.h"
+
+namespace wdpt::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to a server at host:port (numeric IPv4).
+  Status Connect(const std::string& host, uint16_t port,
+                 uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One framed round-trip. Requests on a connection are answered in
+  /// order.
+  Result<Response> Call(const Request& request);
+
+  /// Convenience wrappers over Call.
+  Result<Response> Query(const sparql::QueryRequest& query);
+  Result<Response> Ping();
+  Result<Response> Stats();
+  /// Replaces the server's live snapshot with one parsed from `triples`.
+  Result<Response> Reload(std::string triples);
+
+ private:
+  int fd_ = -1;
+  uint32_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace wdpt::server
+
+#endif  // WDPT_SRC_SERVER_CLIENT_H_

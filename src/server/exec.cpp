@@ -1,0 +1,102 @@
+#include "src/server/exec.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wdpt::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string PerRequestStatsJson(const Response& response,
+                                const sparql::QueryRequest& request,
+                                uint64_t wall_ns, uint64_t version) {
+  std::string json = "{\"status\":\"";
+  json += StatusCodeName(response.code);
+  json += "\",\"mode\":\"";
+  json += sparql::RequestModeName(request.mode);
+  json += "\",\"rows\":";
+  json += std::to_string(response.rows.size());
+  json += ",\"truncated\":";
+  json += response.truncated ? "true" : "false";
+  json += ",\"wall_ns\":";
+  json += std::to_string(wall_ns);
+  json += ",\"snapshot_version\":";
+  json += std::to_string(version);
+  json += "}";
+  return json;
+}
+
+}  // namespace
+
+Response ExecuteQuery(Engine* engine, const Snapshot& snapshot,
+                      const sparql::QueryRequest& request,
+                      const CancelToken& cancel) {
+  Clock::time_point start = Clock::now();
+  Response response;
+
+  // Effective token: the caller's, with the request deadline stacked on
+  // a child so the caller's token is never mutated.
+  CancelToken token = cancel;
+  if (request.deadline_ms != 0) {
+    token = CancelToken::Child(cancel);
+    token.SetDeadline(Clock::now() +
+                      std::chrono::milliseconds(request.deadline_ms));
+  }
+
+  // Parsing interns symbols, so it runs against a private copy of the
+  // snapshot's context; ids of known symbols are preserved by the copy.
+  RdfContext ctx = snapshot.ctx;
+  sparql::QueryRequest local = request;
+  local.deadline_ms = 0;  // The token above already carries it.
+  Result<sparql::CompiledRequest> compiled =
+      sparql::CompileRequest(local, &ctx);
+  if (!compiled.ok()) {
+    response.code = compiled.status().code();
+    response.message = compiled.status().ToString();
+  } else if (compiled->check) {
+    EvalOptions options = compiled->eval;
+    options.cancel = token;
+    Result<bool> verdict =
+        engine->Eval(compiled->tree, snapshot.db, compiled->candidate,
+                     options);
+    if (verdict.ok()) {
+      response.rows.push_back(*verdict ? "true" : "false");
+    } else {
+      response.code = verdict.status().code();
+      response.message = verdict.status().ToString();
+    }
+  } else {
+    EnumerateOptions options = compiled->enumerate;
+    options.cancel = token;
+    Result<std::vector<Mapping>> answers =
+        engine->Enumerate(compiled->tree, snapshot.db, options);
+    if (answers.ok()) {
+      size_t keep = answers->size();
+      if (compiled->max_results != 0 && keep > compiled->max_results) {
+        keep = compiled->max_results;
+        response.truncated = true;
+      }
+      response.rows.reserve(keep);
+      for (size_t i = 0; i < keep; ++i) {
+        response.rows.push_back((*answers)[i].ToString(ctx.vocab()));
+      }
+    } else {
+      response.code = answers.status().code();
+      response.message = answers.status().ToString();
+    }
+  }
+
+  uint64_t wall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+  response.stats_json =
+      PerRequestStatsJson(response, request, wall_ns, snapshot.version);
+  return response;
+}
+
+}  // namespace wdpt::server

@@ -1,0 +1,37 @@
+// The single query-execution path behind the server.
+//
+// ExecuteQuery is everything a QUERY request does once it has been
+// admitted: clone the snapshot's context, compile the request through
+// sparql::CompileRequest, run it on the engine with the effective
+// cancellation token, and render the answer rows. The Server calls it
+// from its worker pool; tests and wdpt_loadgen call it directly to
+// compute the expected bytes a server must produce — by construction
+// the two cannot diverge.
+
+#ifndef WDPT_SRC_SERVER_EXEC_H_
+#define WDPT_SRC_SERVER_EXEC_H_
+
+#include "src/common/cancellation.h"
+#include "src/engine/engine.h"
+#include "src/server/protocol.h"
+#include "src/server/snapshot.h"
+#include "src/sparql/request.h"
+
+namespace wdpt::server {
+
+/// Runs one QUERY request against `snapshot` on `engine`. The effective
+/// cancellation is a child of `cancel` (pass the server's shutdown
+/// token, or a null token) with the request's deadline_ms applied on
+/// top, so queue wait already counts against the deadline when the
+/// caller created the deadline child before submitting. Never throws;
+/// every failure mode is encoded in the returned Response's status
+/// code. The response's stats header is a single-line JSON object
+/// {"status", "mode", "rows", "truncated", "wall_ns",
+/// "snapshot_version"}.
+Response ExecuteQuery(Engine* engine, const Snapshot& snapshot,
+                      const sparql::QueryRequest& request,
+                      const CancelToken& cancel = CancelToken());
+
+}  // namespace wdpt::server
+
+#endif  // WDPT_SRC_SERVER_EXEC_H_

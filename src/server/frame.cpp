@@ -1,0 +1,179 @@
+#include "src/server/frame.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace wdpt::server {
+
+namespace {
+
+// send/recv the exact byte count, retrying EINTR and short transfers.
+// MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE into the process.
+Status SendAll(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send failed: ") +
+                              std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Returns 1 on success, 0 on clean EOF before any byte, an error
+// status otherwise (including EOF mid-buffer).
+Result<int> RecvAll(int fd, void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd, p + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv failed: ") +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return 0;
+      return Status::Internal("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload, uint32_t max_bytes) {
+  if (payload.size() > max_bytes) {
+    return Status::InvalidArgument("frame payload of " +
+                                   std::to_string(payload.size()) +
+                                   " bytes exceeds the frame cap");
+  }
+  uint32_t len = htonl(static_cast<uint32_t>(payload.size()));
+  Status s = SendAll(fd, &len, sizeof(len));
+  if (!s.ok()) return s;
+  if (payload.empty()) return Status::Ok();
+  return SendAll(fd, payload.data(), payload.size());
+}
+
+Result<std::string> ReadFrame(int fd, uint32_t max_bytes) {
+  uint32_t len_be = 0;
+  Result<int> header = RecvAll(fd, &len_be, sizeof(len_be));
+  if (!header.ok()) return header.status();
+  if (*header == 0) return Status::NotFound("connection closed");
+  uint32_t len = ntohl(len_be);
+  if (len > max_bytes) {
+    return Status::ResourceExhausted("announced frame of " +
+                                     std::to_string(len) +
+                                     " bytes exceeds the frame cap");
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    Result<int> body = RecvAll(fd, payload.data(), len);
+    if (!body.ok()) return body.status();
+    if (*body == 0) return Status::Internal("connection closed mid-frame");
+  }
+  return payload;
+}
+
+Result<int> ListenLoopback(uint16_t port, uint16_t* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::Internal(std::string("bind failed: ") +
+                                std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 128) < 0) {
+    Status s = Status::Internal(std::string("listen failed: ") +
+                                std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) < 0) {
+      Status s = Status::Internal(std::string("getsockname failed: ") +
+                                  std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+Result<int> AcceptConnection(int listen_fd) {
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EINVAL || errno == EBADF) {
+      // The listener was shut down / closed: orderly stop.
+      return Status::Cancelled("listener shut down");
+    }
+    return Status::Internal(std::string("accept failed: ") +
+                            std::strerror(errno));
+  }
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot parse IPv4 address '" + host +
+                                   "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::Internal("connect to " + host + ":" +
+                                std::to_string(port) + " failed: " +
+                                std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void CloseSocket(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void ShutdownSocket(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+}  // namespace wdpt::server

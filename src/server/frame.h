@@ -1,0 +1,57 @@
+// Length-prefixed framing and minimal loopback socket plumbing.
+//
+// Every message on a server connection is one frame: a 4-byte
+// big-endian payload length followed by that many payload bytes. The
+// payload encoding lives one layer up (protocol.h); this file only
+// moves bytes and never parses them. Frames larger than the configured
+// cap are rejected without allocating, so a corrupt or hostile length
+// word cannot balloon memory.
+
+#ifndef WDPT_SRC_SERVER_FRAME_H_
+#define WDPT_SRC_SERVER_FRAME_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace wdpt::server {
+
+/// Default cap on a single frame's payload (requests and responses).
+inline constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Writes one frame (length prefix + payload) to `fd`, retrying short
+/// writes. kInvalidArgument if the payload exceeds `max_bytes`,
+/// kInternal on socket errors (peer gone mid-write included).
+Status WriteFrame(int fd, std::string_view payload,
+                  uint32_t max_bytes = kDefaultMaxFrameBytes);
+
+/// Reads one frame's payload from `fd`. Returns kNotFound with message
+/// "connection closed" on clean EOF at a frame boundary,
+/// kResourceExhausted if the announced length exceeds `max_bytes`, and
+/// kInternal on socket errors or truncated frames.
+Result<std::string> ReadFrame(int fd,
+                              uint32_t max_bytes = kDefaultMaxFrameBytes);
+
+/// Creates a TCP listener bound to 127.0.0.1:`port` (0 = ephemeral) and
+/// returns its fd. `*bound_port` receives the actual port.
+Result<int> ListenLoopback(uint16_t port, uint16_t* bound_port);
+
+/// Accepts one connection on a listener fd. kCancelled when the
+/// listener was shut down, kInternal on other errors.
+Result<int> AcceptConnection(int listen_fd);
+
+/// Connects to `host`:`port` (numeric IPv4, typically "127.0.0.1").
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Half-closes then closes a socket fd; no-op for fd < 0.
+void CloseSocket(int fd);
+
+/// shutdown(2) both directions without closing, to unblock a reader in
+/// another thread; no-op for fd < 0.
+void ShutdownSocket(int fd);
+
+}  // namespace wdpt::server
+
+#endif  // WDPT_SRC_SERVER_FRAME_H_

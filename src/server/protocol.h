@@ -1,0 +1,76 @@
+// Wire protocol: frame payload encoding for requests and responses.
+//
+// Payloads are text, structured like a minimal HTTP message so they are
+// debuggable with a hex dump:
+//
+//   request  := "WDPT/1 " command "\n" headers "\n" body
+//   response := "WDPT/1 " status-code-name "\n" headers "\n" body
+//   headers  := (key ": " value "\n")*
+//
+// Commands: QUERY (body = {AND, OPT} algebra text; headers mode,
+// deadline-ms, max-results, candidate), STATS, PING, RELOAD (body =
+// triples text replacing the live snapshot). Response bodies carry
+// `rows` answer lines; headers carry the row count, truncation flag,
+// retry-after-ms (with status "overloaded"), a human message, and a
+// single-line per-request `stats` JSON object. Unknown headers are
+// ignored on both sides, so fields can be added without a version bump.
+//
+// See docs/SERVER.md for the full schema and examples.
+
+#ifndef WDPT_SRC_SERVER_PROTOCOL_H_
+#define WDPT_SRC_SERVER_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sparql/request.h"
+
+namespace wdpt::server {
+
+enum class Command {
+  kQuery,   ///< Evaluate a query against the live snapshot.
+  kStats,   ///< Engine + server counters as JSON.
+  kPing,    ///< Liveness / round-trip probe.
+  kReload,  ///< Swap in a new snapshot parsed from the body.
+};
+
+const char* CommandName(Command command);
+
+/// One client request frame, decoded.
+struct Request {
+  Command command = Command::kPing;
+  /// Query text and options; used by kQuery only.
+  sparql::QueryRequest query;
+  /// Raw body for kReload (triples text).
+  std::string body;
+};
+
+/// One server response frame, decoded.
+struct Response {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  /// Rendered answer mappings (one per line on the wire); a membership
+  /// check returns the single row "true" or "false".
+  std::vector<std::string> rows;
+  /// True when `rows` was capped by max-results.
+  bool truncated = false;
+  /// Suggested client backoff; set with kOverloaded.
+  uint64_t retry_after_ms = 0;
+  /// Single-line JSON: per-request stats for QUERY, aggregate engine +
+  /// server counters for STATS.
+  std::string stats_json;
+
+  bool ok() const { return code == StatusCode::kOk; }
+};
+
+std::string SerializeRequest(const Request& request);
+Result<Request> ParseRequest(std::string_view payload);
+
+std::string SerializeResponse(const Response& response);
+Result<Response> ParseResponse(std::string_view payload);
+
+}  // namespace wdpt::server
+
+#endif  // WDPT_SRC_SERVER_PROTOCOL_H_

@@ -1,0 +1,282 @@
+#include "src/server/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/server/exec.h"
+#include "src/server/frame.h"
+
+namespace wdpt::server {
+
+namespace {
+
+unsigned ResolveWorkers(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+}  // namespace
+
+std::string ServerCounters::ToJson() const {
+  std::string json = "{";
+  bool first = true;
+  auto field = [&](const char* name, uint64_t value) {
+    if (!first) json += ",";
+    first = false;
+    json += "\"";
+    json += name;
+    json += "\":";
+    json += std::to_string(value);
+  };
+  field("connections", connections);
+  field("requests", requests);
+  field("protocol_errors", protocol_errors);
+  field("queries", queries);
+  field("admitted", admitted);
+  field("rejected_overload", rejected_overload);
+  field("reloads", reloads);
+  json += "}";
+  return json;
+}
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      engine_(options.engine),
+      pool_(ResolveWorkers(options.num_workers)),
+      admission_(options.admission_capacity == 0 ? 1
+                                                 : options.admission_capacity),
+      stop_token_(CancelToken::Create()) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start(std::shared_ptr<const Snapshot> initial) {
+  if (initial == nullptr) {
+    return Status::InvalidArgument("initial snapshot must not be null");
+  }
+  if (started_.exchange(true)) {
+    return Status::InvalidArgument("server already started");
+  }
+  next_version_.store(initial->version + 1);
+  snapshot_.Store(std::move(initial));
+  Result<int> listener = ListenLoopback(options_.port, &port_);
+  if (!listener.ok()) {
+    started_.store(false);
+    return listener.status();
+  }
+  listen_fd_ = *listener;
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (!started_.load() || stopping_.exchange(true)) return;
+  // Wind down in-flight evaluations; admitted requests surface
+  // kCancelled rather than blocking shutdown.
+  stop_token_.RequestCancel();
+  // Unblock the accept loop and join it first, so no new sessions
+  // appear while existing ones are being shut down.
+  ShutdownSocket(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseSocket(listen_fd_);
+  listen_fd_ = -1;
+  {
+    // Sessions remove their fd before closing it, so everything in the
+    // list is open; shutdown unblocks their frame reads.
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (int fd : session_fds_) ShutdownSocket(fd);
+  }
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions.swap(session_threads_);
+  }
+  for (std::thread& t : sessions) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::SwapSnapshot(std::shared_ptr<const Snapshot> snapshot) {
+  snapshot_.Store(std::move(snapshot));
+}
+
+ServerCounters Server::counters() const {
+  ServerCounters c;
+  c.connections = connections_.load(std::memory_order_relaxed);
+  c.requests = requests_.load(std::memory_order_relaxed);
+  c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  c.queries = queries_.load(std::memory_order_relaxed);
+  c.admitted = admission_.admitted();
+  c.rejected_overload = admission_.rejected();
+  c.reloads = reloads_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    Result<int> fd = AcceptConnection(listen_fd_);
+    if (!fd.ok()) {
+      if (stopping_.load() ||
+          fd.status().code() == StatusCode::kCancelled) {
+        return;
+      }
+      continue;  // Transient accept error (e.g. EMFILE): keep serving.
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (stopping_.load()) {
+      CloseSocket(*fd);
+      return;
+    }
+    session_fds_.push_back(*fd);
+    session_threads_.emplace_back(&Server::SessionLoop, this, *fd);
+  }
+}
+
+void Server::SessionLoop(int fd) {
+  while (!stopping_.load()) {
+    Result<std::string> frame = ReadFrame(fd, options_.max_frame_bytes);
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kResourceExhausted) {
+        // Oversized announced frame: the stream is unreadable past this
+        // point, so answer once and hang up.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        Response r;
+        r.code = StatusCode::kResourceExhausted;
+        r.message = frame.status().ToString();
+        WriteFrame(fd, SerializeResponse(r), options_.max_frame_bytes);
+      }
+      break;  // EOF or socket error: session over.
+    }
+
+    Response response;
+    Result<Request> request = ParseRequest(*frame);
+    if (!request.ok()) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      response.code = request.status().code();
+      response.message = request.status().ToString();
+    } else {
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      response = Dispatch(*request);
+    }
+
+    std::string payload = SerializeResponse(response);
+    if (payload.size() > options_.max_frame_bytes) {
+      // The result set outgrew the frame cap: report instead of
+      // shipping a frame the client must reject.
+      Response too_big;
+      too_big.code = StatusCode::kResourceExhausted;
+      too_big.message = "response of " + std::to_string(payload.size()) +
+                        " bytes exceeds the frame cap; narrow the query "
+                        "or set max-results";
+      payload = SerializeResponse(too_big);
+    }
+    if (!WriteFrame(fd, payload, options_.max_frame_bytes).ok()) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (size_t i = 0; i < session_fds_.size(); ++i) {
+      if (session_fds_[i] == fd) {
+        session_fds_.erase(session_fds_.begin() + i);
+        break;
+      }
+    }
+  }
+  CloseSocket(fd);
+}
+
+Response Server::Dispatch(const Request& request) {
+  switch (request.command) {
+    case Command::kPing: {
+      Response r;
+      r.message = "pong";
+      return r;
+    }
+    case Command::kStats:
+      return HandleStats();
+    case Command::kReload:
+      return HandleReload(request.body);
+    case Command::kQuery:
+      return HandleQuery(request.query);
+  }
+  Response r;
+  r.code = StatusCode::kInternal;
+  r.message = "unhandled command";
+  return r;
+}
+
+Response Server::HandleQuery(const sparql::QueryRequest& query) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  sparql::QueryRequest local = query;
+  if (local.deadline_ms == 0) {
+    local.deadline_ms = options_.default_deadline_ms;
+  }
+  if (options_.max_deadline_ms != 0 &&
+      (local.deadline_ms == 0 ||
+       local.deadline_ms > options_.max_deadline_ms)) {
+    local.deadline_ms = options_.max_deadline_ms;
+  }
+
+  if (!admission_.TryAdmit()) {
+    Response r;
+    r.code = StatusCode::kOverloaded;
+    r.retry_after_ms = options_.retry_after_ms;
+    r.message = "admission queue full (" +
+                std::to_string(admission_.capacity()) +
+                " requests in flight); retry later";
+    return r;
+  }
+
+  // Pin the dataset version and start the deadline clock *now*, before
+  // the pool handoff, so time spent waiting for a worker counts.
+  std::shared_ptr<const Snapshot> snapshot = snapshot_.Load();
+  CancelToken token = stop_token_;
+  if (local.deadline_ms != 0) {
+    token = CancelToken::Child(stop_token_);
+    token.SetDeadline(CancelToken::Clock::now() +
+                      std::chrono::milliseconds(local.deadline_ms));
+  }
+  local.deadline_ms = 0;  // Carried by the token from here on.
+
+  Response response;
+  BatchLatch latch(1);
+  pool_.Submit([this, &response, &latch, &local, snapshot, token] {
+    response = ExecuteQuery(&engine_, *snapshot, local, token);
+    latch.CountDown();
+  });
+  latch.Wait();
+  admission_.Release();
+  return response;
+}
+
+Response Server::HandleReload(const std::string& triples) {
+  Response r;
+  if (!options_.allow_reload) {
+    r.code = StatusCode::kInvalidArgument;
+    r.message = "reload is disabled on this server";
+    return r;
+  }
+  uint64_t version = next_version_.fetch_add(1);
+  Result<std::shared_ptr<const Snapshot>> snapshot =
+      LoadSnapshot(triples, version);
+  if (!snapshot.ok()) {
+    r.code = snapshot.status().code();
+    r.message = snapshot.status().ToString();
+    return r;
+  }
+  size_t facts = (*snapshot)->db.TotalFacts();
+  snapshot_.Store(std::move(*snapshot));
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+  r.message = "reloaded: " + std::to_string(facts) + " facts, version " +
+              std::to_string(version);
+  return r;
+}
+
+Response Server::HandleStats() {
+  Response r;
+  r.stats_json = "{\"engine\":" + engine_.stats().ToJson() +
+                 ",\"server\":" + counters().ToJson() + "}";
+  return r;
+}
+
+}  // namespace wdpt::server

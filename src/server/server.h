@@ -1,0 +1,147 @@
+// A concurrent WDPT query server.
+//
+// Layout: one accept thread, one lightweight session thread per
+// connection (blocking frame reads), and a fixed worker pool
+// (src/engine/thread_pool) that runs the actual evaluations. A session
+// decodes a request, passes admission control, hands the evaluation to
+// the pool, and writes the response frame back; requests on one
+// connection are served in order, requests across connections run
+// concurrently up to the worker count. Overload is shed at admission:
+// when `admission_capacity` evaluations are already in flight the
+// request is answered immediately with kOverloaded and a retry-after
+// hint instead of queuing unboundedly.
+//
+// Every admitted request gets a CancelToken that chains the server's
+// shutdown token with the request deadline (clamped by
+// `max_deadline_ms`), created *before* the pool handoff so queue wait
+// counts against the deadline. Datasets are immutable Snapshots
+// published through a SnapshotHolder: RELOAD builds a new snapshot and
+// swaps the pointer; running requests finish on the version they
+// admitted with (see snapshot.h).
+
+#ifndef WDPT_SRC_SERVER_SERVER_H_
+#define WDPT_SRC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/cancellation.h"
+#include "src/common/status.h"
+#include "src/engine/engine.h"
+#include "src/engine/thread_pool.h"
+#include "src/server/admission.h"
+#include "src/server/frame.h"
+#include "src/server/protocol.h"
+#include "src/server/snapshot.h"
+
+namespace wdpt::server {
+
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  uint16_t port = 0;
+  /// Worker threads evaluating queries; 0 = hardware concurrency.
+  unsigned num_workers = 0;
+  /// Maximum admitted (queued + executing) query requests.
+  size_t admission_capacity = 64;
+  /// Applied when a request carries no deadline; 0 = none.
+  uint64_t default_deadline_ms = 0;
+  /// Upper clamp on any request deadline; 0 = no clamp.
+  uint64_t max_deadline_ms = 0;
+  /// Backoff hint returned with kOverloaded responses.
+  uint64_t retry_after_ms = 50;
+  /// Per-frame payload cap, both directions.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Accept RELOAD requests (disable for read-only deployments).
+  bool allow_reload = true;
+  /// Engine construction knobs. The engine's internal batch pool is not
+  /// used on the serving path, so it defaults to a single thread.
+  EngineOptions engine{1, 128};
+};
+
+/// Monotonic counters exposed via the STATS command.
+struct ServerCounters {
+  uint64_t connections = 0;
+  uint64_t requests = 0;         ///< Frames successfully parsed.
+  uint64_t protocol_errors = 0;  ///< Frames rejected before dispatch.
+  uint64_t queries = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected_overload = 0;
+  uint64_t reloads = 0;
+
+  std::string ToJson() const;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options = ServerOptions());
+  /// Stops the server if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, starts the accept loop, and begins serving `initial`.
+  /// Fails if the port is taken or the server already started.
+  Status Start(std::shared_ptr<const Snapshot> initial);
+
+  /// Cancels in-flight work, closes every connection, joins all
+  /// threads. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Publishes a new snapshot for future requests (versions are
+  /// assigned at LoadSnapshot time). Safe under live traffic.
+  void SwapSnapshot(std::shared_ptr<const Snapshot> snapshot);
+
+  /// The snapshot new requests are currently admitted against.
+  std::shared_ptr<const Snapshot> CurrentSnapshot() const {
+    return snapshot_.Load();
+  }
+
+  ServerCounters counters() const;
+  EngineStats engine_stats() const { return engine_.stats(); }
+
+ private:
+  void AcceptLoop();
+  void SessionLoop(int fd);
+  Response Dispatch(const Request& request);
+  Response HandleQuery(const sparql::QueryRequest& query);
+  Response HandleReload(const std::string& triples);
+  Response HandleStats();
+
+  ServerOptions options_;
+  Engine engine_;
+  ThreadPool pool_;
+  AdmissionController admission_;
+  SnapshotHolder snapshot_;
+  /// Fires on Stop; every request token is a child of it.
+  CancelToken stop_token_;
+
+  std::atomic<uint64_t> next_version_{1};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex sessions_mu_;
+  std::vector<std::thread> session_threads_;
+  std::vector<int> session_fds_;  ///< Open fds, for shutdown at Stop.
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> reloads_{0};
+};
+
+}  // namespace wdpt::server
+
+#endif  // WDPT_SRC_SERVER_SERVER_H_

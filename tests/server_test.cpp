@@ -1,0 +1,512 @@
+// Tests for the query server subsystem (ctest label `server`):
+// protocol round-trips, wire evaluation of the Figure 1 running
+// example bit-identical to the shared execution path, concurrent
+// clients, deadlines surfacing kDeadlineExceeded over the wire,
+// admission-control overload shedding, hot snapshot swaps with no torn
+// reads, and the stats JSON schema.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/server/client.h"
+#include "src/server/exec.h"
+#include "src/server/frame.h"
+#include "src/server/protocol.h"
+#include "src/server/server.h"
+#include "src/server/snapshot.h"
+#include "src/sparql/request.h"
+
+namespace wdpt::server {
+namespace {
+
+constexpr const char* kFig1Triples =
+    "Our_love recorded_by Caribou\n"
+    "Our_love published after_2010\n"
+    "Swim recorded_by Caribou\n"
+    "Swim published after_2010\n"
+    "Swim NME_rating 2\n"
+    "Caribou formed_in 2007\n";
+
+constexpr const char* kFig1Query =
+    "SELECT ?rec ?band ?rating WHERE "
+    "(((?rec, recorded_by, ?band) AND (?rec, published, after_2010)) "
+    "OPT (?rec, NME_rating, ?rating))";
+
+// A projection-free 4-way cross product over a dense-ish edge relation:
+// ~10^10 homomorphisms, far beyond any deadline used below, so a timed
+// request reliably dies by deadline (cooperatively, long before the
+// enumeration caps trigger).
+std::string SlowGraphTriples() {
+  std::string out;
+  for (int i = 0; i < 40; ++i) {
+    for (int k = 0; k < 8; ++k) {
+      out += "n" + std::to_string(i) + " e n" +
+             std::to_string((i * 7 + k) % 40) + "\n";
+    }
+  }
+  return out;
+}
+
+constexpr const char* kSlowQuery =
+    "(((?a, e, ?b) AND (?c, e, ?d)) AND ((?f, e, ?g) AND (?h, e, ?i)))";
+
+std::shared_ptr<const Snapshot> MustLoad(std::string_view triples,
+                                         uint64_t version) {
+  Result<std::shared_ptr<const Snapshot>> snapshot =
+      LoadSnapshot(triples, version);
+  WDPT_CHECK(snapshot.ok());
+  return *snapshot;
+}
+
+// Starts a server on an ephemeral port over `triples`.
+std::unique_ptr<Server> StartServer(std::string_view triples,
+                                    ServerOptions options = ServerOptions()) {
+  auto server = std::make_unique<Server>(options);
+  Status started = server->Start(MustLoad(triples, 1));
+  WDPT_CHECK(started.ok());
+  return server;
+}
+
+// The reference answer for a request: the shared execution path run
+// locally on an identical snapshot.
+Response LocalExpected(std::string_view triples,
+                       const sparql::QueryRequest& request) {
+  Engine engine(EngineOptions{1, 16});
+  return ExecuteQuery(&engine, *MustLoad(triples, 1), request);
+}
+
+// Minimal structural JSON sanity: non-empty, balanced braces/quotes,
+// starts/ends as an object.
+void ExpectLooksLikeJsonObject(const std::string& json) {
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  int depth = 0;
+  int quotes = 0;
+  for (char c : json) {
+    if (c == '"') ++quotes;
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(quotes % 2, 0);
+}
+
+TEST(Protocol, QueryRequestRoundTrip) {
+  Request request;
+  request.command = Command::kQuery;
+  request.query.query = kFig1Query;
+  request.query.mode = sparql::RequestMode::kMax;
+  request.query.deadline_ms = 250;
+  request.query.max_results = 7;
+  request.query.candidate = "?rec=Swim ?band=Caribou";
+
+  Result<Request> parsed = ParseRequest(SerializeRequest(request));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->command, Command::kQuery);
+  EXPECT_EQ(parsed->query.query, request.query.query);
+  EXPECT_EQ(parsed->query.mode, sparql::RequestMode::kMax);
+  EXPECT_EQ(parsed->query.deadline_ms, 250u);
+  EXPECT_EQ(parsed->query.max_results, 7u);
+  EXPECT_EQ(parsed->query.candidate, request.query.candidate);
+}
+
+TEST(Protocol, ReloadAndControlRequestsRoundTrip) {
+  Request reload;
+  reload.command = Command::kReload;
+  reload.body = kFig1Triples;
+  Result<Request> parsed = ParseRequest(SerializeRequest(reload));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->command, Command::kReload);
+  EXPECT_EQ(parsed->body, kFig1Triples);
+
+  for (Command command : {Command::kPing, Command::kStats}) {
+    Request request;
+    request.command = command;
+    Result<Request> back = ParseRequest(SerializeRequest(request));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->command, command);
+  }
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  Response response;
+  response.code = StatusCode::kOverloaded;
+  response.message = "busy";
+  response.rows = {"{x -> a}", "{x -> b, y -> c}", "{}"};
+  response.truncated = true;
+  response.retry_after_ms = 25;
+  response.stats_json = "{\"rows\":3}";
+
+  Result<Response> parsed = ParseResponse(SerializeResponse(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->code, StatusCode::kOverloaded);
+  EXPECT_EQ(parsed->message, "busy");
+  EXPECT_EQ(parsed->rows, response.rows);
+  EXPECT_TRUE(parsed->truncated);
+  EXPECT_EQ(parsed->retry_after_ms, 25u);
+  EXPECT_EQ(parsed->stats_json, response.stats_json);
+}
+
+TEST(Protocol, MalformedPayloadsAreRejected) {
+  EXPECT_EQ(ParseRequest("garbage").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseRequest("WDPT/1 FROB\n\n").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("WDPT/1 QUERY\nno-colon-line\n\n").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseResponse("WDPT/1 ok\nrows: 3\n\nonly one row\n")
+                .status()
+                .code(),
+            StatusCode::kParseError);
+}
+
+TEST(RequestCompiler, PartialModeRequiresCandidate) {
+  RdfContext ctx;
+  sparql::QueryRequest request;
+  request.query = kFig1Query;
+  request.mode = sparql::RequestMode::kPartial;
+  Result<sparql::CompiledRequest> compiled =
+      sparql::CompileRequest(request, &ctx);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RequestCompiler, CandidateParsing) {
+  RdfContext ctx;
+  Result<Mapping> mapping = sparql::ParseCandidate("?x=a  ?y=b", &ctx);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping->size(), 2u);
+  EXPECT_FALSE(sparql::ParseCandidate("x=a", &ctx).ok());
+  EXPECT_FALSE(sparql::ParseCandidate("?x", &ctx).ok());
+  EXPECT_FALSE(sparql::ParseCandidate("?x=a ?x=b", &ctx).ok());
+}
+
+TEST(ServerWire, Figure1RoundTripMatchesSharedExecutionPath) {
+  std::unique_ptr<Server> server = StartServer(kFig1Triples);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+
+  Result<Response> pong = client.Ping();
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->code, StatusCode::kOk);
+
+  for (sparql::RequestMode mode :
+       {sparql::RequestMode::kEval, sparql::RequestMode::kMax}) {
+    sparql::QueryRequest request;
+    request.query = kFig1Query;
+    request.mode = mode;
+    Response expected = LocalExpected(kFig1Triples, request);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_FALSE(expected.rows.empty());
+
+    Result<Response> response = client.Query(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->code, StatusCode::kOk);
+    EXPECT_EQ(response->rows, expected.rows);
+    EXPECT_FALSE(response->truncated);
+  }
+
+  // Membership checks under all three semantics.
+  for (sparql::RequestMode mode :
+       {sparql::RequestMode::kEval, sparql::RequestMode::kPartial,
+        sparql::RequestMode::kMax}) {
+    sparql::QueryRequest request;
+    request.query = kFig1Query;
+    request.mode = mode;
+    request.candidate = "?rec=Swim ?band=Caribou ?rating=2";
+    Response expected = LocalExpected(kFig1Triples, request);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_EQ(expected.rows.size(), 1u);
+
+    Result<Response> response = client.Query(request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->code, StatusCode::kOk);
+    EXPECT_EQ(response->rows, expected.rows);
+    EXPECT_EQ(response->rows[0], "true");
+  }
+
+  // Truncation is explicit, never silent.
+  sparql::QueryRequest capped;
+  capped.query = kFig1Query;
+  capped.max_results = 1;
+  Result<Response> truncated = client.Query(capped);
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_EQ(truncated->code, StatusCode::kOk);
+  EXPECT_EQ(truncated->rows.size(), 1u);
+  EXPECT_TRUE(truncated->truncated);
+
+  // A bad query is an application-level error on a healthy connection.
+  sparql::QueryRequest bad;
+  bad.query = "SELECT ?x WHERE ((?x, p)";
+  Result<Response> error = client.Query(bad);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->code, StatusCode::kParseError);
+  ASSERT_TRUE(client.Ping().ok());  // Session survives the error.
+}
+
+TEST(ServerWire, MalformedFrameGetsErrorResponseAndSessionSurvives) {
+  std::unique_ptr<Server> server = StartServer(kFig1Triples);
+  Result<int> fd = ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(WriteFrame(*fd, "totally not a request").ok());
+  Result<std::string> frame = ReadFrame(*fd);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  Result<Response> response = ParseResponse(*frame);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kParseError);
+
+  // Framing stayed intact: a valid request on the same connection works.
+  Request ping;
+  ping.command = Command::kPing;
+  ASSERT_TRUE(WriteFrame(*fd, SerializeRequest(ping)).ok());
+  frame = ReadFrame(*fd);
+  ASSERT_TRUE(frame.ok());
+  response = ParseResponse(*frame);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kOk);
+  EXPECT_EQ(server->counters().protocol_errors, 1u);
+  CloseSocket(*fd);
+}
+
+TEST(ServerWire, ConcurrentClientsAreBitIdenticalToSequentialEval) {
+  std::unique_ptr<Server> server = StartServer(kFig1Triples);
+
+  std::vector<sparql::QueryRequest> mix(3);
+  mix[0].query = kFig1Query;
+  mix[1].query = kFig1Query;
+  mix[1].mode = sparql::RequestMode::kMax;
+  mix[2].query =
+      "SELECT ?band ?year WHERE "
+      "(((?rec, recorded_by, ?band) AND (?rec, published, after_2010)) "
+      "OPT (?band, formed_in, ?year))";
+  std::vector<Response> expected;
+  for (const sparql::QueryRequest& q : mix) {
+    expected.push_back(LocalExpected(kFig1Triples, q));
+    ASSERT_TRUE(expected.back().ok());
+    ASSERT_FALSE(expected.back().rows.empty());
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client;
+      if (!client.Connect("127.0.0.1", server->port()).ok()) {
+        failures.fetch_add(kRequestsPerClient);
+        return;
+      }
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        size_t qi = static_cast<size_t>(c + r) % mix.size();
+        Result<Response> response = client.Query(mix[qi]);
+        if (!response.ok() || response->code != StatusCode::kOk ||
+            response->rows != expected[qi].rows) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server->counters().queries,
+            static_cast<uint64_t>(kClients) * kRequestsPerClient);
+  EXPECT_EQ(server->counters().protocol_errors, 0u);
+}
+
+TEST(ServerWire, ExpiredDeadlineSurfacesDeadlineExceeded) {
+  std::unique_ptr<Server> server = StartServer(SlowGraphTriples());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+
+  sparql::QueryRequest request;
+  request.query = kSlowQuery;
+  request.deadline_ms = 20;
+  Result<Response> response = client.Query(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(response->rows.empty());  // Never a partial answer.
+  EXPECT_GE(server->engine_stats().deadline_exceeded, 1u);
+}
+
+TEST(ServerWire, ServerDefaultDeadlineAppliesWhenRequestHasNone) {
+  ServerOptions options;
+  options.default_deadline_ms = 20;
+  std::unique_ptr<Server> server = StartServer(SlowGraphTriples(), options);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+
+  sparql::QueryRequest request;
+  request.query = kSlowQuery;  // No deadline of its own.
+  Result<Response> response = client.Query(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded);
+}
+
+TEST(ServerWire, OverloadShedsWithRetryAfterAndRecovers) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.admission_capacity = 1;
+  options.retry_after_ms = 5;
+  std::unique_ptr<Server> server = StartServer(SlowGraphTriples(), options);
+
+  // Occupy the single admission slot with a query that runs for its
+  // whole 400ms deadline.
+  std::thread slow([&] {
+    Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+    sparql::QueryRequest request;
+    request.query = kSlowQuery;
+    request.deadline_ms = 400;
+    Result<Response> response = client.Query(request);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+  sparql::QueryRequest quick;
+  quick.query = "(?a, e, ?b)";
+  quick.max_results = 1;
+  Result<Response> rejected = client.Query(quick);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->code, StatusCode::kOverloaded);
+  EXPECT_EQ(rejected->retry_after_ms, 5u);
+  EXPECT_TRUE(rejected->rows.empty());
+  slow.join();
+
+  // Once the slot frees, the same request succeeds.
+  Result<Response> accepted = client.Query(quick);
+  for (int attempt = 0;
+       attempt < 200 && accepted.ok() &&
+       accepted->code == StatusCode::kOverloaded;
+       ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    accepted = client.Query(quick);
+  }
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(accepted->code, StatusCode::kOk);
+  EXPECT_GE(server->counters().rejected_overload, 1u);
+}
+
+TEST(ServerWire, SnapshotSwapUnderTrafficNeverTearsReads) {
+  auto make_triples = [](const std::string& color) {
+    std::string out;
+    for (int i = 0; i < 10; ++i) {
+      out += "item" + std::to_string(i) + " color " + color + "\n";
+    }
+    return out;
+  };
+  const std::string red = make_triples("red");
+  const std::string blue = make_triples("blue");
+
+  std::unique_ptr<Server> server = StartServer(red);
+  const char* kColorQuery = "SELECT ?i ?c WHERE (?i, color, ?c)";
+
+  std::atomic<bool> done{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      Client client;
+      ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+      sparql::QueryRequest request;
+      request.query = kColorQuery;
+      while (!done.load()) {
+        Result<Response> response = client.Query(request);
+        if (!response.ok() || response->code != StatusCode::kOk) {
+          torn.fetch_add(1);
+          break;
+        }
+        reads.fetch_add(1);
+        // Every response must be entirely one dataset version: exactly
+        // 10 rows, all the same color.
+        if (response->rows.size() != 10) {
+          torn.fetch_add(1);
+          continue;
+        }
+        bool all_red = true, all_blue = true;
+        for (const std::string& row : response->rows) {
+          if (row.find("red") == std::string::npos) all_red = false;
+          if (row.find("blue") == std::string::npos) all_blue = false;
+        }
+        if (!all_red && !all_blue) torn.fetch_add(1);
+      }
+    });
+  }
+
+  // Swap the dataset 20 times under live traffic, both over the wire
+  // (RELOAD) and through the in-process accessor.
+  Client admin;
+  ASSERT_TRUE(admin.Connect("127.0.0.1", server->port()).ok());
+  for (int swap = 0; swap < 20; ++swap) {
+    if (swap % 2 == 0) {
+      Result<Response> reloaded = admin.Reload(swap % 4 == 0 ? blue : red);
+      ASSERT_TRUE(reloaded.ok());
+      EXPECT_EQ(reloaded->code, StatusCode::kOk);
+    } else {
+      server->SwapSnapshot(
+          MustLoad(swap % 4 == 1 ? red : blue, 100 + swap));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(reads.load(), 0);
+  EXPECT_GE(server->counters().reloads, 10u);
+}
+
+TEST(ServerWire, StatsJsonHasTheDocumentedShape) {
+  std::unique_ptr<Server> server = StartServer(kFig1Triples);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+
+  sparql::QueryRequest request;
+  request.query = kFig1Query;
+  Result<Response> query = client.Query(request);
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->code, StatusCode::kOk);
+
+  // Per-request stats ride on every QUERY response.
+  ExpectLooksLikeJsonObject(query->stats_json);
+  for (const char* key : {"\"status\":\"ok\"", "\"mode\":\"eval\"",
+                          "\"rows\":", "\"wall_ns\":",
+                          "\"snapshot_version\":1"}) {
+    EXPECT_NE(query->stats_json.find(key), std::string::npos)
+        << "missing " << key << " in " << query->stats_json;
+  }
+
+  // Aggregate STATS: engine counters (EngineStats::ToJson) + server
+  // counters under separate keys.
+  Result<Response> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->code, StatusCode::kOk);
+  ExpectLooksLikeJsonObject(stats->stats_json);
+  for (const char* key :
+       {"\"engine\":{", "\"server\":{", "\"enumerate_calls\":",
+        "\"plan_cache_hits\":", "\"queries\":", "\"admitted\":",
+        "\"rejected_overload\":", "\"connections\":"}) {
+    EXPECT_NE(stats->stats_json.find(key), std::string::npos)
+        << "missing " << key << " in " << stats->stats_json;
+  }
+
+  // The engine half is EngineStats::ToJson verbatim; check the schema
+  // directly too.
+  EngineStats engine_stats = server->engine_stats();
+  ExpectLooksLikeJsonObject(engine_stats.ToJson());
+  EXPECT_GE(engine_stats.enumerate_calls, 1u);
+}
+
+}  // namespace
+}  // namespace wdpt::server

@@ -1,0 +1,400 @@
+// wdpt_loadgen: concurrent load generator for the WDPT query server.
+//
+// Usage:
+//   wdpt_loadgen [--connect HOST:PORT] [--data FILE] [--bands N]
+//                [--clients 1,2,4,8] [--requests N] [--deadline-ms N]
+//                [--workers N] [--queue N] [--json FILE] [--no-verify]
+//
+// Drives a fixed query mix from N concurrent client connections and
+// reports throughput and latency percentiles per client count. Without
+// --connect it starts an in-process server (workers/queue set its
+// options); with --connect it targets a running wdpt_server. Without
+// --data it generates a deterministic music-catalog dataset of --bands
+// bands in the spirit of the Figure 1 running example.
+//
+// Unless --no-verify is given, every response is checked against the
+// rows the shared execution path (server::ExecuteQuery) produces
+// locally on the same snapshot — the server must be bit-identical to
+// sequential evaluation. Any protocol error, unexpected status, or row
+// mismatch makes the exit code nonzero. --json writes the measurements
+// as a machine-readable report (the bench_server_json target captures
+// it as BENCH_server.json).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/server/client.h"
+#include "src/server/exec.h"
+#include "src/server/server.h"
+#include "src/server/snapshot.h"
+
+namespace {
+
+using namespace wdpt;
+using Clock = std::chrono::steady_clock;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--connect HOST:PORT] [--data FILE] [--bands N] "
+               "[--clients 1,2,4,8] [--requests N] [--deadline-ms N] "
+               "[--workers N] [--queue N] [--json FILE] [--no-verify]\n",
+               argv0);
+  return 2;
+}
+
+// Deterministic catalog in the shape of the Figure 1 running example:
+// every band records four titles; ratings, recency and formation years
+// appear with fixed-pattern gaps so the OPT branches bind only
+// sometimes.
+std::string MakeCatalogTriples(uint32_t bands) {
+  std::string out;
+  for (uint32_t b = 0; b < bands; ++b) {
+    std::string band = "band" + std::to_string(b);
+    if (b % 2 == 0) {
+      out += band + " formed_in year" + std::to_string(1960 + b % 60) + "\n";
+    }
+    for (uint32_t r = 0; r < 4; ++r) {
+      std::string rec = "rec" + std::to_string(b) + "_" + std::to_string(r);
+      out += rec + " recorded_by " + band + "\n";
+      if ((b * 31 + r) % 10 < 8) {
+        out += rec + " published after_2010\n";
+      }
+      if ((b * 17 + r) % 10 < 5) {
+        out += rec + " NME_rating " + std::to_string(1 + (b + r) % 10) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+// The fixed query mix: enumeration under both semantics, a truncated
+// variant, a projection to the optional branch, and a membership check.
+std::vector<sparql::QueryRequest> MakeQueryMix(uint64_t deadline_ms) {
+  const std::string base =
+      "SELECT ?rec ?band ?rating WHERE "
+      "(((?rec, recorded_by, ?band) AND (?rec, published, after_2010)) "
+      "OPT (?rec, NME_rating, ?rating))";
+  const std::string fig1 =
+      "SELECT ?band ?year WHERE "
+      "((((?rec, recorded_by, ?band) AND (?rec, published, after_2010)) "
+      "OPT (?rec, NME_rating, ?rating)) OPT (?band, formed_in, ?year))";
+  std::vector<sparql::QueryRequest> mix(5);
+  mix[0].query = base;
+  mix[1].query = base;
+  mix[1].mode = sparql::RequestMode::kMax;
+  mix[2].query = base;
+  mix[2].max_results = 10;
+  mix[3].query = fig1;
+  mix[4].query = base;
+  mix[4].candidate = "?rec=rec0_0 ?band=band0";
+  for (sparql::QueryRequest& q : mix) q.deadline_ms = deadline_ms;
+  return mix;
+}
+
+struct RunResult {
+  unsigned clients = 0;
+  uint64_t requests = 0;
+  uint64_t transport_errors = 0;  ///< Framing / connection failures.
+  uint64_t status_errors = 0;     ///< Non-OK, non-overloaded statuses.
+  uint64_t overloaded = 0;        ///< kOverloaded rejections (retried).
+  uint64_t mismatches = 0;        ///< Rows differ from sequential eval.
+  double wall_ms = 0;
+  double throughput_rps = 0;
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+};
+
+double PercentileMs(std::vector<uint64_t>& ns, double p) {
+  if (ns.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(ns.size() - 1));
+  std::nth_element(ns.begin(), ns.begin() + idx, ns.end());
+  return static_cast<double>(ns[idx]) / 1e6;
+}
+
+RunResult RunLoad(const std::string& host, uint16_t port, unsigned clients,
+                  uint64_t requests_per_client,
+                  const std::vector<sparql::QueryRequest>& mix,
+                  const std::vector<server::Response>* expected) {
+  RunResult result;
+  result.clients = clients;
+  std::vector<uint64_t> latencies_ns;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  Clock::time_point start = Clock::now();
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      server::Client client;
+      if (!client.Connect(host, port).ok()) {
+        std::lock_guard<std::mutex> lock(mu);
+        result.transport_errors += requests_per_client;
+        return;
+      }
+      std::vector<uint64_t> local_ns;
+      uint64_t transport = 0, status = 0, overload = 0, mismatch = 0,
+               issued = 0;
+      for (uint64_t r = 0; r < requests_per_client; ++r) {
+        size_t qi = (c + r) % mix.size();
+        Clock::time_point t0 = Clock::now();
+        Result<server::Response> response = client.Query(mix[qi]);
+        // An overloaded response is correct behavior under pressure:
+        // back off briefly and retry the same request (bounded).
+        int retries = 0;
+        while (response.ok() &&
+               response->code == StatusCode::kOverloaded && retries < 100) {
+          ++overload;
+          ++retries;
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              response->retry_after_ms ? response->retry_after_ms : 1));
+          response = client.Query(mix[qi]);
+        }
+        uint64_t ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - t0)
+                .count());
+        ++issued;
+        if (!response.ok()) {
+          ++transport;
+          break;  // Connection is gone; stop this client.
+        }
+        local_ns.push_back(ns);
+        if (response->code != StatusCode::kOk) {
+          ++status;
+        } else if (expected != nullptr) {
+          const server::Response& want = (*expected)[qi];
+          if (response->rows != want.rows ||
+              response->truncated != want.truncated) {
+            ++mismatch;
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      result.requests += issued;
+      result.transport_errors += transport;
+      result.status_errors += status;
+      result.overloaded += overload;
+      result.mismatches += mismatch;
+      latencies_ns.insert(latencies_ns.end(), local_ns.begin(),
+                          local_ns.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+  result.wall_ms = wall_ns / 1e6;
+  result.throughput_rps =
+      wall_ns > 0 ? static_cast<double>(result.requests) / (wall_ns / 1e9)
+                  : 0;
+  result.p50_ms = PercentileMs(latencies_ns, 0.50);
+  result.p90_ms = PercentileMs(latencies_ns, 0.90);
+  result.p99_ms = PercentileMs(latencies_ns, 0.99);
+  return result;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string connect;
+  std::string data_path;
+  std::string json_path;
+  uint32_t bands = 200;
+  std::string clients_list = "1,2,4,8";
+  uint64_t requests_per_client = 50;
+  uint64_t deadline_ms = 0;
+  unsigned workers = 0;
+  size_t queue = 64;
+  bool verify = true;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (arg == "--data" && i + 1 < argc) {
+      data_path = argv[++i];
+    } else if (arg == "--bands" && i + 1 < argc) {
+      bands = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--clients" && i + 1 < argc) {
+      clients_list = argv[++i];
+    } else if (arg == "--requests" && i + 1 < argc) {
+      requests_per_client = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--queue" && i + 1 < argc) {
+      queue = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--no-verify") {
+      verify = false;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  std::vector<unsigned> client_counts;
+  {
+    std::stringstream ss(clients_list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      unsigned n = static_cast<unsigned>(std::strtoul(item.c_str(), nullptr, 10));
+      if (n > 0) client_counts.push_back(n);
+    }
+  }
+  if (client_counts.empty()) return Usage(argv[0]);
+
+  // Dataset: a file, or the deterministic builtin catalog.
+  std::string triples;
+  std::string dataset_name;
+  if (!data_path.empty()) {
+    std::ifstream file(data_path);
+    if (!file) {
+      std::fprintf(stderr, "error: cannot open %s\n", data_path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    triples = buffer.str();
+    dataset_name = data_path;
+  } else {
+    triples = MakeCatalogTriples(bands);
+    dataset_name = "builtin-catalog(" + std::to_string(bands) + " bands)";
+  }
+
+  // A local snapshot always exists: it anchors verification even when
+  // targeting an external server (which must serve the same data).
+  Result<std::shared_ptr<const server::Snapshot>> snapshot =
+      server::LoadSnapshot(triples, /*version=*/1);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "data error: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  size_t facts = (*snapshot)->db.TotalFacts();
+
+  std::vector<sparql::QueryRequest> mix = MakeQueryMix(deadline_ms);
+
+  // Expected responses via the exact code path the server runs.
+  std::vector<server::Response> expected;
+  if (verify) {
+    Engine local_engine(EngineOptions{1, 128});
+    for (const sparql::QueryRequest& q : mix) {
+      expected.push_back(server::ExecuteQuery(&local_engine, **snapshot, q));
+      if (!expected.back().ok()) {
+        std::fprintf(stderr, "query mix entry failed locally: %s\n",
+                     expected.back().message.c_str());
+        return 1;
+      }
+    }
+  }
+
+  // Target: external server or in-process.
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::unique_ptr<server::Server> in_process;
+  if (!connect.empty()) {
+    size_t colon = connect.rfind(':');
+    if (colon == std::string::npos) return Usage(argv[0]);
+    host = connect.substr(0, colon);
+    port = static_cast<uint16_t>(
+        std::strtoul(connect.c_str() + colon + 1, nullptr, 10));
+  } else {
+    server::ServerOptions options;
+    options.num_workers = workers;
+    options.admission_capacity = queue;
+    in_process = std::make_unique<server::Server>(options);
+    Status started = in_process->Start(*snapshot);
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start error: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    port = in_process->port();
+  }
+
+  std::fprintf(stderr,
+               "loadgen: %s, %zu facts, %llu requests/client, mix of %zu "
+               "queries, target %s:%u\n",
+               dataset_name.c_str(), facts,
+               static_cast<unsigned long long>(requests_per_client),
+               mix.size(), host.c_str(), static_cast<unsigned>(port));
+
+  std::vector<RunResult> results;
+  bool failed = false;
+  for (unsigned clients : client_counts) {
+    RunResult r = RunLoad(host, port, clients, requests_per_client, mix,
+                          verify ? &expected : nullptr);
+    std::fprintf(stderr,
+                 "clients=%2u requests=%llu rps=%s p50=%sms p90=%sms "
+                 "p99=%sms overloaded=%llu transport_errors=%llu "
+                 "status_errors=%llu mismatches=%llu\n",
+                 clients, static_cast<unsigned long long>(r.requests),
+                 FormatDouble(r.throughput_rps).c_str(),
+                 FormatDouble(r.p50_ms).c_str(),
+                 FormatDouble(r.p90_ms).c_str(),
+                 FormatDouble(r.p99_ms).c_str(),
+                 static_cast<unsigned long long>(r.overloaded),
+                 static_cast<unsigned long long>(r.transport_errors),
+                 static_cast<unsigned long long>(r.status_errors),
+                 static_cast<unsigned long long>(r.mismatches));
+    if (r.transport_errors != 0 || r.status_errors != 0 ||
+        r.mismatches != 0) {
+      failed = true;
+    }
+    results.push_back(r);
+  }
+
+  if (in_process != nullptr) in_process->Stop();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\"benchmark\":\"wdpt_server_loadgen\",\"dataset\":\""
+        << dataset_name << "\",\"facts\":" << facts
+        << ",\"requests_per_client\":" << requests_per_client
+        << ",\"mix_size\":" << mix.size() << ",\"verified\":"
+        << (verify ? "true" : "false") << ",\"results\":[";
+    for (size_t i = 0; i < results.size(); ++i) {
+      const RunResult& r = results[i];
+      if (i > 0) out << ",";
+      out << "{\"clients\":" << r.clients << ",\"requests\":" << r.requests
+          << ",\"wall_ms\":" << FormatDouble(r.wall_ms)
+          << ",\"throughput_rps\":" << FormatDouble(r.throughput_rps)
+          << ",\"p50_ms\":" << FormatDouble(r.p50_ms)
+          << ",\"p90_ms\":" << FormatDouble(r.p90_ms)
+          << ",\"p99_ms\":" << FormatDouble(r.p99_ms)
+          << ",\"overloaded\":" << r.overloaded
+          << ",\"transport_errors\":" << r.transport_errors
+          << ",\"status_errors\":" << r.status_errors
+          << ",\"mismatches\":" << r.mismatches << "}";
+    }
+    out << "]}\n";
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+
+  if (failed) {
+    std::fprintf(stderr, "FAILED: errors or mismatches detected\n");
+    return 1;
+  }
+  return 0;
+}

@@ -2,20 +2,27 @@
 // data, driven by the wdpt::Engine.
 //
 // Usage:
-//   wdpt_query --data FILE --query 'QUERY' [--maximal] [--classify]
+//   wdpt_query --data FILE --query 'QUERY' [--mode eval|partial|max]
+//              [--maximal] [--candidate '?x=a ?y=b'] [--classify]
 //              [--limit N] [--deadline-ms N] [--threads N] [--stats]
 //
 // The data file holds whitespace-separated triples (one per line, '#'
 // comments). The query uses the paper's algebraic notation, e.g.
 //   'SELECT ?y WHERE ((?x, recorded_by, ?y) OPT (?x, NME_rating, ?r))'
 //
-// Prints one answer mapping per line; --maximal switches to the
-// maximal-mapping semantics p_m(D); --classify prints the engine plan and
-// tractability classification instead of evaluating; --deadline-ms bounds
-// the evaluation wall time; --stats dumps the engine's counters and
-// timers to stderr after the run.
+// Prints one answer mapping per line; --mode max (or the --maximal
+// alias) switches to the maximal-mapping semantics p_m(D); --candidate
+// turns the request into a membership check of the given mapping under
+// the selected semantics (mode partial = PARTIAL-EVAL); --classify
+// prints the engine plan and tractability classification instead of
+// evaluating; --deadline-ms bounds the evaluation wall time; --stats
+// dumps the engine's counters and timers as JSON to stderr after the
+// run.
+//
+// Request interpretation (flags -> tree + engine options) is shared
+// with the query server via sparql::CompileRequest, so the CLI and the
+// wire protocol cannot drift.
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -25,16 +32,16 @@
 #include "src/engine/engine.h"
 #include "src/relational/rdf.h"
 #include "src/sparql/data_loader.h"
-#include "src/sparql/parser.h"
-#include "src/sparql/printer.h"
+#include "src/sparql/request.h"
 
 namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --data FILE --query 'QUERY' [--maximal] "
-               "[--classify] [--limit N] [--deadline-ms N] [--threads N] "
-               "[--stats]\n",
+               "usage: %s --data FILE --query 'QUERY' "
+               "[--mode eval|partial|max] [--maximal] "
+               "[--candidate '?x=a ?y=b'] [--classify] [--limit N] "
+               "[--deadline-ms N] [--threads N] [--stats]\n",
                argv0);
   return 2;
 }
@@ -44,36 +51,42 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace wdpt;
   std::string data_path;
-  std::string query;
-  bool maximal = false;
+  sparql::QueryRequest request;
   bool classify = false;
   bool show_stats = false;
-  uint64_t limit = 0;
-  uint64_t deadline_ms = 0;
   unsigned threads = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--data" && i + 1 < argc) {
       data_path = argv[++i];
     } else if (arg == "--query" && i + 1 < argc) {
-      query = argv[++i];
+      request.query = argv[++i];
+    } else if (arg == "--mode" && i + 1 < argc) {
+      Result<sparql::RequestMode> mode = sparql::ParseRequestMode(argv[++i]);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "error: %s\n", mode.status().ToString().c_str());
+        return 2;
+      }
+      request.mode = *mode;
     } else if (arg == "--maximal") {
-      maximal = true;
+      request.mode = sparql::RequestMode::kMax;
+    } else if (arg == "--candidate" && i + 1 < argc) {
+      request.candidate = argv[++i];
     } else if (arg == "--classify") {
       classify = true;
     } else if (arg == "--stats") {
       show_stats = true;
     } else if (arg == "--limit" && i + 1 < argc) {
-      limit = std::strtoull(argv[++i], nullptr, 10);
+      request.max_results = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
-      deadline_ms = std::strtoull(argv[++i], nullptr, 10);
+      request.deadline_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       return Usage(argv[0]);
     }
   }
-  if (data_path.empty() || query.empty()) return Usage(argv[0]);
+  if (data_path.empty() || request.query.empty()) return Usage(argv[0]);
 
   std::ifstream file(data_path);
   if (!file) {
@@ -91,21 +104,27 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Result<PatternTree> tree = sparql::ParseQuery(query, &ctx);
-  if (!tree.ok()) {
+  Result<sparql::CompiledRequest> compiled =
+      sparql::CompileRequest(request, &ctx);
+  if (!compiled.ok()) {
     std::fprintf(stderr, "query error: %s\n",
-                 tree.status().ToString().c_str());
+                 compiled.status().ToString().c_str());
     return 1;
   }
 
   EngineOptions engine_options;
   engine_options.num_threads = threads;
   Engine engine(engine_options);
+  auto dump_stats = [&] {
+    if (show_stats) {
+      std::fprintf(stderr, "%s\n", engine.stats().ToJson().c_str());
+    }
+  };
 
   if (classify) {
     for (int k = 1; k <= 3; ++k) {
-      Result<std::shared_ptr<const Plan>> plan =
-          engine.GetPlan(*tree, PlanOptions{k, EvalAlgorithm::kAuto});
+      Result<std::shared_ptr<const Plan>> plan = engine.GetPlan(
+          compiled->tree, PlanOptions{k, EvalAlgorithm::kAuto});
       if (!plan.ok()) {
         std::fprintf(stderr, "classification error: %s\n",
                      plan.status().ToString().c_str());
@@ -120,39 +139,44 @@ int main(int argc, char** argv) {
           cls.projection_free ? "yes" : "no",
           EvalAlgorithmName((*plan)->algorithm()));
     }
-    if (show_stats) {
-      std::fprintf(stderr, "--- engine stats ---\n%s",
-                   engine.stats().ToString().c_str());
-    }
+    dump_stats();
     return 0;
   }
 
-  EnumerateOptions options;
-  options.maximal = maximal;
-  if (limit != 0) options.limits.max_homomorphisms = limit;
-  if (deadline_ms != 0) {
-    options.deadline = std::chrono::milliseconds(deadline_ms);
+  if (compiled->check) {
+    Result<bool> verdict =
+        engine.Eval(compiled->tree, db, compiled->candidate, compiled->eval);
+    if (!verdict.ok()) {
+      std::fprintf(stderr, "evaluation error: %s\n",
+                   verdict.status().ToString().c_str());
+      dump_stats();
+      return 1;
+    }
+    std::printf("%s\n", *verdict ? "true" : "false");
+    std::fprintf(stderr, "candidate %s under %s semantics\n",
+                 *verdict ? "accepted" : "rejected",
+                 sparql::RequestModeName(request.mode));
+    dump_stats();
+    return 0;
   }
-  Result<std::vector<Mapping>> answers = engine.Enumerate(*tree, db, options);
+
+  Result<std::vector<Mapping>> answers =
+      engine.Enumerate(compiled->tree, db, compiled->enumerate);
   if (!answers.ok()) {
     std::fprintf(stderr, "evaluation error: %s\n",
                  answers.status().ToString().c_str());
-    if (show_stats) {
-      std::fprintf(stderr, "--- engine stats ---\n%s",
-                   engine.stats().ToString().c_str());
-    }
+    dump_stats();
     return 1;
   }
   size_t shown = 0;
   for (const Mapping& m : *answers) {
-    if (limit != 0 && shown++ >= limit) break;
+    if (compiled->max_results != 0 && shown >= compiled->max_results) break;
+    ++shown;
     std::printf("%s\n", m.ToString(ctx.vocab()).c_str());
   }
-  std::fprintf(stderr, "%zu answer(s) under %s semantics\n",
-               answers->size(), maximal ? "maximal-mapping" : "standard");
-  if (show_stats) {
-    std::fprintf(stderr, "--- engine stats ---\n%s",
-                 engine.stats().ToString().c_str());
-  }
+  std::fprintf(stderr, "%zu answer(s) under %s semantics\n", answers->size(),
+               request.mode == sparql::RequestMode::kMax ? "maximal-mapping"
+                                                         : "standard");
+  dump_stats();
   return 0;
 }

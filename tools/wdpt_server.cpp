@@ -1,0 +1,117 @@
+// wdpt_server: serve WDPT queries over a triples file.
+//
+// Usage:
+//   wdpt_server --data FILE [--port N] [--workers N] [--queue N]
+//               [--default-deadline-ms N] [--max-deadline-ms N]
+//               [--retry-after-ms N] [--no-reload] [--print-port]
+//
+// Binds 127.0.0.1:<port> (0 = ephemeral; the chosen port is printed)
+// and serves the framed protocol described in docs/SERVER.md: QUERY /
+// STATS / PING / RELOAD. The data file holds whitespace-separated
+// triples, one per line, '#' comments — the same format wdpt_query
+// reads. RELOAD swaps in a new dataset under live traffic without
+// pausing readers. Runs until SIGINT/SIGTERM.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "src/server/server.h"
+#include "src/server/snapshot.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --data FILE [--port N] [--workers N] [--queue N] "
+               "[--default-deadline-ms N] [--max-deadline-ms N] "
+               "[--retry-after-ms N] [--no-reload] [--print-port]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wdpt;
+  std::string data_path;
+  server::ServerOptions options;
+  bool print_port = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--data" && i + 1 < argc) {
+      data_path = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      options.port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--workers" && i + 1 < argc) {
+      options.num_workers =
+          static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--queue" && i + 1 < argc) {
+      options.admission_capacity = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--default-deadline-ms" && i + 1 < argc) {
+      options.default_deadline_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-deadline-ms" && i + 1 < argc) {
+      options.max_deadline_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--retry-after-ms" && i + 1 < argc) {
+      options.retry_after_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--no-reload") {
+      options.allow_reload = false;
+    } else if (arg == "--print-port") {
+      print_port = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (data_path.empty()) return Usage(argv[0]);
+
+  std::ifstream file(data_path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open %s\n", data_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+
+  Result<std::shared_ptr<const server::Snapshot>> snapshot =
+      server::LoadSnapshot(buffer.str(), /*version=*/1);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "data error: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  size_t facts = (*snapshot)->db.TotalFacts();
+
+  server::Server srv(options);
+  Status started = srv.Start(std::move(*snapshot));
+  if (!started.ok()) {
+    std::fprintf(stderr, "start error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  if (print_port) {
+    std::printf("%u\n", static_cast<unsigned>(srv.port()));
+    std::fflush(stdout);
+  }
+  std::fprintf(stderr, "serving %zu facts on 127.0.0.1:%u\n", facts,
+               static_cast<unsigned>(srv.port()));
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "shutting down\n");
+  srv.Stop();
+  server::ServerCounters c = srv.counters();
+  std::fprintf(stderr, "served %llu requests on %llu connections\n",
+               static_cast<unsigned long long>(c.requests),
+               static_cast<unsigned long long>(c.connections));
+  return 0;
+}
