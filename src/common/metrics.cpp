@@ -12,4 +12,28 @@ std::atomic<uint64_t>& SemijoinPasses() {
   return counter;
 }
 
+uint64_t HistogramSnapshot::QuantileNs(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank in [1, count] of the value the quantile lands on.
+  uint64_t target =
+      static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (cum + counts[i] >= target) {
+      uint64_t lo = LatencyHistogram::BucketLowerBound(i);
+      // The open-ended last bucket interpolates over one more octave.
+      uint64_t hi = i + 1 < kHistogramBuckets
+                        ? LatencyHistogram::BucketLowerBound(i + 1)
+                        : lo + lo;
+      uint64_t pos = target - cum;  // 1..counts[i]
+      return lo + (hi - lo) * (pos - 1) / counts[i];
+    }
+    cum += counts[i];
+  }
+  return LatencyHistogram::BucketLowerBound(kHistogramBuckets - 1);
+}
+
 }  // namespace wdpt::metrics

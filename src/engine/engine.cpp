@@ -44,18 +44,26 @@ CancelToken Engine::EffectiveToken(
 }
 
 Result<std::shared_ptr<const Plan>> Engine::GetPlan(
-    const PatternTree& tree, const PlanOptions& options) {
+    const PatternTree& tree, const PlanOptions& options, Trace* trace) {
+  Clock::time_point lookup_start = Clock::now();
   std::string key = CanonicalPlanKey(tree, options);
-  if (std::shared_ptr<const Plan> cached = plan_cache_.Find(key)) {
-    StatsCollector::Bump(stats_.plan_cache_hits);
+  std::shared_ptr<const Plan> cached = plan_cache_.Find(key);
+  if (trace != nullptr) {
+    trace->Record(TraceStage::kPlanLookup, ElapsedNs(lookup_start));
+  }
+  if (cached != nullptr) {
+    stats_.RecordPlanCacheHit();
+    if (trace != nullptr) trace->set_classification(cached->tractability());
     return cached;
   }
-  StatsCollector::Bump(stats_.plan_cache_misses);
+  stats_.RecordPlanCacheMiss();
   Clock::time_point start = Clock::now();
   Result<std::shared_ptr<const Plan>> plan = Plan::Build(tree, options);
-  StatsCollector::Bump(stats_.plan_build_ns, ElapsedNs(start));
+  uint64_t build_ns = ElapsedNs(start);
+  stats_.RecordPlanBuild(build_ns, plan.ok());
+  if (trace != nullptr) trace->Record(TraceStage::kPlanBuild, build_ns);
   if (!plan.ok()) return plan.status();
-  StatsCollector::Bump(stats_.plans_built);
+  if (trace != nullptr) trace->set_classification((*plan)->tractability());
   plan_cache_.Insert(key, *plan);
   return plan;
 }
@@ -121,12 +129,17 @@ Result<bool> Engine::Eval(const PatternTree& tree, const Database& db,
                           const Mapping& h, const EvalOptions& options) {
   StatsCollector::Bump(stats_.eval_calls);
   PlanOptions plan_options{options.width_bound, options.algorithm};
-  Result<std::shared_ptr<const Plan>> plan = GetPlan(tree, plan_options);
+  Result<std::shared_ptr<const Plan>> plan =
+      GetPlan(tree, plan_options, options.trace);
   if (!plan.ok()) return plan.status();
   CancelToken token = EffectiveToken(options.cancel, options.deadline);
   Clock::time_point start = Clock::now();
   Result<bool> result = EvalWithPlan(**plan, db, h, options, token);
-  StatsCollector::Bump(stats_.eval_ns, ElapsedNs(start));
+  uint64_t eval_ns = ElapsedNs(start);
+  StatsCollector::Bump(stats_.eval_ns, eval_ns);
+  if (options.trace != nullptr) {
+    options.trace->Record(TraceStage::kEval, eval_ns);
+  }
   return result;
 }
 
@@ -137,7 +150,8 @@ Result<std::vector<bool>> Engine::EvalBatch(const PatternTree& tree,
   StatsCollector::Bump(stats_.batch_calls);
   StatsCollector::Bump(stats_.batch_tasks, hs.size());
   PlanOptions plan_options{options.width_bound, options.algorithm};
-  Result<std::shared_ptr<const Plan>> plan = GetPlan(tree, plan_options);
+  Result<std::shared_ptr<const Plan>> plan =
+      GetPlan(tree, plan_options, options.trace);
   if (!plan.ok()) return plan.status();
   if (hs.empty()) return std::vector<bool>();
 
@@ -169,7 +183,11 @@ Result<std::vector<bool>> Engine::EvalBatch(const PatternTree& tree,
     });
   }
   latch.Wait();
-  StatsCollector::Bump(stats_.eval_ns, ElapsedNs(start));
+  uint64_t batch_ns = ElapsedNs(start);
+  StatsCollector::Bump(stats_.eval_ns, batch_ns);
+  if (options.trace != nullptr) {
+    options.trace->Record(TraceStage::kEval, batch_ns);
+  }
 
   // Deterministic error reporting: first failure in index order wins.
   for (const Status& s : statuses) {
@@ -184,6 +202,12 @@ Result<std::vector<Mapping>> Engine::Enumerate(
     const PatternTree& tree, const Database& db,
     const EnumerateOptions& options) {
   StatsCollector::Bump(stats_.enumerate_calls);
+  if (options.trace != nullptr) {
+    // Enumeration itself needs no plan; resolve the (cached) plan only to
+    // stamp the tractability class on the trace. Failure leaves the class
+    // unknown and never fails the enumeration.
+    (void)GetPlan(tree, PlanOptions{}, options.trace);
+  }
   CancelToken token = EffectiveToken(options.cancel, options.deadline);
   Status token_status = StatusFromToken(token);
   if (!token_status.ok()) {
@@ -196,7 +220,11 @@ Result<std::vector<Mapping>> Engine::Enumerate(
   Result<std::vector<Mapping>> result =
       options.maximal ? EvaluateWdptMaximal(tree, db, limits)
                       : EvaluateWdpt(tree, db, limits);
-  StatsCollector::Bump(stats_.enumerate_ns, ElapsedNs(start));
+  uint64_t enumerate_ns = ElapsedNs(start);
+  StatsCollector::Bump(stats_.enumerate_ns, enumerate_ns);
+  if (options.trace != nullptr) {
+    options.trace->Record(TraceStage::kEval, enumerate_ns);
+  }
   if (!result.ok()) NoteStatus(result.status());
   return result;
 }

@@ -24,6 +24,7 @@
 
 #include "src/common/cancellation.h"
 #include "src/common/status.h"
+#include "src/common/trace.h"
 #include "src/cq/evaluation.h"
 #include "src/engine/plan.h"
 #include "src/engine/stats.h"
@@ -59,6 +60,11 @@ struct EvalOptions {
   /// Caller-owned cancellation; combined with the deadline via a child
   /// token, so the caller's token is never mutated.
   CancelToken cancel;
+  /// Optional per-request trace: the engine records plan-lookup /
+  /// plan-build / eval spans and the plan's tractability class into it.
+  /// Must outlive the call; never alters results. For EvalBatch the
+  /// eval span is the batch wall time, not a per-task breakdown.
+  Trace* trace = nullptr;
 };
 
 /// Options for Engine::Enumerate.
@@ -68,6 +74,11 @@ struct EnumerateOptions {
   EnumerationLimits limits;
   std::optional<std::chrono::nanoseconds> deadline;
   CancelToken cancel;
+  /// Optional per-request trace (see EvalOptions::trace). Enumeration
+  /// needs no plan, so with a trace attached the engine additionally
+  /// resolves the (cached) plan purely to stamp the tractability class;
+  /// a plan failure leaves the class unknown and never fails the call.
+  Trace* trace = nullptr;
 };
 
 /// Engine construction knobs.
@@ -107,8 +118,11 @@ class Engine {
 
   /// The cached (or freshly built) plan for a tree. Exposed for the CLI's
   /// --classify path and for tests; Eval/EvalBatch call this internally.
+  /// With a trace, records the kPlanLookup / kPlanBuild spans and stamps
+  /// the plan's tractability class.
   Result<std::shared_ptr<const Plan>> GetPlan(const PatternTree& tree,
-                                              const PlanOptions& options);
+                                              const PlanOptions& options,
+                                              Trace* trace = nullptr);
 
   /// Snapshot of the engine's counters and timers.
   EngineStats stats() const { return stats_.Snapshot(); }

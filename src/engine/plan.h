@@ -22,6 +22,7 @@
 #include <unordered_map>
 
 #include "src/common/status.h"
+#include "src/common/trace.h"
 #include "src/wdpt/classify.h"
 #include "src/wdpt/decomposition.h"
 #include "src/wdpt/pattern_tree.h"
@@ -60,6 +61,14 @@ class Plan {
   const PatternTree& tree() const { return tree_; }
   const PlanOptions& options() const { return options_; }
   const WdptClassification& classification() const { return classification_; }
+
+  /// The classification collapsed to the serving-relevant class label
+  /// (g-TW(k) wins over l-TW(k)); used to key per-class latency metrics.
+  TractabilityClass tractability() const {
+    if (classification_.globally_tw_k) return TractabilityClass::kGTractable;
+    if (classification_.locally_tw_k) return TractabilityClass::kLTractable;
+    return TractabilityClass::kIntractable;
+  }
 
   /// The committed EVAL algorithm; never kAuto. Resolution: projection-
   /// free trees use kProjectionFree, locally tractable trees (within the

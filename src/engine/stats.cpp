@@ -16,6 +16,7 @@ std::string Millis(uint64_t ns) {
 
 std::string EngineStats::ToString() const {
   std::string out;
+  out += "plan cache lookups:  " + std::to_string(plan_cache_lookups) + "\n";
   out += "plans built:         " + std::to_string(plans_built) + "\n";
   out += "plan cache hits:     " + std::to_string(plan_cache_hits) + "\n";
   out += "plan cache misses:   " + std::to_string(plan_cache_misses) + "\n";
@@ -44,6 +45,7 @@ std::string EngineStats::ToJson() const {
     out += "\":";
     out += std::to_string(value);
   };
+  field("plan_cache_lookups", plan_cache_lookups);
   field("plans_built", plans_built);
   field("plan_cache_hits", plan_cache_hits);
   field("plan_cache_misses", plan_cache_misses);

@@ -1,26 +1,38 @@
 // Engine observability: counters and phase timers.
 //
-// A StatsCollector lives inside the Engine and is bumped with relaxed
-// atomics from any thread; stats() snapshots it into the plain
-// EngineStats struct that the CLI prints and the benches assert on.
-// Kernel-level counters (homomorphism calls, semijoin passes) come from
-// src/common/metrics.h: the collector records the process-wide values at
-// construction/reset and reports deltas since then.
+// A StatsCollector lives inside the Engine and is bumped from any
+// thread; stats() snapshots it into the plain EngineStats struct that
+// the CLI prints and the benches assert on. Kernel-level counters
+// (homomorphism calls, semijoin passes) come from src/common/metrics.h:
+// the collector records the process-wide values at construction/reset
+// and reports deltas since then.
+//
+// The plan-cache group (lookups, hits, misses, built, build time) obeys
+// cross-counter invariants — lookups == hits + misses and
+// plans_built <= misses — so its updates and its snapshot are guarded
+// by a mutex: a snapshot taken under concurrent traffic can never be
+// torn (e.g. report hits + misses != lookups). The remaining counters
+// carry no cross-field invariant and stay relaxed atomics on the hot
+// paths.
 
 #ifndef WDPT_SRC_ENGINE_STATS_H_
 #define WDPT_SRC_ENGINE_STATS_H_
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "src/common/metrics.h"
 
 namespace wdpt {
 
-/// A point-in-time snapshot of an Engine's activity.
+/// A point-in-time snapshot of an Engine's activity. Within one
+/// snapshot, plan_cache_lookups == plan_cache_hits + plan_cache_misses
+/// and plans_built <= plan_cache_misses always hold.
 struct EngineStats {
-  // Plan cache.
+  // Plan cache (consistent group).
+  uint64_t plan_cache_lookups = 0;  ///< Hits + misses, by construction.
   uint64_t plans_built = 0;
   uint64_t plan_cache_hits = 0;
   uint64_t plan_cache_misses = 0;
@@ -60,27 +72,58 @@ class StatsCollector {
   StatsCollector() { Reset(); }
 
   void Reset() {
-    plans_built.store(0, std::memory_order_relaxed);
-    plan_cache_hits.store(0, std::memory_order_relaxed);
-    plan_cache_misses.store(0, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(plan_mu_);
+      plan_cache_lookups_ = 0;
+      plans_built_ = 0;
+      plan_cache_hits_ = 0;
+      plan_cache_misses_ = 0;
+      plan_build_ns_ = 0;
+    }
     eval_calls.store(0, std::memory_order_relaxed);
     batch_calls.store(0, std::memory_order_relaxed);
     batch_tasks.store(0, std::memory_order_relaxed);
     enumerate_calls.store(0, std::memory_order_relaxed);
     deadline_exceeded.store(0, std::memory_order_relaxed);
     cancelled.store(0, std::memory_order_relaxed);
-    plan_build_ns.store(0, std::memory_order_relaxed);
     eval_ns.store(0, std::memory_order_relaxed);
     enumerate_ns.store(0, std::memory_order_relaxed);
     hom_calls_base = metrics::Load(metrics::HomomorphismCalls());
     semijoin_base = metrics::Load(metrics::SemijoinPasses());
   }
 
+  /// One plan-cache lookup that found a cached plan.
+  void RecordPlanCacheHit() {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    ++plan_cache_lookups_;
+    ++plan_cache_hits_;
+  }
+
+  /// One plan-cache lookup that missed (a build attempt follows).
+  void RecordPlanCacheMiss() {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    ++plan_cache_lookups_;
+    ++plan_cache_misses_;
+  }
+
+  /// The build following a miss: wall time always, built count only on
+  /// success.
+  void RecordPlanBuild(uint64_t ns, bool ok) {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    plan_build_ns_ += ns;
+    if (ok) ++plans_built_;
+  }
+
   EngineStats Snapshot() const {
     EngineStats s;
-    s.plans_built = plans_built.load(std::memory_order_relaxed);
-    s.plan_cache_hits = plan_cache_hits.load(std::memory_order_relaxed);
-    s.plan_cache_misses = plan_cache_misses.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(plan_mu_);
+      s.plan_cache_lookups = plan_cache_lookups_;
+      s.plans_built = plans_built_;
+      s.plan_cache_hits = plan_cache_hits_;
+      s.plan_cache_misses = plan_cache_misses_;
+      s.plan_build_ns = plan_build_ns_;
+    }
     s.eval_calls = eval_calls.load(std::memory_order_relaxed);
     s.batch_calls = batch_calls.load(std::memory_order_relaxed);
     s.batch_tasks = batch_tasks.load(std::memory_order_relaxed);
@@ -90,7 +133,6 @@ class StatsCollector {
     s.homomorphism_calls =
         metrics::Load(metrics::HomomorphismCalls()) - hom_calls_base;
     s.semijoin_passes = metrics::Load(metrics::SemijoinPasses()) - semijoin_base;
-    s.plan_build_ns = plan_build_ns.load(std::memory_order_relaxed);
     s.eval_ns = eval_ns.load(std::memory_order_relaxed);
     s.enumerate_ns = enumerate_ns.load(std::memory_order_relaxed);
     return s;
@@ -100,20 +142,23 @@ class StatsCollector {
     counter.fetch_add(delta, std::memory_order_relaxed);
   }
 
-  std::atomic<uint64_t> plans_built{0};
-  std::atomic<uint64_t> plan_cache_hits{0};
-  std::atomic<uint64_t> plan_cache_misses{0};
   std::atomic<uint64_t> eval_calls{0};
   std::atomic<uint64_t> batch_calls{0};
   std::atomic<uint64_t> batch_tasks{0};
   std::atomic<uint64_t> enumerate_calls{0};
   std::atomic<uint64_t> deadline_exceeded{0};
   std::atomic<uint64_t> cancelled{0};
-  std::atomic<uint64_t> plan_build_ns{0};
   std::atomic<uint64_t> eval_ns{0};
   std::atomic<uint64_t> enumerate_ns{0};
 
  private:
+  mutable std::mutex plan_mu_;
+  uint64_t plan_cache_lookups_ = 0;
+  uint64_t plans_built_ = 0;
+  uint64_t plan_cache_hits_ = 0;
+  uint64_t plan_cache_misses_ = 0;
+  uint64_t plan_build_ns_ = 0;
+
   uint64_t hom_calls_base = 0;
   uint64_t semijoin_base = 0;
 };

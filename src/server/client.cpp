@@ -47,6 +47,12 @@ Result<Response> Client::Stats() {
   return Call(request);
 }
 
+Result<Response> Client::Metrics() {
+  Request request;
+  request.command = Command::kMetrics;
+  return Call(request);
+}
+
 Result<Response> Client::Reload(std::string triples) {
   Request request;
   request.command = Command::kReload;

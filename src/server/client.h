@@ -44,6 +44,8 @@ class Client {
   Result<Response> Query(const sparql::QueryRequest& query);
   Result<Response> Ping();
   Result<Response> Stats();
+  /// Prometheus text exposition; one exposition line per response row.
+  Result<Response> Metrics();
   /// Replaces the server's live snapshot with one parsed from `triples`.
   Result<Response> Reload(std::string triples);
 

@@ -13,7 +13,8 @@ using Clock = std::chrono::steady_clock;
 
 std::string PerRequestStatsJson(const Response& response,
                                 const sparql::QueryRequest& request,
-                                uint64_t wall_ns, uint64_t version) {
+                                uint64_t wall_ns, uint64_t version,
+                                const Trace& trace) {
   std::string json = "{\"status\":\"";
   json += StatusCodeName(response.code);
   json += "\",\"mode\":\"";
@@ -26,6 +27,22 @@ std::string PerRequestStatsJson(const Response& response,
   json += std::to_string(wall_ns);
   json += ",\"snapshot_version\":";
   json += std::to_string(version);
+  json += ",\"request_id\":";
+  json += std::to_string(trace.request_id());
+  json += ",\"class\":\"";
+  json += TractabilityClassName(trace.classification());
+  json += "\",\"queue_ns\":";
+  json += std::to_string(trace.span_ns(TraceStage::kQueueWait));
+  json += ",\"parse_ns\":";
+  json += std::to_string(trace.span_ns(TraceStage::kParse));
+  json += ",\"plan_lookup_ns\":";
+  json += std::to_string(trace.span_ns(TraceStage::kPlanLookup));
+  json += ",\"plan_build_ns\":";
+  json += std::to_string(trace.span_ns(TraceStage::kPlanBuild));
+  json += ",\"eval_ns\":";
+  json += std::to_string(trace.span_ns(TraceStage::kEval));
+  json += ",\"serialize_ns\":";
+  json += std::to_string(trace.span_ns(TraceStage::kSerialize));
   json += "}";
   return json;
 }
@@ -34,9 +51,14 @@ std::string PerRequestStatsJson(const Response& response,
 
 Response ExecuteQuery(Engine* engine, const Snapshot& snapshot,
                       const sparql::QueryRequest& request,
-                      const CancelToken& cancel) {
+                      const CancelToken& cancel, Trace* trace) {
   Clock::time_point start = Clock::now();
   Response response;
+  // Stats JSON always reports the staged breakdown, even for direct
+  // callers (tests, loadgen's expected-bytes path) that pass no trace.
+  Trace local_trace;
+  if (trace == nullptr) trace = &local_trace;
+  trace->set_mode(sparql::RequestModeName(request.mode));
 
   // Effective token: the caller's, with the request deadline stacked on
   // a child so the caller's token is never mutated.
@@ -52,18 +74,22 @@ Response ExecuteQuery(Engine* engine, const Snapshot& snapshot,
   RdfContext ctx = snapshot.ctx;
   sparql::QueryRequest local = request;
   local.deadline_ms = 0;  // The token above already carries it.
-  Result<sparql::CompiledRequest> compiled =
-      sparql::CompileRequest(local, &ctx);
+  Result<sparql::CompiledRequest> compiled = [&] {
+    Trace::Span span(trace, TraceStage::kParse);
+    return sparql::CompileRequest(local, &ctx);
+  }();
   if (!compiled.ok()) {
     response.code = compiled.status().code();
     response.message = compiled.status().ToString();
   } else if (compiled->check) {
     EvalOptions options = compiled->eval;
     options.cancel = token;
+    options.trace = trace;
     Result<bool> verdict =
         engine->Eval(compiled->tree, snapshot.db, compiled->candidate,
                      options);
     if (verdict.ok()) {
+      Trace::Span span(trace, TraceStage::kSerialize);
       response.rows.push_back(*verdict ? "true" : "false");
     } else {
       response.code = verdict.status().code();
@@ -72,9 +98,11 @@ Response ExecuteQuery(Engine* engine, const Snapshot& snapshot,
   } else {
     EnumerateOptions options = compiled->enumerate;
     options.cancel = token;
+    options.trace = trace;
     Result<std::vector<Mapping>> answers =
         engine->Enumerate(compiled->tree, snapshot.db, options);
     if (answers.ok()) {
+      Trace::Span span(trace, TraceStage::kSerialize);
       size_t keep = answers->size();
       if (compiled->max_results != 0 && keep > compiled->max_results) {
         keep = compiled->max_results;
@@ -94,8 +122,8 @@ Response ExecuteQuery(Engine* engine, const Snapshot& snapshot,
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            start)
           .count());
-  response.stats_json =
-      PerRequestStatsJson(response, request, wall_ns, snapshot.version);
+  response.stats_json = PerRequestStatsJson(response, request, wall_ns,
+                                            snapshot.version, *trace);
   return response;
 }
 

@@ -12,6 +12,7 @@
 #define WDPT_SRC_SERVER_EXEC_H_
 
 #include "src/common/cancellation.h"
+#include "src/common/trace.h"
 #include "src/engine/engine.h"
 #include "src/server/protocol.h"
 #include "src/server/snapshot.h"
@@ -25,12 +26,20 @@ namespace wdpt::server {
 /// top, so queue wait already counts against the deadline when the
 /// caller created the deadline child before submitting. Never throws;
 /// every failure mode is encoded in the returned Response's status
-/// code. The response's stats header is a single-line JSON object
-/// {"status", "mode", "rows", "truncated", "wall_ns",
-/// "snapshot_version"}.
+/// code.
+///
+/// `trace` (optional) receives the staged breakdown — parse,
+/// plan-lookup, plan-build, eval, serialize — plus the plan's
+/// tractability class; a local trace is used when none is supplied, so
+/// the stats JSON always carries the spans. The response's stats header
+/// is a single-line JSON object {"status", "mode", "rows", "truncated",
+/// "wall_ns", "snapshot_version", "request_id", "class", "queue_ns",
+/// "parse_ns", "plan_lookup_ns", "plan_build_ns", "eval_ns",
+/// "serialize_ns"}.
 Response ExecuteQuery(Engine* engine, const Snapshot& snapshot,
                       const sparql::QueryRequest& request,
-                      const CancelToken& cancel = CancelToken());
+                      const CancelToken& cancel = CancelToken(),
+                      Trace* trace = nullptr);
 
 }  // namespace wdpt::server
 

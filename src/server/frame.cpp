@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -13,25 +14,11 @@ namespace wdpt::server {
 
 namespace {
 
-// send/recv the exact byte count, retrying EINTR and short transfers.
-// MSG_NOSIGNAL keeps a dead peer from raising SIGPIPE into the process.
-Status SendAll(int fd, const void* data, size_t len) {
-  const char* p = static_cast<const char*>(data);
-  while (len > 0) {
-    ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal(std::string("send failed: ") +
-                              std::strerror(errno));
-    }
-    p += n;
-    len -= static_cast<size_t>(n);
-  }
-  return Status::Ok();
-}
-
 // Returns 1 on success, 0 on clean EOF before any byte, an error
-// status otherwise (including EOF mid-buffer).
+// status otherwise (including EOF mid-buffer). EAGAIN/EWOULDBLOCK —
+// only possible once SetRecvTimeout armed SO_RCVTIMEO — maps to
+// kDeadlineExceeded so the session loop can distinguish an idle peer
+// from a broken one.
 Result<int> RecvAll(int fd, void* data, size_t len) {
   char* p = static_cast<char*>(data);
   size_t got = 0;
@@ -39,6 +26,9 @@ Result<int> RecvAll(int fd, void* data, size_t len) {
     ssize_t n = ::recv(fd, p + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded("recv timed out");
+      }
       return Status::Internal(std::string("recv failed: ") +
                               std::strerror(errno));
     }
@@ -60,10 +50,42 @@ Status WriteFrame(int fd, std::string_view payload, uint32_t max_bytes) {
                                    " bytes exceeds the frame cap");
   }
   uint32_t len = htonl(static_cast<uint32_t>(payload.size()));
-  Status s = SendAll(fd, &len, sizeof(len));
-  if (!s.ok()) return s;
-  if (payload.empty()) return Status::Ok();
-  return SendAll(fd, payload.data(), payload.size());
+  // Prefix and payload in one sendmsg: with two sends, the first fills a
+  // segment with just the 4-byte prefix and Nagle holds the payload back
+  // until the peer ACKs — a full RTT of latency on every small frame.
+  iovec iov[2];
+  iov[0].iov_base = &len;
+  iov[0].iov_len = sizeof(len);
+  iov[1].iov_base = const_cast<char*>(payload.data());
+  iov[1].iov_len = payload.size();
+  size_t total = sizeof(len) + payload.size();
+  size_t sent = 0;
+  while (sent < total) {
+    msghdr msg{};
+    size_t skip = sent;
+    iovec pending[2];
+    int iovcnt = 0;
+    for (const iovec& part : iov) {
+      if (skip >= part.iov_len) {
+        skip -= part.iov_len;
+        continue;
+      }
+      pending[iovcnt].iov_base = static_cast<char*>(part.iov_base) + skip;
+      pending[iovcnt].iov_len = part.iov_len - skip;
+      skip = 0;
+      ++iovcnt;
+    }
+    msg.msg_iov = pending;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send failed: ") +
+                              std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
 }
 
 Result<std::string> ReadFrame(int fd, uint32_t max_bytes) {
@@ -166,6 +188,17 @@ Result<int> ConnectTcp(const std::string& host, uint16_t port) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
+}
+
+Status SetRecvTimeout(int fd, uint64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0) {
+    return Status::Internal(std::string("setsockopt SO_RCVTIMEO failed: ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
 }
 
 void CloseSocket(int fd) {

@@ -22,17 +22,26 @@ namespace wdpt::server {
 inline constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;
 
 /// Writes one frame (length prefix + payload) to `fd`, retrying short
-/// writes. kInvalidArgument if the payload exceeds `max_bytes`,
-/// kInternal on socket errors (peer gone mid-write included).
+/// writes. Prefix and payload go out in a single sendmsg(2) so a small
+/// frame occupies one segment — two separate sends used to let Nagle /
+/// delayed-ACK park the payload behind the 4-byte prefix for an RTT.
+/// kInvalidArgument if the payload exceeds `max_bytes`, kInternal on
+/// socket errors (peer gone mid-write included).
 Status WriteFrame(int fd, std::string_view payload,
                   uint32_t max_bytes = kDefaultMaxFrameBytes);
 
 /// Reads one frame's payload from `fd`. Returns kNotFound with message
 /// "connection closed" on clean EOF at a frame boundary,
-/// kResourceExhausted if the announced length exceeds `max_bytes`, and
-/// kInternal on socket errors or truncated frames.
+/// kResourceExhausted if the announced length exceeds `max_bytes`,
+/// kDeadlineExceeded when a receive timeout set via SetRecvTimeout
+/// expires, and kInternal on socket errors or truncated frames.
 Result<std::string> ReadFrame(int fd,
                               uint32_t max_bytes = kDefaultMaxFrameBytes);
+
+/// Arms SO_RCVTIMEO on `fd`: a recv that sits idle for `timeout_ms`
+/// fails with EAGAIN, which ReadFrame surfaces as kDeadlineExceeded.
+/// 0 disables the timeout (blocking reads, the default).
+Status SetRecvTimeout(int fd, uint64_t timeout_ms);
 
 /// Creates a TCP listener bound to 127.0.0.1:`port` (0 = ephemeral) and
 /// returns its fd. `*bound_port` receives the actual port.

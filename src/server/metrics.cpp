@@ -1,0 +1,207 @@
+#include "src/server/metrics.h"
+
+#include <cstdio>
+
+namespace wdpt::server {
+
+namespace {
+
+// Prometheus numbers: seconds with enough digits that distinct
+// nanosecond bucket bounds stay distinct.
+std::string Seconds(double ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", ns / 1e9);
+  return std::string(buf);
+}
+
+void AppendType(std::string* out, const char* family, const char* kind) {
+  *out += "# TYPE ";
+  *out += family;
+  *out += ' ';
+  *out += kind;
+  *out += '\n';
+}
+
+void AppendCounter(std::string* out, const char* family, uint64_t value) {
+  AppendType(out, family, "counter");
+  *out += family;
+  *out += ' ';
+  *out += std::to_string(value);
+  *out += '\n';
+}
+
+void AppendGauge(std::string* out, const char* family, uint64_t value) {
+  AppendType(out, family, "gauge");
+  *out += family;
+  *out += ' ';
+  *out += std::to_string(value);
+  *out += '\n';
+}
+
+// One histogram series (fixed label set) in exposition order: cumulative
+// non-empty buckets, the +Inf bucket, then _sum and _count.
+void AppendHistogramSeries(std::string* out, const char* family,
+                           const std::string& labels,
+                           const metrics::HistogramSnapshot& snap) {
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i + 1 < metrics::kHistogramBuckets; ++i) {
+    if (snap.counts[i] == 0) continue;
+    cumulative += snap.counts[i];
+    *out += family;
+    *out += "_bucket{";
+    *out += labels;
+    *out += ",le=\"";
+    *out += Seconds(static_cast<double>(
+        metrics::LatencyHistogram::BucketUpperBound(i)));
+    *out += "\"} ";
+    *out += std::to_string(cumulative);
+    *out += '\n';
+  }
+  *out += family;
+  *out += "_bucket{";
+  *out += labels;
+  *out += ",le=\"+Inf\"} ";
+  *out += std::to_string(snap.count);
+  *out += '\n';
+  *out += family;
+  *out += "_sum{";
+  *out += labels;
+  *out += "} ";
+  *out += Seconds(static_cast<double>(snap.sum));
+  *out += '\n';
+  *out += family;
+  *out += "_count{";
+  *out += labels;
+  *out += "} ";
+  *out += std::to_string(snap.count);
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string ServerCounters::ToJson() const {
+  std::string json = "{";
+  bool first = true;
+  auto field = [&](const char* name, uint64_t value) {
+    if (!first) json += ",";
+    first = false;
+    json += "\"";
+    json += name;
+    json += "\":";
+    json += std::to_string(value);
+  };
+  field("connections", connections);
+  field("requests", requests);
+  field("protocol_errors", protocol_errors);
+  field("queries", queries);
+  field("admitted", admitted);
+  field("rejected_overload", rejected_overload);
+  field("reloads", reloads);
+  field("idle_timeouts", idle_timeouts);
+  json += "}";
+  return json;
+}
+
+void RequestMetrics::RecordQuery(const Trace& trace, sparql::RequestMode mode,
+                                 StatusCode code) {
+  size_t m = static_cast<size_t>(mode);
+  size_t c = static_cast<size_t>(trace.classification());
+  for (size_t s = 0; s < kTraceStageCount; ++s) {
+    uint64_t ns = trace.span_ns(static_cast<TraceStage>(s));
+    if (m < kRequestModeCount) stage_mode_[s][m].Record(ns);
+    if (c < kTractabilityClassCount) stage_class_[s][c].Record(ns);
+  }
+  size_t status = static_cast<size_t>(code);
+  if (status < kStatusCodeCount) {
+    responses_by_status_[status].fetch_add(1, std::memory_order_relaxed);
+  }
+  queries_recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RequestMetrics::RecordRejected() {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string RequestMetrics::RenderPrometheus(const ServerCounters& counters,
+                                             const EngineStats& engine,
+                                             uint64_t in_flight,
+                                             uint64_t snapshot_version) const {
+  std::string out;
+  out.reserve(16 * 1024);
+
+  AppendCounter(&out, "wdpt_server_connections_total", counters.connections);
+  AppendCounter(&out, "wdpt_server_requests_total", counters.requests);
+  AppendCounter(&out, "wdpt_server_protocol_errors_total",
+                counters.protocol_errors);
+  AppendCounter(&out, "wdpt_server_queries_total", counters.queries);
+  AppendCounter(&out, "wdpt_server_admitted_total", counters.admitted);
+  AppendCounter(&out, "wdpt_server_rejected_overload_total",
+                counters.rejected_overload);
+  AppendCounter(&out, "wdpt_server_reloads_total", counters.reloads);
+  AppendCounter(&out, "wdpt_server_idle_timeouts_total",
+                counters.idle_timeouts);
+
+  AppendCounter(&out, "wdpt_engine_plan_cache_lookups_total",
+                engine.plan_cache_lookups);
+  AppendCounter(&out, "wdpt_engine_plan_cache_hits_total",
+                engine.plan_cache_hits);
+  AppendCounter(&out, "wdpt_engine_plan_cache_misses_total",
+                engine.plan_cache_misses);
+  AppendCounter(&out, "wdpt_engine_plans_built_total", engine.plans_built);
+  AppendCounter(&out, "wdpt_engine_eval_calls_total", engine.eval_calls);
+  AppendCounter(&out, "wdpt_engine_enumerate_calls_total",
+                engine.enumerate_calls);
+  AppendCounter(&out, "wdpt_engine_deadline_exceeded_total",
+                engine.deadline_exceeded);
+  AppendCounter(&out, "wdpt_engine_cancelled_total", engine.cancelled);
+  AppendCounter(&out, "wdpt_engine_homomorphism_calls_total",
+                engine.homomorphism_calls);
+  AppendCounter(&out, "wdpt_engine_semijoin_passes_total",
+                engine.semijoin_passes);
+
+  AppendGauge(&out, "wdpt_server_in_flight_requests", in_flight);
+  AppendGauge(&out, "wdpt_server_snapshot_version", snapshot_version);
+
+  AppendType(&out, "wdpt_server_responses_total", "counter");
+  for (size_t i = 0; i < kStatusCodeCount; ++i) {
+    uint64_t n = responses_by_status_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    out += "wdpt_server_responses_total{status=\"";
+    out += StatusCodeName(static_cast<StatusCode>(i));
+    out += "\"} ";
+    out += std::to_string(n);
+    out += '\n';
+  }
+
+  AppendType(&out, "wdpt_stage_duration_seconds", "histogram");
+  for (size_t s = 0; s < kTraceStageCount; ++s) {
+    for (size_t m = 0; m < kRequestModeCount; ++m) {
+      if (stage_mode_[s][m].count() == 0) continue;
+      std::string labels = "stage=\"";
+      labels += TraceStageName(static_cast<TraceStage>(s));
+      labels += "\",mode=\"";
+      labels += sparql::RequestModeName(static_cast<sparql::RequestMode>(m));
+      labels += "\"";
+      AppendHistogramSeries(&out, "wdpt_stage_duration_seconds", labels,
+                            stage_mode_[s][m].Snapshot());
+    }
+  }
+
+  AppendType(&out, "wdpt_class_stage_duration_seconds", "histogram");
+  for (size_t s = 0; s < kTraceStageCount; ++s) {
+    for (size_t c = 0; c < kTractabilityClassCount; ++c) {
+      if (stage_class_[s][c].count() == 0) continue;
+      std::string labels = "stage=\"";
+      labels += TraceStageName(static_cast<TraceStage>(s));
+      labels += "\",class=\"";
+      labels += TractabilityClassName(static_cast<TractabilityClass>(c));
+      labels += "\"";
+      AppendHistogramSeries(&out, "wdpt_class_stage_duration_seconds", labels,
+                            stage_class_[s][c].Snapshot());
+    }
+  }
+
+  return out;
+}
+
+}  // namespace wdpt::server

@@ -99,6 +99,8 @@ const char* CommandName(Command command) {
       return "PING";
     case Command::kReload:
       return "RELOAD";
+    case Command::kMetrics:
+      return "METRICS";
   }
   return "PING";
 }
@@ -146,6 +148,8 @@ Result<Request> ParseRequest(std::string_view payload) {
     request.command = Command::kPing;
   } else if (token == "RELOAD") {
     request.command = Command::kReload;
+  } else if (token == "METRICS") {
+    request.command = Command::kMetrics;
   } else {
     return Status::InvalidArgument("unknown command '" + std::string(token) +
                                    "'");

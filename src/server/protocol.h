@@ -9,7 +9,8 @@
 //
 // Commands: QUERY (body = {AND, OPT} algebra text; headers mode,
 // deadline-ms, max-results, candidate), STATS, PING, RELOAD (body =
-// triples text replacing the live snapshot). Response bodies carry
+// triples text replacing the live snapshot), METRICS (Prometheus text
+// exposition, one line per response row). Response bodies carry
 // `rows` answer lines; headers carry the row count, truncation flag,
 // retry-after-ms (with status "overloaded"), a human message, and a
 // single-line per-request `stats` JSON object. Unknown headers are
@@ -30,10 +31,11 @@
 namespace wdpt::server {
 
 enum class Command {
-  kQuery,   ///< Evaluate a query against the live snapshot.
-  kStats,   ///< Engine + server counters as JSON.
-  kPing,    ///< Liveness / round-trip probe.
-  kReload,  ///< Swap in a new snapshot parsed from the body.
+  kQuery,    ///< Evaluate a query against the live snapshot.
+  kStats,    ///< Engine + server counters as JSON.
+  kPing,     ///< Liveness / round-trip probe.
+  kReload,   ///< Swap in a new snapshot parsed from the body.
+  kMetrics,  ///< Prometheus text exposition (histograms included).
 };
 
 const char* CommandName(Command command);

@@ -1,6 +1,7 @@
 #include "src/server/server.h"
 
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "src/server/exec.h"
@@ -16,29 +17,14 @@ unsigned ResolveWorkers(unsigned requested) {
   return hw == 0 ? 4 : hw;
 }
 
-}  // namespace
-
-std::string ServerCounters::ToJson() const {
-  std::string json = "{";
-  bool first = true;
-  auto field = [&](const char* name, uint64_t value) {
-    if (!first) json += ",";
-    first = false;
-    json += "\"";
-    json += name;
-    json += "\":";
-    json += std::to_string(value);
-  };
-  field("connections", connections);
-  field("requests", requests);
-  field("protocol_errors", protocol_errors);
-  field("queries", queries);
-  field("admitted", admitted);
-  field("rejected_overload", rejected_overload);
-  field("reloads", reloads);
-  json += "}";
-  return json;
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
 }
+
+}  // namespace
 
 Server::Server(const ServerOptions& options)
     : options_(options),
@@ -109,7 +95,14 @@ ServerCounters Server::counters() const {
   c.admitted = admission_.admitted();
   c.rejected_overload = admission_.rejected();
   c.reloads = reloads_.load(std::memory_order_relaxed);
+  c.idle_timeouts = idle_timeouts_.load(std::memory_order_relaxed);
   return c;
+}
+
+std::string Server::MetricsText() const {
+  return metrics_.RenderPrometheus(counters(), engine_.stats(),
+                                   admission_.in_flight(),
+                                   snapshot_.Load()->version);
 }
 
 void Server::AcceptLoop() {
@@ -134,9 +127,26 @@ void Server::AcceptLoop() {
 }
 
 void Server::SessionLoop(int fd) {
+  if (options_.idle_timeout_ms != 0) {
+    SetRecvTimeout(fd, options_.idle_timeout_ms);
+  }
   while (!stopping_.load()) {
     Result<std::string> frame = ReadFrame(fd, options_.max_frame_bytes);
     if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kDeadlineExceeded) {
+        // Idle peer: say why the session is ending, then hang up. A
+        // blocked mid-frame read also lands here, which is fine — a
+        // peer that stalls inside a frame for the whole idle window is
+        // indistinguishable from a dead one.
+        idle_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        Response r;
+        r.code = StatusCode::kDeadlineExceeded;
+        r.message = "idle timeout after " +
+                    std::to_string(options_.idle_timeout_ms) +
+                    " ms; closing connection";
+        WriteFrame(fd, SerializeResponse(r), options_.max_frame_bytes);
+        break;
+      }
       if (frame.status().code() == StatusCode::kResourceExhausted) {
         // Oversized announced frame: the stream is unreadable past this
         // point, so answer once and hang up.
@@ -194,6 +204,8 @@ Response Server::Dispatch(const Request& request) {
     }
     case Command::kStats:
       return HandleStats();
+    case Command::kMetrics:
+      return HandleMetrics();
     case Command::kReload:
       return HandleReload(request.body);
     case Command::kQuery:
@@ -218,6 +230,7 @@ Response Server::HandleQuery(const sparql::QueryRequest& query) {
   }
 
   if (!admission_.TryAdmit()) {
+    metrics_.RecordRejected();
     Response r;
     r.code = StatusCode::kOverloaded;
     r.retry_after_ms = options_.retry_after_ms;
@@ -238,15 +251,56 @@ Response Server::HandleQuery(const sparql::QueryRequest& query) {
   }
   local.deadline_ms = 0;  // Carried by the token from here on.
 
+  // The trace crosses the pool handoff with the response: the latch's
+  // CountDown/Wait pair orders the worker's writes before our reads.
+  Trace trace(next_request_id_.fetch_add(1, std::memory_order_relaxed));
   Response response;
   BatchLatch latch(1);
-  pool_.Submit([this, &response, &latch, &local, snapshot, token] {
-    response = ExecuteQuery(&engine_, *snapshot, local, token);
+  std::chrono::steady_clock::time_point submitted =
+      std::chrono::steady_clock::now();
+  pool_.Submit([this, &response, &latch, &local, &trace, snapshot, token,
+                submitted] {
+    trace.Record(TraceStage::kQueueWait, ElapsedNs(submitted));
+    response = ExecuteQuery(&engine_, *snapshot, local, token, &trace);
     latch.CountDown();
   });
   latch.Wait();
   admission_.Release();
+  metrics_.RecordQuery(trace, local.mode, response.code);
+  MaybeLogSlowQuery(trace, response.code);
   return response;
+}
+
+Response Server::HandleMetrics() {
+  Response r;
+  std::string text = MetricsText();
+  // One response row per exposition line; the client reassembles with
+  // newlines. Rows are the protocol's only multi-line channel.
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    r.rows.emplace_back(text.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  return r;
+}
+
+void Server::MaybeLogSlowQuery(const Trace& trace, StatusCode code) {
+  if (options_.slow_query_ms == 0) return;
+  uint64_t total_ns = trace.TotalNs();
+  if (total_ns < options_.slow_query_ms * 1000000ull) return;
+  std::string line = "slow query id=" + std::to_string(trace.request_id()) +
+                     " status=" + StatusCodeName(code) + " mode=" +
+                     trace.mode() + " class=" +
+                     TractabilityClassName(trace.classification()) +
+                     " total=" + std::to_string(total_ns / 1000000) + "ms " +
+                     trace.BreakdownString();
+  if (options_.slow_query_log) {
+    options_.slow_query_log(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 Response Server::HandleReload(const std::string& triples) {

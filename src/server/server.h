@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -32,10 +33,12 @@
 
 #include "src/common/cancellation.h"
 #include "src/common/status.h"
+#include "src/common/trace.h"
 #include "src/engine/engine.h"
 #include "src/engine/thread_pool.h"
 #include "src/server/admission.h"
 #include "src/server/frame.h"
+#include "src/server/metrics.h"
 #include "src/server/protocol.h"
 #include "src/server/snapshot.h"
 
@@ -58,22 +61,17 @@ struct ServerOptions {
   uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// Accept RELOAD requests (disable for read-only deployments).
   bool allow_reload = true;
+  /// Close a session whose connection sits idle (no frame bytes) this
+  /// long, after answering once with kDeadlineExceeded; 0 = never.
+  uint64_t idle_timeout_ms = 0;
+  /// Queries whose total traced time exceeds this are reported to
+  /// `slow_query_log` with their stage breakdown; 0 disables the log.
+  uint64_t slow_query_ms = 0;
+  /// Sink for slow-query lines; stderr when unset and slow_query_ms > 0.
+  std::function<void(const std::string&)> slow_query_log;
   /// Engine construction knobs. The engine's internal batch pool is not
   /// used on the serving path, so it defaults to a single thread.
   EngineOptions engine{1, 128};
-};
-
-/// Monotonic counters exposed via the STATS command.
-struct ServerCounters {
-  uint64_t connections = 0;
-  uint64_t requests = 0;         ///< Frames successfully parsed.
-  uint64_t protocol_errors = 0;  ///< Frames rejected before dispatch.
-  uint64_t queries = 0;
-  uint64_t admitted = 0;
-  uint64_t rejected_overload = 0;
-  uint64_t reloads = 0;
-
-  std::string ToJson() const;
 };
 
 class Server {
@@ -108,6 +106,10 @@ class Server {
   ServerCounters counters() const;
   EngineStats engine_stats() const { return engine_.stats(); }
 
+  /// The Prometheus text exposition the METRICS command returns; also
+  /// reachable without a connection (--metrics-dump, tests).
+  std::string MetricsText() const;
+
  private:
   void AcceptLoop();
   void SessionLoop(int fd);
@@ -115,6 +117,11 @@ class Server {
   Response HandleQuery(const sparql::QueryRequest& query);
   Response HandleReload(const std::string& triples);
   Response HandleStats();
+  Response HandleMetrics();
+
+  /// Emits the trace breakdown to the slow-query sink when the request's
+  /// total traced time crossed options_.slow_query_ms.
+  void MaybeLogSlowQuery(const Trace& trace, StatusCode code);
 
   ServerOptions options_;
   Engine engine_;
@@ -140,6 +147,9 @@ class Server {
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> idle_timeouts_{0};
+  std::atomic<uint64_t> next_request_id_{1};
+  RequestMetrics metrics_;
 };
 
 }  // namespace wdpt::server

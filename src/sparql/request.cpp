@@ -61,6 +61,14 @@ Result<Mapping> ParseCandidate(std::string_view text, RdfContext* ctx) {
     }
     VariableId v = ctx->vocab().VariableIdOf(var.substr(1));
     ConstantId c = ctx->vocab().ConstantIdOf(value);
+    // Mapping::Bind tolerates re-binding to the same constant, so check
+    // for duplicates explicitly: a repeated ?var= is a malformed
+    // candidate even when the constants agree, and silently accepting it
+    // masks client-side bugs.
+    if (mapping.IsDefinedOn(v)) {
+      return Status::InvalidArgument("candidate binds " + std::string(var) +
+                                     " more than once");
+    }
     if (!mapping.Bind(v, c)) {
       return Status::InvalidArgument("candidate binds " + std::string(var) +
                                      " twice with different constants");

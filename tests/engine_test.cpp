@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/engine/engine.h"
@@ -287,6 +289,94 @@ TEST(EnginePlan, ForcedProjectionFreeOnProjectingTreeIsAnError) {
   Result<std::shared_ptr<const Plan>> plan = engine.GetPlan(tree, popts);
   ASSERT_FALSE(plan.ok());
   EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineStatsConsistency, SnapshotsNeverTearUnderConcurrentLookups) {
+  // Two structurally different trees share a capacity-1 cache, so
+  // concurrent GetPlan calls keep evicting each other: a steady mix of
+  // hits, misses, and builds. Any snapshot taken meanwhile must satisfy
+  // lookups == hits + misses and built <= misses — the invariants a
+  // torn (field-by-field atomic) snapshot violates.
+  RdfContext ctx;
+  PatternTree a = MakeFigure1Tree(&ctx);
+  PatternTree b;
+  b.AddAtom(PatternTree::kRoot, ctx.TriplePattern("?x", "recorded_by", "?y"));
+  b.SetFreeVariables({ctx.vocab().Variable("x").variable_id(),
+                      ctx.vocab().Variable("y").variable_id()});
+  ASSERT_TRUE(b.Validate().ok());
+
+  EngineOptions eopts;
+  eopts.plan_cache_capacity = 1;
+  Engine engine(eopts);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      PlanOptions popts;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ASSERT_TRUE(engine.GetPlan(t % 2 == 0 ? a : b, popts).ok());
+      }
+    });
+  }
+  // Snapshot continuously until the workers have produced a healthy
+  // mix — thread startup can lag the first snapshots, so a fixed
+  // iteration count alone could finish before any lookup happens.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (uint64_t snapshots = 0;; ++snapshots) {
+    EngineStats s = engine.stats();
+    ASSERT_EQ(s.plan_cache_lookups, s.plan_cache_hits + s.plan_cache_misses)
+        << "torn snapshot at iteration " << snapshots;
+    ASSERT_LE(s.plans_built, s.plan_cache_misses);
+    if (snapshots >= 2000 && s.plan_cache_lookups >= 100) break;
+    if (std::chrono::steady_clock::now() > deadline) break;
+  }
+  stop.store(true);
+  for (std::thread& t : workers) t.join();
+  EngineStats last = engine.stats();
+  EXPECT_EQ(last.plan_cache_lookups,
+            last.plan_cache_hits + last.plan_cache_misses);
+  EXPECT_GT(last.plan_cache_lookups, 0u);
+}
+
+TEST(EngineTrace, EvalRecordsSpansAndClassification) {
+  RdfContext ctx;
+  PatternTree tree = MakeFigure1Tree(&ctx);
+  Database db = MakeExample2Db(&ctx);
+
+  Engine engine;
+  Trace trace(7);
+  EvalOptions options;
+  options.trace = &trace;
+  ASSERT_TRUE(engine.Eval(tree, db, Mapping(), options).ok());
+  EXPECT_NE(trace.classification(), TractabilityClass::kUnknown);
+  EXPECT_GT(trace.span_ns(TraceStage::kEval), 0u);
+  // First evaluation builds the plan, so the build span is real time.
+  EXPECT_GT(trace.span_ns(TraceStage::kPlanBuild), 0u);
+
+  // A second traced call hits the cache: no further build time accrues.
+  Trace second;
+  options.trace = &second;
+  ASSERT_TRUE(engine.Eval(tree, db, Mapping(), options).ok());
+  EXPECT_EQ(second.span_ns(TraceStage::kPlanBuild), 0u);
+  EXPECT_EQ(second.classification(), trace.classification());
+}
+
+TEST(EngineTrace, EnumerateStampsClassificationWithoutFailing) {
+  RdfContext ctx;
+  PatternTree tree = MakeFigure1Tree(&ctx);
+  Database db = MakeExample2Db(&ctx);
+
+  Engine engine;
+  Trace trace;
+  EnumerateOptions options;
+  options.trace = &trace;
+  Result<std::vector<Mapping>> untraced = engine.Enumerate(tree, db);
+  Result<std::vector<Mapping>> traced = engine.Enumerate(tree, db, options);
+  ASSERT_TRUE(untraced.ok());
+  ASSERT_TRUE(traced.ok());
+  EXPECT_EQ(untraced->size(), traced->size());  // Tracing never alters rows.
+  EXPECT_NE(trace.classification(), TractabilityClass::kUnknown);
+  EXPECT_GT(trace.span_ns(TraceStage::kEval), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,199 @@
+// Tests for the log-scaled LatencyHistogram (bucket arithmetic,
+// quantiles, merge, concurrent recording) and the per-request Trace.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/trace.h"
+
+namespace wdpt {
+namespace {
+
+using metrics::HistogramSnapshot;
+using metrics::kHistogramBuckets;
+using metrics::LatencyHistogram;
+
+TEST(HistogramBuckets, SmallValuesAreExact) {
+  for (uint64_t v = 0; v < 4; ++v) {
+    size_t i = LatencyHistogram::BucketIndex(v);
+    EXPECT_EQ(i, v);
+    EXPECT_EQ(LatencyHistogram::BucketLowerBound(i), v);
+    EXPECT_EQ(LatencyHistogram::BucketUpperBound(i), v + 1);
+  }
+}
+
+TEST(HistogramBuckets, EveryValueLandsBetweenItsBounds) {
+  // A log-spaced sweep over the full uint64 range, plus the boundary
+  // neighborhoods where off-by-one bugs live.
+  std::vector<uint64_t> values = {0, UINT64_MAX};
+  for (int shift = 0; shift < 64; ++shift) {
+    uint64_t base = 1ull << shift;
+    values.push_back(base);
+    values.push_back(base + 1);
+    values.push_back(base + 2);
+    if (base > 1) values.push_back(base - 1);
+    if (base > 2) values.push_back(base - 2);
+  }
+  for (uint64_t v : values) {
+    size_t i = LatencyHistogram::BucketIndex(v);
+    ASSERT_LT(i, kHistogramBuckets) << "value " << v;
+    EXPECT_GE(v, LatencyHistogram::BucketLowerBound(i)) << "value " << v;
+    if (i + 1 < kHistogramBuckets) {
+      EXPECT_LT(v, LatencyHistogram::BucketUpperBound(i)) << "value " << v;
+    } else {
+      // The last bucket is closed at UINT64_MAX.
+      EXPECT_LE(v, LatencyHistogram::BucketUpperBound(i)) << "value " << v;
+    }
+  }
+}
+
+TEST(HistogramBuckets, LowerBoundRoundTripsToItsOwnBucket) {
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    uint64_t lo = LatencyHistogram::BucketLowerBound(i);
+    EXPECT_EQ(LatencyHistogram::BucketIndex(lo), i) << "bucket " << i;
+  }
+}
+
+TEST(HistogramBuckets, BoundsAreMonotonic) {
+  for (size_t i = 1; i < kHistogramBuckets; ++i) {
+    EXPECT_LT(LatencyHistogram::BucketLowerBound(i - 1),
+              LatencyHistogram::BucketLowerBound(i));
+    EXPECT_EQ(LatencyHistogram::BucketUpperBound(i - 1),
+              LatencyHistogram::BucketLowerBound(i));
+  }
+  EXPECT_EQ(LatencyHistogram::BucketUpperBound(kHistogramBuckets - 1),
+            UINT64_MAX);
+}
+
+TEST(HistogramQuantiles, ExactForSmallValues) {
+  // Values below 4 are exact buckets, so quantiles carry no bucketing
+  // error at all.
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.Record(1);
+  for (int i = 0; i < 10; ++i) h.Record(3);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 20u);
+  EXPECT_EQ(s.sum, 40u);
+  EXPECT_EQ(s.QuantileNs(0.0), 1u);
+  EXPECT_EQ(s.QuantileNs(0.25), 1u);
+  EXPECT_EQ(s.QuantileNs(0.99), 3u);
+  EXPECT_EQ(s.QuantileNs(1.0), 3u);
+}
+
+TEST(HistogramQuantiles, UniformRangeWithinBucketError) {
+  // 1..1000: the true p50 is 500, p90 is 900. Buckets are 4 per octave,
+  // so any estimate is within 25% of the truth.
+  LatencyHistogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  for (double q : {0.50, 0.90, 0.99}) {
+    double truth = q * 1000.0;
+    double est = static_cast<double>(s.QuantileNs(q));
+    EXPECT_GE(est, truth * 0.75) << "q=" << q;
+    EXPECT_LE(est, truth * 1.25) << "q=" << q;
+  }
+  double mean = s.MeanNs();
+  EXPECT_NEAR(mean, 500.5, 0.01);
+}
+
+TEST(HistogramQuantiles, EmptySnapshotIsZero) {
+  LatencyHistogram h;
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.QuantileNs(0.5), 0u);
+  EXPECT_EQ(s.MeanNs(), 0.0);
+}
+
+TEST(HistogramMerge, CountsAndSumsAdd) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (uint64_t v = 1; v <= 100; ++v) a.Record(v);
+  for (uint64_t v = 1000; v <= 1100; ++v) b.Record(v);
+  a.Merge(b);
+  HistogramSnapshot s = a.Snapshot();
+  EXPECT_EQ(s.count, 201u);
+  EXPECT_EQ(s.sum, 100u * 101u / 2 + 101u * 1050u);
+  // The merged p99 comes from b's range.
+  EXPECT_GE(s.QuantileNs(0.99), 1000u * 3 / 4);
+}
+
+TEST(HistogramConcurrency, ParallelRecordsLoseNothing) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) * 1000 + i % 997);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kPerThread; ++i) {
+      expected_sum += static_cast<uint64_t>(t) * 1000 + i % 997;
+    }
+  }
+  EXPECT_EQ(s.sum, expected_sum);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : s.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, s.count);
+}
+
+TEST(TraceTest, SpansAccumulateAndTotal) {
+  Trace trace(42);
+  EXPECT_EQ(trace.request_id(), 42u);
+  trace.Record(TraceStage::kParse, 100);
+  trace.Record(TraceStage::kParse, 50);
+  trace.Record(TraceStage::kEval, 1000);
+  EXPECT_EQ(trace.span_ns(TraceStage::kParse), 150u);
+  EXPECT_EQ(trace.span_ns(TraceStage::kEval), 1000u);
+  EXPECT_EQ(trace.span_ns(TraceStage::kQueueWait), 0u);
+  EXPECT_EQ(trace.TotalNs(), 1150u);
+}
+
+TEST(TraceTest, SpanRaiiRecordsOnScopeExit) {
+  Trace trace;
+  {
+    Trace::Span span(&trace, TraceStage::kSerialize);
+    // A trivial amount of work; the span must still record >= 0.
+  }
+  // steady_clock has ns resolution but the span may round to 0; the
+  // invariant is that the stage was touched without crashing and a
+  // null trace is tolerated.
+  { Trace::Span null_span(nullptr, TraceStage::kEval); }
+  EXPECT_EQ(trace.span_ns(TraceStage::kEval), 0u);
+}
+
+TEST(TraceTest, BreakdownNamesEveryStage) {
+  Trace trace;
+  trace.Record(TraceStage::kQueueWait, 1000000);
+  std::string breakdown = trace.BreakdownString();
+  for (size_t i = 0; i < kTraceStageCount; ++i) {
+    EXPECT_NE(breakdown.find(TraceStageName(static_cast<TraceStage>(i))),
+              std::string::npos)
+        << breakdown;
+  }
+  EXPECT_NE(breakdown.find("queue=1.00ms"), std::string::npos) << breakdown;
+}
+
+TEST(TraceTest, ClassificationAndModeLabels) {
+  Trace trace;
+  EXPECT_EQ(trace.classification(), TractabilityClass::kUnknown);
+  trace.set_classification(TractabilityClass::kGTractable);
+  EXPECT_STREQ(TractabilityClassName(trace.classification()), "g-tractable");
+  trace.set_mode("partial");
+  EXPECT_STREQ(trace.mode(), "partial");
+}
+
+}  // namespace
+}  // namespace wdpt

@@ -7,8 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -127,7 +135,8 @@ TEST(Protocol, ReloadAndControlRequestsRoundTrip) {
   EXPECT_EQ(parsed->command, Command::kReload);
   EXPECT_EQ(parsed->body, kFig1Triples);
 
-  for (Command command : {Command::kPing, Command::kStats}) {
+  for (Command command :
+       {Command::kPing, Command::kStats, Command::kMetrics}) {
     Request request;
     request.command = command;
     Result<Request> back = ParseRequest(SerializeRequest(request));
@@ -187,6 +196,10 @@ TEST(RequestCompiler, CandidateParsing) {
   EXPECT_FALSE(sparql::ParseCandidate("x=a", &ctx).ok());
   EXPECT_FALSE(sparql::ParseCandidate("?x", &ctx).ok());
   EXPECT_FALSE(sparql::ParseCandidate("?x=a ?x=b", &ctx).ok());
+  // A repeated binding is malformed even when the constants agree.
+  Result<Mapping> duplicate = sparql::ParseCandidate("?x=a ?x=a", &ctx);
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(ServerWire, Figure1RoundTripMatchesSharedExecutionPath) {
@@ -506,6 +519,245 @@ TEST(ServerWire, StatsJsonHasTheDocumentedShape) {
   EngineStats engine_stats = server->engine_stats();
   ExpectLooksLikeJsonObject(engine_stats.ToJson());
   EXPECT_GE(engine_stats.enumerate_calls, 1u);
+}
+
+TEST(FrameIO, DribbledBytesReassembleIntoOneFrame) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload = "WDPT/1 PING\n\n";
+  uint32_t len_be = htonl(static_cast<uint32_t>(payload.size()));
+  std::string wire(reinterpret_cast<const char*>(&len_be), sizeof(len_be));
+  wire += payload;
+
+  // One byte at a time: every recv inside ReadFrame comes back short.
+  std::thread writer([&] {
+    for (char c : wire) {
+      ASSERT_EQ(::send(fds[1], &c, 1, 0), 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  Result<std::string> frame = ReadFrame(fds[0]);
+  writer.join();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(*frame, payload);
+  CloseSocket(fds[0]);
+  CloseSocket(fds[1]);
+}
+
+TEST(FrameIO, EofAtBoundaryIsNotFoundButMidFrameIsAnError) {
+  // Clean EOF before any byte: the orderly end of a session.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  CloseSocket(fds[1]);
+  Result<std::string> clean = ReadFrame(fds[0]);
+  ASSERT_FALSE(clean.ok());
+  EXPECT_EQ(clean.status().code(), StatusCode::kNotFound);
+  CloseSocket(fds[0]);
+
+  // EOF after the prefix announced more bytes than ever arrive.
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  uint32_t announced = htonl(10);
+  ASSERT_EQ(::send(fds[1], &announced, sizeof(announced), 0),
+            static_cast<ssize_t>(sizeof(announced)));
+  ASSERT_EQ(::send(fds[1], "abc", 3, 0), 3);
+  CloseSocket(fds[1]);
+  Result<std::string> torn = ReadFrame(fds[0]);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.status().code(), StatusCode::kInternal);
+  CloseSocket(fds[0]);
+}
+
+TEST(FrameIO, LargeFrameSurvivesPartialWrites) {
+  // A frame much larger than the socket buffers forces WriteFrame
+  // through its partial-send resume path while a reader drains
+  // concurrently.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::string payload(4 * 1024 * 1024, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + i % 23);
+  }
+  Result<std::string> frame = Status::Internal("unset");
+  std::thread reader([&] { frame = ReadFrame(fds[0]); });
+  Status written = WriteFrame(fds[1], payload);
+  reader.join();
+  ASSERT_TRUE(written.ok()) << written.ToString();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(*frame, payload);
+  CloseSocket(fds[0]);
+  CloseSocket(fds[1]);
+}
+
+TEST(ServerWire, IdleSessionTimesOutCleanlyWhileActiveOnesSurvive) {
+  ServerOptions options;
+  options.idle_timeout_ms = 100;
+  std::unique_ptr<Server> server = StartServer(kFig1Triples, options);
+
+  // A client pinging faster than the idle window must never be
+  // disconnected while the idle one is reaped.
+  std::atomic<bool> stop{false};
+  std::atomic<int> active_failures{0};
+  std::thread active([&] {
+    Client client;
+    if (!client.Connect("127.0.0.1", server->port()).ok()) {
+      active_failures.fetch_add(1);
+      return;
+    }
+    while (!stop.load()) {
+      Result<Response> pong = client.Ping();
+      if (!pong.ok() || pong->code != StatusCode::kOk) {
+        active_failures.fetch_add(1);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  Result<int> idle = ConnectTcp("127.0.0.1", server->port());
+  ASSERT_TRUE(idle.ok());
+  // Say nothing: the server must announce the timeout, then hang up.
+  Result<std::string> frame = ReadFrame(*idle);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  Result<Response> response = ParseResponse(*frame);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded);
+  EXPECT_NE(response->message.find("idle timeout"), std::string::npos)
+      << response->message;
+  EXPECT_FALSE(ReadFrame(*idle).ok());  // EOF follows, not a hang.
+  CloseSocket(*idle);
+
+  stop.store(true);
+  active.join();
+  EXPECT_EQ(active_failures.load(), 0);
+  EXPECT_GE(server->counters().idle_timeouts, 1u);
+}
+
+TEST(ServerWire, MetricsExpositionCountsQueriesPerStageAndClass) {
+  std::unique_ptr<Server> server = StartServer(kFig1Triples);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+
+  constexpr uint64_t kQueries = 5;
+  for (uint64_t i = 0; i < kQueries; ++i) {
+    sparql::QueryRequest request;
+    request.query = kFig1Query;
+    if (i % 2 == 1) request.mode = sparql::RequestMode::kMax;
+    Result<Response> response = client.Query(request);
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->code, StatusCode::kOk);
+  }
+
+  Result<Response> metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  ASSERT_EQ(metrics->code, StatusCode::kOk);
+  ASSERT_FALSE(metrics->rows.empty());
+
+  // The rows are the exposition text, one line per row.
+  std::string text;
+  for (const std::string& row : metrics->rows) {
+    text += row;
+    text += '\n';
+  }
+
+  // Every line parses: a # comment, or `name{labels} value` with a
+  // numeric value and a wdpt_-prefixed name.
+  uint64_t parsed_lines = 0;
+  for (const std::string& line : metrics->rows) {
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.rfind("wdpt_", 0), 0u) << line;
+    char* end = nullptr;
+    std::strtod(line.c_str() + space + 1, &end);
+    EXPECT_EQ(*end, '\0') << line;
+    ++parsed_lines;
+  }
+  EXPECT_GT(parsed_lines, 20u);
+
+  // Scalar counters reflect exactly the served queries.
+  EXPECT_NE(text.find("wdpt_server_queries_total 5\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wdpt_server_responses_total{status=\"ok\"} 5\n"),
+            std::string::npos)
+      << text;
+
+  // For every stage, histogram counts summed across modes — and,
+  // independently, across tractability classes — equal the number of
+  // QUERY requests served.
+  auto count_sum = [&metrics](const std::string& prefix) {
+    uint64_t sum = 0;
+    for (const std::string& line : metrics->rows) {
+      if (line.rfind(prefix, 0) != 0) continue;
+      size_t space = line.rfind(' ');
+      sum += std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    }
+    return sum;
+  };
+  for (const char* stage :
+       {"queue", "parse", "plan_lookup", "plan_build", "eval", "serialize"}) {
+    EXPECT_EQ(count_sum("wdpt_stage_duration_seconds_count{stage=\"" +
+                        std::string(stage) + "\","),
+              kQueries)
+        << stage;
+    EXPECT_EQ(count_sum("wdpt_class_stage_duration_seconds_count{stage=\"" +
+                        std::string(stage) + "\","),
+              kQueries)
+        << stage;
+  }
+
+  // The Figure 1 plan gets a real classification, never "unknown".
+  EXPECT_NE(text.find(",class=\""), std::string::npos);
+  EXPECT_EQ(text.find("class=\"unknown\""), std::string::npos) << text;
+
+  // Both request modes show up as labels.
+  EXPECT_NE(text.find("mode=\"eval\""), std::string::npos);
+  EXPECT_NE(text.find("mode=\"max\""), std::string::npos);
+}
+
+TEST(ServerWire, DuplicateCandidateBindingIsRejected) {
+  std::unique_ptr<Server> server = StartServer(kFig1Triples);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+
+  sparql::QueryRequest request;
+  request.query = kFig1Query;
+  request.candidate = "?rec=Swim ?rec=Swim";
+  Result<Response> response = client.Query(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
+  EXPECT_NE(response->message.find("more than once"), std::string::npos)
+      << response->message;
+  EXPECT_TRUE(response->rows.empty());
+  ASSERT_TRUE(client.Ping().ok());  // Session survives the rejection.
+}
+
+TEST(ServerWire, SlowQueryLogCapturesTraceBreakdown) {
+  ServerOptions options;
+  options.slow_query_ms = 1;
+  std::mutex mu;
+  std::vector<std::string> lines;
+  options.slow_query_log = [&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  };
+  std::unique_ptr<Server> server = StartServer(SlowGraphTriples(), options);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server->port()).ok());
+
+  sparql::QueryRequest request;
+  request.query = kSlowQuery;
+  request.deadline_ms = 20;  // Runs for ~20ms, far over the 1ms bar.
+  Result<Response> response = client.Query(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded);
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_FALSE(lines.empty());
+  const std::string& line = lines.front();
+  EXPECT_NE(line.find("slow query id="), std::string::npos) << line;
+  EXPECT_NE(line.find("status=deadline-exceeded"), std::string::npos) << line;
+  EXPECT_NE(line.find("queue="), std::string::npos) << line;
+  EXPECT_NE(line.find("eval="), std::string::npos) << line;
 }
 
 }  // namespace

@@ -4,13 +4,22 @@
 //   wdpt_loadgen [--connect HOST:PORT] [--data FILE] [--bands N]
 //                [--clients 1,2,4,8] [--requests N] [--deadline-ms N]
 //                [--workers N] [--queue N] [--json FILE] [--no-verify]
+//                [--max-ping-p50-ms X]
 //
 // Drives a fixed query mix from N concurrent client connections and
-// reports throughput and latency percentiles per client count. Without
-// --connect it starts an in-process server (workers/queue set its
-// options); with --connect it targets a running wdpt_server. Without
-// --data it generates a deterministic music-catalog dataset of --bands
-// bands in the spirit of the Figure 1 running example.
+// reports throughput and latency percentiles per client count, plus
+// the server-side queue-wait and eval medians extracted from each
+// response's per-request stats JSON — so client-observed latency can be
+// split into transport, queueing, and evaluation. Without --connect it
+// starts an in-process server (workers/queue set its options); with
+// --connect it targets a running wdpt_server. Without --data it
+// generates a deterministic music-catalog dataset of --bands bands in
+// the spirit of the Figure 1 running example.
+//
+// Before the load runs, the PING round-trip median over one connection
+// is measured and reported; --max-ping-p50-ms makes it an assertion
+// (exit nonzero when exceeded), which catches small-frame latency
+// regressions such as Nagle-delayed writes (~40ms on loopback).
 //
 // Unless --no-verify is given, every response is checked against the
 // rows the shared execution path (server::ExecuteQuery) produces
@@ -47,7 +56,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--connect HOST:PORT] [--data FILE] [--bands N] "
                "[--clients 1,2,4,8] [--requests N] [--deadline-ms N] "
-               "[--workers N] [--queue N] [--json FILE] [--no-verify]\n",
+               "[--workers N] [--queue N] [--json FILE] [--no-verify] "
+               "[--max-ping-p50-ms X]\n",
                argv0);
   return 2;
 }
@@ -113,7 +123,22 @@ struct RunResult {
   double p50_ms = 0;
   double p90_ms = 0;
   double p99_ms = 0;
+  // Server-reported trace spans, from the per-request stats JSON.
+  double srv_queue_p50_ms = 0;  ///< Median worker-pool queue wait.
+  double srv_eval_p50_ms = 0;   ///< Median evaluation span.
 };
+
+// Extracts an unsigned numeric field from the single-line per-request
+// stats JSON ("\"key\":123"). Returns false when absent (e.g. an old
+// server or a non-query response).
+bool JsonField(const std::string& json, const std::string& key,
+               uint64_t* value) {
+  std::string needle = "\"" + key + "\":";
+  size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  *value = std::strtoull(json.c_str() + pos + needle.size(), nullptr, 10);
+  return true;
+}
 
 double PercentileMs(std::vector<uint64_t>& ns, double p) {
   if (ns.empty()) return 0;
@@ -129,6 +154,8 @@ RunResult RunLoad(const std::string& host, uint16_t port, unsigned clients,
   RunResult result;
   result.clients = clients;
   std::vector<uint64_t> latencies_ns;
+  std::vector<uint64_t> srv_queue_ns;
+  std::vector<uint64_t> srv_eval_ns;
   std::mutex mu;
   std::vector<std::thread> threads;
   Clock::time_point start = Clock::now();
@@ -141,6 +168,8 @@ RunResult RunLoad(const std::string& host, uint16_t port, unsigned clients,
         return;
       }
       std::vector<uint64_t> local_ns;
+      std::vector<uint64_t> local_queue_ns;
+      std::vector<uint64_t> local_eval_ns;
       uint64_t transport = 0, status = 0, overload = 0, mismatch = 0,
                issued = 0;
       for (uint64_t r = 0; r < requests_per_client; ++r) {
@@ -168,6 +197,13 @@ RunResult RunLoad(const std::string& host, uint16_t port, unsigned clients,
           break;  // Connection is gone; stop this client.
         }
         local_ns.push_back(ns);
+        uint64_t span = 0;
+        if (JsonField(response->stats_json, "queue_ns", &span)) {
+          local_queue_ns.push_back(span);
+        }
+        if (JsonField(response->stats_json, "eval_ns", &span)) {
+          local_eval_ns.push_back(span);
+        }
         if (response->code != StatusCode::kOk) {
           ++status;
         } else if (expected != nullptr) {
@@ -186,6 +222,10 @@ RunResult RunLoad(const std::string& host, uint16_t port, unsigned clients,
       result.mismatches += mismatch;
       latencies_ns.insert(latencies_ns.end(), local_ns.begin(),
                           local_ns.end());
+      srv_queue_ns.insert(srv_queue_ns.end(), local_queue_ns.begin(),
+                          local_queue_ns.end());
+      srv_eval_ns.insert(srv_eval_ns.end(), local_eval_ns.begin(),
+                         local_eval_ns.end());
     });
   }
   for (std::thread& t : threads) t.join();
@@ -200,7 +240,28 @@ RunResult RunLoad(const std::string& host, uint16_t port, unsigned clients,
   result.p50_ms = PercentileMs(latencies_ns, 0.50);
   result.p90_ms = PercentileMs(latencies_ns, 0.90);
   result.p99_ms = PercentileMs(latencies_ns, 0.99);
+  result.srv_queue_p50_ms = PercentileMs(srv_queue_ns, 0.50);
+  result.srv_eval_p50_ms = PercentileMs(srv_eval_ns, 0.50);
   return result;
+}
+
+// The PING round-trip median over one connection: the floor of the
+// protocol's per-frame cost, independent of query evaluation.
+double MeasurePingP50Ms(const std::string& host, uint16_t port, int count) {
+  server::Client client;
+  if (!client.Connect(host, port).ok()) return -1;
+  std::vector<uint64_t> ns;
+  ns.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Clock::time_point t0 = Clock::now();
+    Result<server::Response> r = client.Ping();
+    if (!r.ok() || r->code != StatusCode::kOk) return -1;
+    ns.push_back(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count()));
+  }
+  return PercentileMs(ns, 0.50);
 }
 
 std::string FormatDouble(double v) {
@@ -222,6 +283,7 @@ int main(int argc, char** argv) {
   unsigned workers = 0;
   size_t queue = 64;
   bool verify = true;
+  double max_ping_p50_ms = 0;  // 0 = report only, no assertion.
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--connect" && i + 1 < argc) {
@@ -244,6 +306,8 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (arg == "--no-verify") {
       verify = false;
+    } else if (arg == "--max-ping-p50-ms" && i + 1 < argc) {
+      max_ping_p50_ms = std::strtod(argv[++i], nullptr);
     } else {
       return Usage(argv[0]);
     }
@@ -336,20 +400,39 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(requests_per_client),
                mix.size(), host.c_str(), static_cast<unsigned>(port));
 
-  std::vector<RunResult> results;
   bool failed = false;
+  double ping_p50_ms = MeasurePingP50Ms(host, port, 50);
+  if (ping_p50_ms < 0) {
+    std::fprintf(stderr, "ping probe failed\n");
+    failed = true;
+  } else {
+    std::fprintf(stderr, "ping p50=%sms\n",
+                 FormatDouble(ping_p50_ms).c_str());
+    if (max_ping_p50_ms > 0 && ping_p50_ms > max_ping_p50_ms) {
+      std::fprintf(stderr,
+                   "FAILED: ping p50 %sms exceeds --max-ping-p50-ms %s\n",
+                   FormatDouble(ping_p50_ms).c_str(),
+                   FormatDouble(max_ping_p50_ms).c_str());
+      failed = true;
+    }
+  }
+
+  std::vector<RunResult> results;
   for (unsigned clients : client_counts) {
     RunResult r = RunLoad(host, port, clients, requests_per_client, mix,
                           verify ? &expected : nullptr);
     std::fprintf(stderr,
                  "clients=%2u requests=%llu rps=%s p50=%sms p90=%sms "
-                 "p99=%sms overloaded=%llu transport_errors=%llu "
+                 "p99=%sms srv_queue_p50=%sms srv_eval_p50=%sms "
+                 "overloaded=%llu transport_errors=%llu "
                  "status_errors=%llu mismatches=%llu\n",
                  clients, static_cast<unsigned long long>(r.requests),
                  FormatDouble(r.throughput_rps).c_str(),
                  FormatDouble(r.p50_ms).c_str(),
                  FormatDouble(r.p90_ms).c_str(),
                  FormatDouble(r.p99_ms).c_str(),
+                 FormatDouble(r.srv_queue_p50_ms).c_str(),
+                 FormatDouble(r.srv_eval_p50_ms).c_str(),
                  static_cast<unsigned long long>(r.overloaded),
                  static_cast<unsigned long long>(r.transport_errors),
                  static_cast<unsigned long long>(r.status_errors),
@@ -373,7 +456,9 @@ int main(int argc, char** argv) {
         << dataset_name << "\",\"facts\":" << facts
         << ",\"requests_per_client\":" << requests_per_client
         << ",\"mix_size\":" << mix.size() << ",\"verified\":"
-        << (verify ? "true" : "false") << ",\"results\":[";
+        << (verify ? "true" : "false")
+        << ",\"ping_p50_ms\":" << FormatDouble(ping_p50_ms)
+        << ",\"results\":[";
     for (size_t i = 0; i < results.size(); ++i) {
       const RunResult& r = results[i];
       if (i > 0) out << ",";
@@ -383,6 +468,8 @@ int main(int argc, char** argv) {
           << ",\"p50_ms\":" << FormatDouble(r.p50_ms)
           << ",\"p90_ms\":" << FormatDouble(r.p90_ms)
           << ",\"p99_ms\":" << FormatDouble(r.p99_ms)
+          << ",\"srv_queue_p50_ms\":" << FormatDouble(r.srv_queue_p50_ms)
+          << ",\"srv_eval_p50_ms\":" << FormatDouble(r.srv_eval_p50_ms)
           << ",\"overloaded\":" << r.overloaded
           << ",\"transport_errors\":" << r.transport_errors
           << ",\"status_errors\":" << r.status_errors

@@ -3,14 +3,19 @@
 // Usage:
 //   wdpt_server --data FILE [--port N] [--workers N] [--queue N]
 //               [--default-deadline-ms N] [--max-deadline-ms N]
-//               [--retry-after-ms N] [--no-reload] [--print-port]
+//               [--retry-after-ms N] [--idle-timeout-ms N]
+//               [--slow-query-ms N] [--no-reload] [--print-port]
+//               [--metrics-dump]
 //
 // Binds 127.0.0.1:<port> (0 = ephemeral; the chosen port is printed)
 // and serves the framed protocol described in docs/SERVER.md: QUERY /
-// STATS / PING / RELOAD. The data file holds whitespace-separated
-// triples, one per line, '#' comments — the same format wdpt_query
-// reads. RELOAD swaps in a new dataset under live traffic without
-// pausing readers. Runs until SIGINT/SIGTERM.
+// STATS / PING / RELOAD / METRICS. The data file holds whitespace-
+// separated triples, one per line, '#' comments — the same format
+// wdpt_query reads. RELOAD swaps in a new dataset under live traffic
+// without pausing readers. --idle-timeout-ms closes connections that go
+// quiet; --slow-query-ms logs a per-stage trace breakdown to stderr for
+// queries over the threshold; --metrics-dump prints the Prometheus
+// exposition to stdout at shutdown. Runs until SIGINT/SIGTERM.
 
 #include <csignal>
 #include <cstdio>
@@ -33,7 +38,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --data FILE [--port N] [--workers N] [--queue N] "
                "[--default-deadline-ms N] [--max-deadline-ms N] "
-               "[--retry-after-ms N] [--no-reload] [--print-port]\n",
+               "[--retry-after-ms N] [--idle-timeout-ms N] "
+               "[--slow-query-ms N] [--no-reload] [--print-port] "
+               "[--metrics-dump]\n",
                argv0);
   return 2;
 }
@@ -45,6 +52,7 @@ int main(int argc, char** argv) {
   std::string data_path;
   server::ServerOptions options;
   bool print_port = false;
+  bool metrics_dump = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--data" && i + 1 < argc) {
@@ -62,10 +70,16 @@ int main(int argc, char** argv) {
       options.max_deadline_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--retry-after-ms" && i + 1 < argc) {
       options.retry_after_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
+      options.idle_timeout_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--slow-query-ms" && i + 1 < argc) {
+      options.slow_query_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--no-reload") {
       options.allow_reload = false;
     } else if (arg == "--print-port") {
       print_port = true;
+    } else if (arg == "--metrics-dump") {
+      metrics_dump = true;
     } else {
       return Usage(argv[0]);
     }
@@ -109,6 +123,10 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "shutting down\n");
   srv.Stop();
+  if (metrics_dump) {
+    std::fputs(srv.MetricsText().c_str(), stdout);
+    std::fflush(stdout);
+  }
   server::ServerCounters c = srv.counters();
   std::fprintf(stderr, "served %llu requests on %llu connections\n",
                static_cast<unsigned long long>(c.requests),
