@@ -42,6 +42,14 @@ uint64_t Trace::TotalNs() const {
   return total;
 }
 
+uint64_t Trace::MaxShardNs() const {
+  uint64_t max_ns = 0;
+  for (uint64_t ns : shard_spans_ns_) {
+    if (ns > max_ns) max_ns = ns;
+  }
+  return max_ns;
+}
+
 std::string Trace::BreakdownString() const {
   std::string out;
   for (size_t i = 0; i < kTraceStageCount; ++i) {
@@ -50,6 +58,12 @@ std::string Trace::BreakdownString() const {
     std::snprintf(buf, sizeof(buf), "%s=%.2fms",
                   TraceStageName(static_cast<TraceStage>(i)),
                   static_cast<double>(spans_ns_[i]) / 1e6);
+    out += buf;
+  }
+  if (shard_fanout_ > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " shards=%u shard_max=%.2fms",
+                  shard_fanout_, static_cast<double>(MaxShardNs()) / 1e6);
     out += buf;
   }
   return out;

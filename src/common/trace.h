@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace wdpt {
 
@@ -80,6 +81,24 @@ class Trace {
   void set_classification(TractabilityClass c) { classification_ = c; }
   TractabilityClass classification() const { return classification_; }
 
+  /// Scatter-gather fan-out: the number of shard tasks this request's
+  /// evaluation spread across (0 = unsharded execution). Feeds the
+  /// server's `shard_fanout` histogram.
+  void set_shard_fanout(uint32_t n) { shard_fanout_ = n; }
+  uint32_t shard_fanout() const { return shard_fanout_; }
+
+  /// Appends one shard task's wall time. The engine records these on
+  /// the coordinating thread *after* the gather barrier — a Trace is
+  /// single-owner and not thread-safe, so shard tasks never touch it.
+  void RecordShard(uint64_t ns) { shard_spans_ns_.push_back(ns); }
+  const std::vector<uint64_t>& shard_spans_ns() const {
+    return shard_spans_ns_;
+  }
+
+  /// Longest shard task span (0 when unsharded): the critical path of
+  /// the scatter phase.
+  uint64_t MaxShardNs() const;
+
   /// Request mode label for metrics ("eval" / "partial" / "max"); the
   /// pointer must outlive the trace (callers pass string literals from
   /// RequestModeName).
@@ -118,6 +137,8 @@ class Trace {
   std::array<uint64_t, kTraceStageCount> spans_ns_{};
   TractabilityClass classification_ = TractabilityClass::kUnknown;
   const char* mode_ = "unknown";
+  uint32_t shard_fanout_ = 0;
+  std::vector<uint64_t> shard_spans_ns_;
 };
 
 }  // namespace wdpt

@@ -1,8 +1,11 @@
 #include "src/engine/engine.h"
 
+#include <algorithm>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 
+#include "src/cq/homomorphism.h"
 #include "src/wdpt/eval_max.h"
 #include "src/wdpt/eval_naive.h"
 #include "src/wdpt/eval_partial.h"
@@ -26,6 +29,29 @@ uint64_t ElapsedNs(Clock::time_point start) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            start)
           .count());
+}
+
+// Picks the root-label atom to scatter by: the one whose relation holds
+// the most facts in the full view (its matches spread widest across the
+// shards), ties broken by label position. Nullary relations cannot be
+// partitioned (a shard stores no arity-0 rows), so they are skipped;
+// ground atoms of arity >= 1 are fine — their single matching fact
+// lives in exactly one shard. Returns false when no atom qualifies.
+bool PickSeedAtom(const PatternTree& tree, const Database& full,
+                  size_t* seed_index) {
+  const std::vector<Atom>& label = tree.label(PatternTree::kRoot);
+  bool found = false;
+  size_t best_size = 0;
+  for (size_t i = 0; i < label.size(); ++i) {
+    if (full.schema().Arity(label[i].relation) == 0) continue;
+    size_t size = full.relation(label[i].relation).size();
+    if (!found || size > best_size) {
+      found = true;
+      *seed_index = i;
+      best_size = size;
+    }
+  }
+  return found;
 }
 
 }  // namespace
@@ -227,6 +253,130 @@ Result<std::vector<Mapping>> Engine::Enumerate(
   }
   if (!result.ok()) NoteStatus(result.status());
   return result;
+}
+
+Result<std::vector<Mapping>> Engine::Enumerate(
+    const PatternTree& tree, const ShardedDatabase& db,
+    const EnumerateOptions& options) {
+  StatsCollector::Bump(stats_.sharded_enumerate_calls);
+  size_t seed_index = 0;
+  if (db.num_shards() <= 1 || !tree.validated() ||
+      !PickSeedAtom(tree, db.full(), &seed_index)) {
+    StatsCollector::Bump(stats_.sharded_fallbacks);
+    return Enumerate(tree, db.full(), options);
+  }
+
+  StatsCollector::Bump(stats_.enumerate_calls);
+  if (options.trace != nullptr) {
+    (void)GetPlan(tree, PlanOptions{}, options.trace);
+    options.trace->set_shard_fanout(
+        static_cast<uint32_t>(db.num_shards()));
+  }
+  CancelToken token = EffectiveToken(options.cancel, options.deadline);
+  Status token_status = StatusFromToken(token);
+  if (!token_status.ok()) {
+    NoteStatus(token_status);
+    return token_status;
+  }
+  EnumerationLimits limits = options.limits;
+  limits.cancel = token;
+  // Shard tasks only ever read the databases once the lazy per-column
+  // indexes exist; WarmColumnIndexes covers the full view and every
+  // shard.
+  db.WarmColumnIndexes();
+
+  const std::vector<Atom> seed_atoms{
+      tree.label(PatternTree::kRoot)[seed_index]};
+  const size_t n = db.num_shards();
+  std::vector<std::vector<Mapping>> shard_answers(n);
+  std::vector<Status> statuses(n, Status::Ok());
+  std::vector<uint64_t> shard_ns(n, 0);
+  BatchLatch latch(n);
+
+  Clock::time_point start = Clock::now();
+  for (size_t s = 0; s < n; ++s) {
+    pool_.Submit([&tree, &db, &seed_atoms, limits, &shard_answers,
+                  &statuses, &shard_ns, &latch, s] {
+      Clock::time_point task_start = Clock::now();
+      // Scatter: seeds are the matches of the seed atom within this
+      // shard alone. Each fact lives in exactly one shard, so the
+      // per-shard seed sets partition the root homomorphisms.
+      std::vector<Mapping> seeds;
+      HomSearchLimits hom_limits;
+      hom_limits.cancel = limits.cancel;
+      bool complete = ForEachHomomorphism(
+          seed_atoms, db.shard(s), Mapping(),
+          [&seeds](const Mapping& m) {
+            seeds.push_back(m);
+            return true;
+          },
+          hom_limits);
+      if (!complete) {
+        statuses[s] = StatusFromToken(limits.cancel);
+        if (statuses[s].ok()) {
+          statuses[s] = Status::Internal("sharded seed scan aborted");
+        }
+      } else {
+        // Complete each seed against the FULL view: cross-shard joins
+        // and the maximality condition need the whole database.
+        Result<std::vector<Mapping>> part =
+            EvaluateWdptProjectedSeeded(tree, db.full(), seeds, limits);
+        if (part.ok()) {
+          shard_answers[s] = std::move(*part);
+        } else {
+          statuses[s] = part.status();
+        }
+      }
+      shard_ns[s] = ElapsedNs(task_start);
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+  StatsCollector::Bump(stats_.shard_tasks, n);
+  uint64_t enumerate_ns = ElapsedNs(start);
+  StatsCollector::Bump(stats_.enumerate_ns, enumerate_ns);
+  if (options.trace != nullptr) {
+    options.trace->Record(TraceStage::kEval, enumerate_ns);
+    for (uint64_t ns : shard_ns) options.trace->RecordShard(ns);
+  }
+  // Deterministic error reporting: first failure in shard order wins,
+  // and a failed gather yields no partial answers.
+  for (const Status& st : statuses) {
+    if (!st.ok()) {
+      NoteStatus(st);
+      return st;
+    }
+  }
+
+  // Gather: union with dedup (distinct root seeds can project to the
+  // same answer), then the canonical sort shared with the unsharded
+  // path.
+  std::unordered_set<Mapping, MappingHash> seen;
+  std::vector<Mapping> answers;
+  for (std::vector<Mapping>& part : shard_answers) {
+    for (Mapping& m : part) {
+      if (seen.insert(m).second) answers.push_back(std::move(m));
+    }
+  }
+  std::sort(answers.begin(), answers.end());
+  // p_m(D) is a global property of p(D), so maximality is filtered after
+  // the union — matching EvaluateWdptMaximal on the full view.
+  if (options.maximal) answers = MaximalMappings(answers);
+  return answers;
+}
+
+Result<bool> Engine::Eval(const PatternTree& tree,
+                          const ShardedDatabase& db, const Mapping& h,
+                          const EvalOptions& options) {
+  StatsCollector::Bump(stats_.sharded_fallbacks);
+  return Eval(tree, db.full(), h, options);
+}
+
+Result<std::vector<bool>> Engine::EvalBatch(
+    const PatternTree& tree, const ShardedDatabase& db,
+    const std::vector<Mapping>& hs, const EvalOptions& options) {
+  StatsCollector::Bump(stats_.sharded_fallbacks);
+  return EvalBatch(tree, db.full(), hs, options);
 }
 
 }  // namespace wdpt

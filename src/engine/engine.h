@@ -31,6 +31,7 @@
 #include "src/engine/thread_pool.h"
 #include "src/relational/database.h"
 #include "src/relational/mapping.h"
+#include "src/relational/sharded.h"
 #include "src/wdpt/enumerate.h"
 #include "src/wdpt/pattern_tree.h"
 
@@ -112,9 +113,42 @@ class Engine {
 
   /// p(D) (or p_m(D) with options.maximal) via the projection-aware
   /// enumerator, with engine-level deadline/cancellation handling.
+  /// Answers come back in the canonical sorted order (Mapping's
+  /// operator<), identical across the sharded and unsharded paths.
   Result<std::vector<Mapping>> Enumerate(
       const PatternTree& tree, const Database& db,
       const EnumerateOptions& options = EnumerateOptions());
+
+  /// Scatter-gather enumeration over a sharded database: one root-label
+  /// seed atom is matched per shard in parallel on the engine pool, each
+  /// seed match is completed against the retained full view (cross-shard
+  /// joins and the maximality condition need the whole database), and
+  /// the shard-local answer sets are merged with deduplication into the
+  /// same canonical order the unsharded path returns — the two paths are
+  /// bit-identical (asserted in tests/sharded_test.cpp). Falls back to
+  /// the full view when the partitioning cannot help soundly: a single
+  /// shard, an unvalidated tree, or a root label with no partitionable
+  /// atom (empty, or only nullary relations). Each shard task gets its
+  /// own copy of options.limits. Must not be called from within an
+  /// engine pool task (the gather barrier would deadlock the pool).
+  Result<std::vector<Mapping>> Enumerate(
+      const PatternTree& tree, const ShardedDatabase& db,
+      const EnumerateOptions& options = EnumerateOptions());
+
+  /// EVAL over a sharded database. A candidate check is one global
+  /// homomorphism problem — its joins cross shard boundaries — so this
+  /// routes to the full view unchanged (counted as a sharded fallback).
+  /// Provided so holders of a ShardedDatabase need no second handle.
+  Result<bool> Eval(const PatternTree& tree, const ShardedDatabase& db,
+                    const Mapping& h,
+                    const EvalOptions& options = EvalOptions());
+
+  /// EvalBatch over a sharded database: routes to the full view (the
+  /// batch already parallelizes across candidates; see Eval above).
+  Result<std::vector<bool>> EvalBatch(
+      const PatternTree& tree, const ShardedDatabase& db,
+      const std::vector<Mapping>& hs,
+      const EvalOptions& options = EvalOptions());
 
   /// The cached (or freshly built) plan for a tree. Exposed for the CLI's
   /// --classify path and for tests; Eval/EvalBatch call this internally.

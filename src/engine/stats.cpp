@@ -24,6 +24,9 @@ std::string EngineStats::ToString() const {
   out += "batch calls:         " + std::to_string(batch_calls) + " (" +
          std::to_string(batch_tasks) + " tasks)\n";
   out += "enumerate calls:     " + std::to_string(enumerate_calls) + "\n";
+  out += "sharded enumerates:  " + std::to_string(sharded_enumerate_calls) +
+         " (" + std::to_string(shard_tasks) + " shard tasks, " +
+         std::to_string(sharded_fallbacks) + " fallbacks)\n";
   out += "deadline exceeded:   " + std::to_string(deadline_exceeded) + "\n";
   out += "cancelled:           " + std::to_string(cancelled) + "\n";
   out += "homomorphism calls:  " + std::to_string(homomorphism_calls) + "\n";
@@ -53,6 +56,9 @@ std::string EngineStats::ToJson() const {
   field("batch_calls", batch_calls);
   field("batch_tasks", batch_tasks);
   field("enumerate_calls", enumerate_calls);
+  field("sharded_enumerate_calls", sharded_enumerate_calls);
+  field("sharded_fallbacks", sharded_fallbacks);
+  field("shard_tasks", shard_tasks);
   field("deadline_exceeded", deadline_exceeded);
   field("cancelled", cancelled);
   field("homomorphism_calls", homomorphism_calls);

@@ -1,0 +1,57 @@
+#include "src/relational/sharded.h"
+
+namespace wdpt {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline uint64_t FnvMix(uint64_t hash, uint32_t word) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    hash ^= (word >> shift) & 0xFFu;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+size_t ShardedDatabase::ShardOfTuple(RelationId relation,
+                                     std::span<const ConstantId> tuple,
+                                     size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  uint64_t hash = FnvMix(kFnvOffset, relation);
+  for (ConstantId c : tuple) hash = FnvMix(hash, c);
+  return static_cast<size_t>(hash % num_shards);
+}
+
+ShardedDatabase::ShardedDatabase(const Database& full, size_t num_shards)
+    : full_(&full) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.emplace_back(&full.schema());
+  }
+  const Schema& schema = full.schema();
+  for (RelationId rel = 0;
+       rel < static_cast<RelationId>(schema.num_relations()); ++rel) {
+    const Relation& relation = full.relation(rel);
+    for (size_t row = 0; row < relation.size(); ++row) {
+      std::span<const ConstantId> tuple = relation.Tuple(row);
+      size_t s = ShardOfTuple(rel, tuple, num_shards);
+      // The arity matches by construction and the source relation is
+      // deduplicated, so AddFact cannot fail.
+      Status added = shards_[s].AddFact(rel, tuple);
+      WDPT_CHECK(added.ok());
+    }
+  }
+  WarmColumnIndexes();
+}
+
+void ShardedDatabase::WarmColumnIndexes() const {
+  full_->WarmColumnIndexes();
+  for (const Database& shard : shards_) shard.WarmColumnIndexes();
+}
+
+}  // namespace wdpt

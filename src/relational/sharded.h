@@ -1,0 +1,71 @@
+// Horizontal data sharding: hash-partitioned views of a Database.
+//
+// A ShardedDatabase splits the tuples of every relation of a full
+// database across N shard databases by a deterministic hash of the
+// tuple's constants. Each fact lives in exactly one shard, so for any
+// single atom the set of matching tuples — and hence the set of
+// homomorphisms of that one atom — partitions exactly across shards.
+// The engine's scatter-gather enumeration (Engine::Enumerate over a
+// ShardedDatabase) exploits this: it enumerates the matches of one
+// root-label "seed" atom per shard in parallel and completes each seed
+// against the retained full view, which stays available for the joins
+// and maximality tests that cross shard boundaries. Partitioned
+// evaluation without a global view would be unsound for WDPTs: a
+// homomorphism may join tuples from different shards, and maximality
+// is a negative condition (an extension living in another shard must
+// be able to veto an answer).
+//
+// Shards and the full view share the full database's Schema and
+// vocabulary ids; all column indexes (full + shards) are warmed at
+// construction, so concurrent shard tasks only ever read.
+
+#ifndef WDPT_SRC_RELATIONAL_SHARDED_H_
+#define WDPT_SRC_RELATIONAL_SHARDED_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/relational/database.h"
+
+namespace wdpt {
+
+/// A full database plus N hash-partitioned shard views of it.
+class ShardedDatabase {
+ public:
+  /// Partitions `full` into `num_shards` shards (clamped to >= 1).
+  /// `full` must outlive the ShardedDatabase; it is not copied.
+  ShardedDatabase(const Database& full, size_t num_shards);
+
+  ShardedDatabase(const ShardedDatabase&) = delete;
+  ShardedDatabase& operator=(const ShardedDatabase&) = delete;
+
+  /// The unpartitioned database the shards were cut from.
+  const Database& full() const { return *full_; }
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// The `i`-th shard (a normal Database over the same schema).
+  const Database& shard(size_t i) const { return shards_[i]; }
+
+  /// The shard that holds (or would hold) the fact R(tuple): an FNV-1a
+  /// hash of the relation id and the tuple's constants, mod num_shards.
+  /// Deterministic across runs and platforms.
+  static size_t ShardOfTuple(RelationId relation,
+                             std::span<const ConstantId> tuple,
+                             size_t num_shards);
+
+  /// Re-warms every column index of the full view and all shards (they
+  /// are already warmed at construction; this is for re-asserting
+  /// read-only access after an external WarmColumnIndexes-invalidating
+  /// sequence, and is cheap when nothing changed).
+  void WarmColumnIndexes() const;
+
+ private:
+  const Database* full_;
+  std::vector<Database> shards_;
+};
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_RELATIONAL_SHARDED_H_

@@ -51,7 +51,12 @@ class RequestMetrics {
   /// Folds one finished QUERY's trace into the histograms. Records all
   /// six stages — zero-length spans land in the first bucket — so every
   /// stage histogram's count equals the number of queries served, which
-  /// is the invariant the METRICS acceptance check rides on.
+  /// is the invariant the METRICS acceptance check rides on. A request
+  /// that ran sharded scatter-gather (trace.shard_fanout() > 0)
+  /// additionally records its fan-out into the `wdpt_shard_fanout`
+  /// histogram and each shard task's wall time into
+  /// `wdpt_shard_eval_duration_seconds`; unsharded requests touch
+  /// neither, so those families count sharded executions only.
   void RecordQuery(const Trace& trace, sparql::RequestMode mode,
                    StatusCode code);
 
@@ -77,6 +82,10 @@ class RequestMetrics {
   metrics::LatencyHistogram stage_mode_[kTraceStageCount][kRequestModeCount];
   metrics::LatencyHistogram
       stage_class_[kTraceStageCount][kTractabilityClassCount];
+  /// Shard-task count per sharded request (unitless values, not ns).
+  metrics::LatencyHistogram shard_fanout_;
+  /// Wall time of each individual shard task of sharded requests.
+  metrics::LatencyHistogram shard_eval_;
   std::atomic<uint64_t> responses_by_status_[kStatusCodeCount] = {};
   std::atomic<uint64_t> queries_recorded_{0};
   std::atomic<uint64_t> rejected_{0};

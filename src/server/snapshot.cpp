@@ -5,7 +5,7 @@
 namespace wdpt::server {
 
 Result<std::shared_ptr<const Snapshot>> LoadSnapshot(
-    std::string_view triples, uint64_t version) {
+    std::string_view triples, uint64_t version, size_t shards) {
   auto snapshot = std::make_shared<Snapshot>();
   Status loaded = sparql::LoadTriples(triples, &snapshot->ctx, &snapshot->db);
   if (!loaded.ok()) return loaded;
@@ -14,6 +14,12 @@ Result<std::shared_ptr<const Snapshot>> LoadSnapshot(
   // warming here makes every later lookup a pure read, so concurrent
   // workers never synchronise on the database.
   snapshot->db.WarmColumnIndexes();
+  if (shards > 1) {
+    // The ShardedDatabase constructor warms the full view and every
+    // shard, so sharded requests never build an index under traffic.
+    snapshot->sharded =
+        std::make_unique<ShardedDatabase>(snapshot->db, shards);
+  }
   return std::shared_ptr<const Snapshot>(std::move(snapshot));
 }
 

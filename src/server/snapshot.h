@@ -27,6 +27,7 @@
 #include "src/common/status.h"
 #include "src/relational/database.h"
 #include "src/relational/rdf.h"
+#include "src/relational/sharded.h"
 
 namespace wdpt::server {
 
@@ -37,17 +38,26 @@ struct Snapshot {
   /// Monotonic version assigned by the publisher (the Server stamps
   /// successive reloads); reported in per-request stats.
   uint64_t version = 0;
+  /// Hash-partitioned view over `db` for the engine's scatter-gather
+  /// enumeration path; null when the snapshot was built with one shard.
+  /// Built (and its per-shard indexes warmed) at load time, so it is
+  /// preserved — and stays warm — across RELOAD swaps: every reload
+  /// rebuilds it with the same shard count before publication.
+  std::unique_ptr<ShardedDatabase> sharded;
 
   Snapshot() : db(ctx.MakeDatabase()) {}
-  // db holds a pointer into ctx's schema: pin the pair in place.
+  // db holds a pointer into ctx's schema (and sharded points back at
+  // db): pin the whole bundle in place.
   Snapshot(const Snapshot&) = delete;
   Snapshot& operator=(const Snapshot&) = delete;
 };
 
 /// Parses whitespace-separated triples (one per line, '#' comments)
-/// into a fresh snapshot and warms every column index.
+/// into a fresh snapshot and warms every column index. With shards > 1
+/// the snapshot also carries a ShardedDatabase partitioned that many
+/// ways (shards <= 1 leaves Snapshot::sharded null).
 Result<std::shared_ptr<const Snapshot>> LoadSnapshot(
-    std::string_view triples, uint64_t version);
+    std::string_view triples, uint64_t version, size_t shards = 1);
 
 /// Mutex-guarded shared_ptr publication point. Load() hands a reader a
 /// stable reference; Store() replaces it for future readers only.

@@ -1,5 +1,6 @@
 #include "src/wdpt/enumerate.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -133,6 +134,7 @@ Result<std::vector<Mapping>> EvaluateWdptByFullEnumeration(
       },
       limits);
   if (!status.ok()) return status;
+  std::sort(answers.begin(), answers.end());
   return answers;
 }
 
@@ -141,26 +143,58 @@ namespace {
 // Projection-aware evaluator: per subtree, completions are represented
 // only by their free-variable projections, deduplicated eagerly, and
 // memoized on the node's parent-interface assignment.
+//
+// With `root_seeds` attached, the root search runs once per seed with
+// the seed pre-bound (the scatter side of the engine's sharded path);
+// the per-seed completion sets are merged with deduplication.
 class ProjectedEvaluator {
  public:
   ProjectedEvaluator(const PatternTree& tree, const Database& db,
-                     const EnumerationLimits& limits)
-      : tree_(tree), db_(db), limits_(limits), memo_(tree.num_nodes()) {}
+                     const EnumerationLimits& limits,
+                     const std::vector<Mapping>* root_seeds = nullptr)
+      : tree_(tree),
+        db_(db),
+        limits_(limits),
+        root_seeds_(root_seeds),
+        memo_(tree.num_nodes()) {}
 
   Result<std::vector<Mapping>> Run() {
-    std::optional<std::vector<Mapping>> root =
-        Completions(PatternTree::kRoot, Mapping());
+    std::vector<Mapping> answers;
+    if (root_seeds_ == nullptr) {
+      std::optional<std::vector<Mapping>> root =
+          Completions(PatternTree::kRoot, Mapping());
+      Status terminal = TerminalStatus();
+      if (!terminal.ok()) return terminal;
+      if (root.has_value()) answers = std::move(*root);
+    } else {
+      std::unordered_set<Mapping, MappingHash> merged;
+      for (const Mapping& seed : *root_seeds_) {
+        std::optional<std::vector<Mapping>> part =
+            Completions(PatternTree::kRoot, seed);
+        if (overflow_ || cancelled_) break;
+        if (part.has_value()) {
+          merged.insert(part->begin(), part->end());
+        }
+      }
+      Status terminal = TerminalStatus();
+      if (!terminal.ok()) return terminal;
+      answers.assign(merged.begin(), merged.end());
+    }
+    std::sort(answers.begin(), answers.end());
+    return answers;
+  }
+
+ private:
+  Status TerminalStatus() const {
     Status token_status = StatusFromToken(limits_.cancel);
     if (!token_status.ok()) return token_status;
     if (overflow_) {
       return Status::ResourceExhausted(
           "projected answer enumeration exceeded its limits");
     }
-    if (!root.has_value()) return std::vector<Mapping>();
-    return std::move(*root);
+    return Status::Ok();
   }
 
- private:
   bool Step() {
     if (limits_.max_steps != 0 && ++steps_ > limits_.max_steps) {
       overflow_ = true;
@@ -178,7 +212,13 @@ class ProjectedEvaluator {
   // c matter). nullopt = not enterable.
   std::optional<std::vector<Mapping>> Completions(NodeId c,
                                                   const Mapping& e) {
-    Mapping key = e.RestrictTo(tree_.ParentInterface(c));
+    // Children key on their parent interface; the root keys on the full
+    // ancestor assignment — empty unseeded (ParentInterface(kRoot) is
+    // empty), the scatter seed in seeded runs, where it must survive
+    // into the homomorphism search below.
+    Mapping key = c == PatternTree::kRoot
+                      ? e
+                      : e.RestrictTo(tree_.ParentInterface(c));
     auto& node_memo = memo_[c];
     auto it = node_memo.find(key);
     if (it != node_memo.end()) return it->second;
@@ -235,6 +275,7 @@ class ProjectedEvaluator {
   const PatternTree& tree_;
   const Database& db_;
   EnumerationLimits limits_;
+  const std::vector<Mapping>* root_seeds_;
   std::vector<std::unordered_map<Mapping,
                                  std::optional<std::vector<Mapping>>,
                                  MappingHash>>
@@ -253,6 +294,17 @@ Result<std::vector<Mapping>> EvaluateWdptProjected(
     return Status::InvalidArgument("pattern tree must be validated");
   }
   ProjectedEvaluator evaluator(tree, db, limits);
+  return evaluator.Run();
+}
+
+Result<std::vector<Mapping>> EvaluateWdptProjectedSeeded(
+    const PatternTree& tree, const Database& db,
+    const std::vector<Mapping>& root_seeds,
+    const EnumerationLimits& limits) {
+  if (!tree.validated()) {
+    return Status::InvalidArgument("pattern tree must be validated");
+  }
+  ProjectedEvaluator evaluator(tree, db, limits, &root_seeds);
   return evaluator.Run();
 }
 

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Documentation lint: every reference in the docs must name something real.
+
+Scans README.md and docs/*.md and fails (exit 1) when a doc names
+something that does not exist in the repository:
+
+  * markdown cross-links `[text](target)` whose relative target is
+    missing (anchors are stripped; http(s) links are skipped);
+  * inline-code path tokens (`src/...`, `tests/...`, `tools/...`, ...)
+    that resolve to no file or directory — `{h,cpp}` brace groups are
+    expanded, and an extensionless path may resolve via `.h`/`.cpp`;
+  * CLI flags (`--foo`) that no tool under tools/ nor the build files
+    define (cmake/ctest's own flags and google-benchmark's
+    `--benchmark_*` family are allowlisted);
+  * ctest labels (`ctest -L <label>`) and presets (`--preset <name>`)
+    not defined by tests/CMakeLists.txt / CMakePresets.json;
+  * docs/*.md files that do not link ARCHITECTURE.md (every doc must
+    point back at the one-page map), and a README that doesn't either.
+
+Run from anywhere: `python3 tools/check_docs.py [repo_root]`. Wired as
+the `docs.check_docs` ctest (label: docs).
+
+Paths under build/ are exempt (build artifacts are documented but not
+checked in), as is anything containing a glob or placeholder.
+"""
+
+import itertools
+import json
+import re
+import sys
+from pathlib import Path
+
+# Directories whose paths docs may cite and we verify against the tree.
+CHECKED_ROOTS = ("src", "tests", "bench", "tools", "docs", "examples", "data")
+
+# Flags owned by cmake/ctest/google-benchmark, not by this repo's tools.
+FLAG_ALLOWLIST = {
+    "--build",
+    "--preset",
+    "--target",
+    "--test-dir",
+    "--output-on-failure",
+}
+FLAG_ALLOWED_PREFIXES = ("--benchmark_",)
+
+MD_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_RE = re.compile(r"`([^`]+)`")
+PATH_TOKEN_RE = re.compile(
+    r"^(?:\.\./)?(?:%s)/[\w.{},/-]*$" % "|".join(CHECKED_ROOTS)
+)
+ROOT_DOC_RE = re.compile(r"^[A-Za-z_]+\.(?:md|json)$")
+FLAG_RE = re.compile(r"--[A-Za-z][\w-]*")
+CTEST_LABEL_RE = re.compile(r"ctest\s+(?:[^`]*\s)?-L\s+(\w+)")
+PRESET_RE = re.compile(r"--preset[= ](\w+)")
+
+
+def expand_braces(token):
+    """src/server/frame.{h,cpp} -> [src/server/frame.h, src/server/frame.cpp]."""
+    m = re.search(r"\{([^}]*)\}", token)
+    if not m:
+        return [token]
+    head, tail = token[: m.start()], token[m.end():]
+    return list(
+        itertools.chain.from_iterable(
+            expand_braces(head + alt + tail) for alt in m.group(1).split(",")
+        )
+    )
+
+
+def path_exists(root, rel):
+    """True when rel names a file/dir, allowing .h/.cpp completion."""
+    rel = rel.lstrip("/")
+    if rel.startswith("../"):  # docs written relative to build/
+        rel = rel[3:]
+    base = root / rel
+    if base.exists():
+        return True
+    if not base.suffix:
+        return any((root / (rel + ext)).exists() for ext in (".h", ".cpp", ".py"))
+    return False
+
+
+def collect_defined_flags(root):
+    """Every --flag literal that appears in the repo's own sources/build files."""
+    flags = set()
+    sources = list((root / "tools").glob("*.cpp"))
+    sources += list(root.glob("*/CMakeLists.txt"))
+    sources.append(root / "CMakeLists.txt")
+    for path in sources:
+        if path.exists():
+            flags.update(FLAG_RE.findall(path.read_text(errors="replace")))
+    return flags
+
+
+def collect_ctest_labels(root):
+    labels = set()
+    cml = root / "tests" / "CMakeLists.txt"
+    if cml.exists():
+        text = cml.read_text()
+        labels.update(re.findall(r'LABELS\s+"?(\w+)"?', text))
+    return labels
+
+
+def collect_presets(root):
+    presets = set()
+    pj = root / "CMakePresets.json"
+    if pj.exists():
+        data = json.loads(pj.read_text())
+        for section in data.values():
+            if isinstance(section, list):
+                presets.update(
+                    e["name"] for e in section if isinstance(e, dict) and "name" in e
+                )
+    return presets
+
+
+def lint(root):
+    errors = []
+    doc_files = sorted((root / "docs").glob("*.md")) + [root / "README.md"]
+    defined_flags = collect_defined_flags(root)
+    labels = collect_ctest_labels(root)
+    presets = collect_presets(root)
+
+    for doc in doc_files:
+        text = doc.read_text()
+        rel_doc = doc.relative_to(root)
+
+        # 1. Markdown cross-links.
+        for target in MD_LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "#")):
+                continue
+            target = target.split("#")[0]
+            if not target:
+                continue
+            if not (doc.parent / target).exists() and not path_exists(root, target):
+                errors.append(f"{rel_doc}: broken link target '{target}'")
+
+        # 2..4. Inline-code tokens: paths, flags, labels.
+        for code in CODE_RE.findall(text):
+            for word in code.split():
+                word = word.rstrip(".,;:")
+                if word.startswith(("build/", "BENCH_")) or "*" in word or "<" in word:
+                    continue  # build artifacts are documented, not checked in
+                if PATH_TOKEN_RE.match(word):
+                    for candidate in expand_braces(word):
+                        if not path_exists(root, candidate):
+                            errors.append(
+                                f"{rel_doc}: path '{candidate}' does not exist"
+                            )
+                elif ROOT_DOC_RE.match(word):
+                    if not (root / word).exists() and not (
+                        root / "docs" / word
+                    ).exists():
+                        errors.append(f"{rel_doc}: file '{word}' does not exist")
+            for flag in FLAG_RE.findall(code):
+                if flag in FLAG_ALLOWLIST or flag.startswith(FLAG_ALLOWED_PREFIXES):
+                    continue
+                if flag not in defined_flags:
+                    errors.append(f"{rel_doc}: flag '{flag}' defined nowhere")
+            for label in CTEST_LABEL_RE.findall(code):
+                if label not in labels:
+                    errors.append(f"{rel_doc}: ctest label '{label}' not defined")
+            for preset in PRESET_RE.findall(code):
+                if preset not in presets:
+                    errors.append(f"{rel_doc}: preset '{preset}' not defined")
+
+        # 5. Every doc links back to the architecture map.
+        if doc.name != "ARCHITECTURE.md" and "ARCHITECTURE.md" not in text:
+            errors.append(f"{rel_doc}: missing a link to ARCHITECTURE.md")
+
+    return errors, len(doc_files)
+
+
+def main():
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else Path.cwd()
+    if not (root / "README.md").exists():
+        print(f"check_docs: {root} is not the repo root", file=sys.stderr)
+        return 2
+    errors, n_docs = lint(root)
+    for e in errors:
+        print(f"check_docs: {e}", file=sys.stderr)
+    if errors:
+        print(f"check_docs: {len(errors)} error(s) in {n_docs} doc(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_docs: {n_docs} docs clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

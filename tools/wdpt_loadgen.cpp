@@ -2,15 +2,23 @@
 //
 // Usage:
 //   wdpt_loadgen [--connect HOST:PORT] [--data FILE] [--bands N]
-//                [--clients 1,2,4,8] [--requests N] [--deadline-ms N]
-//                [--workers N] [--queue N] [--json FILE] [--no-verify]
+//                [--clients 1,2,4,8] [--shards 1] [--requests N]
+//                [--warmup N] [--deadline-ms N] [--workers N]
+//                [--queue N] [--json FILE] [--no-verify]
 //                [--max-ping-p50-ms X]
 //
 // Drives a fixed query mix from N concurrent client connections and
-// reports throughput and latency percentiles per client count, plus
+// reports throughput and latency percentiles per client count — and,
+// in-process, per snapshot shard count: --shards takes a list like
+// --clients, restarts the server per entry, and adds a `shards` column
+// to every result row, so the sweep shows what scatter-gather
+// enumeration (docs/ENGINE.md) does to the same load. It also reports
+// the server-side queue-wait and eval medians extracted from each
 // the server-side queue-wait and eval medians extracted from each
 // response's per-request stats JSON — so client-observed latency can be
-// split into transport, queueing, and evaluation. Without --connect it
+// split into transport, queueing, and evaluation. --warmup N issues N
+// unrecorded requests per client before measurement so cold caches do
+// not skew the percentiles. Without --connect it
 // starts an in-process server (workers/queue set its options); with
 // --connect it targets a running wdpt_server. Without --data it
 // generates a deterministic music-catalog dataset of --bands bands in
@@ -41,6 +49,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/percentile.h"
 #include "src/engine/engine.h"
 #include "src/server/client.h"
 #include "src/server/exec.h"
@@ -55,7 +64,8 @@ using Clock = std::chrono::steady_clock;
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--connect HOST:PORT] [--data FILE] [--bands N] "
-               "[--clients 1,2,4,8] [--requests N] [--deadline-ms N] "
+               "[--clients 1,2,4,8] [--shards 1] [--requests N] "
+               "[--warmup N] [--deadline-ms N] "
                "[--workers N] [--queue N] [--json FILE] [--no-verify] "
                "[--max-ping-p50-ms X]\n",
                argv0);
@@ -113,6 +123,7 @@ std::vector<sparql::QueryRequest> MakeQueryMix(uint64_t deadline_ms) {
 
 struct RunResult {
   unsigned clients = 0;
+  size_t shards = 1;  ///< Snapshot shard count this row ran against.
   uint64_t requests = 0;
   uint64_t transport_errors = 0;  ///< Framing / connection failures.
   uint64_t status_errors = 0;     ///< Non-OK, non-overloaded statuses.
@@ -140,15 +151,8 @@ bool JsonField(const std::string& json, const std::string& key,
   return true;
 }
 
-double PercentileMs(std::vector<uint64_t>& ns, double p) {
-  if (ns.empty()) return 0;
-  size_t idx = static_cast<size_t>(p * static_cast<double>(ns.size() - 1));
-  std::nth_element(ns.begin(), ns.begin() + idx, ns.end());
-  return static_cast<double>(ns[idx]) / 1e6;
-}
-
 RunResult RunLoad(const std::string& host, uint16_t port, unsigned clients,
-                  uint64_t requests_per_client,
+                  uint64_t requests_per_client, uint64_t warmup_per_client,
                   const std::vector<sparql::QueryRequest>& mix,
                   const std::vector<server::Response>* expected) {
   RunResult result;
@@ -172,7 +176,20 @@ RunResult RunLoad(const std::string& host, uint16_t port, unsigned clients,
       std::vector<uint64_t> local_eval_ns;
       uint64_t transport = 0, status = 0, overload = 0, mismatch = 0,
                issued = 0;
-      for (uint64_t r = 0; r < requests_per_client; ++r) {
+      // Warmup requests are issued but never recorded: they exist to
+      // fill the plan cache and touch the indexes. A dead connection
+      // during warmup still fails the client.
+      bool warm_ok = true;
+      for (uint64_t r = 0; r < warmup_per_client; ++r) {
+        Result<server::Response> response =
+            client.Query(mix[(c + r) % mix.size()]);
+        if (!response.ok()) {
+          ++transport;
+          warm_ok = false;
+          break;
+        }
+      }
+      for (uint64_t r = 0; warm_ok && r < requests_per_client; ++r) {
         size_t qi = (c + r) % mix.size();
         Clock::time_point t0 = Clock::now();
         Result<server::Response> response = client.Query(mix[qi]);
@@ -278,7 +295,9 @@ int main(int argc, char** argv) {
   std::string json_path;
   uint32_t bands = 200;
   std::string clients_list = "1,2,4,8";
+  std::string shards_list = "1";
   uint64_t requests_per_client = 50;
+  uint64_t warmup_per_client = 0;
   uint64_t deadline_ms = 0;
   unsigned workers = 0;
   size_t queue = 64;
@@ -294,8 +313,12 @@ int main(int argc, char** argv) {
       bands = static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--clients" && i + 1 < argc) {
       clients_list = argv[++i];
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards_list = argv[++i];
     } else if (arg == "--requests" && i + 1 < argc) {
       requests_per_client = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--warmup" && i + 1 < argc) {
+      warmup_per_client = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--deadline-ms" && i + 1 < argc) {
       deadline_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--workers" && i + 1 < argc) {
@@ -323,6 +346,17 @@ int main(int argc, char** argv) {
     }
   }
   if (client_counts.empty()) return Usage(argv[0]);
+
+  std::vector<size_t> shard_counts;
+  {
+    std::stringstream ss(shards_list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      size_t n = std::strtoull(item.c_str(), nullptr, 10);
+      if (n > 0) shard_counts.push_back(n);
+    }
+  }
+  if (shard_counts.empty()) return Usage(argv[0]);
 
   // Dataset: a file, or the deterministic builtin catalog.
   std::string triples;
@@ -369,82 +403,116 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Target: external server or in-process.
+  // Target: external server or in-process. A shard sweep restarts the
+  // in-process server per shard count; an external target cannot be
+  // re-sharded from here.
   std::string host = "127.0.0.1";
-  uint16_t port = 0;
-  std::unique_ptr<server::Server> in_process;
+  uint16_t external_port = 0;
   if (!connect.empty()) {
+    if (shard_counts.size() != 1 || shard_counts[0] != 1) {
+      std::fprintf(stderr,
+                   "error: --shards sweeps need the in-process server "
+                   "(drop --connect)\n");
+      return 1;
+    }
     size_t colon = connect.rfind(':');
     if (colon == std::string::npos) return Usage(argv[0]);
     host = connect.substr(0, colon);
-    port = static_cast<uint16_t>(
+    external_port = static_cast<uint16_t>(
         std::strtoul(connect.c_str() + colon + 1, nullptr, 10));
-  } else {
-    server::ServerOptions options;
-    options.num_workers = workers;
-    options.admission_capacity = queue;
-    in_process = std::make_unique<server::Server>(options);
-    Status started = in_process->Start(*snapshot);
-    if (!started.ok()) {
-      std::fprintf(stderr, "server start error: %s\n",
-                   started.ToString().c_str());
-      return 1;
-    }
-    port = in_process->port();
   }
 
   std::fprintf(stderr,
-               "loadgen: %s, %zu facts, %llu requests/client, mix of %zu "
-               "queries, target %s:%u\n",
+               "loadgen: %s, %zu facts, %llu requests/client (%llu "
+               "warmup), mix of %zu queries\n",
                dataset_name.c_str(), facts,
                static_cast<unsigned long long>(requests_per_client),
-               mix.size(), host.c_str(), static_cast<unsigned>(port));
+               static_cast<unsigned long long>(warmup_per_client),
+               mix.size());
 
   bool failed = false;
-  double ping_p50_ms = MeasurePingP50Ms(host, port, 50);
-  if (ping_p50_ms < 0) {
-    std::fprintf(stderr, "ping probe failed\n");
-    failed = true;
-  } else {
-    std::fprintf(stderr, "ping p50=%sms\n",
-                 FormatDouble(ping_p50_ms).c_str());
-    if (max_ping_p50_ms > 0 && ping_p50_ms > max_ping_p50_ms) {
-      std::fprintf(stderr,
-                   "FAILED: ping p50 %sms exceeds --max-ping-p50-ms %s\n",
-                   FormatDouble(ping_p50_ms).c_str(),
-                   FormatDouble(max_ping_p50_ms).c_str());
-      failed = true;
-    }
-  }
-
+  double ping_p50_ms = -1;
   std::vector<RunResult> results;
-  for (unsigned clients : client_counts) {
-    RunResult r = RunLoad(host, port, clients, requests_per_client, mix,
-                          verify ? &expected : nullptr);
-    std::fprintf(stderr,
-                 "clients=%2u requests=%llu rps=%s p50=%sms p90=%sms "
-                 "p99=%sms srv_queue_p50=%sms srv_eval_p50=%sms "
-                 "overloaded=%llu transport_errors=%llu "
-                 "status_errors=%llu mismatches=%llu\n",
-                 clients, static_cast<unsigned long long>(r.requests),
-                 FormatDouble(r.throughput_rps).c_str(),
-                 FormatDouble(r.p50_ms).c_str(),
-                 FormatDouble(r.p90_ms).c_str(),
-                 FormatDouble(r.p99_ms).c_str(),
-                 FormatDouble(r.srv_queue_p50_ms).c_str(),
-                 FormatDouble(r.srv_eval_p50_ms).c_str(),
-                 static_cast<unsigned long long>(r.overloaded),
-                 static_cast<unsigned long long>(r.transport_errors),
-                 static_cast<unsigned long long>(r.status_errors),
-                 static_cast<unsigned long long>(r.mismatches));
-    if (r.transport_errors != 0 || r.status_errors != 0 ||
-        r.mismatches != 0) {
-      failed = true;
+  for (size_t shards : shard_counts) {
+    uint16_t port = external_port;
+    std::unique_ptr<server::Server> in_process;
+    if (connect.empty()) {
+      server::ServerOptions options;
+      options.num_workers = workers;
+      options.admission_capacity = queue;
+      options.shards = shards;
+      // The initial snapshot carries the sweep's shard count; the
+      // verification baseline stays the unsharded snapshot, so every
+      // sharded row is also a differential check against sequential
+      // unsharded evaluation.
+      Result<std::shared_ptr<const server::Snapshot>> serving =
+          server::LoadSnapshot(triples, /*version=*/1, shards);
+      if (!serving.ok()) {
+        std::fprintf(stderr, "data error: %s\n",
+                     serving.status().ToString().c_str());
+        return 1;
+      }
+      in_process = std::make_unique<server::Server>(options);
+      Status started = in_process->Start(std::move(*serving));
+      if (!started.ok()) {
+        std::fprintf(stderr, "server start error: %s\n",
+                     started.ToString().c_str());
+        return 1;
+      }
+      port = in_process->port();
     }
-    results.push_back(r);
-  }
 
-  if (in_process != nullptr) in_process->Stop();
+    if (ping_p50_ms < 0) {
+      ping_p50_ms = MeasurePingP50Ms(host, port, 50);
+      if (ping_p50_ms < 0) {
+        std::fprintf(stderr, "ping probe failed\n");
+        failed = true;
+      } else {
+        std::fprintf(stderr, "ping p50=%sms\n",
+                     FormatDouble(ping_p50_ms).c_str());
+        if (max_ping_p50_ms > 0 && ping_p50_ms > max_ping_p50_ms) {
+          std::fprintf(stderr,
+                       "FAILED: ping p50 %sms exceeds --max-ping-p50-ms "
+                       "%s\n",
+                       FormatDouble(ping_p50_ms).c_str(),
+                       FormatDouble(max_ping_p50_ms).c_str());
+          failed = true;
+        }
+      }
+    }
+
+    for (unsigned clients : client_counts) {
+      RunResult r =
+          RunLoad(host, port, clients, requests_per_client,
+                  warmup_per_client, mix, verify ? &expected : nullptr);
+      r.shards = shards;
+      std::fprintf(stderr,
+                   "shards=%zu clients=%2u requests=%llu rps=%s p50=%sms "
+                   "p90=%sms p99=%sms srv_queue_p50=%sms "
+                   "srv_eval_p50=%sms overloaded=%llu "
+                   "transport_errors=%llu status_errors=%llu "
+                   "mismatches=%llu\n",
+                   r.shards, clients,
+                   static_cast<unsigned long long>(r.requests),
+                   FormatDouble(r.throughput_rps).c_str(),
+                   FormatDouble(r.p50_ms).c_str(),
+                   FormatDouble(r.p90_ms).c_str(),
+                   FormatDouble(r.p99_ms).c_str(),
+                   FormatDouble(r.srv_queue_p50_ms).c_str(),
+                   FormatDouble(r.srv_eval_p50_ms).c_str(),
+                   static_cast<unsigned long long>(r.overloaded),
+                   static_cast<unsigned long long>(r.transport_errors),
+                   static_cast<unsigned long long>(r.status_errors),
+                   static_cast<unsigned long long>(r.mismatches));
+      if (r.transport_errors != 0 || r.status_errors != 0 ||
+          r.mismatches != 0) {
+        failed = true;
+      }
+      results.push_back(r);
+    }
+
+    if (in_process != nullptr) in_process->Stop();
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -455,6 +523,7 @@ int main(int argc, char** argv) {
     out << "{\"benchmark\":\"wdpt_server_loadgen\",\"dataset\":\""
         << dataset_name << "\",\"facts\":" << facts
         << ",\"requests_per_client\":" << requests_per_client
+        << ",\"warmup_per_client\":" << warmup_per_client
         << ",\"mix_size\":" << mix.size() << ",\"verified\":"
         << (verify ? "true" : "false")
         << ",\"ping_p50_ms\":" << FormatDouble(ping_p50_ms)
@@ -462,7 +531,8 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < results.size(); ++i) {
       const RunResult& r = results[i];
       if (i > 0) out << ",";
-      out << "{\"clients\":" << r.clients << ",\"requests\":" << r.requests
+      out << "{\"shards\":" << r.shards << ",\"clients\":" << r.clients
+          << ",\"requests\":" << r.requests
           << ",\"wall_ms\":" << FormatDouble(r.wall_ms)
           << ",\"throughput_rps\":" << FormatDouble(r.throughput_rps)
           << ",\"p50_ms\":" << FormatDouble(r.p50_ms)

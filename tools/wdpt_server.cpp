@@ -2,17 +2,20 @@
 //
 // Usage:
 //   wdpt_server --data FILE [--port N] [--workers N] [--queue N]
-//               [--default-deadline-ms N] [--max-deadline-ms N]
-//               [--retry-after-ms N] [--idle-timeout-ms N]
-//               [--slow-query-ms N] [--no-reload] [--print-port]
-//               [--metrics-dump]
+//               [--shards N] [--default-deadline-ms N]
+//               [--max-deadline-ms N] [--retry-after-ms N]
+//               [--idle-timeout-ms N] [--slow-query-ms N] [--no-reload]
+//               [--print-port] [--metrics-dump]
 //
 // Binds 127.0.0.1:<port> (0 = ephemeral; the chosen port is printed)
 // and serves the framed protocol described in docs/SERVER.md: QUERY /
 // STATS / PING / RELOAD / METRICS. The data file holds whitespace-
 // separated triples, one per line, '#' comments — the same format
 // wdpt_query reads. RELOAD swaps in a new dataset under live traffic
-// without pausing readers. --idle-timeout-ms closes connections that go
+// without pausing readers. --shards N (default 1) hash-partitions each
+// snapshot N ways and serves enumeration requests through the engine's
+// scatter-gather path (docs/ENGINE.md) — answers are identical to the
+// unsharded server. --idle-timeout-ms closes connections that go
 // quiet; --slow-query-ms logs a per-stage trace breakdown to stderr for
 // queries over the threshold; --metrics-dump prints the Prometheus
 // exposition to stdout at shutdown. Runs until SIGINT/SIGTERM.
@@ -37,7 +40,7 @@ void HandleSignal(int) { g_stop = 1; }
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --data FILE [--port N] [--workers N] [--queue N] "
-               "[--default-deadline-ms N] [--max-deadline-ms N] "
+               "[--shards N] [--default-deadline-ms N] [--max-deadline-ms N] "
                "[--retry-after-ms N] [--idle-timeout-ms N] "
                "[--slow-query-ms N] [--no-reload] [--print-port] "
                "[--metrics-dump]\n",
@@ -64,6 +67,8 @@ int main(int argc, char** argv) {
           static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--queue" && i + 1 < argc) {
       options.admission_capacity = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      options.shards = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--default-deadline-ms" && i + 1 < argc) {
       options.default_deadline_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--max-deadline-ms" && i + 1 < argc) {
@@ -95,7 +100,7 @@ int main(int argc, char** argv) {
   buffer << file.rdbuf();
 
   Result<std::shared_ptr<const server::Snapshot>> snapshot =
-      server::LoadSnapshot(buffer.str(), /*version=*/1);
+      server::LoadSnapshot(buffer.str(), /*version=*/1, options.shards);
   if (!snapshot.ok()) {
     std::fprintf(stderr, "data error: %s\n",
                  snapshot.status().ToString().c_str());
