@@ -82,8 +82,8 @@ int main() {
                          ctx.vocab().Variable("z").variable_id()});
   WDPT_CHECK(tree.Validate().ok());
   Result<std::vector<Mapping>> projected = engine.Enumerate(tree, db);
-  EnumerateOptions maximal_options;
-  maximal_options.maximal = true;
+  CallOptions maximal_options;
+  maximal_options.semantics = EvalSemantics::kMaximal;
   Result<std::vector<Mapping>> maximal =
       engine.Enumerate(tree, db, maximal_options);
   WDPT_CHECK(projected.ok() && maximal.ok());

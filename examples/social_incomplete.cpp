@@ -86,8 +86,8 @@ int main(int argc, char** argv) {
 
   Result<std::vector<Mapping>> answers = engine.Enumerate(tree, db);
   WDPT_CHECK(answers.ok());
-  EnumerateOptions maximal_options;
-  maximal_options.maximal = true;
+  CallOptions maximal_options;
+  maximal_options.semantics = EvalSemantics::kMaximal;
   Result<std::vector<Mapping>> maximal =
       engine.Enumerate(tree, db, maximal_options);
   WDPT_CHECK(maximal.ok());

@@ -14,6 +14,8 @@ const char* TraceStageName(TraceStage stage) {
       return "plan_lookup";
     case TraceStage::kPlanBuild:
       return "plan_build";
+    case TraceStage::kCacheLookup:
+      return "cache_lookup";
     case TraceStage::kEval:
       return "eval";
     case TraceStage::kSerialize:
@@ -34,6 +36,18 @@ const char* TractabilityClassName(TractabilityClass c) {
       return "intractable";
   }
   return "unknown";
+}
+
+const char* CacheOutcomeName(CacheOutcome outcome) {
+  switch (outcome) {
+    case CacheOutcome::kBypass:
+      return "bypass";
+    case CacheOutcome::kHit:
+      return "hit";
+    case CacheOutcome::kMiss:
+      return "miss";
+  }
+  return "bypass";
 }
 
 uint64_t Trace::TotalNs() const {
@@ -66,6 +80,8 @@ std::string Trace::BreakdownString() const {
                   shard_fanout_, static_cast<double>(MaxShardNs()) / 1e6);
     out += buf;
   }
+  out += " cache=";
+  out += CacheOutcomeName(cache_outcome_);
   return out;
 }
 

@@ -2,8 +2,8 @@
 //
 // A Trace rides along with a single request from the server session
 // thread through the engine and back: each pipeline stage (queue wait,
-// parse, plan-cache lookup, plan build, evaluation, serialization)
-// records its wall time into the trace, and the engine stamps the
+// parse, plan-cache lookup, plan build, answer-cache lookup,
+// evaluation, serialization) records its wall time into the trace, and the engine stamps the
 // plan's tractability classification (l-TW(k) / g-TW(k) / intractable,
 // Theorems 6-9 of the paper) so latency can be broken down by
 // structural class. The server folds finished traces into per-stage
@@ -32,11 +32,13 @@ enum class TraceStage : uint8_t {
   kParse,          ///< Query text -> validated PatternTree.
   kPlanLookup,     ///< Plan-cache key + lookup.
   kPlanBuild,      ///< Classification + decomposition on a cache miss.
+  kCacheLookup,    ///< Answer-cache key + lookup (includes any
+                   ///< single-flight wait for an in-flight owner).
   kEval,           ///< Evaluation / enumeration proper.
   kSerialize,      ///< Answer mappings -> response rows.
 };
 
-inline constexpr size_t kTraceStageCount = 6;
+inline constexpr size_t kTraceStageCount = 7;
 
 /// Short stable label ("queue", "parse", "plan_lookup", ...), used as
 /// the `stage` label in metrics and in slow-query log lines.
@@ -56,6 +58,23 @@ inline constexpr size_t kTractabilityClassCount = 4;
 
 /// Stable label ("unknown", "g-tractable", "l-tractable", "intractable").
 const char* TractabilityClassName(TractabilityClass c);
+
+/// How the answer cache treated a request. kBypass is the default and
+/// covers every request the cache did not serve or own: no cache
+/// configured, a zero generation, or an explicit `cache-control:
+/// bypass`. A single-flight waiter served by the in-flight owner's
+/// publish counts as a hit.
+enum class CacheOutcome : uint8_t {
+  kBypass = 0,
+  kHit,
+  kMiss,
+};
+
+inline constexpr size_t kCacheOutcomeCount = 3;
+
+/// Stable label ("bypass", "hit", "miss"): the `cache` label in metrics,
+/// per-request stats JSON, and slow-query log lines.
+const char* CacheOutcomeName(CacheOutcome outcome);
 
 class Trace {
  public:
@@ -99,6 +118,11 @@ class Trace {
   /// the scatter phase.
   uint64_t MaxShardNs() const;
 
+  /// Answer-cache outcome for the request; stamped by the engine on the
+  /// cache-participating paths, left at kBypass everywhere else.
+  void set_cache_outcome(CacheOutcome outcome) { cache_outcome_ = outcome; }
+  CacheOutcome cache_outcome() const { return cache_outcome_; }
+
   /// Request mode label for metrics ("eval" / "partial" / "max"); the
   /// pointer must outlive the trace (callers pass string literals from
   /// RequestModeName).
@@ -136,6 +160,7 @@ class Trace {
   uint64_t request_id_ = 0;
   std::array<uint64_t, kTraceStageCount> spans_ns_{};
   TractabilityClass classification_ = TractabilityClass::kUnknown;
+  CacheOutcome cache_outcome_ = CacheOutcome::kBypass;
   const char* mode_ = "unknown";
   uint32_t shard_fanout_ = 0;
   std::vector<uint64_t> shard_spans_ns_;

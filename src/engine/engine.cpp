@@ -58,7 +58,11 @@ bool PickSeedAtom(const PatternTree& tree, const Database& full,
 
 Engine::Engine(const EngineOptions& options)
     : pool_(ResolveThreads(options.num_threads)),
-      plan_cache_(options.plan_cache_capacity) {}
+      plan_cache_(options.plan_cache_capacity) {
+  if (options.answer_cache_bytes > 0) {
+    answer_cache_ = std::make_unique<AnswerCache>(options.answer_cache_bytes);
+  }
+}
 
 CancelToken Engine::EffectiveToken(
     const CancelToken& caller,
@@ -67,6 +71,16 @@ CancelToken Engine::EffectiveToken(
   CancelToken token = CancelToken::Child(caller);
   token.SetDeadline(Clock::now() + *deadline);
   return token;
+}
+
+bool Engine::CacheParticipates(const CallOptions& options) const {
+  if (answer_cache_ == nullptr) return false;
+  if (options.cache.mode == CacheMode::kBypass ||
+      options.cache.generation == 0) {
+    answer_cache_->NoteBypass();
+    return false;
+  }
+  return true;
 }
 
 Result<std::shared_ptr<const Plan>> Engine::GetPlan(
@@ -96,7 +110,7 @@ Result<std::shared_ptr<const Plan>> Engine::GetPlan(
 
 Result<bool> Engine::EvalWithPlan(const Plan& plan, const Database& db,
                                   const Mapping& h,
-                                  const EvalOptions& options,
+                                  const CallOptions& options,
                                   const CancelToken& token) {
   // An already-fired token (e.g. a zero deadline) never starts work.
   Status token_status = StatusFromToken(token);
@@ -143,6 +157,51 @@ Result<bool> Engine::EvalWithPlan(const Plan& plan, const Database& db,
   return result;
 }
 
+Result<bool> Engine::EvalThroughCache(const Plan& plan, const Database& db,
+                                      const Mapping& h,
+                                      const CallOptions& options,
+                                      const CancelToken& token,
+                                      Trace* trace) {
+  if (!CacheParticipates(options)) {
+    return EvalWithPlan(plan, db, h, options, token);
+  }
+  std::string key =
+      EvalCacheKey(plan.tree(), static_cast<uint8_t>(options.semantics), h,
+                   options.cache.generation);
+  AnswerCache::Lease lease = [&] {
+    Trace::Span span(trace, TraceStage::kCacheLookup);
+    return answer_cache_->Acquire(key, token);
+  }();
+  switch (lease.state()) {
+    case AnswerCache::Lease::State::kHit:
+      if (trace != nullptr) trace->set_cache_outcome(CacheOutcome::kHit);
+      return lease.value()->verdict;
+    case AnswerCache::Lease::State::kOwner: {
+      if (trace != nullptr) trace->set_cache_outcome(CacheOutcome::kMiss);
+      Result<bool> result = EvalWithPlan(plan, db, h, options, token);
+      if (result.ok()) {
+        AnswerCache::Value value;
+        value.is_verdict = true;
+        value.verdict = *result;
+        lease.Publish(std::move(value));
+      }
+      // On failure the lease destructor abandons the flight: errors are
+      // never cached and parked waiters evaluate for themselves.
+      return result;
+    }
+    case AnswerCache::Lease::State::kMiss: {
+      if (!lease.wait_status().ok()) {
+        // Our own token fired while parked behind the in-flight owner.
+        NoteStatus(lease.wait_status());
+        return lease.wait_status();
+      }
+      if (trace != nullptr) trace->set_cache_outcome(CacheOutcome::kMiss);
+      return EvalWithPlan(plan, db, h, options, token);
+    }
+  }
+  return Status::Internal("unreachable cache lease state");
+}
+
 void Engine::NoteStatus(const Status& status) {
   if (status.code() == StatusCode::kDeadlineExceeded) {
     StatsCollector::Bump(stats_.deadline_exceeded);
@@ -152,7 +211,7 @@ void Engine::NoteStatus(const Status& status) {
 }
 
 Result<bool> Engine::Eval(const PatternTree& tree, const Database& db,
-                          const Mapping& h, const EvalOptions& options) {
+                          const Mapping& h, const CallOptions& options) {
   StatsCollector::Bump(stats_.eval_calls);
   PlanOptions plan_options{options.width_bound, options.algorithm};
   Result<std::shared_ptr<const Plan>> plan =
@@ -160,7 +219,8 @@ Result<bool> Engine::Eval(const PatternTree& tree, const Database& db,
   if (!plan.ok()) return plan.status();
   CancelToken token = EffectiveToken(options.cancel, options.deadline);
   Clock::time_point start = Clock::now();
-  Result<bool> result = EvalWithPlan(**plan, db, h, options, token);
+  Result<bool> result =
+      EvalThroughCache(**plan, db, h, options, token, options.trace);
   uint64_t eval_ns = ElapsedNs(start);
   StatsCollector::Bump(stats_.eval_ns, eval_ns);
   if (options.trace != nullptr) {
@@ -172,7 +232,7 @@ Result<bool> Engine::Eval(const PatternTree& tree, const Database& db,
 Result<std::vector<bool>> Engine::EvalBatch(const PatternTree& tree,
                                             const Database& db,
                                             const std::vector<Mapping>& hs,
-                                            const EvalOptions& options) {
+                                            const CallOptions& options) {
   StatsCollector::Bump(stats_.batch_calls);
   StatsCollector::Bump(stats_.batch_tasks, hs.size());
   PlanOptions plan_options{options.width_bound, options.algorithm};
@@ -197,9 +257,12 @@ Result<std::vector<bool>> Engine::EvalBatch(const PatternTree& tree,
     pool_.Submit([this, &db, &hs, &options, shared_plan, &values, &statuses,
                   &latch, i] {
       // Each task gets its own deadline window, measured from task start.
+      // Tasks pass a null trace: the caller's trace is single-owner. A
+      // parked single-flight waiter is safe here — the flight's owner is
+      // always an already-running thread, never a queued task.
       CancelToken token = EffectiveToken(options.cancel, options.deadline);
-      Result<bool> r =
-          EvalWithPlan(*shared_plan, db, hs[i], options, token);
+      Result<bool> r = EvalThroughCache(*shared_plan, db, hs[i], options,
+                                        token, nullptr);
       if (r.ok()) {
         values[i] = *r ? 1 : 0;
       } else {
@@ -224,10 +287,61 @@ Result<std::vector<bool>> Engine::EvalBatch(const PatternTree& tree,
   return results;
 }
 
+Result<std::vector<Mapping>> Engine::EnumerateThroughCache(
+    const PatternTree& tree, const CallOptions& options,
+    const CancelToken& token,
+    const std::function<Result<std::vector<Mapping>>()>& evaluate) {
+  if (!CacheParticipates(options)) return evaluate();
+  std::string key = EnumerateCacheKey(
+      tree, static_cast<uint8_t>(options.semantics), options.limits,
+      options.cache.generation);
+  Trace* trace = options.trace;
+  AnswerCache::Lease lease = [&] {
+    Trace::Span span(trace, TraceStage::kCacheLookup);
+    return answer_cache_->Acquire(key, token);
+  }();
+  switch (lease.state()) {
+    case AnswerCache::Lease::State::kHit:
+      if (trace != nullptr) trace->set_cache_outcome(CacheOutcome::kHit);
+      return lease.value()->answers;
+    case AnswerCache::Lease::State::kOwner: {
+      if (trace != nullptr) trace->set_cache_outcome(CacheOutcome::kMiss);
+      Result<std::vector<Mapping>> result = evaluate();
+      if (result.ok()) {
+        AnswerCache::Value value;
+        value.answers = *result;
+        lease.Publish(std::move(value));
+      }
+      return result;
+    }
+    case AnswerCache::Lease::State::kMiss: {
+      if (!lease.wait_status().ok()) return lease.wait_status();
+      if (trace != nullptr) trace->set_cache_outcome(CacheOutcome::kMiss);
+      return evaluate();
+    }
+  }
+  return Status::Internal("unreachable cache lease state");
+}
+
+Result<std::vector<Mapping>> Engine::EnumerateCore(
+    const PatternTree& tree, const Database& db, const CallOptions& options,
+    const CancelToken& token) {
+  EnumerationLimits limits = options.limits;
+  limits.cancel = token;
+  return options.semantics == EvalSemantics::kMaximal
+             ? EvaluateWdptMaximal(tree, db, limits)
+             : EvaluateWdpt(tree, db, limits);
+}
+
 Result<std::vector<Mapping>> Engine::Enumerate(
     const PatternTree& tree, const Database& db,
-    const EnumerateOptions& options) {
+    const CallOptions& options) {
   StatsCollector::Bump(stats_.enumerate_calls);
+  if (options.semantics == EvalSemantics::kPartial) {
+    return Status::InvalidArgument(
+        "Enumerate: kPartial is a membership-only semantics; use Eval with "
+        "a candidate");
+  }
   if (options.trace != nullptr) {
     // Enumeration itself needs no plan; resolve the (cached) plan only to
     // stamp the tractability class on the trace. Failure leaves the class
@@ -240,12 +354,10 @@ Result<std::vector<Mapping>> Engine::Enumerate(
     NoteStatus(token_status);
     return token_status;
   }
-  EnumerationLimits limits = options.limits;
-  limits.cancel = token;
   Clock::time_point start = Clock::now();
-  Result<std::vector<Mapping>> result =
-      options.maximal ? EvaluateWdptMaximal(tree, db, limits)
-                      : EvaluateWdpt(tree, db, limits);
+  Result<std::vector<Mapping>> result = EnumerateThroughCache(
+      tree, options, token,
+      [&] { return EnumerateCore(tree, db, options, token); });
   uint64_t enumerate_ns = ElapsedNs(start);
   StatsCollector::Bump(stats_.enumerate_ns, enumerate_ns);
   if (options.trace != nullptr) {
@@ -255,28 +367,11 @@ Result<std::vector<Mapping>> Engine::Enumerate(
   return result;
 }
 
-Result<std::vector<Mapping>> Engine::Enumerate(
-    const PatternTree& tree, const ShardedDatabase& db,
-    const EnumerateOptions& options) {
-  StatsCollector::Bump(stats_.sharded_enumerate_calls);
-  size_t seed_index = 0;
-  if (db.num_shards() <= 1 || !tree.validated() ||
-      !PickSeedAtom(tree, db.full(), &seed_index)) {
-    StatsCollector::Bump(stats_.sharded_fallbacks);
-    return Enumerate(tree, db.full(), options);
-  }
-
-  StatsCollector::Bump(stats_.enumerate_calls);
+Result<std::vector<Mapping>> Engine::EnumerateShardedCore(
+    const PatternTree& tree, const ShardedDatabase& db, size_t seed_index,
+    const CallOptions& options, const CancelToken& token) {
   if (options.trace != nullptr) {
-    (void)GetPlan(tree, PlanOptions{}, options.trace);
-    options.trace->set_shard_fanout(
-        static_cast<uint32_t>(db.num_shards()));
-  }
-  CancelToken token = EffectiveToken(options.cancel, options.deadline);
-  Status token_status = StatusFromToken(token);
-  if (!token_status.ok()) {
-    NoteStatus(token_status);
-    return token_status;
+    options.trace->set_shard_fanout(static_cast<uint32_t>(db.num_shards()));
   }
   EnumerationLimits limits = options.limits;
   limits.cancel = token;
@@ -293,7 +388,6 @@ Result<std::vector<Mapping>> Engine::Enumerate(
   std::vector<uint64_t> shard_ns(n, 0);
   BatchLatch latch(n);
 
-  Clock::time_point start = Clock::now();
   for (size_t s = 0; s < n; ++s) {
     pool_.Submit([&tree, &db, &seed_atoms, limits, &shard_answers,
                   &statuses, &shard_ns, &latch, s] {
@@ -333,19 +427,13 @@ Result<std::vector<Mapping>> Engine::Enumerate(
   }
   latch.Wait();
   StatsCollector::Bump(stats_.shard_tasks, n);
-  uint64_t enumerate_ns = ElapsedNs(start);
-  StatsCollector::Bump(stats_.enumerate_ns, enumerate_ns);
   if (options.trace != nullptr) {
-    options.trace->Record(TraceStage::kEval, enumerate_ns);
     for (uint64_t ns : shard_ns) options.trace->RecordShard(ns);
   }
   // Deterministic error reporting: first failure in shard order wins,
   // and a failed gather yields no partial answers.
   for (const Status& st : statuses) {
-    if (!st.ok()) {
-      NoteStatus(st);
-      return st;
-    }
+    if (!st.ok()) return st;
   }
 
   // Gather: union with dedup (distinct root seeds can project to the
@@ -361,22 +449,83 @@ Result<std::vector<Mapping>> Engine::Enumerate(
   std::sort(answers.begin(), answers.end());
   // p_m(D) is a global property of p(D), so maximality is filtered after
   // the union — matching EvaluateWdptMaximal on the full view.
-  if (options.maximal) answers = MaximalMappings(answers);
+  if (options.semantics == EvalSemantics::kMaximal) {
+    answers = MaximalMappings(answers);
+  }
   return answers;
+}
+
+Result<std::vector<Mapping>> Engine::Enumerate(
+    const PatternTree& tree, const ShardedDatabase& db,
+    const CallOptions& options) {
+  StatsCollector::Bump(stats_.sharded_enumerate_calls);
+  size_t seed_index = 0;
+  if (db.num_shards() <= 1 || !tree.validated() ||
+      !PickSeedAtom(tree, db.full(), &seed_index)) {
+    StatsCollector::Bump(stats_.sharded_fallbacks);
+    return Enumerate(tree, db.full(), options);
+  }
+  if (options.semantics == EvalSemantics::kPartial) {
+    return Status::InvalidArgument(
+        "Enumerate: kPartial is a membership-only semantics; use Eval with "
+        "a candidate");
+  }
+
+  StatsCollector::Bump(stats_.enumerate_calls);
+  if (options.trace != nullptr) {
+    (void)GetPlan(tree, PlanOptions{}, options.trace);
+  }
+  CancelToken token = EffectiveToken(options.cancel, options.deadline);
+  Status token_status = StatusFromToken(token);
+  if (!token_status.ok()) {
+    NoteStatus(token_status);
+    return token_status;
+  }
+  Clock::time_point start = Clock::now();
+  // The sharded path shares the unsharded path's cache key: its answers
+  // are bit-identical, so whichever path fills the entry first serves
+  // both.
+  Result<std::vector<Mapping>> result = EnumerateThroughCache(
+      tree, options, token, [&] {
+        return EnumerateShardedCore(tree, db, seed_index, options, token);
+      });
+  uint64_t enumerate_ns = ElapsedNs(start);
+  StatsCollector::Bump(stats_.enumerate_ns, enumerate_ns);
+  if (options.trace != nullptr) {
+    options.trace->Record(TraceStage::kEval, enumerate_ns);
+  }
+  if (!result.ok()) NoteStatus(result.status());
+  return result;
 }
 
 Result<bool> Engine::Eval(const PatternTree& tree,
                           const ShardedDatabase& db, const Mapping& h,
-                          const EvalOptions& options) {
+                          const CallOptions& options) {
   StatsCollector::Bump(stats_.sharded_fallbacks);
   return Eval(tree, db.full(), h, options);
 }
 
 Result<std::vector<bool>> Engine::EvalBatch(
     const PatternTree& tree, const ShardedDatabase& db,
-    const std::vector<Mapping>& hs, const EvalOptions& options) {
+    const std::vector<Mapping>& hs, const CallOptions& options) {
   StatsCollector::Bump(stats_.sharded_fallbacks);
   return EvalBatch(tree, db.full(), hs, options);
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s = stats_.Snapshot();
+  if (answer_cache_ != nullptr) {
+    AnswerCache::Stats cs = answer_cache_->stats();
+    s.answer_cache_hits = cs.hits;
+    s.answer_cache_misses = cs.misses;
+    s.answer_cache_bypasses = cs.bypasses;
+    s.answer_cache_inflight_waits = cs.inflight_waits;
+    s.answer_cache_evictions = cs.evictions;
+    s.answer_cache_inserts = cs.inserts;
+    s.answer_cache_bytes = cs.bytes;
+    s.answer_cache_entries = cs.entries;
+  }
+  return s;
 }
 
 }  // namespace wdpt

@@ -18,6 +18,7 @@
 #define WDPT_SRC_ENGINE_ENGINE_H_
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "src/common/status.h"
 #include "src/common/trace.h"
 #include "src/cq/evaluation.h"
+#include "src/engine/answer_cache.h"
 #include "src/engine/plan.h"
 #include "src/engine/stats.h"
 #include "src/engine/thread_pool.h"
@@ -44,43 +46,53 @@ enum class EvalSemantics {
   kMaximal,   ///< h in p_m(D)       (MAX-EVAL, Section 3.4).
 };
 
-/// Per-call options for Engine::Eval / EvalBatch.
-struct EvalOptions {
+/// The one per-call option surface, accepted by every Engine entry
+/// point (Eval, EvalBatch, Enumerate, and their sharded overloads).
+/// Replaces the former EvalOptions / EnumerateOptions pair and the raw
+/// EnumerationLimits plumbing; fields irrelevant to a given call are
+/// simply ignored (e.g. `limits` by Eval, `algorithm` by Enumerate).
+struct CallOptions {
+  /// Which answer relation the call runs against. For Enumerate,
+  /// kStandard enumerates p(D) and kMaximal enumerates p_m(D);
+  /// kPartial is a membership-only semantics and is rejected there.
   EvalSemantics semantics = EvalSemantics::kStandard;
   /// kAuto resolves from the plan's classification. Partial/maximal
   /// semantics have a single algorithm each; this field only steers
-  /// kStandard.
+  /// kStandard. Eval-only.
   EvalAlgorithm algorithm = EvalAlgorithm::kAuto;
   /// Treewidth bound for classification / decomposition (cache-key part).
   int width_bound = 1;
   /// Options forwarded to the CQ evaluation substrate (strategy etc.).
   /// Its `cancel` field is overwritten by the engine's effective token.
+  /// Eval-only.
   CqEvalOptions cq;
+  /// Enumeration caps; its `cancel` field is overwritten by the
+  /// engine's effective token. Enumerate-only.
+  EnumerationLimits limits;
   /// Per-call (per-task in EvalBatch) deadline, relative to call start.
   std::optional<std::chrono::nanoseconds> deadline;
   /// Caller-owned cancellation; combined with the deadline via a child
   /// token, so the caller's token is never mutated.
   CancelToken cancel;
   /// Optional per-request trace: the engine records plan-lookup /
-  /// plan-build / eval spans and the plan's tractability class into it.
-  /// Must outlive the call; never alters results. For EvalBatch the
-  /// eval span is the batch wall time, not a per-task breakdown.
+  /// plan-build / cache-lookup / eval spans, the plan's tractability
+  /// class, and the answer-cache outcome into it. Must outlive the
+  /// call; never alters results. For EvalBatch the eval span is the
+  /// batch wall time, not a per-task breakdown.
   Trace* trace = nullptr;
+  /// Answer-cache participation (src/engine/answer_cache.h). The call
+  /// consults the cache only when the engine has one configured, the
+  /// mode is kDefault, and `cache.generation` is non-zero (the server
+  /// stamps it with the snapshot version).
+  CachePolicy cache;
 };
 
-/// Options for Engine::Enumerate.
-struct EnumerateOptions {
-  /// Maximal-mapping semantics p_m(D) instead of p(D).
-  bool maximal = false;
-  EnumerationLimits limits;
-  std::optional<std::chrono::nanoseconds> deadline;
-  CancelToken cancel;
-  /// Optional per-request trace (see EvalOptions::trace). Enumeration
-  /// needs no plan, so with a trace attached the engine additionally
-  /// resolves the (cached) plan purely to stamp the tractability class;
-  /// a plan failure leaves the class unknown and never fails the call.
-  Trace* trace = nullptr;
-};
+/// Deprecated aliases for CallOptions, kept for one release so callers
+/// written against the split Eval/Enumerate option structs keep
+/// compiling. Migrate to CallOptions; note the old EnumerateOptions
+/// `maximal` flag is now `semantics = EvalSemantics::kMaximal`.
+using EvalOptions = CallOptions;
+using EnumerateOptions = CallOptions;
 
 /// Engine construction knobs.
 struct EngineOptions {
@@ -88,6 +100,8 @@ struct EngineOptions {
   unsigned num_threads = 0;
   /// LRU capacity of the plan cache (plans retired least-recently-used).
   size_t plan_cache_capacity = 128;
+  /// Byte budget for the answer cache; 0 (the default) disables it.
+  size_t answer_cache_bytes = 0;
 };
 
 class Engine {
@@ -99,7 +113,7 @@ class Engine {
   /// the effective token fires before a definite answer.
   Result<bool> Eval(const PatternTree& tree, const Database& db,
                     const Mapping& h,
-                    const EvalOptions& options = EvalOptions());
+                    const CallOptions& options = CallOptions());
 
   /// Evaluates every mapping of `hs` against the same (tree, db) on the
   /// thread pool. Results are positionally aligned with `hs` and
@@ -109,15 +123,16 @@ class Engine {
   Result<std::vector<bool>> EvalBatch(
       const PatternTree& tree, const Database& db,
       const std::vector<Mapping>& hs,
-      const EvalOptions& options = EvalOptions());
+      const CallOptions& options = CallOptions());
 
-  /// p(D) (or p_m(D) with options.maximal) via the projection-aware
-  /// enumerator, with engine-level deadline/cancellation handling.
-  /// Answers come back in the canonical sorted order (Mapping's
-  /// operator<), identical across the sharded and unsharded paths.
+  /// p(D) (or p_m(D) with options.semantics == kMaximal) via the
+  /// projection-aware enumerator, with engine-level deadline /
+  /// cancellation handling. Answers come back in the canonical sorted
+  /// order (Mapping's operator<), identical across the sharded and
+  /// unsharded paths.
   Result<std::vector<Mapping>> Enumerate(
       const PatternTree& tree, const Database& db,
-      const EnumerateOptions& options = EnumerateOptions());
+      const CallOptions& options = CallOptions());
 
   /// Scatter-gather enumeration over a sharded database: one root-label
   /// seed atom is matched per shard in parallel on the engine pool, each
@@ -133,7 +148,7 @@ class Engine {
   /// engine pool task (the gather barrier would deadlock the pool).
   Result<std::vector<Mapping>> Enumerate(
       const PatternTree& tree, const ShardedDatabase& db,
-      const EnumerateOptions& options = EnumerateOptions());
+      const CallOptions& options = CallOptions());
 
   /// EVAL over a sharded database. A candidate check is one global
   /// homomorphism problem — its joins cross shard boundaries — so this
@@ -141,14 +156,14 @@ class Engine {
   /// Provided so holders of a ShardedDatabase need no second handle.
   Result<bool> Eval(const PatternTree& tree, const ShardedDatabase& db,
                     const Mapping& h,
-                    const EvalOptions& options = EvalOptions());
+                    const CallOptions& options = CallOptions());
 
   /// EvalBatch over a sharded database: routes to the full view (the
   /// batch already parallelizes across candidates; see Eval above).
   Result<std::vector<bool>> EvalBatch(
       const PatternTree& tree, const ShardedDatabase& db,
       const std::vector<Mapping>& hs,
-      const EvalOptions& options = EvalOptions());
+      const CallOptions& options = CallOptions());
 
   /// The cached (or freshly built) plan for a tree. Exposed for the CLI's
   /// --classify path and for tests; Eval/EvalBatch call this internally.
@@ -158,11 +173,15 @@ class Engine {
                                               const PlanOptions& options,
                                               Trace* trace = nullptr);
 
-  /// Snapshot of the engine's counters and timers.
-  EngineStats stats() const { return stats_.Snapshot(); }
+  /// Snapshot of the engine's counters and timers, including the
+  /// answer-cache group (all zero when no cache is configured).
+  EngineStats stats() const;
   void ResetStats() { stats_.Reset(); }
 
   unsigned num_threads() const { return pool_.num_threads(); }
+
+  /// The configured answer cache, or nullptr when disabled.
+  const AnswerCache* answer_cache() const { return answer_cache_.get(); }
 
  private:
   /// Combines the caller token and the per-call deadline. Null when
@@ -171,17 +190,51 @@ class Engine {
                                     std::optional<std::chrono::nanoseconds>
                                         deadline);
 
+  /// True when this call participates in the answer cache: a cache is
+  /// configured, the policy mode is kDefault, and a snapshot generation
+  /// is set. Bumps the bypass counter when a configured cache is
+  /// skipped by policy.
+  bool CacheParticipates(const CallOptions& options) const;
+
   /// Dispatch on (semantics, plan->algorithm()) with `token` installed in
   /// the CQ options; converts a fired token into its status.
   Result<bool> EvalWithPlan(const Plan& plan, const Database& db,
-                            const Mapping& h, const EvalOptions& options,
+                            const Mapping& h, const CallOptions& options,
                             const CancelToken& token);
+
+  /// EvalWithPlan through the answer cache (single-flight); falls back
+  /// to a direct call when the cache does not participate. `trace` is
+  /// passed explicitly (nullptr from EvalBatch tasks, which must not
+  /// touch the caller's single-owner trace).
+  Result<bool> EvalThroughCache(const Plan& plan, const Database& db,
+                                const Mapping& h, const CallOptions& options,
+                                const CancelToken& token, Trace* trace);
+
+  /// The uncached enumeration core: p(D) / p_m(D) on the full view.
+  Result<std::vector<Mapping>> EnumerateCore(const PatternTree& tree,
+                                             const Database& db,
+                                             const CallOptions& options,
+                                             const CancelToken& token);
+
+  /// The uncached sharded scatter-gather core. `seed_atom` was already
+  /// chosen by the caller (fallback decided there).
+  Result<std::vector<Mapping>> EnumerateShardedCore(
+      const PatternTree& tree, const ShardedDatabase& db, size_t seed_atom,
+      const CallOptions& options, const CancelToken& token);
+
+  /// Runs `evaluate` through the answer cache with single-flight
+  /// collapsing, or directly when the cache does not participate.
+  Result<std::vector<Mapping>> EnumerateThroughCache(
+      const PatternTree& tree, const CallOptions& options,
+      const CancelToken& token,
+      const std::function<Result<std::vector<Mapping>>()>& evaluate);
 
   /// Records a terminal status in the early-termination counters.
   void NoteStatus(const Status& status);
 
   ThreadPool pool_;
   PlanCache plan_cache_;
+  std::unique_ptr<AnswerCache> answer_cache_;
   StatsCollector stats_;
 };
 

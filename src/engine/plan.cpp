@@ -72,25 +72,29 @@ Result<std::shared_ptr<const Plan>> Plan::Build(const PatternTree& tree,
   return std::shared_ptr<const Plan>(std::move(plan));
 }
 
+void AppendCanonicalTree(std::string* out, const PatternTree& tree) {
+  out->reserve(out->size() + 64 + tree.Size() * 8);
+  AppendU32(out, static_cast<uint32_t>(tree.num_nodes()));
+  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
+    AppendU32(out, tree.parent(n));
+    const std::vector<Atom>& atoms = tree.label(n);
+    AppendU32(out, static_cast<uint32_t>(atoms.size()));
+    for (const Atom& atom : atoms) {
+      AppendU32(out, atom.relation);
+      AppendU32(out, static_cast<uint32_t>(atom.terms.size()));
+      for (Term t : atom.terms) AppendU32(out, t.raw());
+    }
+  }
+  AppendU32(out, static_cast<uint32_t>(tree.free_vars().size()));
+  for (VariableId v : tree.free_vars()) AppendU32(out, v);
+}
+
 std::string CanonicalPlanKey(const PatternTree& tree,
                              const PlanOptions& options) {
   std::string key;
-  key.reserve(64 + tree.Size() * 8);
   AppendU32(&key, static_cast<uint32_t>(options.width_bound));
   AppendU32(&key, static_cast<uint32_t>(options.algorithm));
-  AppendU32(&key, static_cast<uint32_t>(tree.num_nodes()));
-  for (NodeId n = 0; n < tree.num_nodes(); ++n) {
-    AppendU32(&key, tree.parent(n));
-    const std::vector<Atom>& atoms = tree.label(n);
-    AppendU32(&key, static_cast<uint32_t>(atoms.size()));
-    for (const Atom& atom : atoms) {
-      AppendU32(&key, atom.relation);
-      AppendU32(&key, static_cast<uint32_t>(atom.terms.size()));
-      for (Term t : atom.terms) AppendU32(&key, t.raw());
-    }
-  }
-  AppendU32(&key, static_cast<uint32_t>(tree.free_vars().size()));
-  for (VariableId v : tree.free_vars()) AppendU32(&key, v);
+  AppendCanonicalTree(&key, tree);
   return key;
 }
 

@@ -92,11 +92,16 @@ class Plan {
   std::optional<GlobalDecomposition> decomposition_;
 };
 
-/// Canonical cache key: a byte-exact serialization of the tree's
-/// structure (parents, labels as raw term ids, free variables) and the
-/// plan options. Two trees built by the same sequence of AddChild /
-/// AddAtom / SetFreeVariables calls over the same vocabulary serialize
-/// identically.
+/// Appends the canonical byte-exact serialization of the tree's
+/// structure (parents, labels as raw term ids, free variables) to
+/// `out`. Two trees built by the same sequence of AddChild / AddAtom /
+/// SetFreeVariables calls over the same vocabulary serialize
+/// identically. Shared by the plan-cache key and the answer-cache key
+/// (src/engine/answer_cache.h).
+void AppendCanonicalTree(std::string* out, const PatternTree& tree);
+
+/// Canonical plan-cache key: the plan options followed by the canonical
+/// tree serialization.
 std::string CanonicalPlanKey(const PatternTree& tree,
                              const PlanOptions& options);
 

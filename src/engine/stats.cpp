@@ -27,6 +27,14 @@ std::string EngineStats::ToString() const {
   out += "sharded enumerates:  " + std::to_string(sharded_enumerate_calls) +
          " (" + std::to_string(shard_tasks) + " shard tasks, " +
          std::to_string(sharded_fallbacks) + " fallbacks)\n";
+  out += "answer cache:        " + std::to_string(answer_cache_hits) +
+         " hits, " + std::to_string(answer_cache_misses) + " misses, " +
+         std::to_string(answer_cache_bypasses) + " bypasses\n";
+  out += "answer cache size:   " + std::to_string(answer_cache_entries) +
+         " entries, " + std::to_string(answer_cache_bytes) + " bytes (" +
+         std::to_string(answer_cache_evictions) + " evictions, " +
+         std::to_string(answer_cache_inflight_waits) +
+         " in-flight waits)\n";
   out += "deadline exceeded:   " + std::to_string(deadline_exceeded) + "\n";
   out += "cancelled:           " + std::to_string(cancelled) + "\n";
   out += "homomorphism calls:  " + std::to_string(homomorphism_calls) + "\n";
@@ -59,6 +67,14 @@ std::string EngineStats::ToJson() const {
   field("sharded_enumerate_calls", sharded_enumerate_calls);
   field("sharded_fallbacks", sharded_fallbacks);
   field("shard_tasks", shard_tasks);
+  field("answer_cache_hits", answer_cache_hits);
+  field("answer_cache_misses", answer_cache_misses);
+  field("answer_cache_bypasses", answer_cache_bypasses);
+  field("answer_cache_inflight_waits", answer_cache_inflight_waits);
+  field("answer_cache_evictions", answer_cache_evictions);
+  field("answer_cache_inserts", answer_cache_inserts);
+  field("answer_cache_bytes", answer_cache_bytes);
+  field("answer_cache_entries", answer_cache_entries);
   field("deadline_exceeded", deadline_exceeded);
   field("cancelled", cancelled);
   field("homomorphism_calls", homomorphism_calls);

@@ -48,6 +48,18 @@ struct EngineStats {
   uint64_t sharded_fallbacks = 0;  ///< Sharded calls served by the full view.
   uint64_t shard_tasks = 0;        ///< Per-shard scatter tasks executed.
 
+  // Answer cache (src/engine/answer_cache.h); all zero when the engine
+  // has no cache configured. Filled by Engine::stats() from the cache's
+  // own counters, not accumulated in StatsCollector.
+  uint64_t answer_cache_hits = 0;
+  uint64_t answer_cache_misses = 0;
+  uint64_t answer_cache_bypasses = 0;
+  uint64_t answer_cache_inflight_waits = 0;
+  uint64_t answer_cache_evictions = 0;
+  uint64_t answer_cache_inserts = 0;
+  uint64_t answer_cache_bytes = 0;    ///< Currently resident value bytes.
+  uint64_t answer_cache_entries = 0;  ///< Currently resident entries.
+
   // Early terminations.
   uint64_t deadline_exceeded = 0;
   uint64_t cancelled = 0;

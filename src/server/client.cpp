@@ -28,6 +28,21 @@ Result<Response> Client::Call(const Request& request) {
   return ParseResponse(*frame);
 }
 
+sparql::QueryRequest QueryCall::ToRequest() const {
+  sparql::QueryRequest request;
+  request.query = text;
+  request.mode = mode;
+  request.deadline_ms = deadline_ms;
+  request.max_results = max_results;
+  request.candidate = candidate;
+  request.cache_bypass = cache_bypass;
+  return request;
+}
+
+Result<Response> Client::Query(const QueryCall& call) {
+  return Query(call.ToRequest());
+}
+
 Result<Response> Client::Query(const sparql::QueryRequest& query) {
   Request request;
   request.command = Command::kQuery;

@@ -21,6 +21,55 @@
 
 namespace wdpt::server {
 
+/// Builder for one QUERY round-trip. Fields mirror the protocol's QUERY
+/// headers one-to-one (mode, deadline-ms, max-results, candidate,
+/// cache-control; see docs/SERVER.md), so a call site reads like the
+/// frame it produces:
+///
+///   client.Query(QueryCall("(?x p ?y)")
+///                    .Mode(sparql::RequestMode::kMax)
+///                    .DeadlineMs(500)
+///                    .MaxResults(10)
+///                    .CacheBypass());
+struct QueryCall {
+  std::string text;
+  sparql::RequestMode mode = sparql::RequestMode::kEval;
+  uint64_t deadline_ms = 0;
+  uint64_t max_results = 0;
+  std::string candidate;
+  bool cache_bypass = false;
+
+  explicit QueryCall(std::string query_text = "")
+      : text(std::move(query_text)) {}
+
+  QueryCall& Mode(sparql::RequestMode m) {
+    mode = m;
+    return *this;
+  }
+  QueryCall& DeadlineMs(uint64_t ms) {
+    deadline_ms = ms;
+    return *this;
+  }
+  QueryCall& MaxResults(uint64_t n) {
+    max_results = n;
+    return *this;
+  }
+  /// Membership candidate "?x=a ?y=b"; turns the call into a check.
+  QueryCall& Candidate(std::string bindings) {
+    candidate = std::move(bindings);
+    return *this;
+  }
+  /// Sends `cache-control: bypass`: the server computes fresh and does
+  /// not insert into its answer cache.
+  QueryCall& CacheBypass(bool bypass = true) {
+    cache_bypass = bypass;
+    return *this;
+  }
+
+  /// The transport-layer request this call serializes to.
+  sparql::QueryRequest ToRequest() const;
+};
+
 class Client {
  public:
   Client() = default;
@@ -41,6 +90,10 @@ class Client {
   Result<Response> Call(const Request& request);
 
   /// Convenience wrappers over Call.
+  Result<Response> Query(const QueryCall& call);
+  /// Deprecated: prefer Query(const QueryCall&) — the builder names
+  /// every option where a raw QueryRequest invites positional mistakes.
+  /// Kept as a thin wrapper for one release.
   Result<Response> Query(const sparql::QueryRequest& query);
   Result<Response> Ping();
   Result<Response> Stats();

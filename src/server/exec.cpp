@@ -31,6 +31,8 @@ std::string PerRequestStatsJson(const Response& response,
   json += std::to_string(trace.request_id());
   json += ",\"class\":\"";
   json += TractabilityClassName(trace.classification());
+  json += "\",\"cache\":\"";
+  json += CacheOutcomeName(trace.cache_outcome());
   json += "\",\"queue_ns\":";
   json += std::to_string(trace.span_ns(TraceStage::kQueueWait));
   json += ",\"parse_ns\":";
@@ -39,6 +41,8 @@ std::string PerRequestStatsJson(const Response& response,
   json += std::to_string(trace.span_ns(TraceStage::kPlanLookup));
   json += ",\"plan_build_ns\":";
   json += std::to_string(trace.span_ns(TraceStage::kPlanBuild));
+  json += ",\"cache_lookup_ns\":";
+  json += std::to_string(trace.span_ns(TraceStage::kCacheLookup));
   json += ",\"eval_ns\":";
   json += std::to_string(trace.span_ns(TraceStage::kEval));
   json += ",\"serialize_ns\":";
@@ -86,9 +90,12 @@ Response ExecuteQuery(Engine* engine, const Snapshot& snapshot,
     response.code = compiled.status().code();
     response.message = compiled.status().ToString();
   } else if (compiled->check) {
-    EvalOptions options = compiled->eval;
+    CallOptions options = compiled->options;
     options.cancel = token;
     options.trace = trace;
+    // The snapshot version is the answer-cache generation: a RELOAD
+    // bumps it, so entries from older snapshots can never be served.
+    options.cache.generation = snapshot.version;
     Result<bool> verdict =
         engine->Eval(compiled->tree, snapshot.db, compiled->candidate,
                      options);
@@ -100,9 +107,10 @@ Response ExecuteQuery(Engine* engine, const Snapshot& snapshot,
       response.message = verdict.status().ToString();
     }
   } else {
-    EnumerateOptions options = compiled->enumerate;
+    CallOptions options = compiled->options;
     options.cancel = token;
     options.trace = trace;
+    options.cache.generation = snapshot.version;
     // A sharded snapshot routes enumeration through scatter-gather;
     // answers are bit-identical to the unsharded path (engine.h).
     Result<std::vector<Mapping>> answers =
@@ -126,6 +134,7 @@ Response ExecuteQuery(Engine* engine, const Snapshot& snapshot,
     }
   }
 
+  response.cached = trace->cache_outcome() == CacheOutcome::kHit;
   uint64_t wall_ns = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                            start)

@@ -29,13 +29,16 @@ namespace wdpt::server {
 /// code.
 ///
 /// `trace` (optional) receives the staged breakdown — parse,
-/// plan-lookup, plan-build, eval, serialize — plus the plan's
-/// tractability class; a local trace is used when none is supplied, so
-/// the stats JSON always carries the spans. The response's stats header
-/// is a single-line JSON object {"status", "mode", "rows", "truncated",
-/// "wall_ns", "snapshot_version", "request_id", "class", "queue_ns",
-/// "parse_ns", "plan_lookup_ns", "plan_build_ns", "eval_ns",
-/// "serialize_ns"}.
+/// plan-lookup, plan-build, cache-lookup, eval, serialize — plus the
+/// plan's tractability class and the answer-cache outcome; a local
+/// trace is used when none is supplied, so the stats JSON always
+/// carries the spans. The snapshot's version is stamped into the call's
+/// cache policy as the generation, and `Response::cached` reports a
+/// cache hit. The response's stats header is a single-line JSON object
+/// {"status", "mode", "rows", "truncated", "wall_ns",
+/// "snapshot_version", "request_id", "class", "cache", "queue_ns",
+/// "parse_ns", "plan_lookup_ns", "plan_build_ns", "cache_lookup_ns",
+/// "eval_ns", "serialize_ns"}.
 Response ExecuteQuery(Engine* engine, const Snapshot& snapshot,
                       const sparql::QueryRequest& request,
                       const CancelToken& cancel = CancelToken(),

@@ -141,6 +141,8 @@ void RequestMetrics::RecordQuery(const Trace& trace, sparql::RequestMode mode,
     shard_fanout_.Record(trace.shard_fanout());
     for (uint64_t ns : trace.shard_spans_ns()) shard_eval_.Record(ns);
   }
+  size_t outcome = static_cast<size_t>(trace.cache_outcome());
+  if (outcome < kCacheOutcomeCount) cache_wall_[outcome].Record(trace.TotalNs());
   size_t status = static_cast<size_t>(code);
   if (status < kStatusCodeCount) {
     responses_by_status_[status].fetch_add(1, std::memory_order_relaxed);
@@ -194,8 +196,23 @@ std::string RequestMetrics::RenderPrometheus(const ServerCounters& counters,
   AppendCounter(&out, "wdpt_engine_semijoin_passes_total",
                 engine.semijoin_passes);
 
+  AppendCounter(&out, "wdpt_answer_cache_hits_total",
+                engine.answer_cache_hits);
+  AppendCounter(&out, "wdpt_answer_cache_misses_total",
+                engine.answer_cache_misses);
+  AppendCounter(&out, "wdpt_answer_cache_bypasses_total",
+                engine.answer_cache_bypasses);
+  AppendCounter(&out, "wdpt_answer_cache_inflight_waits_total",
+                engine.answer_cache_inflight_waits);
+  AppendCounter(&out, "wdpt_answer_cache_evictions_total",
+                engine.answer_cache_evictions);
+  AppendCounter(&out, "wdpt_answer_cache_inserts_total",
+                engine.answer_cache_inserts);
+
   AppendGauge(&out, "wdpt_server_in_flight_requests", in_flight);
   AppendGauge(&out, "wdpt_server_snapshot_version", snapshot_version);
+  AppendGauge(&out, "wdpt_answer_cache_bytes", engine.answer_cache_bytes);
+  AppendGauge(&out, "wdpt_answer_cache_entries", engine.answer_cache_entries);
 
   AppendType(&out, "wdpt_server_responses_total", "counter");
   for (size_t i = 0; i < kStatusCodeCount; ++i) {
@@ -232,6 +249,16 @@ std::string RequestMetrics::RenderPrometheus(const ServerCounters& counters,
   if (shard_eval_.count() != 0) {
     AppendHistogramSeries(&out, "wdpt_shard_eval_duration_seconds", "",
                           shard_eval_.Snapshot());
+  }
+
+  AppendType(&out, "wdpt_answer_cache_request_duration_seconds", "histogram");
+  for (size_t o = 0; o < kCacheOutcomeCount; ++o) {
+    if (cache_wall_[o].count() == 0) continue;
+    std::string labels = "cache=\"";
+    labels += CacheOutcomeName(static_cast<CacheOutcome>(o));
+    labels += "\"";
+    AppendHistogramSeries(&out, "wdpt_answer_cache_request_duration_seconds",
+                          labels, cache_wall_[o].Snapshot());
   }
 
   AppendType(&out, "wdpt_class_stage_duration_seconds", "histogram");

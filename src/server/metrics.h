@@ -2,7 +2,7 @@
 // and the Prometheus text exposition behind the METRICS command.
 //
 // RequestMetrics is the serving-side sink for per-request Traces
-// (src/common/trace.h): every finished QUERY folds its six stage spans
+// (src/common/trace.h): every finished QUERY folds its stage spans
 // into two histogram families — keyed by request mode (eval / partial /
 // max) and by the plan's tractability class (l-tractable / g-tractable
 // / intractable) — so tail latency can be attributed to a pipeline
@@ -49,14 +49,18 @@ inline constexpr size_t kStatusCodeCount = 10;
 class RequestMetrics {
  public:
   /// Folds one finished QUERY's trace into the histograms. Records all
-  /// six stages — zero-length spans land in the first bucket — so every
+  /// stages — zero-length spans land in the first bucket — so every
   /// stage histogram's count equals the number of queries served, which
   /// is the invariant the METRICS acceptance check rides on. A request
   /// that ran sharded scatter-gather (trace.shard_fanout() > 0)
   /// additionally records its fan-out into the `wdpt_shard_fanout`
   /// histogram and each shard task's wall time into
   /// `wdpt_shard_eval_duration_seconds`; unsharded requests touch
-  /// neither, so those families count sharded executions only.
+  /// neither, so those families count sharded executions only. The
+  /// request's total traced wall time is also recorded into the
+  /// `wdpt_answer_cache_request_duration_seconds` family keyed by the
+  /// trace's cache outcome, so hit latency can be compared against miss
+  /// and bypass latency directly.
   void RecordQuery(const Trace& trace, sparql::RequestMode mode,
                    StatusCode code);
 
@@ -86,6 +90,9 @@ class RequestMetrics {
   metrics::LatencyHistogram shard_fanout_;
   /// Wall time of each individual shard task of sharded requests.
   metrics::LatencyHistogram shard_eval_;
+  /// Total request wall time keyed by answer-cache outcome
+  /// (bypass / hit / miss).
+  metrics::LatencyHistogram cache_wall_[kCacheOutcomeCount];
   std::atomic<uint64_t> responses_by_status_[kStatusCodeCount] = {};
   std::atomic<uint64_t> queries_recorded_{0};
   std::atomic<uint64_t> rejected_{0};

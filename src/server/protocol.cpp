@@ -123,6 +123,9 @@ std::string SerializeRequest(const Request& request) {
     if (!request.query.candidate.empty()) {
       AppendHeader(&out, "candidate", request.query.candidate);
     }
+    if (request.query.cache_bypass) {
+      AppendHeader(&out, "cache-control", "bypass");
+    }
   }
   out.push_back('\n');
   if (request.command == Command::kQuery) {
@@ -172,6 +175,12 @@ Result<Request> ParseRequest(std::string_view payload) {
                          request.query.max_results = ParseU64(value);
                        } else if (key == "candidate") {
                          request.query.candidate = std::string(value);
+                       } else if (key == "cache-control") {
+                         // The only recognised directive; others are
+                         // ignored like unknown headers.
+                         if (value == "bypass") {
+                           request.query.cache_bypass = true;
+                         }
                        }
                        // Unknown headers: ignored (forward compatibility).
                      });
@@ -194,6 +203,7 @@ std::string SerializeResponse(const Response& response) {
   out.push_back('\n');
   AppendHeader(&out, "rows", std::to_string(response.rows.size()));
   if (response.truncated) AppendHeader(&out, "truncated", "1");
+  if (response.cached) AppendHeader(&out, "cached", "1");
   if (response.retry_after_ms != 0) {
     AppendHeader(&out, "retry-after-ms",
                  std::to_string(response.retry_after_ms));
@@ -227,6 +237,8 @@ Result<Response> ParseResponse(std::string_view payload) {
                          row_count = ParseU64(value);
                        } else if (key == "truncated") {
                          response.truncated = value == "1";
+                       } else if (key == "cached") {
+                         response.cached = value == "1";
                        } else if (key == "retry-after-ms") {
                          response.retry_after_ms = ParseU64(value);
                        } else if (key == "message") {

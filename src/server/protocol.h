@@ -8,13 +8,15 @@
 //   headers  := (key ": " value "\n")*
 //
 // Commands: QUERY (body = {AND, OPT} algebra text; headers mode,
-// deadline-ms, max-results, candidate), STATS, PING, RELOAD (body =
-// triples text replacing the live snapshot), METRICS (Prometheus text
-// exposition, one line per response row). Response bodies carry
-// `rows` answer lines; headers carry the row count, truncation flag,
-// retry-after-ms (with status "overloaded"), a human message, and a
-// single-line per-request `stats` JSON object. Unknown headers are
-// ignored on both sides, so fields can be added without a version bump.
+// deadline-ms, max-results, candidate, cache-control), STATS, PING,
+// RELOAD (body = triples text replacing the live snapshot), METRICS
+// (Prometheus text exposition, one line per response row). Response
+// bodies carry `rows` answer lines; headers carry the row count,
+// truncation flag, retry-after-ms (with status "overloaded"), a human
+// message, a `cached` flag (the answer came from the server's answer
+// cache), and a single-line per-request `stats` JSON object. Unknown
+// headers are ignored on both sides, so fields can be added without a
+// version bump.
 //
 // See docs/SERVER.md for the full schema and examples.
 
@@ -58,6 +60,10 @@ struct Response {
   std::vector<std::string> rows;
   /// True when `rows` was capped by max-results.
   bool truncated = false;
+  /// True when the answer was served from the server's answer cache
+  /// (wire header `cached: 1`; cached answers are bit-identical to a
+  /// fresh evaluation against the same snapshot).
+  bool cached = false;
   /// Suggested client backoff; set with kOverloaded.
   uint64_t retry_after_ms = 0;
   /// Single-line JSON: per-request stats for QUERY, aggregate engine +

@@ -32,6 +32,7 @@ EngineOptions ResolveEngineOptions(const ServerOptions& options) {
   if (options.shards > 1 && engine.num_threads == 1) {
     engine.num_threads = 0;  // 0 = hardware concurrency.
   }
+  engine.answer_cache_bytes = options.answer_cache_bytes;
   return engine;
 }
 

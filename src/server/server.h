@@ -75,11 +75,16 @@ struct ServerOptions {
   /// engine pool (docs/ENGINE.md, "Sharded evaluation"); 0 and 1 both
   /// mean unsharded.
   size_t shards = 1;
+  /// Byte budget for the engine's answer cache (wdpt_server
+  /// --cache-bytes); 0 disables caching. Entries are keyed by snapshot
+  /// version, so RELOAD invalidates by construction.
+  size_t answer_cache_bytes = 0;
   /// Engine construction knobs. The engine's internal batch pool is not
   /// used on the single-shard serving path, so it defaults to one
   /// thread; when `shards` > 1 and this is left at the one-thread
   /// default, the server widens it to hardware concurrency so shard
-  /// tasks actually run in parallel.
+  /// tasks actually run in parallel. `answer_cache_bytes` above
+  /// overrides the engine field of the same name.
   EngineOptions engine{1, 128};
 };
 

@@ -36,7 +36,11 @@ struct Snapshot {
   RdfContext ctx;
   Database db;
   /// Monotonic version assigned by the publisher (the Server stamps
-  /// successive reloads); reported in per-request stats.
+  /// successive reloads); reported in per-request stats. Doubles as the
+  /// answer-cache generation (src/engine/answer_cache.h): the executor
+  /// stamps it into every call's CachePolicy, so entries cached against
+  /// a replaced snapshot can never be served again — invalidation by
+  /// construction, no flush needed on RELOAD.
   uint64_t version = 0;
   /// Hash-partitioned view over `db` for the engine's scatter-gather
   /// enumeration path; null when the snapshot was built with one shard.

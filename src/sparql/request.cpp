@@ -91,6 +91,11 @@ Result<CompiledRequest> CompileRequest(const QueryRequest& request,
     deadline = std::chrono::milliseconds(request.deadline_ms);
   }
 
+  compiled.options.deadline = deadline;
+  if (request.cache_bypass) {
+    compiled.options.cache.mode = CacheMode::kBypass;
+  }
+
   if (!request.candidate.empty()) {
     Result<Mapping> candidate = ParseCandidate(request.candidate, ctx);
     if (!candidate.ok()) return candidate.status();
@@ -98,16 +103,15 @@ Result<CompiledRequest> CompileRequest(const QueryRequest& request,
     compiled.candidate = std::move(*candidate);
     switch (request.mode) {
       case RequestMode::kEval:
-        compiled.eval.semantics = EvalSemantics::kStandard;
+        compiled.options.semantics = EvalSemantics::kStandard;
         break;
       case RequestMode::kPartial:
-        compiled.eval.semantics = EvalSemantics::kPartial;
+        compiled.options.semantics = EvalSemantics::kPartial;
         break;
       case RequestMode::kMax:
-        compiled.eval.semantics = EvalSemantics::kMaximal;
+        compiled.options.semantics = EvalSemantics::kMaximal;
         break;
     }
-    compiled.eval.deadline = deadline;
     return compiled;
   }
 
@@ -116,8 +120,9 @@ Result<CompiledRequest> CompileRequest(const QueryRequest& request,
         "mode 'partial' requires a candidate mapping: the set of partial "
         "answers is the downward closure of p(D) and is not enumerated");
   }
-  compiled.enumerate.maximal = (request.mode == RequestMode::kMax);
-  compiled.enumerate.deadline = deadline;
+  compiled.options.semantics = request.mode == RequestMode::kMax
+                                   ? EvalSemantics::kMaximal
+                                   : EvalSemantics::kStandard;
   return compiled;
 }
 

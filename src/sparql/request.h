@@ -50,6 +50,10 @@ struct QueryRequest {
   /// a membership check of this mapping (EVAL / PARTIAL-EVAL / MAX-EVAL
   /// by `mode`) instead of answer enumeration.
   std::string candidate;
+  /// Skip the server's answer cache for this request (wire header
+  /// `cache-control: bypass`); the response is computed fresh and not
+  /// inserted.
+  bool cache_bypass = false;
 };
 
 /// A request compiled against a context: validated tree + engine options.
@@ -59,8 +63,10 @@ struct CompiledRequest {
   /// False: answer enumeration via Engine::Enumerate.
   bool check = false;
   Mapping candidate;
-  EvalOptions eval;            ///< Used when `check`.
-  EnumerateOptions enumerate;  ///< Used when enumerating.
+  /// Unified per-call options for either entry point (semantics,
+  /// deadline, cache policy; the executor stamps `cache.generation`
+  /// with the snapshot version).
+  CallOptions options;
   uint64_t max_results = 0;
 };
 

@@ -270,8 +270,8 @@ TEST(EngineEnumerate, MatchesDirectEvaluators) {
   ASSERT_TRUE(direct.ok());
   EXPECT_EQ(*via_engine, *direct);
 
-  EnumerateOptions maximal;
-  maximal.maximal = true;
+  CallOptions maximal;
+  maximal.semantics = EvalSemantics::kMaximal;
   Result<std::vector<Mapping>> via_engine_max =
       engine.Enumerate(tree, db, maximal);
   Result<std::vector<Mapping>> direct_max = EvaluateWdptMaximal(tree, db);

@@ -50,8 +50,9 @@ void ExpectShardedMatchesUnsharded(const PatternTree& tree,
                                        1, 2, 3, 4, 7}) {
   Engine engine;
   for (bool maximal : {false, true}) {
-    EnumerateOptions options;
-    options.maximal = maximal;
+    CallOptions options;
+    options.semantics =
+        maximal ? EvalSemantics::kMaximal : EvalSemantics::kStandard;
     Result<std::vector<Mapping>> unsharded =
         engine.Enumerate(tree, db, options);
     ASSERT_TRUE(unsharded.ok()) << unsharded.status().ToString();

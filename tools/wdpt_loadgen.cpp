@@ -4,8 +4,8 @@
 //   wdpt_loadgen [--connect HOST:PORT] [--data FILE] [--bands N]
 //                [--clients 1,2,4,8] [--shards 1] [--requests N]
 //                [--warmup N] [--deadline-ms N] [--workers N]
-//                [--queue N] [--json FILE] [--no-verify]
-//                [--max-ping-p50-ms X]
+//                [--queue N] [--cache-bytes N] [--cache-bypass]
+//                [--json FILE] [--no-verify] [--max-ping-p50-ms X]
 //
 // Drives a fixed query mix from N concurrent client connections and
 // reports throughput and latency percentiles per client count — and,
@@ -32,10 +32,17 @@
 // Unless --no-verify is given, every response is checked against the
 // rows the shared execution path (server::ExecuteQuery) produces
 // locally on the same snapshot — the server must be bit-identical to
-// sequential evaluation. Any protocol error, unexpected status, or row
-// mismatch makes the exit code nonzero. --json writes the measurements
-// as a machine-readable report (the bench_server_json target captures
-// it as BENCH_server.json).
+// sequential evaluation. The local verification engine runs without an
+// answer cache, so when the target serves with --cache-bytes every
+// cached row is verified bit-identical against uncached execution.
+// Any protocol error, unexpected status, or row mismatch makes the exit
+// code nonzero. --cache-bytes N gives the in-process server an answer
+// cache (0 = off); --cache-bypass stamps `cache-control: bypass` on
+// every mix query, pinning the hit rate to zero for an uncached
+// baseline. Each result row reports the fraction of responses the
+// server answered from its cache (the `cached` response header).
+// --json writes the measurements as a machine-readable report (the
+// bench_server_json target captures it as BENCH_server.json).
 
 #include <algorithm>
 #include <chrono>
@@ -66,7 +73,8 @@ int Usage(const char* argv0) {
                "usage: %s [--connect HOST:PORT] [--data FILE] [--bands N] "
                "[--clients 1,2,4,8] [--shards 1] [--requests N] "
                "[--warmup N] [--deadline-ms N] "
-               "[--workers N] [--queue N] [--json FILE] [--no-verify] "
+               "[--workers N] [--queue N] [--cache-bytes N] "
+               "[--cache-bypass] [--json FILE] [--no-verify] "
                "[--max-ping-p50-ms X]\n",
                argv0);
   return 2;
@@ -129,6 +137,8 @@ struct RunResult {
   uint64_t status_errors = 0;     ///< Non-OK, non-overloaded statuses.
   uint64_t overloaded = 0;        ///< kOverloaded rejections (retried).
   uint64_t mismatches = 0;        ///< Rows differ from sequential eval.
+  uint64_t cache_hits = 0;        ///< Responses served from the answer cache.
+  double cache_hit_rate = 0;      ///< cache_hits / requests.
   double wall_ms = 0;
   double throughput_rps = 0;
   double p50_ms = 0;
@@ -175,7 +185,7 @@ RunResult RunLoad(const std::string& host, uint16_t port, unsigned clients,
       std::vector<uint64_t> local_queue_ns;
       std::vector<uint64_t> local_eval_ns;
       uint64_t transport = 0, status = 0, overload = 0, mismatch = 0,
-               issued = 0;
+               issued = 0, cache_hit = 0;
       // Warmup requests are issued but never recorded: they exist to
       // fill the plan cache and touch the indexes. A dead connection
       // during warmup still fails the client.
@@ -214,6 +224,7 @@ RunResult RunLoad(const std::string& host, uint16_t port, unsigned clients,
           break;  // Connection is gone; stop this client.
         }
         local_ns.push_back(ns);
+        if (response->cached) ++cache_hit;
         uint64_t span = 0;
         if (JsonField(response->stats_json, "queue_ns", &span)) {
           local_queue_ns.push_back(span);
@@ -237,6 +248,7 @@ RunResult RunLoad(const std::string& host, uint16_t port, unsigned clients,
       result.status_errors += status;
       result.overloaded += overload;
       result.mismatches += mismatch;
+      result.cache_hits += cache_hit;
       latencies_ns.insert(latencies_ns.end(), local_ns.begin(),
                           local_ns.end());
       srv_queue_ns.insert(srv_queue_ns.end(), local_queue_ns.begin(),
@@ -254,6 +266,11 @@ RunResult RunLoad(const std::string& host, uint16_t port, unsigned clients,
   result.throughput_rps =
       wall_ns > 0 ? static_cast<double>(result.requests) / (wall_ns / 1e9)
                   : 0;
+  result.cache_hit_rate =
+      result.requests > 0
+          ? static_cast<double>(result.cache_hits) /
+                static_cast<double>(result.requests)
+          : 0;
   result.p50_ms = PercentileMs(latencies_ns, 0.50);
   result.p90_ms = PercentileMs(latencies_ns, 0.90);
   result.p99_ms = PercentileMs(latencies_ns, 0.99);
@@ -301,6 +318,8 @@ int main(int argc, char** argv) {
   uint64_t deadline_ms = 0;
   unsigned workers = 0;
   size_t queue = 64;
+  size_t cache_bytes = 0;
+  bool cache_bypass = false;
   bool verify = true;
   double max_ping_p50_ms = 0;  // 0 = report only, no assertion.
   for (int i = 1; i < argc; ++i) {
@@ -325,6 +344,10 @@ int main(int argc, char** argv) {
       workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--queue" && i + 1 < argc) {
       queue = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--cache-bytes" && i + 1 < argc) {
+      cache_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--cache-bypass") {
+      cache_bypass = true;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg == "--no-verify") {
@@ -388,6 +411,9 @@ int main(int argc, char** argv) {
   size_t facts = (*snapshot)->db.TotalFacts();
 
   std::vector<sparql::QueryRequest> mix = MakeQueryMix(deadline_ms);
+  if (cache_bypass) {
+    for (sparql::QueryRequest& q : mix) q.cache_bypass = true;
+  }
 
   // Expected responses via the exact code path the server runs.
   std::vector<server::Response> expected;
@@ -441,6 +467,7 @@ int main(int argc, char** argv) {
       options.num_workers = workers;
       options.admission_capacity = queue;
       options.shards = shards;
+      options.answer_cache_bytes = cache_bytes;
       // The initial snapshot carries the sweep's shard count; the
       // verification baseline stays the unsharded snapshot, so every
       // sharded row is also a differential check against sequential
@@ -489,7 +516,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "shards=%zu clients=%2u requests=%llu rps=%s p50=%sms "
                    "p90=%sms p99=%sms srv_queue_p50=%sms "
-                   "srv_eval_p50=%sms overloaded=%llu "
+                   "srv_eval_p50=%sms cache_hit_rate=%s overloaded=%llu "
                    "transport_errors=%llu status_errors=%llu "
                    "mismatches=%llu\n",
                    r.shards, clients,
@@ -500,6 +527,7 @@ int main(int argc, char** argv) {
                    FormatDouble(r.p99_ms).c_str(),
                    FormatDouble(r.srv_queue_p50_ms).c_str(),
                    FormatDouble(r.srv_eval_p50_ms).c_str(),
+                   FormatDouble(r.cache_hit_rate).c_str(),
                    static_cast<unsigned long long>(r.overloaded),
                    static_cast<unsigned long long>(r.transport_errors),
                    static_cast<unsigned long long>(r.status_errors),
@@ -526,6 +554,8 @@ int main(int argc, char** argv) {
         << ",\"warmup_per_client\":" << warmup_per_client
         << ",\"mix_size\":" << mix.size() << ",\"verified\":"
         << (verify ? "true" : "false")
+        << ",\"cache_bytes\":" << cache_bytes
+        << ",\"cache_bypass\":" << (cache_bypass ? "true" : "false")
         << ",\"ping_p50_ms\":" << FormatDouble(ping_p50_ms)
         << ",\"results\":[";
     for (size_t i = 0; i < results.size(); ++i) {
@@ -540,6 +570,8 @@ int main(int argc, char** argv) {
           << ",\"p99_ms\":" << FormatDouble(r.p99_ms)
           << ",\"srv_queue_p50_ms\":" << FormatDouble(r.srv_queue_p50_ms)
           << ",\"srv_eval_p50_ms\":" << FormatDouble(r.srv_eval_p50_ms)
+          << ",\"cache_hits\":" << r.cache_hits
+          << ",\"cache_hit_rate\":" << FormatDouble(r.cache_hit_rate)
           << ",\"overloaded\":" << r.overloaded
           << ",\"transport_errors\":" << r.transport_errors
           << ",\"status_errors\":" << r.status_errors

@@ -145,7 +145,7 @@ int main(int argc, char** argv) {
 
   if (compiled->check) {
     Result<bool> verdict =
-        engine.Eval(compiled->tree, db, compiled->candidate, compiled->eval);
+        engine.Eval(compiled->tree, db, compiled->candidate, compiled->options);
     if (!verdict.ok()) {
       std::fprintf(stderr, "evaluation error: %s\n",
                    verdict.status().ToString().c_str());
@@ -161,7 +161,7 @@ int main(int argc, char** argv) {
   }
 
   Result<std::vector<Mapping>> answers =
-      engine.Enumerate(compiled->tree, db, compiled->enumerate);
+      engine.Enumerate(compiled->tree, db, compiled->options);
   if (!answers.ok()) {
     std::fprintf(stderr, "evaluation error: %s\n",
                  answers.status().ToString().c_str());

@@ -2,7 +2,7 @@
 //
 // Usage:
 //   wdpt_server --data FILE [--port N] [--workers N] [--queue N]
-//               [--shards N] [--default-deadline-ms N]
+//               [--shards N] [--cache-bytes N] [--default-deadline-ms N]
 //               [--max-deadline-ms N] [--retry-after-ms N]
 //               [--idle-timeout-ms N] [--slow-query-ms N] [--no-reload]
 //               [--print-port] [--metrics-dump]
@@ -15,7 +15,11 @@
 // without pausing readers. --shards N (default 1) hash-partitions each
 // snapshot N ways and serves enumeration requests through the engine's
 // scatter-gather path (docs/ENGINE.md) — answers are identical to the
-// unsharded server. --idle-timeout-ms closes connections that go
+// unsharded server. --cache-bytes N (default 0 = off) gives the engine
+// an answer cache of N bytes: repeated identical queries against the
+// same snapshot are served from memory, RELOAD invalidates by
+// construction, and clients can opt out per request with `cache-control:
+// bypass`. --idle-timeout-ms closes connections that go
 // quiet; --slow-query-ms logs a per-stage trace breakdown to stderr for
 // queries over the threshold; --metrics-dump prints the Prometheus
 // exposition to stdout at shutdown. Runs until SIGINT/SIGTERM.
@@ -40,10 +44,10 @@ void HandleSignal(int) { g_stop = 1; }
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --data FILE [--port N] [--workers N] [--queue N] "
-               "[--shards N] [--default-deadline-ms N] [--max-deadline-ms N] "
-               "[--retry-after-ms N] [--idle-timeout-ms N] "
-               "[--slow-query-ms N] [--no-reload] [--print-port] "
-               "[--metrics-dump]\n",
+               "[--shards N] [--cache-bytes N] [--default-deadline-ms N] "
+               "[--max-deadline-ms N] [--retry-after-ms N] "
+               "[--idle-timeout-ms N] [--slow-query-ms N] [--no-reload] "
+               "[--print-port] [--metrics-dump]\n",
                argv0);
   return 2;
 }
@@ -69,6 +73,8 @@ int main(int argc, char** argv) {
       options.admission_capacity = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--shards" && i + 1 < argc) {
       options.shards = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--cache-bytes" && i + 1 < argc) {
+      options.answer_cache_bytes = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--default-deadline-ms" && i + 1 < argc) {
       options.default_deadline_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--max-deadline-ms" && i + 1 < argc) {
