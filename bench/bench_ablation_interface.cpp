@@ -64,7 +64,7 @@ void BM_InterfaceWidthSweep(benchmark::State& state) {
   InterfaceInstance inst(c, /*db_vertices=*/40, /*seed=*/31);
   Mapping h = FirstAnswer(inst.tree, inst.db);
   Engine engine;
-  EvalOptions opts;
+  CallOptions opts;
   opts.algorithm = EvalAlgorithm::kTractableDP;
   for (auto _ : state) {
     Result<bool> r = engine.Eval(inst.tree, inst.db, h, opts);
@@ -81,7 +81,7 @@ void BM_InterfaceDbSweep_SmallC(benchmark::State& state) {
   InterfaceInstance inst(/*c=*/1, n, /*seed=*/33);
   Mapping h = FirstAnswer(inst.tree, inst.db);
   Engine engine;
-  EvalOptions opts;
+  CallOptions opts;
   opts.algorithm = EvalAlgorithm::kTractableDP;
   for (auto _ : state) {
     Result<bool> r = engine.Eval(inst.tree, inst.db, h, opts);
@@ -97,7 +97,7 @@ void BM_InterfaceDbSweep_LargeC(benchmark::State& state) {
   InterfaceInstance inst(/*c=*/3, n, /*seed=*/34);
   Mapping h = FirstAnswer(inst.tree, inst.db);
   Engine engine;
-  EvalOptions opts;
+  CallOptions opts;
   opts.algorithm = EvalAlgorithm::kTractableDP;
   for (auto _ : state) {
     Result<bool> r = engine.Eval(inst.tree, inst.db, h, opts);

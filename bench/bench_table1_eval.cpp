@@ -61,7 +61,7 @@ void BM_Eval_Tractable_DbSweep(benchmark::State& state) {
                          /*seed=*/11);
   Mapping h = FirstAnswer(inst.tree, inst.db);
   Engine engine;
-  EvalOptions opts;
+  CallOptions opts;
   opts.algorithm = EvalAlgorithm::kTractableDP;
   for (auto _ : state) {
     Result<bool> r = engine.Eval(inst.tree, inst.db, h, opts);
@@ -78,7 +78,7 @@ void BM_Eval_Naive_DbSweep(benchmark::State& state) {
   TractableInstance inst(n, uint64_t{3} * n, 2, 2, 11);
   Mapping h = FirstAnswer(inst.tree, inst.db);
   Engine engine;
-  EvalOptions opts;
+  CallOptions opts;
   opts.algorithm = EvalAlgorithm::kNaive;
   for (auto _ : state) {
     Result<bool> r = engine.Eval(inst.tree, inst.db, h, opts);
@@ -100,7 +100,7 @@ void BM_PartialEval_DbSweep(benchmark::State& state) {
     h = Mapping(entries);
   }
   Engine engine;
-  EvalOptions opts;
+  CallOptions opts;
   opts.semantics = EvalSemantics::kPartial;
   for (auto _ : state) {
     Result<bool> r = engine.Eval(inst.tree, inst.db, h, opts);
@@ -117,7 +117,7 @@ void BM_MaxEval_DbSweep(benchmark::State& state) {
   TractableInstance inst(n, uint64_t{3} * n, 2, 2, 11);
   Mapping h = FirstAnswer(inst.tree, inst.db);
   Engine engine;
-  EvalOptions opts;
+  CallOptions opts;
   opts.semantics = EvalSemantics::kMaximal;
   for (auto _ : state) {
     Result<bool> r = engine.Eval(inst.tree, inst.db, h, opts);
@@ -136,7 +136,7 @@ void BM_Eval_Tractable_QuerySweep(benchmark::State& state) {
   TractableInstance inst(200, 600, /*depth=*/2, branching, /*seed=*/13);
   Mapping h = FirstAnswer(inst.tree, inst.db);
   Engine engine;
-  EvalOptions opts;
+  CallOptions opts;
   opts.algorithm = EvalAlgorithm::kTractableDP;
   for (auto _ : state) {
     Result<bool> r = engine.Eval(inst.tree, inst.db, h, opts);
@@ -162,7 +162,7 @@ void BM_Eval_HardQuerySweep_Naive(benchmark::State& state) {
       gen::MakeRandomUndirectedGraph(n, 2 * n, /*seed=*/n), &schema,
       &vocab, /*tag=*/n);
   Engine engine;
-  EvalOptions opts;
+  CallOptions opts;
   opts.algorithm = EvalAlgorithm::kNaive;
   for (auto _ : state) {
     Result<bool> r = engine.Eval(inst.tree, inst.db, inst.h, opts);
@@ -181,7 +181,7 @@ void BM_Eval_HardQuerySweep_Tractable(benchmark::State& state) {
       gen::MakeRandomUndirectedGraph(n, 2 * n, /*seed=*/n), &schema,
       &vocab, /*tag=*/100 + n);
   Engine engine;
-  EvalOptions opts;
+  CallOptions opts;
   opts.algorithm = EvalAlgorithm::kTractableDP;
   for (auto _ : state) {
     Result<bool> r = engine.Eval(inst.tree, inst.db, inst.h, opts);
@@ -204,7 +204,7 @@ void BM_PartialEval_HardQuerySweep(benchmark::State& state) {
       gen::MakeRandomUndirectedGraph(n, 2 * n, /*seed=*/n), &schema,
       &vocab, /*tag=*/200 + n);
   Engine engine;
-  EvalOptions opts;
+  CallOptions opts;
   opts.semantics = EvalSemantics::kPartial;
   for (auto _ : state) {
     Result<bool> r = engine.Eval(inst.tree, inst.db, inst.h, opts);
@@ -243,7 +243,7 @@ void BM_Engine_EvalSequential(benchmark::State& state) {
                          /*seed=*/11);
   std::vector<Mapping> hs = Candidates(inst.tree, inst.db, batch);
   Engine engine;
-  EvalOptions opts;
+  CallOptions opts;
   for (auto _ : state) {
     for (const Mapping& h : hs) {
       Result<bool> r = engine.Eval(inst.tree, inst.db, h, opts);
@@ -266,7 +266,7 @@ void BM_Engine_EvalBatch(benchmark::State& state) {
   EngineOptions eopts;
   eopts.num_threads = 4;
   Engine engine(eopts);
-  EvalOptions opts;
+  CallOptions opts;
   std::vector<bool> parallel_results;
   for (auto _ : state) {
     Result<std::vector<bool>> r = engine.EvalBatch(inst.tree, inst.db, hs,
@@ -302,7 +302,7 @@ void BM_Engine_EnumerateSharded(benchmark::State& state) {
   EngineOptions eopts;
   eopts.num_threads = 4;
   Engine engine(eopts);
-  EnumerateOptions opts;
+  CallOptions opts;
   std::vector<Mapping> sharded_answers;
   for (auto _ : state) {
     Result<std::vector<Mapping>> r =

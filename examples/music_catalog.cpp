@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
                ctx.vocab().Constant("band" + std::to_string(i)).constant_id());
     probes.push_back(std::move(probe));
   }
-  EvalOptions partial_options;
+  CallOptions partial_options;
   partial_options.semantics = EvalSemantics::kPartial;
   Result<std::vector<bool>> partial =
       engine.EvalBatch(tree, db, probes, partial_options);

@@ -100,7 +100,7 @@ int main() {
   Mapping candidate;
   candidate.Bind(ctx.vocab().Variable("y").variable_id(),
                  ctx.vocab().Constant("Caribou").constant_id());
-  EvalOptions eval_options;
+  CallOptions eval_options;
   Result<bool> eval = engine.Eval(tree, db, candidate, eval_options);
   eval_options.semantics = EvalSemantics::kPartial;
   Result<bool> partial = engine.Eval(tree, db, candidate, eval_options);

@@ -99,9 +99,9 @@ int main(int argc, char** argv) {
   std::vector<Mapping> sample(answers->begin(),
                               answers->begin() +
                                   std::min<size_t>(answers->size(), 5));
-  EvalOptions naive_options;
+  CallOptions naive_options;
   naive_options.algorithm = EvalAlgorithm::kNaive;
-  EvalOptions dp_options;
+  CallOptions dp_options;
   dp_options.algorithm = EvalAlgorithm::kTractableDP;
   Result<std::vector<bool>> naive =
       engine.EvalBatch(tree, db, sample, naive_options);

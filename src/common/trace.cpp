@@ -20,6 +20,12 @@ const char* TraceStageName(TraceStage stage) {
       return "eval";
     case TraceStage::kSerialize:
       return "serialize";
+    case TraceStage::kWalAppend:
+      return "wal_append";
+    case TraceStage::kApply:
+      return "apply";
+    case TraceStage::kPublish:
+      return "publish";
   }
   return "unknown";
 }
@@ -66,7 +72,11 @@ uint64_t Trace::MaxShardNs() const {
 
 std::string Trace::BreakdownString() const {
   std::string out;
+  // Query-pipeline stages always print (a zero is informative there);
+  // the storage stages print only when touched, so query lines keep
+  // their pre-storage shape and ingest lines show the write path.
   for (size_t i = 0; i < kTraceStageCount; ++i) {
+    if (i >= kQueryStageCount && spans_ns_[i] == 0) continue;
     if (!out.empty()) out += ' ';
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%s=%.2fms",

@@ -36,9 +36,18 @@ enum class TraceStage : uint8_t {
                    ///< single-flight wait for an in-flight owner).
   kEval,           ///< Evaluation / enumeration proper.
   kSerialize,      ///< Answer mappings -> response rows.
+  // Storage/write-path stages (INGEST, CHECKPOINT, open-time replay);
+  // zero for queries. Keep kQueryStageCount pointing past the last
+  // query-pipeline stage above.
+  kWalAppend,      ///< WAL entry encode + append + fsync (the ack point).
+  kApply,          ///< Batch applied to the authoritative database.
+  kPublish,        ///< Snapshot rebuild + hot swap (or checkpoint write).
 };
 
-inline constexpr size_t kTraceStageCount = 7;
+/// Stages of the read pipeline (kQueueWait..kSerialize): the ones every
+/// query records and the server's per-stage histograms are keyed by.
+inline constexpr size_t kQueryStageCount = 7;
+inline constexpr size_t kTraceStageCount = 10;
 
 /// Short stable label ("queue", "parse", "plan_lookup", ...), used as
 /// the `stage` label in metrics and in slow-query log lines.

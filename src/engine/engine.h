@@ -87,13 +87,6 @@ struct CallOptions {
   CachePolicy cache;
 };
 
-/// Deprecated aliases for CallOptions, kept for one release so callers
-/// written against the split Eval/Enumerate option structs keep
-/// compiling. Migrate to CallOptions; note the old EnumerateOptions
-/// `maximal` flag is now `semantics = EvalSemantics::kMaximal`.
-using EvalOptions = CallOptions;
-using EnumerateOptions = CallOptions;
-
 /// Engine construction knobs.
 struct EngineOptions {
   /// Worker threads for EvalBatch; 0 = hardware concurrency.

@@ -38,6 +38,47 @@ bool Relation::Insert(std::span<const ConstantId> tuple) {
   return true;
 }
 
+bool Relation::Remove(std::span<const ConstantId> tuple) {
+  if (tuple.size() != arity_) return false;
+  size_t h = TupleHash(tuple);
+  auto it = tuple_index_.find(h);
+  if (it == tuple_index_.end()) return false;
+  std::vector<uint32_t>& chain = it->second;
+  size_t slot = chain.size();
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (TupleEquals(chain[i], tuple)) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == chain.size()) return false;
+  uint32_t row = chain[slot];
+  chain.erase(chain.begin() + slot);
+  if (chain.empty()) tuple_index_.erase(it);
+  uint32_t last = static_cast<uint32_t>(size()) - 1;
+  if (row != last) {
+    // Swap the last row into the gap and repoint its index entry. The
+    // moved tuple's chain cannot be the one just erased: had it hashed
+    // to `h`, it would still be in that chain.
+    std::copy(data_.begin() + static_cast<size_t>(last) * arity_,
+              data_.begin() + (static_cast<size_t>(last) + 1) * arity_,
+              data_.begin() + static_cast<size_t>(row) * arity_);
+    size_t moved_hash = TupleHash(Tuple(row));
+    for (uint32_t& r : tuple_index_[moved_hash]) {
+      if (r == last) {
+        r = row;
+        break;
+      }
+    }
+  }
+  data_.resize(data_.size() - arity_);
+  // Built column indexes reference the moved and erased rows; drop them
+  // rather than patching row ids in every value chain.
+  column_index_.clear();
+  column_index_built_.clear();
+  return true;
+}
+
 bool Relation::Contains(std::span<const ConstantId> tuple) const {
   if (tuple.size() != arity_) return false;
   auto it = tuple_index_.find(TupleHash(tuple));
@@ -100,6 +141,12 @@ Status Database::AddAtom(const Atom& atom) {
     tuple.push_back(t.constant_id());
   }
   return AddFact(atom.relation, tuple);
+}
+
+bool Database::RemoveFact(RelationId relation,
+                          std::span<const ConstantId> tuple) {
+  if (relation >= relations_.size()) return false;
+  return relations_[relation].Remove(tuple);
 }
 
 bool Database::ContainsFact(RelationId relation,

@@ -35,6 +35,19 @@ class Relation {
   /// Inserts a tuple; returns false if it was already present.
   bool Insert(std::span<const ConstantId> tuple);
 
+  /// Removes a tuple; returns false if it was absent. The last row is
+  /// swapped into the vacated slot and any built column indexes are
+  /// dropped (rebuilt lazily or by the next WarmColumnIndexes), so this
+  /// is for *private* databases — the storage layer's mutable authority
+  /// — never for a published, shared snapshot.
+  bool Remove(std::span<const ConstantId> tuple);
+
+  /// Pre-sizes storage for `rows` tuples (bulk loads).
+  void Reserve(size_t rows) {
+    data_.reserve(rows * arity_);
+    tuple_index_.reserve(rows);
+  }
+
   /// True if the exact tuple is stored.
   bool Contains(std::span<const ConstantId> tuple) const;
 
@@ -81,6 +94,27 @@ class Database {
 
   /// Adds a ground atom. Fails if the atom has variables or bad arity.
   Status AddAtom(const Atom& atom);
+
+  /// Removes the fact R(tuple); returns false if it was absent (or the
+  /// relation never stored anything). See Relation::Remove for the
+  /// sharing caveat.
+  bool RemoveFact(RelationId relation, std::span<const ConstantId> tuple);
+
+  /// Pre-sizes the relation's storage for `rows` facts (bulk loads).
+  /// The relation must exist in the schema.
+  void Reserve(RelationId relation, size_t rows) {
+    MutableRelation(relation)->Reserve(rows);
+  }
+
+  /// Copies the database, rebinding it to `schema` — which must
+  /// describe the same relations (typically the schema of a copied
+  /// context). This is how the storage layer turns its mutable
+  /// authority into a self-contained immutable snapshot.
+  Database CloneWithSchema(const Schema* schema) const {
+    Database copy(*this);
+    copy.schema_ = schema;
+    return copy;
+  }
 
   /// True if the fact is present.
   bool ContainsFact(RelationId relation,

@@ -107,6 +107,12 @@ class Vocabulary {
   ConstantId ConstantIdOf(std::string_view name) {
     return constants_.Intern(name);
   }
+  /// Id of a constant if already interned, Interner::kNotInterned
+  /// otherwise — a pure lookup, so callers (e.g. WAL remove-replay) can
+  /// probe without growing the vocabulary.
+  ConstantId FindConstant(std::string_view name) const {
+    return constants_.Find(name);
+  }
   VariableId VariableIdOf(std::string_view name) {
     return variables_.Intern(name);
   }

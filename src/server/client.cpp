@@ -40,13 +40,9 @@ sparql::QueryRequest QueryCall::ToRequest() const {
 }
 
 Result<Response> Client::Query(const QueryCall& call) {
-  return Query(call.ToRequest());
-}
-
-Result<Response> Client::Query(const sparql::QueryRequest& query) {
   Request request;
   request.command = Command::kQuery;
-  request.query = query;
+  request.query = call.ToRequest();
   return Call(request);
 }
 
@@ -72,6 +68,19 @@ Result<Response> Client::Reload(std::string triples) {
   Request request;
   request.command = Command::kReload;
   request.body = std::move(triples);
+  return Call(request);
+}
+
+Result<Response> Client::Ingest(std::string ops) {
+  Request request;
+  request.command = Command::kIngest;
+  request.body = std::move(ops);
+  return Call(request);
+}
+
+Result<Response> Client::Checkpoint() {
+  Request request;
+  request.command = Command::kCheckpoint;
   return Call(request);
 }
 

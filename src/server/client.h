@@ -91,16 +91,19 @@ class Client {
 
   /// Convenience wrappers over Call.
   Result<Response> Query(const QueryCall& call);
-  /// Deprecated: prefer Query(const QueryCall&) — the builder names
-  /// every option where a raw QueryRequest invites positional mistakes.
-  /// Kept as a thin wrapper for one release.
-  Result<Response> Query(const sparql::QueryRequest& query);
   Result<Response> Ping();
   Result<Response> Stats();
   /// Prometheus text exposition; one exposition line per response row.
   Result<Response> Metrics();
   /// Replaces the server's live snapshot with one parsed from `triples`.
   Result<Response> Reload(std::string triples);
+  /// Durably applies one batch of mutations (storage-backed servers
+  /// only). `ops` is the INGEST body: `add <s> <p> <o>` / `remove <s>
+  /// <p> <o>` lines. The batch is on the server's WAL — and visible to
+  /// queries — when the response code is kOk.
+  Result<Response> Ingest(std::string ops);
+  /// Compacts the server's WAL into a fresh binary snapshot file.
+  Result<Response> Checkpoint();
 
  private:
   int fd_ = -1;

@@ -123,6 +123,8 @@ std::string ServerCounters::ToJson() const {
   field("admitted", admitted);
   field("rejected_overload", rejected_overload);
   field("reloads", reloads);
+  field("ingests", ingests);
+  field("checkpoints", checkpoints);
   field("idle_timeouts", idle_timeouts);
   json += "}";
   return json;
@@ -132,7 +134,7 @@ void RequestMetrics::RecordQuery(const Trace& trace, sparql::RequestMode mode,
                                  StatusCode code) {
   size_t m = static_cast<size_t>(mode);
   size_t c = static_cast<size_t>(trace.classification());
-  for (size_t s = 0; s < kTraceStageCount; ++s) {
+  for (size_t s = 0; s < kQueryStageCount; ++s) {
     uint64_t ns = trace.span_ns(static_cast<TraceStage>(s));
     if (m < kRequestModeCount) stage_mode_[s][m].Record(ns);
     if (c < kTractabilityClassCount) stage_class_[s][c].Record(ns);
@@ -150,14 +152,23 @@ void RequestMetrics::RecordQuery(const Trace& trace, sparql::RequestMode mode,
   queries_recorded_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void RequestMetrics::RecordIngest(const Trace& trace, StatusCode code) {
+  ingest_wall_.Record(trace.TotalNs());
+  publish_wall_.Record(trace.span_ns(TraceStage::kPublish));
+  size_t status = static_cast<size_t>(code);
+  if (status < kStatusCodeCount) {
+    responses_by_status_[status].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void RequestMetrics::RecordRejected() {
   rejected_.fetch_add(1, std::memory_order_relaxed);
 }
 
-std::string RequestMetrics::RenderPrometheus(const ServerCounters& counters,
-                                             const EngineStats& engine,
-                                             uint64_t in_flight,
-                                             uint64_t snapshot_version) const {
+std::string RequestMetrics::RenderPrometheus(
+    const ServerCounters& counters, const EngineStats& engine,
+    uint64_t in_flight, uint64_t snapshot_version,
+    const storage::StorageStats* storage) const {
   std::string out;
   out.reserve(16 * 1024);
 
@@ -170,6 +181,8 @@ std::string RequestMetrics::RenderPrometheus(const ServerCounters& counters,
   AppendCounter(&out, "wdpt_server_rejected_overload_total",
                 counters.rejected_overload);
   AppendCounter(&out, "wdpt_server_reloads_total", counters.reloads);
+  AppendCounter(&out, "wdpt_server_ingests_total", counters.ingests);
+  AppendCounter(&out, "wdpt_server_checkpoints_total", counters.checkpoints);
   AppendCounter(&out, "wdpt_server_idle_timeouts_total",
                 counters.idle_timeouts);
 
@@ -226,7 +239,7 @@ std::string RequestMetrics::RenderPrometheus(const ServerCounters& counters,
   }
 
   AppendType(&out, "wdpt_stage_duration_seconds", "histogram");
-  for (size_t s = 0; s < kTraceStageCount; ++s) {
+  for (size_t s = 0; s < kQueryStageCount; ++s) {
     for (size_t m = 0; m < kRequestModeCount; ++m) {
       if (stage_mode_[s][m].count() == 0) continue;
       std::string labels = "stage=\"";
@@ -262,7 +275,7 @@ std::string RequestMetrics::RenderPrometheus(const ServerCounters& counters,
   }
 
   AppendType(&out, "wdpt_class_stage_duration_seconds", "histogram");
-  for (size_t s = 0; s < kTraceStageCount; ++s) {
+  for (size_t s = 0; s < kQueryStageCount; ++s) {
     for (size_t c = 0; c < kTractabilityClassCount; ++c) {
       if (stage_class_[s][c].count() == 0) continue;
       std::string labels = "stage=\"";
@@ -272,6 +285,33 @@ std::string RequestMetrics::RenderPrometheus(const ServerCounters& counters,
       labels += "\"";
       AppendHistogramSeries(&out, "wdpt_class_stage_duration_seconds", labels,
                             stage_class_[s][c].Snapshot());
+    }
+  }
+
+  if (storage != nullptr) {
+    AppendCounter(&out, "wdpt_storage_wal_appends_total",
+                  storage->wal_appends);
+    AppendCounter(&out, "wdpt_storage_wal_bytes_total", storage->wal_bytes);
+    AppendCounter(&out, "wdpt_storage_replays_total", storage->replays);
+    AppendCounter(&out, "wdpt_storage_replayed_ops_total",
+                  storage->replayed_ops);
+    AppendCounter(&out, "wdpt_storage_truncated_bytes_total",
+                  storage->truncated_bytes);
+    AppendCounter(&out, "wdpt_storage_checkpoints_total",
+                  storage->checkpoints);
+    AppendCounter(&out, "wdpt_storage_publishes_total", storage->publishes);
+    AppendGauge(&out, "wdpt_storage_wal_backlog_bytes",
+                storage->wal_backlog_bytes);
+    AppendGauge(&out, "wdpt_storage_snapshot_seq", storage->snapshot_seq);
+    AppendType(&out, "wdpt_storage_ingest_duration_seconds", "histogram");
+    if (ingest_wall_.count() != 0) {
+      AppendHistogramSeries(&out, "wdpt_storage_ingest_duration_seconds", "",
+                            ingest_wall_.Snapshot());
+    }
+    AppendType(&out, "wdpt_storage_publish_duration_seconds", "histogram");
+    if (publish_wall_.count() != 0) {
+      AppendHistogramSeries(&out, "wdpt_storage_publish_duration_seconds", "",
+                            publish_wall_.Snapshot());
     }
   }
 

@@ -22,6 +22,7 @@
 #include "src/common/trace.h"
 #include "src/engine/stats.h"
 #include "src/sparql/request.h"
+#include "src/storage/stats.h"
 
 namespace wdpt::server {
 
@@ -34,6 +35,8 @@ struct ServerCounters {
   uint64_t admitted = 0;
   uint64_t rejected_overload = 0;
   uint64_t reloads = 0;
+  uint64_t ingests = 0;      ///< INGEST batches durably applied.
+  uint64_t checkpoints = 0;  ///< CHECKPOINT compactions completed.
   uint64_t idle_timeouts = 0;  ///< Sessions closed by the idle timeout.
 
   std::string ToJson() const;
@@ -64,6 +67,13 @@ class RequestMetrics {
   void RecordQuery(const Trace& trace, sparql::RequestMode mode,
                    StatusCode code);
 
+  /// Folds one finished INGEST's trace into the storage histograms:
+  /// total wall time into `wdpt_storage_ingest_duration_seconds` and the
+  /// publish span into `wdpt_storage_publish_duration_seconds`. Ingests
+  /// never enter the query stage histograms — those keep the invariant
+  /// that every stage count equals the number of queries served.
+  void RecordIngest(const Trace& trace, StatusCode code);
+
   /// Counts a query shed at admission. Shed requests never enter the
   /// staged pipeline, so they are deliberately absent from the stage
   /// histograms.
@@ -78,14 +88,21 @@ class RequestMetrics {
   /// in-flight / snapshot-version gauges, response-status counters, and
   /// both histogram families (cumulative `le` buckets in seconds).
   /// Series with zero observations are omitted to bound the payload.
+  /// When `storage` is non-null (storage-backed servers) the
+  /// wdpt_storage_* counter/gauge families and the ingest/publish
+  /// latency histograms are appended.
   std::string RenderPrometheus(const ServerCounters& counters,
                                const EngineStats& engine, uint64_t in_flight,
-                               uint64_t snapshot_version) const;
+                               uint64_t snapshot_version,
+                               const storage::StorageStats* storage =
+                                   nullptr) const;
 
  private:
-  metrics::LatencyHistogram stage_mode_[kTraceStageCount][kRequestModeCount];
+  /// Query pipeline stages only (kQueueWait..kSerialize); the storage
+  /// stages appended to TraceStage never occur in a QUERY trace.
+  metrics::LatencyHistogram stage_mode_[kQueryStageCount][kRequestModeCount];
   metrics::LatencyHistogram
-      stage_class_[kTraceStageCount][kTractabilityClassCount];
+      stage_class_[kQueryStageCount][kTractabilityClassCount];
   /// Shard-task count per sharded request (unitless values, not ns).
   metrics::LatencyHistogram shard_fanout_;
   /// Wall time of each individual shard task of sharded requests.
@@ -93,6 +110,10 @@ class RequestMetrics {
   /// Total request wall time keyed by answer-cache outcome
   /// (bypass / hit / miss).
   metrics::LatencyHistogram cache_wall_[kCacheOutcomeCount];
+  /// Total INGEST wall time (wal_append + apply + publish).
+  metrics::LatencyHistogram ingest_wall_;
+  /// Snapshot-publication span (MakeSnapshot + hot swap) of ingests.
+  metrics::LatencyHistogram publish_wall_;
   std::atomic<uint64_t> responses_by_status_[kStatusCodeCount] = {};
   std::atomic<uint64_t> queries_recorded_{0};
   std::atomic<uint64_t> rejected_{0};

@@ -101,6 +101,10 @@ const char* CommandName(Command command) {
       return "RELOAD";
     case Command::kMetrics:
       return "METRICS";
+    case Command::kIngest:
+      return "INGEST";
+    case Command::kCheckpoint:
+      return "CHECKPOINT";
   }
   return "PING";
 }
@@ -153,6 +157,10 @@ Result<Request> ParseRequest(std::string_view payload) {
     request.command = Command::kReload;
   } else if (token == "METRICS") {
     request.command = Command::kMetrics;
+  } else if (token == "INGEST") {
+    request.command = Command::kIngest;
+  } else if (token == "CHECKPOINT") {
+    request.command = Command::kCheckpoint;
   } else {
     return Status::InvalidArgument("unknown command '" + std::string(token) +
                                    "'");

@@ -10,7 +10,10 @@
 // Commands: QUERY (body = {AND, OPT} algebra text; headers mode,
 // deadline-ms, max-results, candidate, cache-control), STATS, PING,
 // RELOAD (body = triples text replacing the live snapshot), METRICS
-// (Prometheus text exposition, one line per response row). Response
+// (Prometheus text exposition, one line per response row), INGEST
+// (body = `add s p o` / `remove s p o` lines, one atomic durable
+// batch; requires a storage-backed server), CHECKPOINT (compacts the
+// WAL into a fresh snapshot file, no body). Response
 // bodies carry `rows` answer lines; headers carry the row count,
 // truncation flag, retry-after-ms (with status "overloaded"), a human
 // message, a `cached` flag (the answer came from the server's answer
@@ -33,11 +36,13 @@
 namespace wdpt::server {
 
 enum class Command {
-  kQuery,    ///< Evaluate a query against the live snapshot.
-  kStats,    ///< Engine + server counters as JSON.
-  kPing,     ///< Liveness / round-trip probe.
-  kReload,   ///< Swap in a new snapshot parsed from the body.
-  kMetrics,  ///< Prometheus text exposition (histograms included).
+  kQuery,       ///< Evaluate a query against the live snapshot.
+  kStats,       ///< Engine + server counters as JSON.
+  kPing,        ///< Liveness / round-trip probe.
+  kReload,      ///< Swap in a new snapshot parsed from the body.
+  kMetrics,     ///< Prometheus text exposition (histograms included).
+  kIngest,      ///< Durably apply a batch of add/remove triples.
+  kCheckpoint,  ///< Compact the WAL into a fresh snapshot file.
 };
 
 const char* CommandName(Command command);

@@ -67,6 +67,18 @@ Status Server::Start(std::shared_ptr<const Snapshot> initial) {
   return Status::Ok();
 }
 
+Status Server::StartWithStorage(
+    std::unique_ptr<storage::StorageManager> storage) {
+  if (storage == nullptr) {
+    return Status::InvalidArgument("storage manager must not be null");
+  }
+  storage_ = std::move(storage);
+  std::shared_ptr<const Snapshot> initial = storage_->CurrentSnapshot();
+  Status started = Start(std::move(initial));
+  if (!started.ok()) storage_.reset();
+  return started;
+}
+
 void Server::Stop() {
   if (!started_.load() || stopping_.exchange(true)) return;
   // Wind down in-flight evaluations; admitted requests surface
@@ -107,11 +119,20 @@ ServerCounters Server::counters() const {
   c.admitted = admission_.admitted();
   c.rejected_overload = admission_.rejected();
   c.reloads = reloads_.load(std::memory_order_relaxed);
+  c.ingests = ingests_.load(std::memory_order_relaxed);
+  c.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   c.idle_timeouts = idle_timeouts_.load(std::memory_order_relaxed);
   return c;
 }
 
 std::string Server::MetricsText() const {
+  if (storage_ != nullptr) {
+    storage::StorageStats storage_stats = storage_->stats();
+    return metrics_.RenderPrometheus(counters(), engine_.stats(),
+                                     admission_.in_flight(),
+                                     CurrentSnapshot()->version,
+                                     &storage_stats);
+  }
   return metrics_.RenderPrometheus(counters(), engine_.stats(),
                                    admission_.in_flight(),
                                    snapshot_.Load()->version);
@@ -220,6 +241,10 @@ Response Server::Dispatch(const Request& request) {
       return HandleMetrics();
     case Command::kReload:
       return HandleReload(request.body);
+    case Command::kIngest:
+      return HandleIngest(request.body);
+    case Command::kCheckpoint:
+      return HandleCheckpoint();
     case Command::kQuery:
       return HandleQuery(request.query);
   }
@@ -254,7 +279,7 @@ Response Server::HandleQuery(const sparql::QueryRequest& query) {
 
   // Pin the dataset version and start the deadline clock *now*, before
   // the pool handoff, so time spent waiting for a worker counts.
-  std::shared_ptr<const Snapshot> snapshot = snapshot_.Load();
+  std::shared_ptr<const Snapshot> snapshot = CurrentSnapshot();
   CancelToken token = stop_token_;
   if (local.deadline_ms != 0) {
     token = CancelToken::Child(stop_token_);
@@ -317,6 +342,13 @@ void Server::MaybeLogSlowQuery(const Trace& trace, StatusCode code) {
 
 Response Server::HandleReload(const std::string& triples) {
   Response r;
+  if (storage_ != nullptr) {
+    r.code = StatusCode::kInvalidArgument;
+    r.message =
+        "storage-backed server: RELOAD would bypass the WAL; use "
+        "INGEST/CHECKPOINT";
+    return r;
+  }
   if (!options_.allow_reload) {
     r.code = StatusCode::kInvalidArgument;
     r.message = "reload is disabled on this server";
@@ -337,6 +369,70 @@ Response Server::HandleReload(const std::string& triples) {
   reloads_.fetch_add(1, std::memory_order_relaxed);
   r.message = "reloaded: " + std::to_string(facts) + " facts, version " +
               std::to_string(version);
+  return r;
+}
+
+Response Server::HandleIngest(const std::string& body) {
+  Response r;
+  if (storage_ == nullptr) {
+    r.code = StatusCode::kInvalidArgument;
+    r.message =
+        "this server has no durable storage attached; start wdpt_server "
+        "with --data-dir to accept INGEST";
+    return r;
+  }
+  Result<std::vector<storage::TripleOp>> ops =
+      storage::ParseIngestBody(body);
+  if (!ops.ok()) {
+    r.code = ops.status().code();
+    r.message = ops.status().ToString();
+    return r;
+  }
+  Trace trace(next_request_id_.fetch_add(1, std::memory_order_relaxed));
+  trace.set_mode("ingest");
+  Result<storage::IngestResult> applied = storage_->Ingest(*ops, &trace);
+  if (!applied.ok()) {
+    r.code = applied.status().code();
+    r.message = applied.status().ToString();
+    metrics_.RecordIngest(trace, r.code);
+    MaybeLogSlowQuery(trace, r.code);
+    return r;
+  }
+  ingests_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.RecordIngest(trace, StatusCode::kOk);
+  MaybeLogSlowQuery(trace, StatusCode::kOk);
+  r.message = "ingested: " + std::to_string(applied->added) + " adds, " +
+              std::to_string(applied->removed) + " removes, version " +
+              std::to_string(applied->version);
+  r.stats_json = "{\"added\":" + std::to_string(applied->added) +
+                 ",\"removed\":" + std::to_string(applied->removed) +
+                 ",\"version\":" + std::to_string(applied->version) +
+                 ",\"facts\":" + std::to_string(applied->facts) + "}";
+  return r;
+}
+
+Response Server::HandleCheckpoint() {
+  Response r;
+  if (storage_ == nullptr) {
+    r.code = StatusCode::kInvalidArgument;
+    r.message =
+        "this server has no durable storage attached; start wdpt_server "
+        "with --data-dir to accept CHECKPOINT";
+    return r;
+  }
+  Trace trace(next_request_id_.fetch_add(1, std::memory_order_relaxed));
+  trace.set_mode("checkpoint");
+  Result<storage::CheckpointResult> done = storage_->Checkpoint(&trace);
+  if (!done.ok()) {
+    r.code = done.status().code();
+    r.message = done.status().ToString();
+    return r;
+  }
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  MaybeLogSlowQuery(trace, StatusCode::kOk);
+  r.message = "checkpointed: snapshot " + std::to_string(done->snapshot_seq) +
+              ", " + std::to_string(done->facts) + " facts, compacted " +
+              std::to_string(done->wal_bytes_compacted) + " WAL bytes";
   return r;
 }
 

@@ -41,6 +41,7 @@
 #include "src/server/metrics.h"
 #include "src/server/protocol.h"
 #include "src/server/snapshot.h"
+#include "src/storage/storage_manager.h"
 
 namespace wdpt::server {
 
@@ -101,6 +102,16 @@ class Server {
   /// Fails if the port is taken or the server already started.
   Status Start(std::shared_ptr<const Snapshot> initial);
 
+  /// Starts a storage-backed server: serves `storage`'s recovered
+  /// snapshot, accepts INGEST/CHECKPOINT (writes go through the WAL and
+  /// the manager's hot-swap publication), and rejects RELOAD — a
+  /// client-supplied snapshot would bypass durability. The server owns
+  /// the manager.
+  Status StartWithStorage(std::unique_ptr<storage::StorageManager> storage);
+
+  /// The attached manager (null unless StartWithStorage was used).
+  storage::StorageManager* storage() const { return storage_.get(); }
+
   /// Cancels in-flight work, closes every connection, joins all
   /// threads. Idempotent.
   void Stop();
@@ -112,9 +123,12 @@ class Server {
   /// assigned at LoadSnapshot time). Safe under live traffic.
   void SwapSnapshot(std::shared_ptr<const Snapshot> snapshot);
 
-  /// The snapshot new requests are currently admitted against.
+  /// The snapshot new requests are currently admitted against. With
+  /// storage attached this delegates to the manager, whose writer mutex
+  /// orders publications so versions never run backwards.
   std::shared_ptr<const Snapshot> CurrentSnapshot() const {
-    return snapshot_.Load();
+    return storage_ != nullptr ? storage_->CurrentSnapshot()
+                               : snapshot_.Load();
   }
 
   ServerCounters counters() const;
@@ -130,11 +144,14 @@ class Server {
   Response Dispatch(const Request& request);
   Response HandleQuery(const sparql::QueryRequest& query);
   Response HandleReload(const std::string& triples);
+  Response HandleIngest(const std::string& body);
+  Response HandleCheckpoint();
   Response HandleStats();
   Response HandleMetrics();
 
   /// Emits the trace breakdown to the slow-query sink when the request's
-  /// total traced time crossed options_.slow_query_ms.
+  /// total traced time crossed options_.slow_query_ms. Covers ingests
+  /// too (mode=ingest, wal_append/apply/publish stages in the line).
   void MaybeLogSlowQuery(const Trace& trace, StatusCode code);
 
   ServerOptions options_;
@@ -142,6 +159,9 @@ class Server {
   ThreadPool pool_;
   AdmissionController admission_;
   SnapshotHolder snapshot_;
+  /// Durable storage behind INGEST/CHECKPOINT; null for text-loaded
+  /// servers (which keep RELOAD instead).
+  std::unique_ptr<storage::StorageManager> storage_;
   /// Fires on Stop; every request token is a child of it.
   CancelToken stop_token_;
 
@@ -161,6 +181,8 @@ class Server {
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> reloads_{0};
+  std::atomic<uint64_t> ingests_{0};
+  std::atomic<uint64_t> checkpoints_{0};
   std::atomic<uint64_t> idle_timeouts_{0};
   std::atomic<uint64_t> next_request_id_{1};
   RequestMetrics metrics_;

@@ -23,4 +23,22 @@ Result<std::shared_ptr<const Snapshot>> LoadSnapshot(
   return std::shared_ptr<const Snapshot>(std::move(snapshot));
 }
 
+Result<std::shared_ptr<const Snapshot>> MakeSnapshot(const RdfContext& ctx,
+                                                     const Database& db,
+                                                     uint64_t version,
+                                                     size_t shards) {
+  auto snapshot = std::make_shared<Snapshot>();
+  // Copy-assigning the context keeps snapshot->ctx at a stable address,
+  // so the cloned database can point at its schema.
+  snapshot->ctx = ctx;
+  snapshot->db = db.CloneWithSchema(&snapshot->ctx.schema());
+  snapshot->version = version;
+  snapshot->db.WarmColumnIndexes();
+  if (shards > 1) {
+    snapshot->sharded =
+        std::make_unique<ShardedDatabase>(snapshot->db, shards);
+  }
+  return std::shared_ptr<const Snapshot>(std::move(snapshot));
+}
+
 }  // namespace wdpt::server

@@ -63,6 +63,16 @@ struct Snapshot {
 Result<std::shared_ptr<const Snapshot>> LoadSnapshot(
     std::string_view triples, uint64_t version, size_t shards = 1);
 
+/// Builds a snapshot from an already-materialized (context, database)
+/// pair — the storage layer's publish path: the pair is deep-copied
+/// into the snapshot (the copy's schema pointer rebound to the copied
+/// context), indexes warmed, and shards rebuilt, exactly like a text
+/// load. The source pair stays untouched and mutable.
+Result<std::shared_ptr<const Snapshot>> MakeSnapshot(const RdfContext& ctx,
+                                                     const Database& db,
+                                                     uint64_t version,
+                                                     size_t shards = 1);
+
 /// Mutex-guarded shared_ptr publication point. Load() hands a reader a
 /// stable reference; Store() replaces it for future readers only.
 class SnapshotHolder {

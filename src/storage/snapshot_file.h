@@ -1,0 +1,69 @@
+// Versioned binary snapshot files: the durable form of a dataset.
+//
+// A snapshot file is a (vocabulary, relations) image of a Database:
+//
+//   header (40 bytes, little-endian):
+//     magic            8 bytes  "WDPTSNP1"
+//     format_version   u32      currently 1
+//     relation_count   u32
+//     constant_count   u64
+//     body_bytes       u64      bytes after the header
+//     body_checksum    u64      XXH64 over the body
+//   body:
+//     constants        constant_count x (u32 length, bytes),
+//                      written in interned-id order so a reload interns
+//                      them back to the same dense ids
+//     relations        relation_count x relation block
+//   relation block:
+//     name             u32 length, bytes
+//     arity            u32
+//     row_count        u64
+//     columns          arity x (row_count x u32 constant id) — column
+//                      blocks, so a column scan is one contiguous read
+//
+// The reader maps the file (falling back to a plain read when mmap is
+// unavailable), verifies the magic, size, and checksum before trusting
+// any length field, and rebuilds an (RdfContext, Database) pair. Binary
+// load skips the tokenizer and per-line interning of the text triple
+// path entirely — see bench/bench_storage.cpp for the measured ratio.
+//
+// Corruption (bad magic, impossible lengths, checksum mismatch) is
+// rejected with a kParseError naming the file and the failing check;
+// a missing file is kNotFound. See docs/STORAGE.md.
+
+#ifndef WDPT_SRC_STORAGE_SNAPSHOT_FILE_H_
+#define WDPT_SRC_STORAGE_SNAPSHOT_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/relational/database.h"
+#include "src/relational/rdf.h"
+
+namespace wdpt::storage {
+
+/// Counters reported by the writer/reader (for logs and benchmarks).
+struct SnapshotFileInfo {
+  uint64_t constants = 0;
+  uint64_t facts = 0;
+  uint64_t file_bytes = 0;
+};
+
+/// Serializes `db` (and the constants of `ctx`'s vocabulary) to `path`,
+/// fsyncing before returning. Overwrites an existing file; callers that
+/// need crash-atomic replacement write to a temp name and rename (see
+/// StorageManager::Checkpoint).
+Status WriteSnapshotFile(const std::string& path, const RdfContext& ctx,
+                         const Database& db,
+                         SnapshotFileInfo* info = nullptr);
+
+/// Loads `path` into `*ctx` / `*db`, which must be a freshly constructed
+/// RdfContext and a database over its schema (constants are interned in
+/// file order, so ids match the written ones only on a fresh context).
+Status ReadSnapshotFile(const std::string& path, RdfContext* ctx,
+                        Database* db, SnapshotFileInfo* info = nullptr);
+
+}  // namespace wdpt::storage
+
+#endif  // WDPT_SRC_STORAGE_SNAPSHOT_FILE_H_

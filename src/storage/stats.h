@@ -1,0 +1,33 @@
+// Counters exported by the StorageManager (dependency-free so the
+// server's metrics renderer can consume them without pulling in the
+// storage implementation headers).
+
+#ifndef WDPT_SRC_STORAGE_STATS_H_
+#define WDPT_SRC_STORAGE_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wdpt::storage {
+
+/// A consistent snapshot of the manager's monotonic counters and
+/// gauges; rendered as the wdpt_storage_* METRICS families and in the
+/// STATS command's JSON.
+struct StorageStats {
+  uint64_t wal_appends = 0;       ///< Entries appended since open.
+  uint64_t wal_bytes = 0;         ///< Bytes appended since open.
+  uint64_t replays = 0;           ///< WAL entries replayed at open.
+  uint64_t replayed_ops = 0;      ///< Ops across replayed entries.
+  uint64_t truncated_bytes = 0;   ///< Torn-tail bytes dropped at open.
+  uint64_t checkpoints = 0;       ///< WAL compactions into a snapshot.
+  uint64_t publishes = 0;         ///< Immutable snapshots published.
+  uint64_t wal_backlog_bytes = 0; ///< Current wal.log size (gauge).
+  uint64_t snapshot_seq = 0;      ///< Sequence of the snapshot file.
+  uint64_t snapshot_load_ns = 0;  ///< Wall time of the open-time load.
+
+  std::string ToJson() const;
+};
+
+}  // namespace wdpt::storage
+
+#endif  // WDPT_SRC_STORAGE_STATS_H_

@@ -1,0 +1,109 @@
+// Append-only write-ahead log of add/remove-triple records.
+//
+// Every INGEST batch becomes exactly one WAL entry, appended (and, with
+// the always-fsync policy, fdatasync'ed) *before* the batch is applied
+// or acked — the entry is the durability point. Entry framing:
+//
+//   entry   := length u32 | checksum u64 | payload
+//   payload := op_count u32 | op*
+//   op      := kind u8 (1 = add, 2 = remove) | str s | str p | str o
+//   str     := length u32 | bytes
+//
+// The checksum is XXH64 over the payload, so an entry is atomic: it
+// either replays in full or not at all. Recovery (ReplayWal) scans
+// entries in order and stops at the first frame that is short, declares
+// an impossible length, fails its checksum, or does not parse — that
+// prefix property is what makes a torn tail (a crash mid-append)
+// indistinguishable from a clean end of log, and the tail is truncated
+// in place so the writer never appends after garbage. Replaying a WAL
+// over a checkpoint that already contains its effects is idempotent:
+// adds of present triples and removes of absent ones are no-ops, and
+// in-order replay makes the last op per triple win either way.
+//
+// See docs/STORAGE.md for the crash-recovery guarantees.
+
+#ifndef WDPT_SRC_STORAGE_WAL_H_
+#define WDPT_SRC_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace wdpt::storage {
+
+enum class TripleOpKind : uint8_t {
+  kAdd = 1,
+  kRemove = 2,
+};
+
+/// One logged mutation: add or remove the triple (s, p, o).
+struct TripleOp {
+  TripleOpKind kind = TripleOpKind::kAdd;
+  std::string s, p, o;
+};
+
+/// Parses an INGEST body: one op per line, `add <s> <p> <o>` or
+/// `remove <s> <p> <o>` (whitespace-separated, blank lines and `#`
+/// comments ignored). Errors name the offending line.
+Result<std::vector<TripleOp>> ParseIngestBody(std::string_view body);
+
+/// Appender for one WAL file. Not thread-safe: the StorageManager
+/// serializes writers.
+class WalWriter {
+ public:
+  /// Opens (creating if absent) `path` for appending. Run ReplayWal
+  /// first so a torn tail is truncated before anything is appended
+  /// after it. With `fsync_on_append`, every Append fdatasyncs before
+  /// returning — acked writes then survive power loss, not just a
+  /// process kill.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 bool fsync_on_append);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one entry holding the whole batch; sets `*entry_bytes` to
+  /// its on-disk size. The batch is durable (per the fsync policy) when
+  /// this returns Ok.
+  Status Append(const std::vector<TripleOp>& ops,
+                uint64_t* entry_bytes = nullptr);
+
+  /// Truncates the log to empty (after a checkpoint has captured its
+  /// effects in a snapshot file).
+  Status Reset();
+
+  /// Current log size in bytes.
+  uint64_t bytes() const { return bytes_; }
+
+ private:
+  WalWriter(int fd, bool fsync_on_append, uint64_t bytes)
+      : fd_(fd), fsync_on_append_(fsync_on_append), bytes_(bytes) {}
+
+  int fd_;
+  bool fsync_on_append_;
+  uint64_t bytes_;
+};
+
+/// What recovery found (and did) in a WAL file.
+struct WalRecovery {
+  uint64_t entries = 0;          ///< Entries replayed.
+  uint64_t ops = 0;              ///< Ops across those entries.
+  uint64_t valid_bytes = 0;      ///< Log size after truncation.
+  uint64_t truncated_bytes = 0;  ///< Torn-tail bytes dropped.
+};
+
+/// Replays every intact entry of `path` in order through `apply`, then
+/// truncates any torn tail in place. A missing file is an empty log.
+Result<WalRecovery> ReplayWal(
+    const std::string& path,
+    const std::function<void(const std::vector<TripleOp>&)>& apply);
+
+}  // namespace wdpt::storage
+
+#endif  // WDPT_SRC_STORAGE_WAL_H_

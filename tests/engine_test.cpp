@@ -86,7 +86,7 @@ std::vector<Mapping> MakeCandidates(const PatternTree& tree,
 // positionally against sequential Eval with identical options.
 void ExpectBatchMatchesSequential(const PatternTree& tree, const Database& db,
                                   const std::vector<Mapping>& hs,
-                                  const EvalOptions& options) {
+                                  const CallOptions& options) {
   EngineOptions eopts;
   eopts.num_threads = 4;
   Engine engine(eopts);
@@ -111,13 +111,13 @@ TEST(EngineBatch, Figure1AllSemanticsAndAlgorithms) {
   for (EvalAlgorithm algorithm :
        {EvalAlgorithm::kAuto, EvalAlgorithm::kNaive,
         EvalAlgorithm::kTractableDP}) {
-    EvalOptions options;
+    CallOptions options;
     options.algorithm = algorithm;
     ExpectBatchMatchesSequential(tree, db, hs, options);
   }
   for (EvalSemantics semantics :
        {EvalSemantics::kPartial, EvalSemantics::kMaximal}) {
-    EvalOptions options;
+    CallOptions options;
     options.semantics = semantics;
     ExpectBatchMatchesSequential(tree, db, hs, options);
   }
@@ -148,11 +148,11 @@ TEST(EngineBatch, RandomizedInstancesMatchSequential) {
     for (EvalSemantics semantics :
          {EvalSemantics::kStandard, EvalSemantics::kPartial,
           EvalSemantics::kMaximal}) {
-      EvalOptions options;
+      CallOptions options;
       options.semantics = semantics;
       ExpectBatchMatchesSequential(tree, db, hs, options);
     }
-    EvalOptions naive;
+    CallOptions naive;
     naive.algorithm = EvalAlgorithm::kNaive;
     ExpectBatchMatchesSequential(tree, db, hs, naive);
   }
@@ -177,7 +177,7 @@ TEST(EnginePlanCache, SecondIdenticalQueryHits) {
   EXPECT_GE(after_second.plan_cache_hits, 1u);
 
   // A different width bound is a different canonical key: builds anew.
-  EvalOptions wider;
+  CallOptions wider;
   wider.width_bound = 2;
   ASSERT_TRUE(engine.Eval(tree, db, empty, wider).ok());
   EXPECT_EQ(engine.stats().plans_built, 2u);
@@ -201,7 +201,7 @@ TEST(EngineDeadline, ExpiredDeadlineIsDeadlineExceededNotAPartialAnswer) {
   Database db = MakeExample2Db(&ctx);
 
   Engine engine;
-  EvalOptions options;
+  CallOptions options;
   options.deadline = std::chrono::nanoseconds(0);
   Result<bool> r = engine.Eval(tree, db, Mapping());
   ASSERT_TRUE(r.ok());  // Sanity: the query itself succeeds without one.
@@ -209,7 +209,7 @@ TEST(EngineDeadline, ExpiredDeadlineIsDeadlineExceededNotAPartialAnswer) {
   ASSERT_FALSE(expired.ok());
   EXPECT_EQ(expired.status().code(), StatusCode::kDeadlineExceeded);
 
-  EnumerateOptions eopts;
+  CallOptions eopts;
   eopts.deadline = std::chrono::nanoseconds(0);
   Result<std::vector<Mapping>> answers = engine.Enumerate(tree, db, eopts);
   ASSERT_FALSE(answers.ok());
@@ -228,7 +228,7 @@ TEST(EngineDeadline, BatchReportsFirstFailureInIndexOrder) {
   EngineOptions eng_opts;
   eng_opts.num_threads = 4;
   Engine engine(eng_opts);
-  EvalOptions options;
+  CallOptions options;
   options.deadline = std::chrono::nanoseconds(0);
   Result<std::vector<bool>> batch = engine.EvalBatch(tree, db, hs, options);
   ASSERT_FALSE(batch.ok());
@@ -244,13 +244,13 @@ TEST(EngineCancellation, PreCancelledTokenReturnsCancelled) {
   token.RequestCancel();
 
   Engine engine;
-  EvalOptions options;
+  CallOptions options;
   options.cancel = token;
   Result<bool> r = engine.Eval(tree, db, Mapping(), options);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
 
-  EnumerateOptions eopts;
+  CallOptions eopts;
   eopts.cancel = token;
   Result<std::vector<Mapping>> answers = engine.Enumerate(tree, db, eopts);
   ASSERT_FALSE(answers.ok());
@@ -345,7 +345,7 @@ TEST(EngineTrace, EvalRecordsSpansAndClassification) {
 
   Engine engine;
   Trace trace(7);
-  EvalOptions options;
+  CallOptions options;
   options.trace = &trace;
   ASSERT_TRUE(engine.Eval(tree, db, Mapping(), options).ok());
   EXPECT_NE(trace.classification(), TractabilityClass::kUnknown);
@@ -368,7 +368,7 @@ TEST(EngineTrace, EnumerateStampsClassificationWithoutFailing) {
 
   Engine engine;
   Trace trace;
-  EnumerateOptions options;
+  CallOptions options;
   options.trace = &trace;
   Result<std::vector<Mapping>> untraced = engine.Enumerate(tree, db);
   Result<std::vector<Mapping>> traced = engine.Enumerate(tree, db, options);

@@ -1,0 +1,129 @@
+// Malformed-input tests for the length-prefixed framing layer (ctest
+// label `server`): a hostile or corrupt length prefix must be rejected
+// without ballooning memory, truncation anywhere inside a frame must
+// surface as an error rather than a short payload, and a clean close at
+// a frame boundary must stay distinguishable (kNotFound) from both.
+// Frames travel over a socketpair so each case controls the exact bytes
+// on the wire.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/server/frame.h"
+
+namespace wdpt::server {
+namespace {
+
+// A connected local socket pair; fds close with the fixture.
+class FrameTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    int fds[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    writer_ = fds[0];
+    reader_ = fds[1];
+  }
+
+  void TearDown() override {
+    if (writer_ >= 0) close(writer_);
+    if (reader_ >= 0) close(reader_);
+  }
+
+  void SendRaw(const void* data, size_t len) {
+    ASSERT_EQ(send(writer_, data, len, 0), static_cast<ssize_t>(len));
+  }
+
+  // Big-endian length prefix, exactly as WriteFrame emits it.
+  void SendPrefix(uint32_t payload_len) {
+    unsigned char prefix[4] = {
+        static_cast<unsigned char>(payload_len >> 24),
+        static_cast<unsigned char>(payload_len >> 16),
+        static_cast<unsigned char>(payload_len >> 8),
+        static_cast<unsigned char>(payload_len)};
+    SendRaw(prefix, sizeof(prefix));
+  }
+
+  void CloseWriter() {
+    close(writer_);
+    writer_ = -1;
+  }
+
+  int writer_ = -1;
+  int reader_ = -1;
+};
+
+TEST_F(FrameTest, RoundTrip) {
+  ASSERT_TRUE(WriteFrame(writer_, "hello frame").ok());
+  Result<std::string> payload = ReadFrame(reader_);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_EQ(*payload, "hello frame");
+}
+
+TEST_F(FrameTest, OversizedLengthPrefixIsRejectedWithoutAllocating) {
+  // Announce a payload far beyond the cap; no payload bytes follow.
+  // The reader must refuse based on the prefix alone.
+  SendPrefix(0xFFFFFFF0u);
+  Result<std::string> payload = ReadFrame(reader_, /*max_bytes=*/1 << 20);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FrameTest, LengthPrefixJustOverCapIsRejected) {
+  SendPrefix(1025);
+  Result<std::string> payload = ReadFrame(reader_, /*max_bytes=*/1024);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(FrameTest, ZeroLengthFrameYieldsEmptyPayload) {
+  SendPrefix(0);
+  Result<std::string> payload = ReadFrame(reader_);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  EXPECT_TRUE(payload->empty());
+  // The connection is still usable for the next frame.
+  ASSERT_TRUE(WriteFrame(writer_, "next").ok());
+  Result<std::string> next = ReadFrame(reader_);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, "next");
+}
+
+TEST_F(FrameTest, TruncationMidHeaderIsAnError) {
+  // Two of the four prefix bytes, then EOF: not a clean close.
+  unsigned char partial[2] = {0x00, 0x00};
+  SendRaw(partial, sizeof(partial));
+  CloseWriter();
+  Result<std::string> payload = ReadFrame(reader_);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(FrameTest, TruncationMidPayloadIsAnError) {
+  SendPrefix(10);
+  SendRaw("abc", 3);
+  CloseWriter();
+  Result<std::string> payload = ReadFrame(reader_);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(FrameTest, CleanCloseAtFrameBoundaryIsNotFound) {
+  CloseWriter();
+  Result<std::string> payload = ReadFrame(reader_);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FrameTest, WriterRefusesPayloadOverCap) {
+  std::string big(2048, 'x');
+  Status status = WriteFrame(writer_, big, /*max_bytes=*/1024);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace wdpt::server

@@ -177,13 +177,29 @@ TEST(TraceTest, SpanRaiiRecordsOnScopeExit) {
 TEST(TraceTest, BreakdownNamesEveryStage) {
   Trace trace;
   trace.Record(TraceStage::kQueueWait, 1000000);
+  // Query-pipeline stages always print; the storage stages are elided
+  // while untouched so query log lines keep their shape.
   std::string breakdown = trace.BreakdownString();
+  for (size_t i = 0; i < kQueryStageCount; ++i) {
+    EXPECT_NE(breakdown.find(TraceStageName(static_cast<TraceStage>(i))),
+              std::string::npos)
+        << breakdown;
+  }
+  EXPECT_EQ(breakdown.find("wal_append"), std::string::npos) << breakdown;
+  EXPECT_NE(breakdown.find("queue=1.00ms"), std::string::npos) << breakdown;
+
+  // Once touched (an ingest/checkpoint trace), every stage is named.
+  trace.Record(TraceStage::kWalAppend, 2000000);
+  trace.Record(TraceStage::kApply, 3000000);
+  trace.Record(TraceStage::kPublish, 4000000);
+  breakdown = trace.BreakdownString();
   for (size_t i = 0; i < kTraceStageCount; ++i) {
     EXPECT_NE(breakdown.find(TraceStageName(static_cast<TraceStage>(i))),
               std::string::npos)
         << breakdown;
   }
-  EXPECT_NE(breakdown.find("queue=1.00ms"), std::string::npos) << breakdown;
+  EXPECT_NE(breakdown.find("wal_append=2.00ms"), std::string::npos)
+      << breakdown;
 }
 
 TEST(TraceTest, ClassificationAndModeLabels) {

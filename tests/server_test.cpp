@@ -89,6 +89,18 @@ Response LocalExpected(std::string_view triples,
   return ExecuteQuery(&engine, *MustLoad(triples, 1), request);
 }
 
+// The QueryCall equivalent of a transport-layer request, so tests can
+// hand one struct both to LocalExpected and to Client::Query.
+QueryCall AsCall(const sparql::QueryRequest& request) {
+  QueryCall call(request.query);
+  call.mode = request.mode;
+  call.deadline_ms = request.deadline_ms;
+  call.max_results = request.max_results;
+  call.candidate = request.candidate;
+  call.cache_bypass = request.cache_bypass;
+  return call;
+}
+
 // Minimal structural JSON sanity: non-empty, balanced braces/quotes,
 // starts/ends as an object.
 void ExpectLooksLikeJsonObject(const std::string& json) {
@@ -220,7 +232,7 @@ TEST(ServerWire, Figure1RoundTripMatchesSharedExecutionPath) {
     ASSERT_TRUE(expected.ok());
     ASSERT_FALSE(expected.rows.empty());
 
-    Result<Response> response = client.Query(request);
+    Result<Response> response = client.Query(AsCall(request));
     ASSERT_TRUE(response.ok()) << response.status().ToString();
     EXPECT_EQ(response->code, StatusCode::kOk);
     EXPECT_EQ(response->rows, expected.rows);
@@ -239,7 +251,7 @@ TEST(ServerWire, Figure1RoundTripMatchesSharedExecutionPath) {
     ASSERT_TRUE(expected.ok());
     ASSERT_EQ(expected.rows.size(), 1u);
 
-    Result<Response> response = client.Query(request);
+    Result<Response> response = client.Query(AsCall(request));
     ASSERT_TRUE(response.ok());
     EXPECT_EQ(response->code, StatusCode::kOk);
     EXPECT_EQ(response->rows, expected.rows);
@@ -250,7 +262,7 @@ TEST(ServerWire, Figure1RoundTripMatchesSharedExecutionPath) {
   sparql::QueryRequest capped;
   capped.query = kFig1Query;
   capped.max_results = 1;
-  Result<Response> truncated = client.Query(capped);
+  Result<Response> truncated = client.Query(AsCall(capped));
   ASSERT_TRUE(truncated.ok());
   EXPECT_EQ(truncated->code, StatusCode::kOk);
   EXPECT_EQ(truncated->rows.size(), 1u);
@@ -259,7 +271,7 @@ TEST(ServerWire, Figure1RoundTripMatchesSharedExecutionPath) {
   // A bad query is an application-level error on a healthy connection.
   sparql::QueryRequest bad;
   bad.query = "SELECT ?x WHERE ((?x, p)";
-  Result<Response> error = client.Query(bad);
+  Result<Response> error = client.Query(AsCall(bad));
   ASSERT_TRUE(error.ok());
   EXPECT_EQ(error->code, StatusCode::kParseError);
   ASSERT_TRUE(client.Ping().ok());  // Session survives the error.
@@ -320,7 +332,7 @@ TEST(ServerWire, ConcurrentClientsAreBitIdenticalToSequentialEval) {
       }
       for (int r = 0; r < kRequestsPerClient; ++r) {
         size_t qi = static_cast<size_t>(c + r) % mix.size();
-        Result<Response> response = client.Query(mix[qi]);
+        Result<Response> response = client.Query(AsCall(mix[qi]));
         if (!response.ok() || response->code != StatusCode::kOk ||
             response->rows != expected[qi].rows) {
           failures.fetch_add(1);
@@ -343,7 +355,7 @@ TEST(ServerWire, ExpiredDeadlineSurfacesDeadlineExceeded) {
   sparql::QueryRequest request;
   request.query = kSlowQuery;
   request.deadline_ms = 20;
-  Result<Response> response = client.Query(request);
+  Result<Response> response = client.Query(AsCall(request));
   ASSERT_TRUE(response.ok()) << response.status().ToString();
   EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded);
   EXPECT_TRUE(response->rows.empty());  // Never a partial answer.
@@ -359,7 +371,7 @@ TEST(ServerWire, ServerDefaultDeadlineAppliesWhenRequestHasNone) {
 
   sparql::QueryRequest request;
   request.query = kSlowQuery;  // No deadline of its own.
-  Result<Response> response = client.Query(request);
+  Result<Response> response = client.Query(AsCall(request));
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded);
 }
@@ -379,7 +391,7 @@ TEST(ServerWire, OverloadShedsWithRetryAfterAndRecovers) {
     sparql::QueryRequest request;
     request.query = kSlowQuery;
     request.deadline_ms = 400;
-    Result<Response> response = client.Query(request);
+    Result<Response> response = client.Query(AsCall(request));
     ASSERT_TRUE(response.ok());
     EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded);
   });
@@ -390,7 +402,7 @@ TEST(ServerWire, OverloadShedsWithRetryAfterAndRecovers) {
   sparql::QueryRequest quick;
   quick.query = "(?a, e, ?b)";
   quick.max_results = 1;
-  Result<Response> rejected = client.Query(quick);
+  Result<Response> rejected = client.Query(AsCall(quick));
   ASSERT_TRUE(rejected.ok());
   EXPECT_EQ(rejected->code, StatusCode::kOverloaded);
   EXPECT_EQ(rejected->retry_after_ms, 5u);
@@ -398,13 +410,13 @@ TEST(ServerWire, OverloadShedsWithRetryAfterAndRecovers) {
   slow.join();
 
   // Once the slot frees, the same request succeeds.
-  Result<Response> accepted = client.Query(quick);
+  Result<Response> accepted = client.Query(AsCall(quick));
   for (int attempt = 0;
        attempt < 200 && accepted.ok() &&
        accepted->code == StatusCode::kOverloaded;
        ++attempt) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
-    accepted = client.Query(quick);
+    accepted = client.Query(AsCall(quick));
   }
   ASSERT_TRUE(accepted.ok());
   EXPECT_EQ(accepted->code, StatusCode::kOk);
@@ -436,7 +448,7 @@ TEST(ServerWire, SnapshotSwapUnderTrafficNeverTearsReads) {
       sparql::QueryRequest request;
       request.query = kColorQuery;
       while (!done.load()) {
-        Result<Response> response = client.Query(request);
+        Result<Response> response = client.Query(AsCall(request));
         if (!response.ok() || response->code != StatusCode::kOk) {
           torn.fetch_add(1);
           break;
@@ -487,7 +499,7 @@ TEST(ServerWire, StatsJsonHasTheDocumentedShape) {
 
   sparql::QueryRequest request;
   request.query = kFig1Query;
-  Result<Response> query = client.Query(request);
+  Result<Response> query = client.Query(AsCall(request));
   ASSERT_TRUE(query.ok());
   ASSERT_EQ(query->code, StatusCode::kOk);
 
@@ -642,7 +654,7 @@ TEST(ServerWire, MetricsExpositionCountsQueriesPerStageAndClass) {
     sparql::QueryRequest request;
     request.query = kFig1Query;
     if (i % 2 == 1) request.mode = sparql::RequestMode::kMax;
-    Result<Response> response = client.Query(request);
+    Result<Response> response = client.Query(AsCall(request));
     ASSERT_TRUE(response.ok());
     ASSERT_EQ(response->code, StatusCode::kOk);
   }
@@ -722,7 +734,7 @@ TEST(ServerWire, DuplicateCandidateBindingIsRejected) {
   sparql::QueryRequest request;
   request.query = kFig1Query;
   request.candidate = "?rec=Swim ?rec=Swim";
-  Result<Response> response = client.Query(request);
+  Result<Response> response = client.Query(AsCall(request));
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->code, StatusCode::kInvalidArgument);
   EXPECT_NE(response->message.find("more than once"), std::string::npos)
@@ -747,7 +759,7 @@ TEST(ServerWire, SlowQueryLogCapturesTraceBreakdown) {
   sparql::QueryRequest request;
   request.query = kSlowQuery;
   request.deadline_ms = 20;  // Runs for ~20ms, far over the 1ms bar.
-  Result<Response> response = client.Query(request);
+  Result<Response> response = client.Query(AsCall(request));
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->code, StatusCode::kDeadlineExceeded);
 

@@ -263,7 +263,7 @@ TEST(ShardedEnumerate, TraceRecordsFanoutAndShardSpans) {
   Engine engine;
   ShardedDatabase sharded(db, 3);
   Trace trace(/*request_id=*/42);
-  EnumerateOptions opts;
+  CallOptions opts;
   opts.trace = &trace;
   ASSERT_TRUE(engine.Enumerate(tree, sharded, opts).ok());
   EXPECT_EQ(trace.shard_fanout(), 3u);

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the full tier-1 gate: configure + build + ctest for the default
+# preset, then the asan and tsan presets (which run the concurrency-
+# sensitive labels: engine, server, shards, cache, storage — see
+# CMakePresets.json). Any failing step fails the script.
+#
+# Usage: tools/run_tier1.sh [preset ...]
+#   With no arguments runs: default asan tsan.
+#   Pass a subset (e.g. `tools/run_tier1.sh default`) to run fewer.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default asan tsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "=== tier-1: preset ${preset} ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  ctest --preset "${preset}" -j "$(nproc)"
+done
+
+echo "=== tier-1: all presets passed (${presets[*]}) ==="

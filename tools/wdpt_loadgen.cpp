@@ -107,7 +107,7 @@ std::string MakeCatalogTriples(uint32_t bands) {
 
 // The fixed query mix: enumeration under both semantics, a truncated
 // variant, a projection to the optional branch, and a membership check.
-std::vector<sparql::QueryRequest> MakeQueryMix(uint64_t deadline_ms) {
+std::vector<server::QueryCall> MakeQueryMix(uint64_t deadline_ms) {
   const std::string base =
       "SELECT ?rec ?band ?rating WHERE "
       "(((?rec, recorded_by, ?band) AND (?rec, published, after_2010)) "
@@ -116,16 +116,16 @@ std::vector<sparql::QueryRequest> MakeQueryMix(uint64_t deadline_ms) {
       "SELECT ?band ?year WHERE "
       "((((?rec, recorded_by, ?band) AND (?rec, published, after_2010)) "
       "OPT (?rec, NME_rating, ?rating)) OPT (?band, formed_in, ?year))";
-  std::vector<sparql::QueryRequest> mix(5);
-  mix[0].query = base;
-  mix[1].query = base;
+  std::vector<server::QueryCall> mix(5, server::QueryCall(""));
+  mix[0].text = base;
+  mix[1].text = base;
   mix[1].mode = sparql::RequestMode::kMax;
-  mix[2].query = base;
+  mix[2].text = base;
   mix[2].max_results = 10;
-  mix[3].query = fig1;
-  mix[4].query = base;
+  mix[3].text = fig1;
+  mix[4].text = base;
   mix[4].candidate = "?rec=rec0_0 ?band=band0";
-  for (sparql::QueryRequest& q : mix) q.deadline_ms = deadline_ms;
+  for (server::QueryCall& q : mix) q.deadline_ms = deadline_ms;
   return mix;
 }
 
@@ -163,7 +163,7 @@ bool JsonField(const std::string& json, const std::string& key,
 
 RunResult RunLoad(const std::string& host, uint16_t port, unsigned clients,
                   uint64_t requests_per_client, uint64_t warmup_per_client,
-                  const std::vector<sparql::QueryRequest>& mix,
+                  const std::vector<server::QueryCall>& mix,
                   const std::vector<server::Response>* expected) {
   RunResult result;
   result.clients = clients;
@@ -410,17 +410,18 @@ int main(int argc, char** argv) {
   }
   size_t facts = (*snapshot)->db.TotalFacts();
 
-  std::vector<sparql::QueryRequest> mix = MakeQueryMix(deadline_ms);
+  std::vector<server::QueryCall> mix = MakeQueryMix(deadline_ms);
   if (cache_bypass) {
-    for (sparql::QueryRequest& q : mix) q.cache_bypass = true;
+    for (server::QueryCall& q : mix) q.cache_bypass = true;
   }
 
   // Expected responses via the exact code path the server runs.
   std::vector<server::Response> expected;
   if (verify) {
     Engine local_engine(EngineOptions{1, 128});
-    for (const sparql::QueryRequest& q : mix) {
-      expected.push_back(server::ExecuteQuery(&local_engine, **snapshot, q));
+    for (const server::QueryCall& q : mix) {
+      expected.push_back(
+          server::ExecuteQuery(&local_engine, **snapshot, q.ToRequest()));
       if (!expected.back().ok()) {
         std::fprintf(stderr, "query mix entry failed locally: %s\n",
                      expected.back().message.c_str());
@@ -532,8 +533,11 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(r.transport_errors),
                    static_cast<unsigned long long>(r.status_errors),
                    static_cast<unsigned long long>(r.mismatches));
+      // Any verification mismatch, unexpected status, transport error,
+      // or a run that issued no requests at all makes the process exit
+      // nonzero — CI treats this tool as a differential gate.
       if (r.transport_errors != 0 || r.status_errors != 0 ||
-          r.mismatches != 0) {
+          r.mismatches != 0 || r.requests == 0) {
         failed = true;
       }
       results.push_back(r);
@@ -582,7 +586,18 @@ int main(int argc, char** argv) {
   }
 
   if (failed) {
-    std::fprintf(stderr, "FAILED: errors or mismatches detected\n");
+    uint64_t mismatches = 0, status_errors = 0, transport_errors = 0;
+    for (const RunResult& r : results) {
+      mismatches += r.mismatches;
+      status_errors += r.status_errors;
+      transport_errors += r.transport_errors;
+    }
+    std::fprintf(stderr,
+                 "FAILED: %llu mismatches, %llu status errors, %llu "
+                 "transport errors\n",
+                 static_cast<unsigned long long>(mismatches),
+                 static_cast<unsigned long long>(status_errors),
+                 static_cast<unsigned long long>(transport_errors));
     return 1;
   }
   return 0;

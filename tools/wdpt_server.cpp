@@ -1,28 +1,43 @@
-// wdpt_server: serve WDPT queries over a triples file.
+// wdpt_server: serve WDPT queries over a triples file or a durable
+// data directory.
 //
 // Usage:
-//   wdpt_server --data FILE [--port N] [--workers N] [--queue N]
+//   wdpt_server (--data FILE | --data-dir DIR [--data FILE])
+//               [--port N] [--workers N] [--queue N]
 //               [--shards N] [--cache-bytes N] [--default-deadline-ms N]
 //               [--max-deadline-ms N] [--retry-after-ms N]
 //               [--idle-timeout-ms N] [--slow-query-ms N] [--no-reload]
+//               [--fsync] [--checkpoint-wal-bytes N]
 //               [--print-port] [--metrics-dump]
 //
 // Binds 127.0.0.1:<port> (0 = ephemeral; the chosen port is printed)
 // and serves the framed protocol described in docs/SERVER.md: QUERY /
-// STATS / PING / RELOAD / METRICS. The data file holds whitespace-
-// separated triples, one per line, '#' comments — the same format
-// wdpt_query reads. RELOAD swaps in a new dataset under live traffic
-// without pausing readers. --shards N (default 1) hash-partitions each
-// snapshot N ways and serves enumeration requests through the engine's
-// scatter-gather path (docs/ENGINE.md) — answers are identical to the
-// unsharded server. --cache-bytes N (default 0 = off) gives the engine
-// an answer cache of N bytes: repeated identical queries against the
-// same snapshot are served from memory, RELOAD invalidates by
-// construction, and clients can opt out per request with `cache-control:
-// bypass`. --idle-timeout-ms closes connections that go
-// quiet; --slow-query-ms logs a per-stage trace breakdown to stderr for
-// queries over the threshold; --metrics-dump prints the Prometheus
-// exposition to stdout at shutdown. Runs until SIGINT/SIGTERM.
+// STATS / PING / RELOAD / METRICS / INGEST / CHECKPOINT. The data file
+// holds whitespace-separated triples, one per line, '#' comments — the
+// same format wdpt_query reads. RELOAD swaps in a new dataset under
+// live traffic without pausing readers. --shards N (default 1)
+// hash-partitions each snapshot N ways and serves enumeration requests
+// through the engine's scatter-gather path (docs/ENGINE.md) — answers
+// are identical to the unsharded server. --cache-bytes N (default 0 =
+// off) gives the engine an answer cache of N bytes: repeated identical
+// queries against the same snapshot are served from memory, reloads
+// and ingests invalidate by construction, and clients can opt out per
+// request with `cache-control: bypass`.
+//
+// --data-dir DIR turns on durable storage (docs/STORAGE.md): the
+// directory's binary snapshot is loaded, its write-ahead log replayed
+// (torn tails truncated), and the server accepts INGEST (durable
+// add/remove batches, acked after the WAL append) and CHECKPOINT (WAL
+// compaction into a fresh snapshot file) instead of RELOAD. An empty
+// directory can be seeded from --data. --fsync makes every acked
+// ingest survive power loss, not just a killed process.
+// --checkpoint-wal-bytes N auto-compacts once the log crosses N bytes
+// (0 = only explicit CHECKPOINT).
+//
+// --idle-timeout-ms closes connections that go quiet; --slow-query-ms
+// logs a per-stage trace breakdown to stderr for queries (and ingests)
+// over the threshold; --metrics-dump prints the Prometheus exposition
+// to stdout at shutdown. Runs until SIGINT/SIGTERM.
 
 #include <csignal>
 #include <cstdio>
@@ -34,6 +49,7 @@
 
 #include "src/server/server.h"
 #include "src/server/snapshot.h"
+#include "src/storage/storage_manager.h"
 
 namespace {
 
@@ -43,13 +59,27 @@ void HandleSignal(int) { g_stop = 1; }
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --data FILE [--port N] [--workers N] [--queue N] "
+               "usage: %s (--data FILE | --data-dir DIR [--data FILE]) "
+               "[--port N] [--workers N] [--queue N] "
                "[--shards N] [--cache-bytes N] [--default-deadline-ms N] "
                "[--max-deadline-ms N] [--retry-after-ms N] "
                "[--idle-timeout-ms N] [--slow-query-ms N] [--no-reload] "
+               "[--fsync] [--checkpoint-wal-bytes N] "
                "[--print-port] [--metrics-dump]\n",
                argv0);
   return 2;
+}
+
+// Reads the whole triples file; exits the process on failure.
+std::string ReadTriplesFileOrDie(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
 }
 
 }  // namespace
@@ -57,13 +87,22 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   using namespace wdpt;
   std::string data_path;
+  std::string data_dir;
   server::ServerOptions options;
+  storage::StorageOptions storage_options;
   bool print_port = false;
   bool metrics_dump = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--data" && i + 1 < argc) {
       data_path = argv[++i];
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      data_dir = argv[++i];
+    } else if (arg == "--fsync") {
+      storage_options.fsync_wal = true;
+    } else if (arg == "--checkpoint-wal-bytes" && i + 1 < argc) {
+      storage_options.checkpoint_wal_bytes =
+          std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--port" && i + 1 < argc) {
       options.port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--workers" && i + 1 < argc) {
@@ -95,37 +134,59 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (data_path.empty()) return Usage(argv[0]);
-
-  std::ifstream file(data_path);
-  if (!file) {
-    std::fprintf(stderr, "error: cannot open %s\n", data_path.c_str());
-    return 1;
-  }
-  std::stringstream buffer;
-  buffer << file.rdbuf();
-
-  Result<std::shared_ptr<const server::Snapshot>> snapshot =
-      server::LoadSnapshot(buffer.str(), /*version=*/1, options.shards);
-  if (!snapshot.ok()) {
-    std::fprintf(stderr, "data error: %s\n",
-                 snapshot.status().ToString().c_str());
-    return 1;
-  }
-  size_t facts = (*snapshot)->db.TotalFacts();
+  if (data_path.empty() && data_dir.empty()) return Usage(argv[0]);
 
   server::Server srv(options);
-  Status started = srv.Start(std::move(*snapshot));
-  if (!started.ok()) {
-    std::fprintf(stderr, "start error: %s\n", started.ToString().c_str());
-    return 1;
+  size_t facts = 0;
+  if (!data_dir.empty()) {
+    storage_options.dir = data_dir;
+    storage_options.shards = options.shards;
+    Result<std::unique_ptr<storage::StorageManager>> manager =
+        storage::StorageManager::Open(storage_options);
+    if (!manager.ok()) {
+      std::fprintf(stderr, "storage error: %s\n",
+                   manager.status().ToString().c_str());
+      return 1;
+    }
+    if (!data_path.empty() &&
+        (*manager)->CurrentSnapshot()->db.TotalFacts() == 0) {
+      // Seed an empty directory from the triples file; a non-empty
+      // store ignores --data (the directory is the authority).
+      Status seeded = (*manager)->ImportTriples(ReadTriplesFileOrDie(data_path));
+      if (!seeded.ok()) {
+        std::fprintf(stderr, "seed error: %s\n", seeded.ToString().c_str());
+        return 1;
+      }
+    }
+    facts = (*manager)->CurrentSnapshot()->db.TotalFacts();
+    Status started = srv.StartWithStorage(std::move(*manager));
+    if (!started.ok()) {
+      std::fprintf(stderr, "start error: %s\n", started.ToString().c_str());
+      return 1;
+    }
+  } else {
+    Result<std::shared_ptr<const server::Snapshot>> snapshot =
+        server::LoadSnapshot(ReadTriplesFileOrDie(data_path), /*version=*/1,
+                             options.shards);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "data error: %s\n",
+                   snapshot.status().ToString().c_str());
+      return 1;
+    }
+    facts = (*snapshot)->db.TotalFacts();
+    Status started = srv.Start(std::move(*snapshot));
+    if (!started.ok()) {
+      std::fprintf(stderr, "start error: %s\n", started.ToString().c_str());
+      return 1;
+    }
   }
   if (print_port) {
     std::printf("%u\n", static_cast<unsigned>(srv.port()));
     std::fflush(stdout);
   }
-  std::fprintf(stderr, "serving %zu facts on 127.0.0.1:%u\n", facts,
-               static_cast<unsigned>(srv.port()));
+  std::fprintf(stderr, "serving %zu facts on 127.0.0.1:%u%s\n", facts,
+               static_cast<unsigned>(srv.port()),
+               data_dir.empty() ? "" : " (durable)");
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
