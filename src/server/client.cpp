@@ -1,5 +1,7 @@
 #include "src/server/client.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace wdpt::server {
@@ -7,10 +9,30 @@ namespace wdpt::server {
 Status Client::Connect(const std::string& host, uint16_t port,
                        uint32_t max_frame_bytes) {
   if (connected()) return Status::InvalidArgument("client already connected");
-  Result<int> fd = ConnectTcp(host, port);
+  // Remember the target before trying: a retrying call can then bring
+  // the connection up later even if this first attempt fails (the
+  // server may still be restarting).
+  host_ = host;
+  port_ = port;
+  target_known_ = true;
+  max_frame_bytes_ = max_frame_bytes;
+  return Reconnect();
+}
+
+Status Client::Reconnect() {
+  if (!target_known_) return Status::InvalidArgument("client not connected");
+  Close();
+  Result<int> fd = ConnectTcp(host_, port_, policy_.connect_timeout_ms,
+                              policy_.send_timeout_ms);
   if (!fd.ok()) return fd.status();
   fd_ = *fd;
-  max_frame_bytes_ = max_frame_bytes;
+  if (policy_.recv_timeout_ms != 0) {
+    Status armed = SetRecvTimeout(fd_, policy_.recv_timeout_ms);
+    if (!armed.ok()) {
+      Close();
+      return armed;
+    }
+  }
   return Status::Ok();
 }
 
@@ -19,13 +41,78 @@ void Client::Close() {
   fd_ = -1;
 }
 
+void Client::Backoff(uint32_t attempt, uint64_t hint_ms) {
+  uint64_t base = policy_.backoff_initial_ms;
+  for (uint32_t i = 1; i < attempt && base < policy_.backoff_max_ms; ++i) {
+    base *= 2;
+  }
+  if (base > policy_.backoff_max_ms) base = policy_.backoff_max_ms;
+  // Jitter: uniform in [base/2, base], so synchronized clients fan out
+  // instead of re-stampeding the server on the same tick.
+  uint64_t sleep_ms = base;
+  if (base > 1) {
+    sleep_ms = base / 2 + jitter_rng_() % (base - base / 2 + 1);
+  }
+  if (hint_ms > sleep_ms) sleep_ms = hint_ms;
+  retry_stats_.backoff_ms += sleep_ms;
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+}
+
 Result<Response> Client::Call(const Request& request) {
   if (!connected()) return Status::InvalidArgument("client not connected");
+  ++retry_stats_.attempts;
   Status sent = WriteFrame(fd_, SerializeRequest(request), max_frame_bytes_);
   if (!sent.ok()) return sent;
   Result<std::string> frame = ReadFrame(fd_, max_frame_bytes_);
   if (!frame.ok()) return frame.status();
   return ParseResponse(*frame);
+}
+
+Result<Response> Client::CallIdempotent(const Request& request) {
+  uint32_t max_attempts = policy_.max_attempts == 0 ? 1 : policy_.max_attempts;
+  Result<Response> last = Status::InvalidArgument("client not connected");
+  for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) ++retry_stats_.retries;
+    if (!connected()) {
+      Status up = Reconnect();
+      if (!up.ok()) {
+        last = up;
+        if (attempt == max_attempts) break;
+        Backoff(attempt, 0);
+        continue;
+      }
+      if (attempt > 1) ++retry_stats_.reconnects;
+    }
+    last = Call(request);
+    if (!last.ok()) {
+      // Transport failure: the stream may be desynchronized (torn
+      // frame, timeout mid-frame), so the connection is unusable either
+      // way — drop it and retry on a fresh one.
+      Close();
+      if (attempt == max_attempts) break;
+      Backoff(attempt, 0);
+      continue;
+    }
+    if (last->code == StatusCode::kOverloaded) {
+      // Load shedding / drain: the request was *not* started (status
+      // taxonomy), so retrying is safe even mid-drain. Honor the
+      // server's backoff hint.
+      if (attempt == max_attempts) break;
+      ++retry_stats_.overloaded_backoffs;
+      Backoff(attempt, last->retry_after_ms);
+      continue;
+    }
+    if (last->code == StatusCode::kCancelled) {
+      // The server shut down mid-request; no partial answer was
+      // produced (cancellation contract), so the retry — typically
+      // against the restarted server — is safe.
+      if (attempt == max_attempts) break;
+      Backoff(attempt, last->retry_after_ms);
+      continue;
+    }
+    return last;
+  }
+  return last;
 }
 
 sparql::QueryRequest QueryCall::ToRequest() const {
@@ -43,25 +130,25 @@ Result<Response> Client::Query(const QueryCall& call) {
   Request request;
   request.command = Command::kQuery;
   request.query = call.ToRequest();
-  return Call(request);
+  return CallIdempotent(request);
 }
 
 Result<Response> Client::Ping() {
   Request request;
   request.command = Command::kPing;
-  return Call(request);
+  return CallIdempotent(request);
 }
 
 Result<Response> Client::Stats() {
   Request request;
   request.command = Command::kStats;
-  return Call(request);
+  return CallIdempotent(request);
 }
 
 Result<Response> Client::Metrics() {
   Request request;
   request.command = Command::kMetrics;
-  return Call(request);
+  return CallIdempotent(request);
 }
 
 Result<Response> Client::Reload(std::string triples) {
@@ -75,6 +162,9 @@ Result<Response> Client::Ingest(std::string ops) {
   Request request;
   request.command = Command::kIngest;
   request.body = std::move(ops);
+  // One attempt, ever: a transport failure here is ambiguous (the WAL
+  // append may have happened before the connection died) and only the
+  // caller can decide whether re-applying the batch is safe.
   return Call(request);
 }
 

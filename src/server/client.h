@@ -7,11 +7,23 @@
 // Response whose `code` is not kOk — callers inspect `response.code`
 // the same way they would inspect a local Status. The client is not
 // thread-safe; use one Client per thread (connections are cheap).
+//
+// Resilience: a RetryPolicy (set_retry_policy) bounds every wire
+// operation (connect/send timeouts) and, for max_attempts > 1, retries
+// *idempotent* commands — QUERY, PING, STATS, METRICS — across
+// transport failures, kOverloaded shedding (honoring the server's
+// retry-after-ms hint), and kCancelled shutdown responses, with
+// bounded exponential backoff, seeded jitter, and automatic reconnect.
+// INGEST, CHECKPOINT, and RELOAD are *never* retried implicitly: after
+// an ambiguous transport failure the server may or may not have applied
+// the mutation, and only the caller can decide whether re-sending is
+// safe. See docs/RESILIENCE.md for the full policy.
 
 #ifndef WDPT_SRC_SERVER_CLIENT_H_
 #define WDPT_SRC_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <random>
 #include <string>
 
 #include "src/common/status.h"
@@ -70,6 +82,46 @@ struct QueryCall {
   sparql::QueryRequest ToRequest() const;
 };
 
+/// Wire-operation bounds and the idempotent-retry schedule. The default
+/// policy bounds connect/send (a blackholed peer fails in seconds, not
+/// kernel-retry minutes) but performs no retries (max_attempts = 1), so
+/// existing single-shot callers behave as before, just with a bounded
+/// wire.
+struct RetryPolicy {
+  /// Connect timeout (nonblocking connect + poll); 0 = blocking.
+  uint64_t connect_timeout_ms = 5000;
+  /// SO_SNDTIMEO on the connection; 0 = unbounded sends.
+  uint64_t send_timeout_ms = 5000;
+  /// SO_RCVTIMEO while waiting for a response; 0 = wait forever. A
+  /// response slower than this counts as a transport failure (the
+  /// connection is torn down), so keep it above the slowest expected
+  /// query or leave it 0 and rely on server-side deadlines.
+  uint64_t recv_timeout_ms = 0;
+  /// Total attempts for an idempotent call (first try included);
+  /// 1 = never retry.
+  uint32_t max_attempts = 1;
+  /// Backoff before attempt N+1: min(initial << (N-1), max), jittered
+  /// to a uniform draw in [half, full] so a thundering herd spreads
+  /// out. A server retry-after-ms hint raises the sleep to at least
+  /// the hint.
+  uint64_t backoff_initial_ms = 5;
+  uint64_t backoff_max_ms = 500;
+  /// Seed for the jitter PRNG: a fixed seed gives a reproducible
+  /// backoff schedule (chaos runs derive it from --chaos-seed).
+  uint64_t seed = 0;
+};
+
+/// Cumulative resilience counters for one Client (monotonic; read via
+/// Client::retry_stats). `retries` is the chaos gate's
+/// `wdpt_client_retries_total`.
+struct ClientRetryStats {
+  uint64_t attempts = 0;    ///< Wire attempts, first tries included.
+  uint64_t retries = 0;     ///< Attempts after the first, per call.
+  uint64_t reconnects = 0;  ///< Successful automatic reconnections.
+  uint64_t overloaded_backoffs = 0;  ///< Sleeps honoring a server hint.
+  uint64_t backoff_ms = 0;  ///< Total time spent backing off.
+};
+
 class Client {
  public:
   Client() = default;
@@ -78,36 +130,74 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects to a server at host:port (numeric IPv4).
+  /// Connects to a server at host:port (numeric IPv4), applying the
+  /// retry policy's connect/send/recv timeouts (not its retry loop:
+  /// Connect itself is one attempt; the per-call retry loop reconnects
+  /// as needed once the target is known). The target is remembered even
+  /// when this first attempt fails, so a retrying call can connect
+  /// later — e.g. to a server still restarting.
   Status Connect(const std::string& host, uint16_t port,
                  uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Installs the resilience policy; takes effect on the next connect
+  /// or retried call. See RetryPolicy.
+  void set_retry_policy(const RetryPolicy& policy) {
+    policy_ = policy;
+    jitter_rng_.seed(policy.seed);
+  }
+  const RetryPolicy& retry_policy() const { return policy_; }
+
+  /// Cumulative retry/reconnect counters for this client.
+  ClientRetryStats retry_stats() const { return retry_stats_; }
 
   void Close();
   bool connected() const { return fd_ >= 0; }
 
-  /// One framed round-trip. Requests on a connection are answered in
-  /// order.
+  /// One framed round-trip, exactly one attempt, no retry — the
+  /// building block for the non-idempotent commands. Requests on a
+  /// connection are answered in order.
   Result<Response> Call(const Request& request);
 
-  /// Convenience wrappers over Call.
+  /// Convenience wrappers over Call. Query/Ping/Stats/Metrics are
+  /// idempotent and retried per the policy; Reload/Ingest/Checkpoint
+  /// are sent at most once.
   Result<Response> Query(const QueryCall& call);
   Result<Response> Ping();
   Result<Response> Stats();
   /// Prometheus text exposition; one exposition line per response row.
   Result<Response> Metrics();
   /// Replaces the server's live snapshot with one parsed from `triples`.
+  /// Never retried implicitly.
   Result<Response> Reload(std::string triples);
   /// Durably applies one batch of mutations (storage-backed servers
   /// only). `ops` is the INGEST body: `add <s> <p> <o>` / `remove <s>
   /// <p> <o>` lines. The batch is on the server's WAL — and visible to
-  /// queries — when the response code is kOk.
+  /// queries — when the response code is kOk. Never retried implicitly:
+  /// after an ambiguous failure the caller must decide whether the
+  /// batch may already be applied.
   Result<Response> Ingest(std::string ops);
   /// Compacts the server's WAL into a fresh binary snapshot file.
+  /// Never retried implicitly.
   Result<Response> Checkpoint();
 
  private:
+  /// Retry loop for idempotent commands; single attempt when
+  /// max_attempts <= 1.
+  Result<Response> CallIdempotent(const Request& request);
+  /// (Re)establishes the connection to the remembered target.
+  Status Reconnect();
+  /// Sleeps the jittered backoff for attempt (1-based), raised to at
+  /// least `hint_ms`; accumulates retry_stats_.backoff_ms.
+  void Backoff(uint32_t attempt, uint64_t hint_ms);
+
   int fd_ = -1;
   uint32_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+  RetryPolicy policy_;
+  std::string host_;
+  uint16_t port_ = 0;
+  bool target_known_ = false;
+  std::mt19937_64 jitter_rng_{0};
+  ClientRetryStats retry_stats_;
 };
 
 }  // namespace wdpt::server

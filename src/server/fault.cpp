@@ -1,0 +1,122 @@
+#include "src/server/fault.h"
+
+namespace wdpt::server::fault {
+
+namespace {
+
+/// The installed injector. Install/Uninstall are expected to run while
+/// the faulted subsystems are quiescent (test setup/teardown, chaos-run
+/// boundaries); the steady-state hook is one relaxed load.
+std::atomic<Injector*> g_injector{nullptr};
+
+}  // namespace
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kConnect:
+      return "connect";
+    case Op::kSend:
+      return "send";
+    case Op::kRecv:
+      return "recv";
+    case Op::kWalWrite:
+      return "wal_write";
+    case Op::kWalSync:
+      return "wal_sync";
+  }
+  return "unknown";
+}
+
+Injector::Injector(const Options& options)
+    : options_(options), rng_(options.seed) {}
+
+Decision Injector::Next(Op op) {
+  Decision d;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto chance = [this](double prob) {
+    if (prob <= 0) return false;
+    return std::uniform_real_distribution<double>(0, 1)(rng_) < prob;
+  };
+  switch (op) {
+    case Op::kConnect:
+      if (chance(options_.connect_fail_prob)) {
+        d.fail = true;
+        connect_failures_.fetch_add(1, std::memory_order_relaxed);
+      } else if (chance(options_.delay_prob)) {
+        d.delay_ms = options_.delay_ms;
+        delays_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case Op::kSend: {
+      ++sends_seen_;
+      bool reset = options_.reset_send_every != 0 &&
+                   sends_seen_ % options_.reset_send_every == 0;
+      reset = reset || chance(options_.reset_prob);
+      if (reset) {
+        // A torn write: a byte or three leaves the socket, then the
+        // connection dies. The peer must treat the fragment as garbage
+        // (short frame), never as a parseable message.
+        d.reset = true;
+        d.cap_bytes = 1 + static_cast<size_t>(rng_() % 3);
+        resets_.fetch_add(1, std::memory_order_relaxed);
+      } else if (chance(options_.short_prob)) {
+        d.cap_bytes = 1;
+        short_ops_.fetch_add(1, std::memory_order_relaxed);
+      } else if (chance(options_.delay_prob)) {
+        d.delay_ms = options_.delay_ms;
+        delays_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    case Op::kRecv:
+      if (chance(options_.short_prob)) {
+        d.cap_bytes = 1;
+        short_ops_.fetch_add(1, std::memory_order_relaxed);
+      } else if (chance(options_.delay_prob)) {
+        d.delay_ms = options_.delay_ms;
+        delays_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case Op::kWalWrite:
+      ++wal_writes_seen_;
+      if ((options_.wal_fail_nth != 0 &&
+           wal_writes_seen_ == options_.wal_fail_nth) ||
+          chance(options_.wal_fail_prob)) {
+        d.fail = true;
+        wal_failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case Op::kWalSync:
+      if (chance(options_.wal_fail_prob)) {
+        d.fail = true;
+        wal_failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+  }
+  return d;
+}
+
+Counters Injector::counters() const {
+  Counters c;
+  c.delays = delays_.load(std::memory_order_relaxed);
+  c.short_ops = short_ops_.load(std::memory_order_relaxed);
+  c.resets = resets_.load(std::memory_order_relaxed);
+  c.connect_failures = connect_failures_.load(std::memory_order_relaxed);
+  c.wal_failures = wal_failures_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void Install(const Options& options) {
+  Injector* fresh = new Injector(options);
+  Injector* old = g_injector.exchange(fresh, std::memory_order_acq_rel);
+  delete old;
+}
+
+void Uninstall() {
+  Injector* old = g_injector.exchange(nullptr, std::memory_order_acq_rel);
+  delete old;
+}
+
+Injector* Get() { return g_injector.load(std::memory_order_acquire); }
+
+}  // namespace wdpt::server::fault

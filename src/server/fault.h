@@ -1,0 +1,121 @@
+// Deterministic fault injection for the transport and storage layers.
+//
+// An installed Injector sits between the frame/WAL code and the kernel:
+// every socket connect/send/recv and every WAL write/fsync asks it for
+// a Decision first, and the injector — driven by one seeded PRNG plus
+// deterministic every-Nth counters — answers with "delay this op",
+// "cap it to a few bytes" (a short read/write the caller must survive),
+// "tear the connection here" (a mid-frame reset: a byte or two goes out
+// and then the fd is shut down), or "fail it outright" (the WAL hook
+// writes a torn half-entry first, so recovery has a tail to truncate).
+//
+// Installation is process-global (Install/Uninstall) because both ends
+// of a loopback connection — the server's accepted fds and the client's
+// — live in one process in tests and in `wdpt_loadgen --chaos`; when
+// nothing is installed the hook is a single relaxed atomic load. The
+// same seed replays the same fault schedule, which is what lets the
+// chaos gate demand *zero* mismatches rather than "few".
+//
+// See docs/RESILIENCE.md for the knobs and how the chaos run uses them.
+
+#ifndef WDPT_SRC_SERVER_FAULT_H_
+#define WDPT_SRC_SERVER_FAULT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <random>
+
+namespace wdpt::server::fault {
+
+/// The operations the injector can interpose on.
+enum class Op : uint8_t {
+  kConnect = 0,  ///< ConnectTcp, before the connect(2).
+  kSend,         ///< One sendmsg(2) iteration inside WriteFrame.
+  kRecv,         ///< One recv(2) iteration inside RecvAll.
+  kWalWrite,     ///< One WAL entry append (write + checksum framing).
+  kWalSync,      ///< The fdatasync after a WAL append.
+};
+inline constexpr size_t kOpCount = 5;
+
+/// Stable label for the `kind` metric label ("connect", "send", ...).
+const char* OpName(Op op);
+
+/// What to do to one operation. Default: nothing.
+struct Decision {
+  uint64_t delay_ms = 0;  ///< Sleep this long before the op.
+  size_t cap_bytes = 0;   ///< >0: hand the kernel at most this many bytes.
+  bool reset = false;     ///< Tear the connection (shutdown) mid-op.
+  bool fail = false;      ///< Fail the op with an injected error.
+};
+
+/// Fault schedule knobs. Probabilities are per-operation and drawn from
+/// the seeded PRNG; the `*_every` counters are deterministic (every Nth
+/// matching op, 0 = off) and fire regardless of the probabilities, so a
+/// test can demand "the 3rd response send is torn" exactly.
+struct Options {
+  uint64_t seed = 1;
+  double delay_prob = 0;   ///< Chance a send/recv/connect is delayed.
+  uint64_t delay_ms = 2;   ///< The injected delay.
+  double short_prob = 0;   ///< Chance a send/recv is capped to 1 byte.
+  double reset_prob = 0;   ///< Chance a send tears the connection.
+  double connect_fail_prob = 0;  ///< Chance a connect fails outright.
+  double wal_fail_prob = 0;      ///< Chance a WAL write is torn + failed.
+  uint64_t reset_send_every = 0;  ///< Tear every Nth send (0 = off).
+  uint64_t wal_fail_nth = 0;      ///< Fail exactly the Nth WAL write.
+};
+
+/// Injection counts, by kind. Rendered into METRICS as
+/// `wdpt_fault_injections_total{kind=...}` while an injector is
+/// installed, so a chaos run can prove faults actually fired.
+struct Counters {
+  uint64_t delays = 0;
+  uint64_t short_ops = 0;
+  uint64_t resets = 0;
+  uint64_t connect_failures = 0;
+  uint64_t wal_failures = 0;
+};
+
+class Injector {
+ public:
+  explicit Injector(const Options& options);
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// The fault (if any) to apply to the next operation of kind `op`.
+  /// Thread-safe; the PRNG draw order is serialized under a mutex so a
+  /// fixed seed yields a fixed schedule of decisions.
+  Decision Next(Op op);
+
+  Counters counters() const;
+
+ private:
+  const Options options_;
+  std::mutex mu_;
+  std::mt19937_64 rng_;
+  uint64_t sends_seen_ = 0;
+  uint64_t wal_writes_seen_ = 0;
+  std::atomic<uint64_t> delays_{0};
+  std::atomic<uint64_t> short_ops_{0};
+  std::atomic<uint64_t> resets_{0};
+  std::atomic<uint64_t> connect_failures_{0};
+  std::atomic<uint64_t> wal_failures_{0};
+};
+
+/// Installs a process-global injector (replacing any previous one).
+/// Frame and WAL code consult it on every operation until Uninstall.
+void Install(const Options& options);
+
+/// Removes the global injector; subsequent operations run clean. Safe
+/// to call when none is installed.
+void Uninstall();
+
+/// The installed injector, or nullptr. The returned pointer stays
+/// valid until Uninstall; callers must not hold it across Uninstall.
+Injector* Get();
+
+}  // namespace wdpt::server::fault
+
+#endif  // WDPT_SRC_SERVER_FAULT_H_

@@ -1,39 +1,85 @@
 #include "src/server/frame.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <thread>
+
+#include "src/server/fault.h"
 
 namespace wdpt::server {
 
 namespace {
 
-// Returns 1 on success, 0 on clean EOF before any byte, an error
-// status otherwise (including EOF mid-buffer). EAGAIN/EWOULDBLOCK —
-// only possible once SetRecvTimeout armed SO_RCVTIMEO — maps to
-// kDeadlineExceeded so the session loop can distinguish an idle peer
-// from a broken one.
-Result<int> RecvAll(int fd, void* data, size_t len) {
+// Applies an injected fault decision's delay/reset parts to `fd`.
+// Returns true when the operation should proceed, false when the
+// connection was torn down (the caller must surface an error).
+bool ApplyFaultPrelude(int fd, const fault::Decision& d) {
+  if (d.delay_ms != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
+  }
+  if (d.reset) {
+    ::shutdown(fd, SHUT_RDWR);
+    return false;
+  }
+  return true;
+}
+
+// TCP_NODELAY failing leaves the connection slower, not wrong; report
+// it instead of silently serving with Nagle-delayed small frames.
+void SetNoDelayOrWarn(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    std::fprintf(stderr,
+                 "warning: setsockopt TCP_NODELAY on fd %d failed: %s\n", fd,
+                 std::strerror(errno));
+  }
+}
+
+// Returns 1 on success, 0 on clean EOF before any byte, an error status
+// otherwise (including EOF mid-buffer). EAGAIN/EWOULDBLOCK — only
+// possible once SetRecvTimeout armed SO_RCVTIMEO — means the receive
+// timeout fired: at a frame boundary with nothing read that is a clean
+// idle peer (kDeadlineExceeded, the session can say goodbye); anywhere
+// else the stream is desynchronized mid-frame and only a teardown is
+// safe, so it surfaces as kInternal like other wire corruption.
+Result<int> RecvAll(int fd, void* data, size_t len, bool at_frame_boundary) {
   char* p = static_cast<char*>(data);
   size_t got = 0;
   while (got < len) {
-    ssize_t n = ::recv(fd, p + got, len - got, 0);
+    size_t want = len - got;
+    if (fault::Injector* inj = fault::Get()) {
+      fault::Decision d = inj->Next(fault::Op::kRecv);
+      if (!ApplyFaultPrelude(fd, d)) {
+        return Status::Internal("injected connection reset during recv");
+      }
+      if (d.cap_bytes != 0 && d.cap_bytes < want) want = d.cap_bytes;
+    }
+    ssize_t n = ::recv(fd, p + got, want, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Status::DeadlineExceeded("recv timed out");
+        if (at_frame_boundary && got == 0) {
+          return Status::DeadlineExceeded("recv timed out");
+        }
+        return Status::Internal(
+            "recv timed out mid-frame; stream desynchronized");
       }
       return Status::Internal(std::string("recv failed: ") +
                               std::strerror(errno));
     }
     if (n == 0) {
-      if (got == 0) return 0;
+      if (got == 0 && at_frame_boundary) return 0;
       return Status::Internal("connection closed mid-frame");
     }
     got += static_cast<size_t>(n);
@@ -61,18 +107,35 @@ Status WriteFrame(int fd, std::string_view payload, uint32_t max_bytes) {
   size_t total = sizeof(len) + payload.size();
   size_t sent = 0;
   while (sent < total) {
+    size_t cap = total - sent;  // Bytes offered to this sendmsg.
+    bool reset_after = false;
+    if (fault::Injector* inj = fault::Get()) {
+      fault::Decision d = inj->Next(fault::Op::kSend);
+      if (d.delay_ms != 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
+      }
+      if (d.cap_bytes != 0 && d.cap_bytes < cap) cap = d.cap_bytes;
+      // A reset decision tears the connection *after* cap bytes leave:
+      // the peer sees a torn frame, not a clean close.
+      reset_after = d.reset;
+    }
     msghdr msg{};
     size_t skip = sent;
+    size_t budget = cap;
     iovec pending[2];
     int iovcnt = 0;
     for (const iovec& part : iov) {
+      if (budget == 0) break;
       if (skip >= part.iov_len) {
         skip -= part.iov_len;
         continue;
       }
+      size_t take = part.iov_len - skip;
+      if (take > budget) take = budget;
       pending[iovcnt].iov_base = static_cast<char*>(part.iov_base) + skip;
-      pending[iovcnt].iov_len = part.iov_len - skip;
+      pending[iovcnt].iov_len = take;
       skip = 0;
+      budget -= take;
       ++iovcnt;
     }
     msg.msg_iov = pending;
@@ -80,17 +143,28 @@ Status WriteFrame(int fd, std::string_view payload, uint32_t max_bytes) {
     ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO fired. Bytes may have left on earlier iterations,
+        // so the stream is torn; only a teardown is safe.
+        return Status::DeadlineExceeded(
+            "send timed out mid-frame; stream desynchronized");
+      }
       return Status::Internal(std::string("send failed: ") +
                               std::strerror(errno));
     }
     sent += static_cast<size_t>(n);
+    if (reset_after) {
+      ::shutdown(fd, SHUT_RDWR);
+      return Status::Internal("injected connection reset during send");
+    }
   }
   return Status::Ok();
 }
 
 Result<std::string> ReadFrame(int fd, uint32_t max_bytes) {
   uint32_t len_be = 0;
-  Result<int> header = RecvAll(fd, &len_be, sizeof(len_be));
+  Result<int> header =
+      RecvAll(fd, &len_be, sizeof(len_be), /*at_frame_boundary=*/true);
   if (!header.ok()) return header.status();
   if (*header == 0) return Status::NotFound("connection closed");
   uint32_t len = ntohl(len_be);
@@ -101,7 +175,8 @@ Result<std::string> ReadFrame(int fd, uint32_t max_bytes) {
   }
   std::string payload(len, '\0');
   if (len > 0) {
-    Result<int> body = RecvAll(fd, payload.data(), len);
+    Result<int> body =
+        RecvAll(fd, payload.data(), len, /*at_frame_boundary=*/false);
     if (!body.ok()) return body.status();
     if (*body == 0) return Status::Internal("connection closed mid-frame");
   }
@@ -115,7 +190,16 @@ Result<int> ListenLoopback(uint16_t port, uint16_t* bound_port) {
                             std::strerror(errno));
   }
   int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    // Without SO_REUSEADDR a restart onto the same port fails for the
+    // TIME_WAIT duration — fatal for graceful drain-and-restart, so
+    // fail loudly instead of binding a listener that can't come back.
+    Status s = Status::Internal(std::string(
+                                    "setsockopt SO_REUSEADDR failed: ") +
+                                std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -150,8 +234,7 @@ Result<int> AcceptConnection(int listen_fd) {
   for (;;) {
     int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd >= 0) {
-      int one = 1;
-      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      SetNoDelayOrWarn(fd);
       return fd;
     }
     if (errno == EINTR) continue;
@@ -164,7 +247,16 @@ Result<int> AcceptConnection(int listen_fd) {
   }
 }
 
-Result<int> ConnectTcp(const std::string& host, uint16_t port) {
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       uint64_t connect_timeout_ms,
+                       uint64_t send_timeout_ms) {
+  if (fault::Injector* inj = fault::Get()) {
+    fault::Decision d = inj->Next(fault::Op::kConnect);
+    if (d.delay_ms != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
+    }
+    if (d.fail) return Status::Internal("injected connect failure");
+  }
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket failed: ") +
@@ -178,15 +270,72 @@ Result<int> ConnectTcp(const std::string& host, uint16_t port) {
     return Status::InvalidArgument("cannot parse IPv4 address '" + host +
                                    "'");
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  // Nonblocking connect + poll: a blackholed peer (no RST, no SYN-ACK)
+  // otherwise parks the caller in connect(2) for the kernel's multi-
+  // minute SYN retry budget, far past any client deadline.
+  if (connect_timeout_ms != 0) {
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      Status s = Status::Internal(std::string("fcntl O_NONBLOCK failed: ") +
+                                  std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc < 0 && errno == EINPROGRESS) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      do {
+        rc = ::poll(&pfd, 1, static_cast<int>(connect_timeout_ms));
+      } while (rc < 0 && errno == EINTR);
+      if (rc == 0) {
+        ::close(fd);
+        return Status::DeadlineExceeded(
+            "connect to " + host + ":" + std::to_string(port) +
+            " timed out after " + std::to_string(connect_timeout_ms) + " ms");
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (rc < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 ||
+          so_error != 0) {
+        if (so_error != 0) errno = so_error;
+        Status s = Status::Internal("connect to " + host + ":" +
+                                    std::to_string(port) + " failed: " +
+                                    std::strerror(errno));
+        ::close(fd);
+        return s;
+      }
+    } else if (rc < 0) {
+      Status s = Status::Internal("connect to " + host + ":" +
+                                  std::to_string(port) + " failed: " +
+                                  std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+    if (::fcntl(fd, F_SETFL, flags) < 0) {
+      Status s = Status::Internal(std::string("fcntl restore failed: ") +
+                                  std::strerror(errno));
+      ::close(fd);
+      return s;
+    }
+  } else if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) < 0) {
     Status s = Status::Internal("connect to " + host + ":" +
                                 std::to_string(port) + " failed: " +
                                 std::strerror(errno));
     ::close(fd);
     return s;
   }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (send_timeout_ms != 0) {
+    Status s = SetSendTimeout(fd, send_timeout_ms);
+    if (!s.ok()) {
+      ::close(fd);
+      return s;
+    }
+  }
+  SetNoDelayOrWarn(fd);
   return fd;
 }
 
@@ -196,6 +345,17 @@ Status SetRecvTimeout(int fd, uint64_t timeout_ms) {
   tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
   if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0) {
     return Status::Internal(std::string("setsockopt SO_RCVTIMEO failed: ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status SetSendTimeout(int fd, uint64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+    return Status::Internal(std::string("setsockopt SO_SNDTIMEO failed: ") +
                             std::strerror(errno));
   }
   return Status::Ok();

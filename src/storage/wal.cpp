@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "src/server/fault.h"
 #include "src/storage/checksum.h"
 
 namespace wdpt::storage {
@@ -169,22 +170,61 @@ WalWriter::~WalWriter() {
 Status WalWriter::Append(const std::vector<TripleOp>& ops,
                          uint64_t* entry_bytes) {
   if (ops.empty()) return Status::InvalidArgument("empty WAL batch");
+  if (poisoned_) {
+    // A previous append failed partway, so the file may end in a torn
+    // entry. Appending after it would produce an acked entry that
+    // replay never reaches (recovery stops at the first bad frame);
+    // refuse until the log is reopened through recovery.
+    return Status::Internal(
+        "WAL poisoned by an earlier failed append; reopen through "
+        "recovery before writing");
+  }
   std::string payload = EncodePayload(ops);
   std::string entry;
   entry.reserve(kEntryHeaderBytes + payload.size());
   AppendU32(&entry, static_cast<uint32_t>(payload.size()));
   AppendU64(&entry, Checksum64(payload));
   entry.append(payload);
+  if (server::fault::Injector* injector = server::fault::Get()) {
+    server::fault::Decision d = injector->Next(server::fault::Op::kWalWrite);
+    if (d.fail) {
+      // Model a crash mid-append: leave a torn half-entry on disk so
+      // recovery has a tail to find and truncate, then fail the op.
+      size_t torn = entry.size() / 2;
+      size_t woff = 0;
+      while (woff < torn) {
+        ssize_t n = ::write(fd_, entry.data() + woff, torn - woff);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        woff += static_cast<size_t>(n);
+      }
+      poisoned_ = true;
+      return Status::Internal("injected WAL write failure (torn entry)");
+    }
+  }
   size_t off = 0;
   while (off < entry.size()) {
     ssize_t n = ::write(fd_, entry.data() + off, entry.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
+      poisoned_ = true;
       return Errno("append to WAL", "");
     }
     off += static_cast<size_t>(n);
   }
+  if (server::fault::Injector* injector = server::fault::Get()) {
+    server::fault::Decision d = injector->Next(server::fault::Op::kWalSync);
+    if (d.fail) {
+      // The entry is fully written but not durable; treat it like a
+      // failed fdatasync (the ack must not go out).
+      poisoned_ = true;
+      return Status::Internal("injected WAL fsync failure");
+    }
+  }
   if (fsync_on_append_ && ::fdatasync(fd_) != 0) {
+    poisoned_ = true;
     return Errno("fdatasync WAL", "");
   }
   bytes_ += entry.size();
@@ -196,6 +236,8 @@ Status WalWriter::Reset() {
   if (::ftruncate(fd_, 0) != 0) return Errno("truncate WAL", "");
   if (::fsync(fd_) != 0) return Errno("fsync WAL", "");
   bytes_ = 0;
+  // Truncation removed any torn tail, so appending is safe again.
+  poisoned_ = false;
   return Status::Ok();
 }
 

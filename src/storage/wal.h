@@ -70,7 +70,11 @@ class WalWriter {
 
   /// Appends one entry holding the whole batch; sets `*entry_bytes` to
   /// its on-disk size. The batch is durable (per the fsync policy) when
-  /// this returns Ok.
+  /// this returns Ok. After any failed Append the writer is poisoned:
+  /// the file may end in a torn entry, and an entry appended after it
+  /// would be acked yet unreachable to recovery (replay stops at the
+  /// first bad frame), so every later Append fails until the log is
+  /// reopened through recovery.
   Status Append(const std::vector<TripleOp>& ops,
                 uint64_t* entry_bytes = nullptr);
 
@@ -88,6 +92,8 @@ class WalWriter {
   int fd_;
   bool fsync_on_append_;
   uint64_t bytes_;
+  /// Set when an Append failed partway; see Append.
+  bool poisoned_ = false;
 };
 
 /// What recovery found (and did) in a WAL file.

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Runs the full tier-1 gate: configure + build + ctest for the default
 # preset, then the asan and tsan presets (which run the concurrency-
-# sensitive labels: engine, server, shards, cache, storage — see
-# CMakePresets.json). Any failing step fails the script.
+# sensitive labels: engine, server, shards, cache, storage, resilience —
+# see CMakePresets.json), then a seeded `wdpt_loadgen --chaos` smoke run
+# (fault injection + drain/restart, zero mismatches required; see
+# docs/RESILIENCE.md). Any failing step fails the script.
 #
 # Usage: tools/run_tier1.sh [preset ...]
-#   With no arguments runs: default asan tsan.
-#   Pass a subset (e.g. `tools/run_tier1.sh default`) to run fewer.
+#   With no arguments runs: default asan tsan, then the chaos smoke.
+#   Pass a subset (e.g. `tools/run_tier1.sh default`) to run fewer
+#   presets; the chaos smoke runs whenever the default preset is built.
 
 set -euo pipefail
 
@@ -22,6 +25,14 @@ for preset in "${presets[@]}"; do
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "$(nproc)"
   ctest --preset "${preset}" -j "$(nproc)"
+done
+
+for preset in "${presets[@]}"; do
+  if [ "${preset}" = "default" ]; then
+    echo "=== tier-1: chaos smoke (seeded fault injection + drain) ==="
+    ./build/tools/wdpt_loadgen --chaos --chaos-seed 7 --clients 4 \
+      --requests 30 --bands 80
+  fi
 done
 
 echo "=== tier-1: all presets passed (${presets[*]}) ==="

@@ -6,6 +6,7 @@
 //                [--warmup N] [--deadline-ms N] [--workers N]
 //                [--queue N] [--cache-bytes N] [--cache-bypass]
 //                [--json FILE] [--no-verify] [--max-ping-p50-ms X]
+//                [--chaos] [--chaos-seed N] [--drain-ms N]
 //
 // Drives a fixed query mix from N concurrent client connections and
 // reports throughput and latency percentiles per client count — and,
@@ -43,8 +44,19 @@
 // server answered from its cache (the `cached` response header).
 // --json writes the measurements as a machine-readable report (the
 // bench_server_json target captures it as BENCH_server.json).
+//
+// --chaos switches to the resilience gate (docs/RESILIENCE.md): an
+// in-process server is hammered by retrying clients while a seeded
+// fault injector (--chaos-seed) tears frames, delays operations, and
+// fails connects, and mid-load the server is gracefully drained
+// (--drain-ms) and restarted on the same port. The run must end with
+// zero mismatches against sequential evaluation, zero unrecovered
+// transport or status errors, a nonzero wdpt_client_retries_total, and
+// a nonzero wdpt_server_drained_requests — faults must both fire and
+// be absorbed, bit-identically.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -59,6 +71,7 @@
 #include "src/common/percentile.h"
 #include "src/engine/engine.h"
 #include "src/server/client.h"
+#include "src/server/fault.h"
 #include "src/server/exec.h"
 #include "src/server/server.h"
 #include "src/server/snapshot.h"
@@ -75,7 +88,8 @@ int Usage(const char* argv0) {
                "[--warmup N] [--deadline-ms N] "
                "[--workers N] [--queue N] [--cache-bytes N] "
                "[--cache-bypass] [--json FILE] [--no-verify] "
-               "[--max-ping-p50-ms X]\n",
+               "[--max-ping-p50-ms X] [--chaos] [--chaos-seed N] "
+               "[--drain-ms N]\n",
                argv0);
   return 2;
 }
@@ -304,6 +318,244 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+// Chaos mode: seeded fault injection plus a mid-load graceful drain and
+// same-port restart, driven by retrying clients. Returns the process
+// exit code; nonzero when any answer mismatched sequential evaluation,
+// any error went unrecovered, no retry ever fired (the schedule was too
+// tame to prove anything), or no request drained gracefully.
+int RunChaos(const std::string& triples, unsigned clients,
+             uint64_t requests_per_client, unsigned workers, size_t queue,
+             size_t cache_bytes, const std::vector<server::QueryCall>& mix,
+             const std::vector<server::Response>* expected,
+             uint64_t chaos_seed, uint64_t drain_ms,
+             const std::string& json_path, size_t facts,
+             const std::string& dataset_name) {
+  server::fault::Options faults;
+  faults.seed = chaos_seed;
+  faults.delay_prob = 0.05;
+  faults.delay_ms = 1;
+  faults.short_prob = 0.05;
+  faults.reset_prob = 0.02;
+  faults.connect_fail_prob = 0.01;
+  server::fault::Install(faults);
+
+  server::ServerOptions options;
+  options.num_workers = workers;
+  options.admission_capacity = queue;
+  options.answer_cache_bytes = cache_bytes;
+  options.drain_ms = drain_ms;
+
+  Result<std::shared_ptr<const server::Snapshot>> serving =
+      server::LoadSnapshot(triples, /*version=*/1);
+  if (!serving.ok()) {
+    std::fprintf(stderr, "data error: %s\n",
+                 serving.status().ToString().c_str());
+    server::fault::Uninstall();
+    return 1;
+  }
+
+  auto srv = std::make_unique<server::Server>(options);
+  Status started = srv->Start(*serving);
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start error: %s\n",
+                 started.ToString().c_str());
+    server::fault::Uninstall();
+    return 1;
+  }
+  const uint16_t port = srv->port();
+  const uint64_t total_requests =
+      static_cast<uint64_t>(clients) * requests_per_client;
+
+  std::atomic<uint64_t> completed{0};
+  std::mutex totals_mu;
+  uint64_t requests = 0, transport_errors = 0, status_errors = 0,
+           mismatches = 0;
+  server::ClientRetryStats retry_totals;
+
+  std::vector<std::thread> threads;
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      server::Client client;
+      server::RetryPolicy policy;
+      policy.connect_timeout_ms = 2000;
+      policy.send_timeout_ms = 2000;
+      policy.max_attempts = 12;
+      policy.backoff_initial_ms = 2;
+      policy.backoff_max_ms = 100;
+      // Distinct per-client jitter streams, all derived from the run
+      // seed so the whole schedule replays from --chaos-seed alone.
+      policy.seed = chaos_seed * 1315423911ull + c;
+      client.set_retry_policy(policy);
+      // A failed first connect is fine: the target is remembered and
+      // the retry loop brings the connection up.
+      client.Connect("127.0.0.1", port);
+      uint64_t transport = 0, status = 0, mismatch = 0, issued = 0;
+      for (uint64_t r = 0; r < requests_per_client; ++r) {
+        size_t qi = (c + r) % mix.size();
+        Result<server::Response> response = client.Query(mix[qi]);
+        ++issued;
+        completed.fetch_add(1, std::memory_order_relaxed);
+        if (!response.ok()) {
+          // All attempts exhausted without a response: unrecovered.
+          ++transport;
+          continue;
+        }
+        if (response->code != StatusCode::kOk) {
+          ++status;
+          continue;
+        }
+        if (expected != nullptr) {
+          const server::Response& want = (*expected)[qi];
+          if (response->rows != want.rows ||
+              response->truncated != want.truncated) {
+            ++mismatch;
+          }
+        }
+      }
+      server::ClientRetryStats stats = client.retry_stats();
+      std::lock_guard<std::mutex> lock(totals_mu);
+      requests += issued;
+      transport_errors += transport;
+      status_errors += status;
+      mismatches += mismatch;
+      retry_totals.attempts += stats.attempts;
+      retry_totals.retries += stats.retries;
+      retry_totals.reconnects += stats.reconnects;
+      retry_totals.overloaded_backoffs += stats.overloaded_backoffs;
+      retry_totals.backoff_ms += stats.backoff_ms;
+    });
+  }
+
+  // Drive the graceful drain + restart from here while the clients
+  // hammer. The drained-request count only rises when the drain flag
+  // catches a request mid-flight, so in the (rare) cycle where every
+  // client happened to be between requests, drain again — bounded, and
+  // deterministic in outcome: the gate below still demands >= 1.
+  uint64_t drained = 0, drain_rejections = 0, restarts = 0;
+  auto all_done = [&] { return completed.load() >= total_requests; };
+  for (int cycle = 0; cycle < 5 && drained == 0 && !all_done(); ++cycle) {
+    // Let some load flow before pulling the plug.
+    uint64_t target = completed.load() + static_cast<uint64_t>(clients) * 2;
+    while (completed.load() < target && !all_done()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (all_done()) break;
+    srv->Drain(drain_ms);
+    server::ServerCounters counters = srv->counters();
+    drained += counters.drained_requests;
+    drain_rejections += counters.drain_rejections;
+    srv.reset();
+    // Restart on the same port (the listener checks SO_REUSEADDR for
+    // exactly this); a few bind retries absorb scheduler noise.
+    options.port = port;
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      srv = std::make_unique<server::Server>(options);
+      if (srv->Start(*serving).ok()) break;
+      srv.reset();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ++restarts;
+    if (srv == nullptr) {
+      std::fprintf(stderr, "chaos: could not restart server on port %u\n",
+                   static_cast<unsigned>(port));
+      break;
+    }
+  }
+
+  for (std::thread& t : threads) t.join();
+  server::fault::Counters fault_counts;
+  if (server::fault::Injector* injector = server::fault::Get()) {
+    fault_counts = injector->counters();
+  }
+  if (srv != nullptr) {
+    srv->Stop();
+    srv.reset();
+  }
+  server::fault::Uninstall();
+
+  std::fprintf(stderr,
+               "chaos: seed=%llu requests=%llu transport_errors=%llu "
+               "status_errors=%llu mismatches=%llu\n",
+               static_cast<unsigned long long>(chaos_seed),
+               static_cast<unsigned long long>(requests),
+               static_cast<unsigned long long>(transport_errors),
+               static_cast<unsigned long long>(status_errors),
+               static_cast<unsigned long long>(mismatches));
+  std::fprintf(stderr,
+               "chaos: wdpt_client_retries_total=%llu reconnects=%llu "
+               "overloaded_backoffs=%llu backoff_ms=%llu\n",
+               static_cast<unsigned long long>(retry_totals.retries),
+               static_cast<unsigned long long>(retry_totals.reconnects),
+               static_cast<unsigned long long>(
+                   retry_totals.overloaded_backoffs),
+               static_cast<unsigned long long>(retry_totals.backoff_ms));
+  std::fprintf(stderr,
+               "chaos: wdpt_server_drained_requests=%llu "
+               "drain_rejections=%llu restarts=%llu\n",
+               static_cast<unsigned long long>(drained),
+               static_cast<unsigned long long>(drain_rejections),
+               static_cast<unsigned long long>(restarts));
+  std::fprintf(stderr,
+               "chaos: faults delays=%llu short_ops=%llu resets=%llu "
+               "connect_failures=%llu wal_failures=%llu\n",
+               static_cast<unsigned long long>(fault_counts.delays),
+               static_cast<unsigned long long>(fault_counts.short_ops),
+               static_cast<unsigned long long>(fault_counts.resets),
+               static_cast<unsigned long long>(fault_counts.connect_failures),
+               static_cast<unsigned long long>(fault_counts.wal_failures));
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\"benchmark\":\"wdpt_server_chaos\",\"dataset\":\""
+        << dataset_name << "\",\"facts\":" << facts
+        << ",\"chaos_seed\":" << chaos_seed << ",\"drain_ms\":" << drain_ms
+        << ",\"clients\":" << clients << ",\"requests\":" << requests
+        << ",\"transport_errors\":" << transport_errors
+        << ",\"status_errors\":" << status_errors
+        << ",\"mismatches\":" << mismatches
+        << ",\"retries\":" << retry_totals.retries
+        << ",\"reconnects\":" << retry_totals.reconnects
+        << ",\"backoff_ms\":" << retry_totals.backoff_ms
+        << ",\"drained_requests\":" << drained
+        << ",\"drain_rejections\":" << drain_rejections
+        << ",\"restarts\":" << restarts << ",\"faults\":{\"delays\":"
+        << fault_counts.delays << ",\"short_ops\":" << fault_counts.short_ops
+        << ",\"resets\":" << fault_counts.resets << ",\"connect_failures\":"
+        << fault_counts.connect_failures << ",\"wal_failures\":"
+        << fault_counts.wal_failures << "}}\n";
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+
+  bool failed = transport_errors != 0 || status_errors != 0 ||
+                mismatches != 0 || requests == 0;
+  if (retry_totals.retries == 0) {
+    std::fprintf(stderr,
+                 "FAILED: chaos run never retried; the fault schedule "
+                 "proved nothing\n");
+    failed = true;
+  }
+  if (drained == 0) {
+    std::fprintf(stderr,
+                 "FAILED: no request completed inside a drain window\n");
+    failed = true;
+  }
+  if (failed &&
+      (transport_errors != 0 || status_errors != 0 || mismatches != 0 ||
+       requests == 0)) {
+    std::fprintf(stderr,
+                 "FAILED: %llu mismatches, %llu status errors, %llu "
+                 "transport errors\n",
+                 static_cast<unsigned long long>(mismatches),
+                 static_cast<unsigned long long>(status_errors),
+                 static_cast<unsigned long long>(transport_errors));
+  }
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -322,6 +574,9 @@ int main(int argc, char** argv) {
   bool cache_bypass = false;
   bool verify = true;
   double max_ping_p50_ms = 0;  // 0 = report only, no assertion.
+  bool chaos = false;
+  uint64_t chaos_seed = 1;
+  uint64_t drain_ms = 200;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--connect" && i + 1 < argc) {
@@ -354,6 +609,12 @@ int main(int argc, char** argv) {
       verify = false;
     } else if (arg == "--max-ping-p50-ms" && i + 1 < argc) {
       max_ping_p50_ms = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--chaos") {
+      chaos = true;
+    } else if (arg == "--chaos-seed" && i + 1 < argc) {
+      chaos_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--drain-ms" && i + 1 < argc) {
+      drain_ms = std::strtoull(argv[++i], nullptr, 10);
     } else {
       return Usage(argv[0]);
     }
@@ -428,6 +689,21 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+  }
+
+  if (chaos) {
+    // The chaos gate owns its server (it must drain and restart it) and
+    // injects faults process-wide, so an external target is off-limits.
+    if (!connect.empty()) {
+      std::fprintf(stderr,
+                   "error: --chaos needs the in-process server (drop "
+                   "--connect)\n");
+      return 1;
+    }
+    unsigned chaos_clients = client_counts.front();
+    return RunChaos(triples, chaos_clients, requests_per_client, workers,
+                    queue, cache_bytes, mix, verify ? &expected : nullptr,
+                    chaos_seed, drain_ms, json_path, facts, dataset_name);
   }
 
   // Target: external server or in-process. A shard sweep restarts the

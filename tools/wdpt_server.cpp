@@ -7,7 +7,7 @@
 //               [--shards N] [--cache-bytes N] [--default-deadline-ms N]
 //               [--max-deadline-ms N] [--retry-after-ms N]
 //               [--idle-timeout-ms N] [--slow-query-ms N] [--no-reload]
-//               [--fsync] [--checkpoint-wal-bytes N]
+//               [--fsync] [--checkpoint-wal-bytes N] [--drain-ms N]
 //               [--print-port] [--metrics-dump]
 //
 // Binds 127.0.0.1:<port> (0 = ephemeral; the chosen port is printed)
@@ -38,6 +38,11 @@
 // logs a per-stage trace breakdown to stderr for queries (and ingests)
 // over the threshold; --metrics-dump prints the Prometheus exposition
 // to stdout at shutdown. Runs until SIGINT/SIGTERM.
+//
+// --drain-ms N makes that shutdown graceful (docs/RESILIENCE.md):
+// in-flight requests get up to N ms to finish while new work is
+// answered kOverloaded with a retry hint; 0 (the default) keeps the
+// immediate hard cut.
 
 #include <csignal>
 #include <cstdio>
@@ -64,7 +69,7 @@ int Usage(const char* argv0) {
                "[--shards N] [--cache-bytes N] [--default-deadline-ms N] "
                "[--max-deadline-ms N] [--retry-after-ms N] "
                "[--idle-timeout-ms N] [--slow-query-ms N] [--no-reload] "
-               "[--fsync] [--checkpoint-wal-bytes N] "
+               "[--fsync] [--checkpoint-wal-bytes N] [--drain-ms N] "
                "[--print-port] [--metrics-dump]\n",
                argv0);
   return 2;
@@ -124,6 +129,8 @@ int main(int argc, char** argv) {
       options.idle_timeout_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--slow-query-ms" && i + 1 < argc) {
       options.slow_query_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--drain-ms" && i + 1 < argc) {
+      options.drain_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--no-reload") {
       options.allow_reload = false;
     } else if (arg == "--print-port") {
