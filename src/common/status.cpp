@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "overloaded";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kRedirect:
+      return "redirect";
   }
   return "unknown";
 }
@@ -35,6 +37,7 @@ StatusCode StatusCodeFromName(std::string_view name) {
       StatusCode::kResourceExhausted, StatusCode::kNotFound,
       StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
       StatusCode::kOverloaded,   StatusCode::kInternal,
+      StatusCode::kRedirect,
   };
   for (StatusCode code : kAll) {
     if (name == StatusCodeName(code)) return code;

@@ -37,6 +37,9 @@ namespace wdpt {
 ///    the searched space.
 ///  * Bugs — kInternal: an invariant violation surfaced as a status
 ///    instead of a WDPT_CHECK abort.
+///  * Topology — kRedirect: this node cannot serve the request but a
+///    named peer can (a replica rejecting a write; the response carries
+///    the primary's address). Re-issue against the indicated node.
 ///
 /// Fallible operations return Status (no payload) or Result<T>. Pure
 /// predicates with no failure mode (e.g. structural tests on validated
@@ -52,6 +55,7 @@ enum class StatusCode {
   kCancelled,         ///< A cancellation token fired mid-call.
   kOverloaded,        ///< Rejected by admission control; retry later.
   kInternal,          ///< Invariant violation surfaced as a status.
+  kRedirect,          ///< Another node owns this request; re-issue there.
 };
 
 /// Returns a short human-readable name for `code` ("ok", "parse-error", ...).
@@ -97,6 +101,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Redirect(std::string msg) {
+    return Status(StatusCode::kRedirect, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,137 @@
+// Primary-side replication hub: the retained stream of committed WAL
+// batches that SUBSCRIBE sessions ship to replicas.
+//
+// One Hub lives inside the primary's StorageManager. Every committed
+// ingest batch is published here (after the WAL append and the
+// in-memory apply, in publication order), tagged with its position:
+//
+//   epoch   the snapshot sequence number the WAL grows on top of; a
+//           checkpoint starts a new epoch and resets the WAL to empty
+//   offset  the byte offset of the batch's WAL entry inside that
+//           epoch's wal.log (next_offset = offset of the next entry)
+//   seq     1-based count of batches within the epoch — the replica's
+//           apply progress and the unit of the lag gauge
+//
+// A (epoch, offset) pair names a point in the replication stream
+// exactly: WAL bytes are immutable within an epoch, so a replica that
+// reconnects with the last position it fully applied resumes without
+// gaps or duplicates. The hub retains the whole current epoch in RAM —
+// bounded by the same knob that bounds the WAL itself
+// (checkpoint_wal_bytes triggers a checkpoint, which advances the
+// epoch and clears the backlog). Subscribers parked before the
+// checkpoint observe kStale and recover by fetching a fresh snapshot;
+// see docs/REPLICATION.md for the full state machine.
+//
+// Thread-safety: all methods are safe to call concurrently. Next()
+// blocks on a condition variable with a timeout so streaming sessions
+// can emit heartbeats while idle; Close() wakes every waiter for
+// shutdown.
+
+#ifndef WDPT_SRC_REPLICATION_HUB_H_
+#define WDPT_SRC_REPLICATION_HUB_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/replication/stats.h"
+
+namespace wdpt::replication {
+
+/// One committed ingest batch, positioned in the stream. `ops_text` is
+/// the batch rendered as ingest text (FormatIngestBody) — the WALSEG
+/// frame body a replica re-parses and applies.
+struct BatchRecord {
+  uint64_t epoch = 0;
+  uint64_t seq = 0;          ///< 1-based within the epoch.
+  uint64_t offset = 0;       ///< WAL byte offset of this entry.
+  uint64_t next_offset = 0;  ///< WAL byte offset after this entry.
+  std::string ops_text;      ///< Ingest-text body; empty = heartbeat.
+};
+
+class Hub {
+ public:
+  /// A subscriber's read position. Opaque to callers; obtain via Seek.
+  struct Cursor {
+    uint64_t epoch = 0;
+    size_t index = 0;  ///< Next unread slot in the epoch's backlog.
+  };
+
+  enum class NextResult {
+    kBatch,    ///< *out is the next batch; cursor advanced past it.
+    kTimeout,  ///< Nothing new within the timeout; *out is a heartbeat
+               ///< carrying the current end position and head seq.
+    kStale,    ///< The epoch advanced under the cursor (checkpoint).
+    kClosed,   ///< The hub shut down.
+  };
+
+  /// Resets the hub to `epoch` with an empty backlog. Called at
+  /// StorageManager open (before any subscriber exists) and by
+  /// Advance.
+  void Reset(uint64_t epoch);
+
+  /// Appends a committed batch and wakes waiting subscribers. `record`
+  /// must continue the current epoch (offset == previous next_offset,
+  /// seq == previous seq + 1).
+  void Publish(BatchRecord record);
+
+  /// Starts epoch `new_epoch` with an empty backlog (a checkpoint
+  /// folded the WAL into a new snapshot). Waiting subscribers wake and
+  /// observe kStale; they drop their stream and re-bootstrap.
+  void Advance(uint64_t new_epoch);
+
+  /// Positions `*cursor` at `(epoch, offset)`. Valid positions are the
+  /// start of the current epoch (offset 0), the boundary after any
+  /// retained batch, or the current end. Anything else — an older
+  /// epoch, or an offset that is not an entry boundary — is kNotFound:
+  /// the position was compacted away and the subscriber must fetch a
+  /// snapshot.
+  Status Seek(uint64_t epoch, uint64_t offset, Cursor* cursor) const;
+
+  /// Blocks up to `timeout_ms` for the batch after `*cursor`. On
+  /// kBatch the cursor advances; on kTimeout `*out` is filled as a
+  /// heartbeat (current end position, empty body) so streamers can
+  /// keep the replica's view of the head fresh.
+  NextResult Next(Cursor* cursor, BatchRecord* out, uint64_t timeout_ms);
+
+  /// Wakes all waiters permanently; every Next returns kClosed. Called
+  /// by Server::StopHard before joining streaming session threads.
+  void Close();
+
+  uint64_t epoch() const;
+  uint64_t head_seq() const;
+
+  // Ship accounting, recorded by the serving layer.
+  void AddSubscriber();
+  void RemoveSubscriber();
+  void RecordShipped(uint64_t frame_bytes, bool is_batch);
+  void RecordSnapshotFetch();
+  void RecordStaleSubscribe();
+
+  PrimaryReplicationStats stats() const;
+
+ private:
+  uint64_t EndOffsetLocked() const;
+  uint64_t HeadSeqLocked() const;
+  void FillHeartbeatLocked(BatchRecord* out) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t epoch_ = 0;
+  bool closed_ = false;
+  std::vector<BatchRecord> backlog_;  // Current epoch, in seq order.
+
+  // Counters (under mu_; reads take the lock too — stats are rare).
+  uint64_t subscribers_ = 0;
+  uint64_t batches_shipped_ = 0;
+  uint64_t bytes_shipped_ = 0;
+  uint64_t snapshot_fetches_ = 0;
+  uint64_t stale_subscribes_ = 0;
+};
+
+}  // namespace wdpt::replication
+
+#endif  // WDPT_SRC_REPLICATION_HUB_H_

@@ -1,0 +1,55 @@
+#include "src/replication/stats.h"
+
+namespace wdpt::replication {
+
+namespace {
+
+/// Tiny JSON object builder shared by both stats structs.
+class JsonFields {
+ public:
+  void Add(const char* name, uint64_t value) {
+    if (!json_.empty()) json_ += ",";
+    json_ += "\"";
+    json_ += name;
+    json_ += "\":";
+    json_ += std::to_string(value);
+  }
+
+  std::string Done() && { return "{" + std::move(json_) + "}"; }
+
+ private:
+  std::string json_;
+};
+
+}  // namespace
+
+std::string PrimaryReplicationStats::ToJson() const {
+  JsonFields f;
+  f.Add("role", 0);  // 0 = primary, 1 = replica; keys below differ too.
+  f.Add("subscribers", subscribers);
+  f.Add("batches_shipped", batches_shipped);
+  f.Add("bytes_shipped", bytes_shipped);
+  f.Add("snapshot_fetches", snapshot_fetches);
+  f.Add("stale_subscribes", stale_subscribes);
+  f.Add("epoch", epoch);
+  f.Add("head_seq", head_seq);
+  return std::move(f).Done();
+}
+
+std::string ReplicaReplicationStats::ToJson() const {
+  JsonFields f;
+  f.Add("role", 1);
+  f.Add("batches_applied", batches_applied);
+  f.Add("bytes_received", bytes_received);
+  f.Add("resyncs", resyncs);
+  f.Add("snapshot_fetches", snapshot_fetches);
+  f.Add("lag_batches", lag_batches);
+  f.Add("applied_seq", applied_seq);
+  f.Add("head_seq", head_seq);
+  f.Add("epoch", epoch);
+  f.Add("redirects", redirects);
+  f.Add("lag_sheds", lag_sheds);
+  return std::move(f).Done();
+}
+
+}  // namespace wdpt::replication

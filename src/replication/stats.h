@@ -1,0 +1,49 @@
+// Replication counters, dependency-free so the server's metrics
+// renderer and STATS JSON can consume them without pulling in the hub
+// or replicator implementations (the same split as storage/stats.h).
+
+#ifndef WDPT_SRC_REPLICATION_STATS_H_
+#define WDPT_SRC_REPLICATION_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wdpt::replication {
+
+/// Primary-side ship counters (one Hub): rendered as the
+/// wdpt_replication_* families on a storage-backed server and under
+/// the STATS command's "replication" key.
+struct PrimaryReplicationStats {
+  uint64_t subscribers = 0;       ///< Streams currently attached (gauge).
+  uint64_t batches_shipped = 0;   ///< WALSEG batches pushed to replicas.
+  uint64_t bytes_shipped = 0;     ///< WALSEG frame bytes (heartbeats too).
+  uint64_t snapshot_fetches = 0;  ///< SNAPSHOT-FETCH bootstraps served.
+  uint64_t stale_subscribes = 0;  ///< Subscribes at a compacted position.
+  uint64_t epoch = 0;             ///< Current WAL epoch (gauge).
+  uint64_t head_seq = 0;          ///< Newest batch seq this epoch (gauge).
+
+  std::string ToJson() const;
+};
+
+/// Replica-side apply counters (one Replicator, plus the serving
+/// counters — redirects, lag sheds — the replica server folds in).
+struct ReplicaReplicationStats {
+  uint64_t batches_applied = 0;   ///< WALSEG batches applied + published.
+  uint64_t bytes_received = 0;    ///< WALSEG frame bytes received.
+  uint64_t resyncs = 0;           ///< Stream re-establishments after the
+                                  ///< first (torn frames, primary restarts).
+  uint64_t snapshot_fetches = 0;  ///< Full bootstraps from a snapshot.
+  uint64_t lag_batches = 0;       ///< head_seq - applied seq, as of the
+                                  ///< last received WALSEG (gauge).
+  uint64_t applied_seq = 0;       ///< Last applied batch seq (gauge).
+  uint64_t head_seq = 0;          ///< Primary head as last heard (gauge).
+  uint64_t epoch = 0;             ///< Epoch the replica is tracking.
+  uint64_t redirects = 0;         ///< Writes answered kRedirect.
+  uint64_t lag_sheds = 0;         ///< Reads shed for exceeding max lag.
+
+  std::string ToJson() const;
+};
+
+}  // namespace wdpt::replication
+
+#endif  // WDPT_SRC_REPLICATION_STATS_H_

@@ -41,19 +41,25 @@ void Client::Close() {
   fd_ = -1;
 }
 
-void Client::Backoff(uint32_t attempt, uint64_t hint_ms) {
-  uint64_t base = policy_.backoff_initial_ms;
-  for (uint32_t i = 1; i < attempt && base < policy_.backoff_max_ms; ++i) {
+uint64_t BackoffDelayMs(const RetryPolicy& policy, uint32_t attempt,
+                        uint64_t hint_ms, std::mt19937_64* rng) {
+  uint64_t base = policy.backoff_initial_ms;
+  for (uint32_t i = 1; i < attempt && base < policy.backoff_max_ms; ++i) {
     base *= 2;
   }
-  if (base > policy_.backoff_max_ms) base = policy_.backoff_max_ms;
+  if (base > policy.backoff_max_ms) base = policy.backoff_max_ms;
   // Jitter: uniform in [base/2, base], so synchronized clients fan out
   // instead of re-stampeding the server on the same tick.
   uint64_t sleep_ms = base;
   if (base > 1) {
-    sleep_ms = base / 2 + jitter_rng_() % (base - base / 2 + 1);
+    sleep_ms = base / 2 + (*rng)() % (base - base / 2 + 1);
   }
   if (hint_ms > sleep_ms) sleep_ms = hint_ms;
+  return sleep_ms;
+}
+
+void Client::Backoff(uint32_t attempt, uint64_t hint_ms) {
+  uint64_t sleep_ms = BackoffDelayMs(policy_, attempt, hint_ms, &jitter_rng_);
   retry_stats_.backoff_ms += sleep_ms;
   std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
 }

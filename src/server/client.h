@@ -111,6 +111,16 @@ struct RetryPolicy {
   uint64_t seed = 0;
 };
 
+/// The backoff schedule RetryPolicy describes, as a pure computation:
+/// the sleep before attempt `attempt` + 1 (doubling from
+/// backoff_initial_ms, capped at backoff_max_ms, jittered to a uniform
+/// draw from `*rng` in [half, full], raised to at least `hint_ms`).
+/// Shared by the client's idempotent-retry loop and the replication
+/// catch-up loop (src/replication/replicator.cpp), so both back off on
+/// the same curve.
+uint64_t BackoffDelayMs(const RetryPolicy& policy, uint32_t attempt,
+                        uint64_t hint_ms, std::mt19937_64* rng);
+
 /// Cumulative resilience counters for one Client (monotonic; read via
 /// Client::retry_stats). `retries` is the chaos gate's
 /// `wdpt_client_retries_total`.

@@ -1,13 +1,31 @@
 #include "src/server/fault.h"
 
+#include <memory>
+#include <vector>
+
 namespace wdpt::server::fault {
 
 namespace {
 
-/// The installed injector. Install/Uninstall are expected to run while
-/// the faulted subsystems are quiescent (test setup/teardown, chaos-run
-/// boundaries); the steady-state hook is one relaxed load.
+/// The installed injector; the steady-state hook is one relaxed load.
 std::atomic<Injector*> g_injector{nullptr};
+
+/// Replaced injectors are parked here, never freed mid-process: a
+/// faulted thread (a session handler, a replicator stream) may have
+/// loaded the pointer just before the exchange and still be inside
+/// Next(). Freeing would need a read-side lock on the production hot
+/// path; parking costs one small object per Install/Uninstall pair.
+std::mutex g_retired_mu;
+std::vector<std::unique_ptr<Injector>>& Retired() {
+  static auto* retired = new std::vector<std::unique_ptr<Injector>>();
+  return *retired;
+}
+
+void Retire(Injector* old) {
+  if (old == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_retired_mu);
+  Retired().emplace_back(old);
+}
 
 }  // namespace
 
@@ -108,13 +126,11 @@ Counters Injector::counters() const {
 
 void Install(const Options& options) {
   Injector* fresh = new Injector(options);
-  Injector* old = g_injector.exchange(fresh, std::memory_order_acq_rel);
-  delete old;
+  Retire(g_injector.exchange(fresh, std::memory_order_acq_rel));
 }
 
 void Uninstall() {
-  Injector* old = g_injector.exchange(nullptr, std::memory_order_acq_rel);
-  delete old;
+  Retire(g_injector.exchange(nullptr, std::memory_order_acq_rel));
 }
 
 Injector* Get() { return g_injector.load(std::memory_order_acquire); }

@@ -109,11 +109,15 @@ class Injector {
 void Install(const Options& options);
 
 /// Removes the global injector; subsequent operations run clean. Safe
-/// to call when none is installed.
+/// to call when none is installed, and safe while faulted threads are
+/// still running: replaced injectors are parked, not freed, so a hook
+/// that loaded the pointer just before the exchange stays valid.
 void Uninstall();
 
 /// The installed injector, or nullptr. The returned pointer stays
-/// valid until Uninstall; callers must not hold it across Uninstall.
+/// valid for the rest of the process (see Uninstall), but decisions
+/// drawn from it after replacement apply a stale schedule — re-fetch
+/// per operation.
 Injector* Get();
 
 }  // namespace wdpt::server::fault

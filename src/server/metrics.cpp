@@ -172,7 +172,9 @@ void RequestMetrics::RecordRejected() {
 std::string RequestMetrics::RenderPrometheus(
     const ServerCounters& counters, const EngineStats& engine,
     uint64_t in_flight, uint64_t snapshot_version,
-    const storage::StorageStats* storage) const {
+    const storage::StorageStats* storage,
+    const replication::PrimaryReplicationStats* primary,
+    const replication::ReplicaReplicationStats* replica) const {
   std::string out;
   out.reserve(16 * 1024);
 
@@ -340,6 +342,35 @@ std::string RequestMetrics::RenderPrometheus(
       AppendHistogramSeries(&out, "wdpt_storage_publish_duration_seconds", "",
                             publish_wall_.Snapshot());
     }
+  }
+
+  if (primary != nullptr) {
+    AppendGauge(&out, "wdpt_replication_subscribers", primary->subscribers);
+    AppendCounter(&out, "wdpt_replication_batches_shipped_total",
+                  primary->batches_shipped);
+    AppendCounter(&out, "wdpt_replication_bytes_shipped_total",
+                  primary->bytes_shipped);
+    AppendCounter(&out, "wdpt_replication_snapshot_fetches_total",
+                  primary->snapshot_fetches);
+    AppendCounter(&out, "wdpt_replication_stale_subscribes_total",
+                  primary->stale_subscribes);
+    AppendGauge(&out, "wdpt_replication_head_seq", primary->head_seq);
+  }
+
+  if (replica != nullptr) {
+    AppendGauge(&out, "wdpt_replication_lag_batches", replica->lag_batches);
+    AppendCounter(&out, "wdpt_replication_batches_applied_total",
+                  replica->batches_applied);
+    AppendCounter(&out, "wdpt_replication_bytes_received_total",
+                  replica->bytes_received);
+    AppendCounter(&out, "wdpt_replication_resyncs_total", replica->resyncs);
+    AppendCounter(&out, "wdpt_replication_snapshot_fetches_total",
+                  replica->snapshot_fetches);
+    AppendCounter(&out, "wdpt_replication_redirects_total",
+                  replica->redirects);
+    AppendCounter(&out, "wdpt_replication_lag_sheds_total",
+                  replica->lag_sheds);
+    AppendGauge(&out, "wdpt_replication_epoch", replica->epoch);
   }
 
   return out;

@@ -21,6 +21,7 @@
 #include "src/common/status.h"
 #include "src/common/trace.h"
 #include "src/engine/stats.h"
+#include "src/replication/stats.h"
 #include "src/sparql/request.h"
 #include "src/storage/stats.h"
 
@@ -49,8 +50,8 @@ struct ServerCounters {
 
 /// Cardinality of sparql::RequestMode (eval / partial / max).
 inline constexpr size_t kRequestModeCount = 3;
-/// Cardinality of StatusCode (kOk .. kInternal).
-inline constexpr size_t kStatusCodeCount = 10;
+/// Cardinality of StatusCode (kOk .. kRedirect).
+inline constexpr size_t kStatusCodeCount = 11;
 
 /// Aggregates per-request traces into label-keyed latency histograms.
 /// Thread-safe; recording is wait-free.
@@ -95,12 +96,16 @@ class RequestMetrics {
   /// Series with zero observations are omitted to bound the payload.
   /// When `storage` is non-null (storage-backed servers) the
   /// wdpt_storage_* counter/gauge families and the ingest/publish
-  /// latency histograms are appended.
-  std::string RenderPrometheus(const ServerCounters& counters,
-                               const EngineStats& engine, uint64_t in_flight,
-                               uint64_t snapshot_version,
-                               const storage::StorageStats* storage =
-                                   nullptr) const;
+  /// latency histograms are appended. When `primary` / `replica` is
+  /// non-null the corresponding side's wdpt_replication_* families are
+  /// appended (a primary renders ship counters; a replica renders
+  /// apply/lag/resync counters) — docs/METRICS.md lists every family.
+  std::string RenderPrometheus(
+      const ServerCounters& counters, const EngineStats& engine,
+      uint64_t in_flight, uint64_t snapshot_version,
+      const storage::StorageStats* storage = nullptr,
+      const replication::PrimaryReplicationStats* primary = nullptr,
+      const replication::ReplicaReplicationStats* replica = nullptr) const;
 
  private:
   /// Query pipeline stages only (kQueueWait..kSerialize); the storage

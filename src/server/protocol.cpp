@@ -105,6 +105,12 @@ const char* CommandName(Command command) {
       return "INGEST";
     case Command::kCheckpoint:
       return "CHECKPOINT";
+    case Command::kSubscribe:
+      return "SUBSCRIBE";
+    case Command::kWalSeg:
+      return "WALSEG";
+    case Command::kSnapshotFetch:
+      return "SNAPSHOT-FETCH";
   }
   return "PING";
 }
@@ -130,6 +136,17 @@ std::string SerializeRequest(const Request& request) {
     if (request.query.cache_bypass) {
       AppendHeader(&out, "cache-control", "bypass");
     }
+  }
+  if (request.command == Command::kSubscribe) {
+    AppendHeader(&out, "epoch", std::to_string(request.epoch));
+    AppendHeader(&out, "offset", std::to_string(request.offset));
+  }
+  if (request.command == Command::kWalSeg) {
+    AppendHeader(&out, "epoch", std::to_string(request.epoch));
+    AppendHeader(&out, "offset", std::to_string(request.offset));
+    AppendHeader(&out, "next-offset", std::to_string(request.next_offset));
+    AppendHeader(&out, "seq", std::to_string(request.seq));
+    AppendHeader(&out, "head-seq", std::to_string(request.head_seq));
   }
   out.push_back('\n');
   if (request.command == Command::kQuery) {
@@ -161,6 +178,12 @@ Result<Request> ParseRequest(std::string_view payload) {
     request.command = Command::kIngest;
   } else if (token == "CHECKPOINT") {
     request.command = Command::kCheckpoint;
+  } else if (token == "SUBSCRIBE") {
+    request.command = Command::kSubscribe;
+  } else if (token == "WALSEG") {
+    request.command = Command::kWalSeg;
+  } else if (token == "SNAPSHOT-FETCH") {
+    request.command = Command::kSnapshotFetch;
   } else {
     return Status::InvalidArgument("unknown command '" + std::string(token) +
                                    "'");
@@ -189,6 +212,16 @@ Result<Request> ParseRequest(std::string_view payload) {
                          if (value == "bypass") {
                            request.query.cache_bypass = true;
                          }
+                       } else if (key == "epoch") {
+                         request.epoch = ParseU64(value);
+                       } else if (key == "offset") {
+                         request.offset = ParseU64(value);
+                       } else if (key == "next-offset") {
+                         request.next_offset = ParseU64(value);
+                       } else if (key == "seq") {
+                         request.seq = ParseU64(value);
+                       } else if (key == "head-seq") {
+                         request.head_seq = ParseU64(value);
                        }
                        // Unknown headers: ignored (forward compatibility).
                      });
@@ -222,11 +255,27 @@ std::string SerializeResponse(const Response& response) {
   if (!response.stats_json.empty()) {
     AppendHeader(&out, "stats", response.stats_json);
   }
+  if (response.epoch != 0) {
+    AppendHeader(&out, "epoch", std::to_string(response.epoch));
+  }
+  if (response.head_seq != 0) {
+    AppendHeader(&out, "head-seq", std::to_string(response.head_seq));
+  }
+  if (!response.primary.empty()) {
+    AppendHeader(&out, "primary", response.primary);
+  }
+  if (!response.body.empty()) {
+    AppendHeader(&out, "body-bytes", std::to_string(response.body.size()));
+  }
   out.push_back('\n');
   for (const std::string& row : response.rows) {
     out.append(OneLine(row));
     out.push_back('\n');
   }
+  // Binary tail: exactly body-bytes raw bytes after the last row. Length
+  // is carried by the header, never by a terminator, so the bytes need
+  // no escaping.
+  out.append(response.body);
   return out;
 }
 
@@ -239,6 +288,7 @@ Result<Response> ParseResponse(std::string_view payload) {
   Response response;
   response.code = StatusCodeFromName(token);
   uint64_t row_count = 0;
+  uint64_t body_bytes = 0;
   s = ConsumeHeaders(payload, &pos,
                      [&](std::string_view key, std::string_view value) {
                        if (key == "rows") {
@@ -253,6 +303,14 @@ Result<Response> ParseResponse(std::string_view payload) {
                          response.message = std::string(value);
                        } else if (key == "stats") {
                          response.stats_json = std::string(value);
+                       } else if (key == "epoch") {
+                         response.epoch = ParseU64(value);
+                       } else if (key == "head-seq") {
+                         response.head_seq = ParseU64(value);
+                       } else if (key == "primary") {
+                         response.primary = std::string(value);
+                       } else if (key == "body-bytes") {
+                         body_bytes = ParseU64(value);
                        }
                      });
   if (!s.ok()) return s;
@@ -267,6 +325,15 @@ Result<Response> ParseResponse(std::string_view payload) {
     }
     response.rows.emplace_back(payload.substr(pos, eol - pos));
     pos = eol + 1;
+  }
+  if (body_bytes != 0) {
+    if (payload.size() - pos < body_bytes) {
+      return Status::ParseError(
+          "response binary body truncated: declared " +
+          std::to_string(body_bytes) + " bytes, frame holds " +
+          std::to_string(payload.size() - pos));
+    }
+    response.body.assign(payload.data() + pos, body_bytes);
   }
   return response;
 }

@@ -21,6 +21,20 @@
 // headers are ignored on both sides, so fields can be added without a
 // version bump.
 //
+// Replication (docs/REPLICATION.md) adds three commands. SUBSCRIBE
+// (headers epoch, offset) asks a primary to stream committed WAL
+// batches from a position; the ack carries the position granted plus
+// head-seq, and the primary then *pushes* WALSEG frames — encoded as
+// request frames since they travel server→client — whose headers
+// (epoch, offset, next-offset, seq, head-seq) locate the batch and
+// whose body is ingest text (`add s p o` lines). SNAPSHOT-FETCH
+// returns the primary's latest binary snapshot file verbatim in the
+// response `body` (raw bytes after the rows, length declared by the
+// `body-bytes` header — binary-safe because the parser slices by
+// count, never by newline). Responses may also carry `epoch` (the
+// snapshot's WAL epoch) and `primary` (host:port, with status
+// "redirect" from a replica shedding a write).
+//
 // See docs/SERVER.md for the full schema and examples.
 
 #ifndef WDPT_SRC_SERVER_PROTOCOL_H_
@@ -43,6 +57,9 @@ enum class Command {
   kMetrics,     ///< Prometheus text exposition (histograms included).
   kIngest,      ///< Durably apply a batch of add/remove triples.
   kCheckpoint,  ///< Compact the WAL into a fresh snapshot file.
+  kSubscribe,     ///< Start streaming WAL batches from (epoch, offset).
+  kWalSeg,        ///< One pushed WAL batch (primary→replica only).
+  kSnapshotFetch, ///< Fetch the latest binary snapshot for bootstrap.
 };
 
 const char* CommandName(Command command);
@@ -52,8 +69,20 @@ struct Request {
   Command command = Command::kPing;
   /// Query text and options; used by kQuery only.
   sparql::QueryRequest query;
-  /// Raw body for kReload (triples text).
+  /// Raw body for kReload (triples text) / kIngest / kWalSeg (ingest
+  /// text: the batch's ops).
   std::string body;
+  /// Replication position fields (kSubscribe, kWalSeg). The epoch is
+  /// the primary's snapshot sequence; offset/next_offset are byte
+  /// offsets into that epoch's WAL. seq numbers the batch within the
+  /// epoch and head_seq is the primary's newest batch at send time —
+  /// the pair is what a replica derives its lag from. A WALSEG with an
+  /// empty body is a heartbeat: same position, fresh head_seq.
+  uint64_t epoch = 0;
+  uint64_t offset = 0;
+  uint64_t next_offset = 0;
+  uint64_t seq = 0;
+  uint64_t head_seq = 0;
 };
 
 /// One server response frame, decoded.
@@ -74,6 +103,18 @@ struct Response {
   /// Single-line JSON: per-request stats for QUERY, aggregate engine +
   /// server counters for STATS.
   std::string stats_json;
+  /// Raw binary payload (SNAPSHOT-FETCH: the snapshot file bytes).
+  /// Serialized after the rows with its length in the `body-bytes`
+  /// header, so arbitrary bytes — newlines and NULs included — survive
+  /// the text framing.
+  std::string body;
+  /// WAL epoch of the shipped state (SUBSCRIBE ack, SNAPSHOT-FETCH).
+  uint64_t epoch = 0;
+  /// Newest batch seq at the primary (SUBSCRIBE ack).
+  uint64_t head_seq = 0;
+  /// The primary's host:port; sent with status "redirect" when a
+  /// replica sheds a write.
+  std::string primary;
 
   bool ok() const { return code == StatusCode::kOk; }
 };

@@ -79,6 +79,44 @@ Status Server::StartWithStorage(
   return started;
 }
 
+Status Server::StartReplica(const replication::ReplicatorOptions& replica) {
+  if (started_.load()) {
+    return Status::InvalidArgument("server already started");
+  }
+  if (storage_ != nullptr) {
+    return Status::InvalidArgument(
+        "a server is either a primary (storage) or a replica, not both");
+  }
+  replication::ReplicatorOptions opts = replica;
+  if (opts.slow_apply_ms == 0) opts.slow_apply_ms = options_.slow_query_ms;
+  replication::Replicator::LogFn log = options_.slow_query_log;
+  if (!log) {
+    log = [](const std::string& line) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    };
+  }
+  replicator_ = std::make_unique<replication::Replicator>(
+      opts,
+      [this](std::shared_ptr<const Snapshot> snapshot) {
+        SwapSnapshot(std::move(snapshot));
+      },
+      std::move(log));
+  Result<std::shared_ptr<const Snapshot>> initial = replicator_->Bootstrap();
+  if (!initial.ok()) {
+    replicator_.reset();
+    return initial.status();
+  }
+  Status started = Start(std::move(*initial));
+  if (!started.ok()) {
+    replicator_.reset();
+    return started;
+  }
+  // Only now: streamed publishes must never race Start's initial
+  // Store, or a version could briefly run backwards.
+  replicator_->StartStreaming();
+  return Status::Ok();
+}
+
 void Server::Stop() {
   if (options_.drain_ms != 0) {
     Drain(options_.drain_ms);
@@ -134,6 +172,11 @@ void Server::StopHard() {
   // Wind down in-flight evaluations; admitted requests surface
   // kCancelled rather than blocking shutdown.
   stop_token_.RequestCancel();
+  // Replication threads block on sockets / the hub's condvar, not on
+  // the cancel token, so wake them explicitly before joining sessions:
+  // subscriber streams poll hub.Next and exit on kClosed.
+  if (replicator_ != nullptr) replicator_->Stop();
+  if (storage_ != nullptr) storage_->hub().Close();
   StopAccepting();
   CloseSocket(listen_fd_);
   listen_fd_ = -1;
@@ -172,6 +215,12 @@ bool Server::IsWorkCommand(Command command) {
     case Command::kReload:
     case Command::kIngest:
     case Command::kCheckpoint:
+    // Replication traffic counts as work: a drain must not hand a new
+    // subscriber a stream it is about to tear, and a snapshot fetch is
+    // as heavy as any query.
+    case Command::kSubscribe:
+    case Command::kWalSeg:
+    case Command::kSnapshotFetch:
       return true;
     case Command::kPing:
     case Command::kStats:
@@ -203,16 +252,25 @@ ServerCounters Server::counters() const {
 }
 
 std::string Server::MetricsText() const {
+  storage::StorageStats storage_stats;
+  const storage::StorageStats* storage_ptr = nullptr;
+  replication::PrimaryReplicationStats primary_stats;
+  const replication::PrimaryReplicationStats* primary_ptr = nullptr;
+  replication::ReplicaReplicationStats replica_stats;
+  const replication::ReplicaReplicationStats* replica_ptr = nullptr;
   if (storage_ != nullptr) {
-    storage::StorageStats storage_stats = storage_->stats();
-    return metrics_.RenderPrometheus(counters(), engine_.stats(),
-                                     admission_.in_flight(),
-                                     CurrentSnapshot()->version,
-                                     &storage_stats);
+    storage_stats = storage_->stats();
+    storage_ptr = &storage_stats;
+    primary_stats = storage_->hub().stats();
+    primary_ptr = &primary_stats;
+  } else if (replicator_ != nullptr) {
+    replica_stats = ReplicaStats();
+    replica_ptr = &replica_stats;
   }
   return metrics_.RenderPrometheus(counters(), engine_.stats(),
                                    admission_.in_flight(),
-                                   snapshot_.Load()->version);
+                                   snapshot_.Load()->version, storage_ptr,
+                                   primary_ptr, replica_ptr);
 }
 
 void Server::AcceptLoop() {
@@ -275,6 +333,8 @@ void Server::SessionLoop(int fd) {
     BeginRequest();
     Response response;
     bool work = false;
+    bool stream = false;
+    replication::Hub::Cursor cursor;
     Result<Request> request = ParseRequest(*frame);
     if (!request.ok()) {
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
@@ -293,6 +353,13 @@ void Server::SessionLoop(int fd) {
         response.retry_after_ms = options_.retry_after_ms;
         response.message =
             "server draining; retry against the restarted server";
+      } else if (request->command == Command::kSubscribe) {
+        // SUBSCRIBE flips the session from request/response into a
+        // one-way WALSEG stream. The ack rides the normal write path
+        // below (so drain accounting sees it), then the session turns
+        // into a streamer and never reads another request.
+        work = true;
+        stream = PrepareSubscription(*request, &response, &cursor);
       } else {
         work = true;
         response = Dispatch(*request);
@@ -313,6 +380,15 @@ void Server::SessionLoop(int fd) {
     bool written = WriteFrame(fd, payload, options_.max_frame_bytes).ok();
     EndRequest(work);
     if (!written) break;
+    if (stream) {
+      // The subscription ack is on the wire and the request window is
+      // closed (streams outlive any drain deadline by design — the
+      // replica reconnects to the restarted primary). Ship segments
+      // until the replica hangs up, a checkpoint advances the epoch,
+      // or shutdown closes the hub.
+      StreamWalSegments(fd, cursor);
+      break;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -327,6 +403,21 @@ void Server::SessionLoop(int fd) {
 }
 
 Response Server::Dispatch(const Request& request) {
+  if (replicator_ != nullptr &&
+      (request.command == Command::kIngest ||
+       request.command == Command::kCheckpoint ||
+       request.command == Command::kReload)) {
+    // Replicas are read-only: a write applied here would fork the
+    // replica from the WAL stream. Name the primary so clients can
+    // follow without a topology lookup.
+    redirects_.fetch_add(1, std::memory_order_relaxed);
+    Response r;
+    r.code = StatusCode::kRedirect;
+    r.primary = replicator_->primary_address();
+    r.message = "replica is read-only; send writes to the primary at " +
+                r.primary;
+    return r;
+  }
   switch (request.command) {
     case Command::kPing: {
       Response r;
@@ -345,6 +436,24 @@ Response Server::Dispatch(const Request& request) {
       return HandleCheckpoint();
     case Command::kQuery:
       return HandleQuery(request.query);
+    case Command::kSubscribe: {
+      // SUBSCRIBE is intercepted in SessionLoop before dispatch; this
+      // arm only fires if that routing ever regresses.
+      Response r;
+      r.code = StatusCode::kInternal;
+      r.message = "SUBSCRIBE reached dispatch outside a session stream";
+      return r;
+    }
+    case Command::kWalSeg: {
+      // WALSEG frames flow primary→replica inside a subscription
+      // stream; one arriving as a request is a confused peer.
+      Response r;
+      r.code = StatusCode::kInvalidArgument;
+      r.message = "WALSEG is stream-only; SUBSCRIBE to receive segments";
+      return r;
+    }
+    case Command::kSnapshotFetch:
+      return HandleSnapshotFetch();
   }
   Response r;
   r.code = StatusCode::kInternal;
@@ -354,6 +463,25 @@ Response Server::Dispatch(const Request& request) {
 
 Response Server::HandleQuery(const sparql::QueryRequest& query) {
   queries_.fetch_add(1, std::memory_order_relaxed);
+  if (replicator_ != nullptr &&
+      replicator_->options().max_lag_batches != 0) {
+    // Shed reads on a replica that has fallen too far behind the
+    // primary: a bounded-staleness guarantee beats serving arbitrarily
+    // old answers. Checked before admission so lagging replicas shed
+    // instantly instead of queueing.
+    uint64_t lag = replicator_->lag_batches();
+    uint64_t max_lag = replicator_->options().max_lag_batches;
+    if (lag > max_lag) {
+      lag_sheds_.fetch_add(1, std::memory_order_relaxed);
+      Response r;
+      r.code = StatusCode::kOverloaded;
+      r.retry_after_ms = options_.retry_after_ms;
+      r.message = "replica lagging " + std::to_string(lag) +
+                  " batches behind the primary (max " +
+                  std::to_string(max_lag) + "); retry or read the primary";
+      return r;
+    }
+  }
   sparql::QueryRequest local = query;
   if (local.deadline_ms == 0) {
     local.deadline_ms = options_.default_deadline_ms;
@@ -534,10 +662,117 @@ Response Server::HandleCheckpoint() {
   return r;
 }
 
+bool Server::PrepareSubscription(const Request& request, Response* ack,
+                                 replication::Hub::Cursor* cursor) {
+  if (storage_ == nullptr) {
+    ack->code = StatusCode::kInvalidArgument;
+    ack->message =
+        replicator_ != nullptr
+            ? "replicas do not serve subscriptions; subscribe to the "
+              "primary at " +
+                  replicator_->primary_address()
+            : "this server has no durable storage attached; only a "
+              "storage-backed primary ships WAL segments";
+    return false;
+  }
+  replication::Hub& hub = storage_->hub();
+  Status seek = hub.Seek(request.epoch, request.offset, cursor);
+  if (!seek.ok()) {
+    // The requested position predates the retained epoch (a checkpoint
+    // compacted it away) or never existed. The replica's recovery path
+    // is a fresh snapshot, so say so — the session stays in
+    // request/response mode for the SNAPSHOT-FETCH that follows.
+    hub.RecordStaleSubscribe();
+    ack->code = StatusCode::kNotFound;
+    ack->epoch = hub.epoch();
+    ack->message = seek.ToString();
+    return false;
+  }
+  ack->code = StatusCode::kOk;
+  ack->epoch = request.epoch;
+  ack->head_seq = hub.head_seq();
+  ack->message = "subscribed at epoch " + std::to_string(request.epoch) +
+                 " offset " + std::to_string(request.offset);
+  return true;
+}
+
+void Server::StreamWalSegments(int fd, replication::Hub::Cursor cursor) {
+  replication::Hub& hub = storage_->hub();
+  hub.AddSubscriber();
+  for (;;) {
+    replication::BatchRecord record;
+    replication::Hub::NextResult next = hub.Next(&cursor, &record, 250);
+    if (next == replication::Hub::NextResult::kClosed ||
+        next == replication::Hub::NextResult::kStale) {
+      // Shutdown, or a checkpoint advanced the epoch past this stream's
+      // position. Closing the socket is the signal: the replica
+      // re-subscribes and (on kStale) lands in the snapshot-fetch path.
+      break;
+    }
+    bool is_batch = next == replication::Hub::NextResult::kBatch;
+    Request seg;
+    seg.command = Command::kWalSeg;
+    seg.epoch = record.epoch;
+    seg.offset = record.offset;
+    seg.next_offset = record.next_offset;
+    seg.seq = record.seq;
+    // Stamped at send time, not enqueue time, so a replica draining a
+    // backlog still measures its true lag from each frame.
+    seg.head_seq = hub.head_seq();
+    seg.body = std::move(record.ops_text);
+    std::string payload = SerializeRequest(seg);
+    if (!WriteFrame(fd, payload, options_.max_frame_bytes).ok()) break;
+    hub.RecordShipped(payload.size(), is_batch);
+  }
+  hub.RemoveSubscriber();
+}
+
+Response Server::HandleSnapshotFetch() {
+  Response r;
+  if (storage_ == nullptr) {
+    r.code = StatusCode::kInvalidArgument;
+    r.message =
+        replicator_ != nullptr
+            ? "replicas do not serve snapshots; fetch from the primary "
+              "at " +
+                  replicator_->primary_address()
+            : "this server has no durable storage attached; only a "
+              "storage-backed primary serves snapshots";
+    return r;
+  }
+  Result<storage::ReplicaSnapshot> snapshot =
+      storage_->FetchSnapshotForReplica();
+  if (!snapshot.ok()) {
+    r.code = snapshot.status().code();
+    r.message = snapshot.status().ToString();
+    return r;
+  }
+  storage_->hub().RecordSnapshotFetch();
+  r.epoch = snapshot->epoch;
+  r.message = "snapshot epoch " + std::to_string(snapshot->epoch) + ", " +
+              std::to_string(snapshot->bytes.size()) + " bytes";
+  r.body = std::move(snapshot->bytes);
+  return r;
+}
+
+replication::ReplicaReplicationStats Server::ReplicaStats() const {
+  replication::ReplicaReplicationStats stats = replicator_->stats();
+  stats.redirects = redirects_.load(std::memory_order_relaxed);
+  stats.lag_sheds = lag_sheds_.load(std::memory_order_relaxed);
+  return stats;
+}
+
 Response Server::HandleStats() {
   Response r;
   r.stats_json = "{\"engine\":" + engine_.stats().ToJson() +
-                 ",\"server\":" + counters().ToJson() + "}";
+                 ",\"server\":" + counters().ToJson();
+  if (storage_ != nullptr) {
+    r.stats_json += ",\"storage\":" + storage_->stats().ToJson() +
+                    ",\"replication\":" + storage_->hub().stats().ToJson();
+  } else if (replicator_ != nullptr) {
+    r.stats_json += ",\"replication\":" + ReplicaStats().ToJson();
+  }
+  r.stats_json += "}";
   return r;
 }
 

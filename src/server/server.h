@@ -18,6 +18,16 @@
 // published through a SnapshotHolder: RELOAD builds a new snapshot and
 // swaps the pointer; running requests finish on the version they
 // admitted with (see snapshot.h).
+//
+// Replication (docs/REPLICATION.md): a storage-backed server is a
+// *primary* — a SUBSCRIBE request flips its session thread into a push
+// stream of WALSEG frames fed by the storage manager's hub, and
+// SNAPSHOT-FETCH hands out the current snapshot file for bootstrap. A
+// server started with StartReplica is a *replica*: a Replicator tails
+// the primary and hot-swaps snapshots through the same SwapSnapshot
+// path a RELOAD uses, reads are served normally (shed with kOverloaded
+// once replication lag exceeds the configured bound), and writes are
+// answered kRedirect naming the primary.
 
 #ifndef WDPT_SRC_SERVER_SERVER_H_
 #define WDPT_SRC_SERVER_SERVER_H_
@@ -37,6 +47,8 @@
 #include "src/common/trace.h"
 #include "src/engine/engine.h"
 #include "src/engine/thread_pool.h"
+#include "src/replication/hub.h"
+#include "src/replication/replicator.h"
 #include "src/server/admission.h"
 #include "src/server/frame.h"
 #include "src/server/metrics.h"
@@ -119,6 +131,19 @@ class Server {
   /// The attached manager (null unless StartWithStorage was used).
   storage::StorageManager* storage() const { return storage_.get(); }
 
+  /// Starts a read-only replica of the primary named in `replica`:
+  /// bootstraps (snapshot fetch if needed), serves the bootstrapped
+  /// state, and streams WAL batches from then on, hot-swapping a fresh
+  /// snapshot per applied batch. QUERY/PING/STATS/METRICS are served
+  /// (queries shed with kOverloaded past replica.max_lag_batches);
+  /// INGEST/CHECKPOINT/RELOAD answer kRedirect with a `primary` header.
+  /// Fails when the bootstrap cannot complete within the replica retry
+  /// policy's attempt budget.
+  Status StartReplica(const replication::ReplicatorOptions& replica);
+
+  /// The attached replicator (null unless StartReplica was used).
+  replication::Replicator* replicator() const { return replicator_.get(); }
+
   /// Stops the server. With options.drain_ms == 0 this is the immediate
   /// hard cut: in-flight work is cancelled and every connection closed.
   /// With options.drain_ms != 0 it is Drain(options.drain_ms).
@@ -153,6 +178,12 @@ class Server {
   ServerCounters counters() const;
   EngineStats engine_stats() const { return engine_.stats(); }
 
+  /// Reads shed because this replica exceeded its configured
+  /// max-replica-lag bound (always 0 off-replica).
+  uint64_t lag_sheds() const {
+    return lag_sheds_.load(std::memory_order_relaxed);
+  }
+
   /// The Prometheus text exposition the METRICS command returns; also
   /// reachable without a connection (--metrics-dump, tests).
   std::string MetricsText() const;
@@ -185,6 +216,23 @@ class Server {
   Response HandleCheckpoint();
   Response HandleStats();
   Response HandleMetrics();
+  Response HandleSnapshotFetch();
+
+  /// Validates a SUBSCRIBE and seeks its hub cursor. Returns true when
+  /// the ack is kOk and the session should flip into streaming; false
+  /// means `*ack` is a terminal answer (kNotFound for a compacted
+  /// position, kInvalidArgument off a primary) and the session
+  /// continues as a normal request loop — the replica's follow-up
+  /// SNAPSHOT-FETCH arrives on the same connection.
+  bool PrepareSubscription(const Request& request, Response* ack,
+                           replication::Hub::Cursor* cursor);
+  /// The WALSEG push loop of an accepted subscription: ships batches as
+  /// the hub publishes them and heartbeats while idle, until the
+  /// connection drops, the epoch advances (replica re-bootstraps), or
+  /// the server stops.
+  void StreamWalSegments(int fd, replication::Hub::Cursor cursor);
+  /// The replicator's counters plus this server's redirect/shed counts.
+  replication::ReplicaReplicationStats ReplicaStats() const;
 
   /// Emits the trace breakdown to the slow-query sink when the request's
   /// total traced time crossed options_.slow_query_ms. Covers ingests
@@ -199,6 +247,9 @@ class Server {
   /// Durable storage behind INGEST/CHECKPOINT; null for text-loaded
   /// servers (which keep RELOAD instead).
   std::unique_ptr<storage::StorageManager> storage_;
+  /// WAL-stream tail for replica mode (StartReplica); null otherwise.
+  /// Mutually exclusive with storage_.
+  std::unique_ptr<replication::Replicator> replicator_;
   /// Fires on Stop; every request token is a child of it.
   CancelToken stop_token_;
 
@@ -233,6 +284,9 @@ class Server {
   std::atomic<uint64_t> idle_timeouts_{0};
   std::atomic<uint64_t> drained_requests_{0};
   std::atomic<uint64_t> drain_rejections_{0};
+  /// Replica-mode serving counters (kRedirect writes, lag-shed reads).
+  std::atomic<uint64_t> redirects_{0};
+  std::atomic<uint64_t> lag_sheds_{0};
   std::atomic<uint64_t> next_request_id_{1};
   RequestMetrics metrics_;
 };

@@ -255,37 +255,45 @@ Status ReadSnapshotFile(const std::string& path, RdfContext* ctx,
     base = fallback.data();
   }
 
-  Status parsed = [&]() -> Status {
-    if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0) {
-      return Corrupt(path, "bad magic (not a WDPT snapshot file)");
-    }
-    Cursor header(base + sizeof(kMagic), kHeaderBytes - sizeof(kMagic));
-    uint32_t format = 0, relation_count = 0;
-    uint64_t constant_count = 0, body_bytes = 0, body_checksum = 0;
-    WDPT_CHECK(header.ReadU32(&format) && header.ReadU32(&relation_count) &&
-               header.ReadU64(&constant_count) && header.ReadU64(&body_bytes) &&
-               header.ReadU64(&body_checksum));
-    if (format != kFormatVersion) {
-      return Corrupt(path, "unsupported format version " +
-                               std::to_string(format));
-    }
-    if (body_bytes != size - kHeaderBytes) {
-      return Corrupt(path, "declared body of " + std::to_string(body_bytes) +
-                               " bytes but the file holds " +
-                               std::to_string(size - kHeaderBytes));
-    }
-    uint64_t actual = Checksum64(base + kHeaderBytes, body_bytes);
-    if (actual != body_checksum) {
-      return Corrupt(path, "body checksum mismatch (stored " +
-                               std::to_string(body_checksum) + ", computed " +
-                               std::to_string(actual) + ")");
-    }
-    return ParseBody(base + kHeaderBytes, body_bytes, relation_count,
-                     constant_count, path, ctx, db, info);
-  }();
+  Status parsed = ParseSnapshotBytes(base, size, path, ctx, db, info);
 
   if (map != MAP_FAILED) ::munmap(map, size);
   ::close(fd);
+  return parsed;
+}
+
+Status ParseSnapshotBytes(const char* data, size_t size,
+                          const std::string& label, RdfContext* ctx,
+                          Database* db, SnapshotFileInfo* info) {
+  if (size < kHeaderBytes) {
+    return Corrupt(label, "image smaller than the 40-byte header");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt(label, "bad magic (not a WDPT snapshot file)");
+  }
+  Cursor header(data + sizeof(kMagic), kHeaderBytes - sizeof(kMagic));
+  uint32_t format = 0, relation_count = 0;
+  uint64_t constant_count = 0, body_bytes = 0, body_checksum = 0;
+  WDPT_CHECK(header.ReadU32(&format) && header.ReadU32(&relation_count) &&
+             header.ReadU64(&constant_count) && header.ReadU64(&body_bytes) &&
+             header.ReadU64(&body_checksum));
+  if (format != kFormatVersion) {
+    return Corrupt(label,
+                   "unsupported format version " + std::to_string(format));
+  }
+  if (body_bytes != size - kHeaderBytes) {
+    return Corrupt(label, "declared body of " + std::to_string(body_bytes) +
+                              " bytes but the image holds " +
+                              std::to_string(size - kHeaderBytes));
+  }
+  uint64_t actual = Checksum64(data + kHeaderBytes, body_bytes);
+  if (actual != body_checksum) {
+    return Corrupt(label, "body checksum mismatch (stored " +
+                              std::to_string(body_checksum) + ", computed " +
+                              std::to_string(actual) + ")");
+  }
+  Status parsed = ParseBody(data + kHeaderBytes, body_bytes, relation_count,
+                            constant_count, label, ctx, db, info);
   if (parsed.ok() && info != nullptr) info->file_bytes = size;
   return parsed;
 }

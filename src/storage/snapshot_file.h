@@ -34,6 +34,7 @@
 #ifndef WDPT_SRC_STORAGE_SNAPSHOT_FILE_H_
 #define WDPT_SRC_STORAGE_SNAPSHOT_FILE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -63,6 +64,16 @@ Status WriteSnapshotFile(const std::string& path, const RdfContext& ctx,
 /// file order, so ids match the written ones only on a fresh context).
 Status ReadSnapshotFile(const std::string& path, RdfContext* ctx,
                         Database* db, SnapshotFileInfo* info = nullptr);
+
+/// Parses an in-memory snapshot image (header + body, the exact file
+/// bytes) into `*ctx` / `*db` with the same validation as
+/// ReadSnapshotFile. This is the replica bootstrap path: SNAPSHOT-FETCH
+/// ships the file verbatim and the replica parses the frame's bytes
+/// without touching disk. `label` names the source in error messages
+/// (a path, or e.g. "primary 127.0.0.1:9471").
+Status ParseSnapshotBytes(const char* data, size_t size,
+                          const std::string& label, RdfContext* ctx,
+                          Database* db, SnapshotFileInfo* info = nullptr);
 
 }  // namespace wdpt::storage
 

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "src/sparql/data_loader.h"
+#include "src/storage/apply.h"
 #include "src/storage/snapshot_file.h"
 
 namespace wdpt::storage {
@@ -98,25 +99,20 @@ Result<std::unique_ptr<StorageManager>> StorageManager::Open(
     mgr->snapshot_seq_published_.store(newest, std::memory_order_relaxed);
   }
 
-  RelationId triple = mgr->ctx_.triple_relation();
-  Result<WalRecovery> recovery = ReplayWal(
-      mgr->WalPath(), [&](const std::vector<TripleOp>& ops) {
-        for (const TripleOp& op : ops) {
-          if (op.kind == TripleOpKind::kAdd) {
-            mgr->ctx_.AddTriple(&mgr->db_, op.s, op.p, op.o);
-          } else {
-            const Vocabulary& vocab = mgr->ctx_.vocab();
-            ConstantId ids[3] = {vocab.FindConstant(op.s),
-                                 vocab.FindConstant(op.p),
-                                 vocab.FindConstant(op.o)};
-            if (ids[0] == Interner::kNotInterned ||
-                ids[1] == Interner::kNotInterned ||
-                ids[2] == Interner::kNotInterned) {
-              continue;  // Never-interned constant: triple can't exist.
-            }
-            mgr->db_.RemoveFact(triple, ids);
-          }
-        }
+  // Replay the WAL tail through the same routine a live ingest (and a
+  // replica) uses, seeding the replication hub with each entry so a
+  // subscriber can resume from any boundary of the current epoch.
+  mgr->hub_.Reset(mgr->snapshot_seq_);
+  Result<WalRecovery> recovery = ReplayWalWithOffsets(
+      mgr->WalPath(), [&](const std::vector<TripleOp>& ops, uint64_t offset,
+                          uint64_t next_offset) {
+        ApplyTripleOps(&mgr->ctx_, &mgr->db_, ops, nullptr, nullptr);
+        replication::BatchRecord record;
+        record.seq = ++mgr->entries_in_epoch_;
+        record.offset = offset;
+        record.next_offset = next_offset;
+        record.ops_text = FormatIngestBody(ops);
+        mgr->hub_.Publish(std::move(record));
       });
   if (!recovery.ok()) return recovery.status();
   mgr->snapshot_load_ns_.store(ElapsedNs(load_start),
@@ -158,35 +154,17 @@ Status StorageManager::ImportTriples(std::string_view triples) {
 
 void StorageManager::ApplyLocked(const std::vector<TripleOp>& ops,
                                  uint64_t* added, uint64_t* removed) {
-  RelationId triple = ctx_.triple_relation();
-  for (const TripleOp& op : ops) {
-    if (op.kind == TripleOpKind::kAdd) {
-      ConstantId ids[3] = {ctx_.vocab().ConstantIdOf(op.s),
-                           ctx_.vocab().ConstantIdOf(op.p),
-                           ctx_.vocab().ConstantIdOf(op.o)};
-      if (!db_.ContainsFact(triple, ids)) {
-        // Cannot fail: the ids were interned above and the arity is the
-        // schema's.
-        (void)db_.AddFact(triple, ids);
-        ++*added;
-      }
-    } else {
-      const Vocabulary& vocab = ctx_.vocab();
-      ConstantId ids[3] = {vocab.FindConstant(op.s), vocab.FindConstant(op.p),
-                           vocab.FindConstant(op.o)};
-      if (ids[0] == Interner::kNotInterned ||
-          ids[1] == Interner::kNotInterned ||
-          ids[2] == Interner::kNotInterned) {
-        continue;
-      }
-      if (db_.RemoveFact(triple, ids)) ++*removed;
-    }
-  }
+  // One shared routine for primary apply, recovery, and replica replay
+  // (storage/apply.h) — the semantics cannot drift between them.
+  ApplyTripleOps(&ctx_, &db_, ops, added, removed);
 }
 
 Status StorageManager::PublishLocked(Trace* trace) {
   Trace::Span span(trace, TraceStage::kPublish);
-  uint64_t version = next_version_++;
+  // Deterministic from durable state: the same (snapshot, WAL prefix)
+  // always publishes the same version, across restarts and on every
+  // replica — which keeps answer-cache generations honest cluster-wide.
+  uint64_t version = (snapshot_seq_ << 32) | entries_in_epoch_;
   Result<std::shared_ptr<const server::Snapshot>> snapshot =
       server::MakeSnapshot(ctx_, db_, version, options_.shards);
   if (!snapshot.ok()) return snapshot.status();
@@ -199,6 +177,7 @@ Result<IngestResult> StorageManager::Ingest(const std::vector<TripleOp>& ops,
                                             Trace* trace) {
   if (ops.empty()) return Status::InvalidArgument("empty ingest batch");
   std::lock_guard<std::mutex> lock(mu_);
+  uint64_t offset = wal_->bytes();
   {
     // Durability point: once the entry is on disk (and fsynced per
     // policy), recovery replays it — so the ack below can never claim
@@ -211,6 +190,7 @@ Result<IngestResult> StorageManager::Ingest(const std::vector<TripleOp>& ops,
     wal_append_bytes_.fetch_add(entry_bytes, std::memory_order_relaxed);
     wal_backlog_bytes_.store(wal_->bytes(), std::memory_order_relaxed);
   }
+  ++entries_in_epoch_;
   IngestResult result;
   {
     Trace::Span span(trace, TraceStage::kApply);
@@ -218,8 +198,20 @@ Result<IngestResult> StorageManager::Ingest(const std::vector<TripleOp>& ops,
   }
   Status published = PublishLocked(trace);
   if (!published.ok()) return published;
-  result.version = next_version_ - 1;
+  result.version = (snapshot_seq_ << 32) | entries_in_epoch_;
   result.facts = db_.TotalFacts();
+
+  // Ship to replicas only after the batch is durable, applied, and
+  // published locally: a replica can never observe state the primary
+  // would not recover to.
+  {
+    replication::BatchRecord record;
+    record.seq = entries_in_epoch_;
+    record.offset = offset;
+    record.next_offset = wal_->bytes();
+    record.ops_text = FormatIngestBody(ops);
+    hub_.Publish(std::move(record));
+  }
 
   if (options_.checkpoint_wal_bytes != 0 &&
       wal_->bytes() >= options_.checkpoint_wal_bytes) {
@@ -256,6 +248,10 @@ Status StorageManager::CheckpointLocked(CheckpointResult* result,
     ::unlink(SnapshotPath(snapshot_seq_).c_str());  // Best effort.
   }
   snapshot_seq_ = seq;
+  entries_in_epoch_ = 0;
+  // New epoch: retained batches are superseded by the snapshot file.
+  // Mid-stream subscribers observe kStale and re-bootstrap.
+  hub_.Advance(seq);
   snapshot_seq_published_.store(seq, std::memory_order_relaxed);
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   wal_backlog_bytes_.store(0, std::memory_order_relaxed);
@@ -273,6 +269,43 @@ Result<CheckpointResult> StorageManager::Checkpoint(Trace* trace) {
   Status compacted = CheckpointLocked(&result, trace);
   if (!compacted.ok()) return compacted;
   return result;
+}
+
+Result<ReplicaSnapshot> StorageManager::FetchSnapshotForReplica() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (snapshot_seq_ == 0) {
+    // Fresh directory still serving straight off the WAL: cut a first
+    // snapshot so there is an image to hand out. This also advances
+    // the epoch, so the requester's follow-up SUBSCRIBE lands on it.
+    CheckpointResult checkpoint;
+    Status compacted = CheckpointLocked(&checkpoint, nullptr);
+    if (!compacted.ok()) return compacted;
+  }
+  ReplicaSnapshot out;
+  out.epoch = snapshot_seq_;
+  std::string path = SnapshotPath(snapshot_seq_);
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = Errno("fstat", path);
+    ::close(fd);
+    return s;
+  }
+  out.bytes.resize(static_cast<size_t>(st.st_size));
+  size_t off = 0;
+  while (off < out.bytes.size()) {
+    ssize_t n = ::read(fd, out.bytes.data() + off, out.bytes.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Status s = Errno("read", path);
+      ::close(fd);
+      return s;
+    }
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return out;
 }
 
 std::string StorageStats::ToJson() const {

@@ -19,6 +19,16 @@
 // Writers (Ingest/Checkpoint) serialize on one mutex; readers only
 // touch published snapshots and are never blocked by it. See
 // docs/STORAGE.md for the format and the crash-recovery guarantees.
+//
+// Replication: the manager owns the primary-side replication Hub.
+// Every committed ingest batch is published to it (in commit order,
+// tagged with its WAL offset), a checkpoint advances the hub's epoch,
+// and open-time recovery seeds the hub with the replayed WAL so a
+// replica can subscribe from any entry boundary of the current epoch.
+// Published snapshot versions are derived from durable state —
+// (snapshot_seq << 32) | wal entries applied since that snapshot — so
+// the same logical state carries the same version across restarts, on
+// the primary and on every replica. See docs/REPLICATION.md.
 
 #ifndef WDPT_SRC_STORAGE_STORAGE_MANAGER_H_
 #define WDPT_SRC_STORAGE_STORAGE_MANAGER_H_
@@ -35,6 +45,7 @@
 #include "src/common/trace.h"
 #include "src/relational/database.h"
 #include "src/relational/rdf.h"
+#include "src/replication/hub.h"
 #include "src/server/snapshot.h"
 #include "src/storage/stats.h"
 #include "src/storage/wal.h"
@@ -69,6 +80,13 @@ struct CheckpointResult {
   uint64_t snapshot_seq = 0;       ///< NNN of the fresh snapshot file.
   uint64_t facts = 0;              ///< Facts captured in it.
   uint64_t wal_bytes_compacted = 0;///< Log size folded in and reset.
+};
+
+/// A snapshot image handed to a bootstrapping replica: the exact bytes
+/// of snapshot.NNN.wdpt plus the epoch (NNN) a subscriber resumes from.
+struct ReplicaSnapshot {
+  uint64_t epoch = 0;
+  std::string bytes;
 };
 
 class StorageManager {
@@ -109,6 +127,18 @@ class StorageManager {
   /// this state); the kPublish span records the file write.
   Result<CheckpointResult> Checkpoint(Trace* trace = nullptr);
 
+  /// The current snapshot file's bytes for a replica bootstrap
+  /// (SNAPSHOT-FETCH). When no snapshot file exists yet (a fresh
+  /// directory serving straight from the WAL), one is cut first so
+  /// there is always an image to hand out. Serialized with writers:
+  /// the returned epoch and bytes are mutually consistent.
+  Result<ReplicaSnapshot> FetchSnapshotForReplica();
+
+  /// The primary-side replication hub (see replication/hub.h). Batches
+  /// appear here in commit order; Server streaming sessions subscribe
+  /// through it.
+  replication::Hub& hub() { return hub_; }
+
   StorageStats stats() const;
 
   const std::string& dir() const { return options_.dir; }
@@ -133,8 +163,14 @@ class StorageManager {
   Database db_;            ///< Authoritative facts (never served directly).
   std::unique_ptr<WalWriter> wal_;
   uint64_t snapshot_seq_ = 0;
-  uint64_t next_version_ = 1;
+  /// WAL entries applied on top of snapshot_seq_ — the low half of the
+  /// published version (snapshot_seq_ << 32 | entries_in_epoch_), and
+  /// the batch seq replicas track. Reset by every checkpoint; rebuilt
+  /// from the WAL replay count at open, so it is deterministic from
+  /// durable state alone.
+  uint64_t entries_in_epoch_ = 0;
 
+  replication::Hub hub_;
   server::SnapshotHolder snapshot_;
 
   std::atomic<uint64_t> wal_appends_{0};

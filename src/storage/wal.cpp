@@ -244,6 +244,16 @@ Status WalWriter::Reset() {
 Result<WalRecovery> ReplayWal(
     const std::string& path,
     const std::function<void(const std::vector<TripleOp>&)>& apply) {
+  return ReplayWalWithOffsets(
+      path, [&apply](const std::vector<TripleOp>& ops, uint64_t, uint64_t) {
+        apply(ops);
+      });
+}
+
+Result<WalRecovery> ReplayWalWithOffsets(
+    const std::string& path,
+    const std::function<void(const std::vector<TripleOp>&, uint64_t offset,
+                             uint64_t next_offset)>& apply) {
   WalRecovery recovery;
   int fd = ::open(path.c_str(), O_RDWR);
   if (fd < 0) {
@@ -289,7 +299,7 @@ Result<WalRecovery> ReplayWal(
     if (Checksum64(payload) != stored || !DecodePayload(payload, &ops)) {
       break;  // Corrupt tail entry: same treatment.
     }
-    apply(ops);
+    apply(ops, pos, pos + kEntryHeaderBytes + len);
     ++recovery.entries;
     recovery.ops += ops.size();
     pos += kEntryHeaderBytes + len;

@@ -110,6 +110,16 @@ Result<WalRecovery> ReplayWal(
     const std::string& path,
     const std::function<void(const std::vector<TripleOp>&)>& apply);
 
+/// ReplayWal variant that also reports each entry's position: `offset`
+/// is the byte offset the entry starts at and `next_offset` the offset
+/// just past it — the (offset, next_offset) pair replication uses to
+/// address WAL batches (src/replication/hub.h seeds its backlog from
+/// this at open).
+Result<WalRecovery> ReplayWalWithOffsets(
+    const std::string& path,
+    const std::function<void(const std::vector<TripleOp>&, uint64_t offset,
+                             uint64_t next_offset)>& apply);
+
 }  // namespace wdpt::storage
 
 #endif  // WDPT_SRC_STORAGE_WAL_H_

@@ -5,6 +5,13 @@
 // a frame boundary must stay distinguishable (kNotFound) from both.
 // Frames travel over a socketpair so each case controls the exact bytes
 // on the wire.
+//
+// The replication commands (SUBSCRIBE / WALSEG / SNAPSHOT-FETCH) get
+// the same treatment one layer up: their cursor headers and binary
+// snapshot bodies must round-trip exactly, malformed header blocks must
+// parse-error rather than yield half-initialised requests, and a WALSEG
+// torn mid-frame — by hand or by the fault injector — must surface as
+// wire corruption, never as a short-but-parseable segment.
 
 #include <gtest/gtest.h>
 
@@ -14,7 +21,9 @@
 #include <cstdint>
 #include <string>
 
+#include "src/server/fault.h"
 #include "src/server/frame.h"
+#include "src/server/protocol.h"
 
 namespace wdpt::server {
 namespace {
@@ -123,6 +132,199 @@ TEST_F(FrameTest, WriterRefusesPayloadOverCap) {
   Status status = WriteFrame(writer_, big, /*max_bytes=*/1024);
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+// --- Replication protocol round-trips ---------------------------------
+
+// A WALSEG with every cursor header populated, as StreamWalSegments
+// emits one mid-epoch.
+Request SampleWalSeg() {
+  Request seg;
+  seg.command = Command::kWalSeg;
+  seg.epoch = 3;
+  seg.offset = 4096;
+  seg.next_offset = 4201;
+  seg.seq = 42;
+  seg.head_seq = 45;
+  seg.body =
+      "add live1 recorded_by Caribou\n"
+      "add live1 published after_2010\n";
+  return seg;
+}
+
+TEST(ReplicationProtocolTest, SubscribeRoundTripCarriesCursor) {
+  Request subscribe;
+  subscribe.command = Command::kSubscribe;
+  subscribe.epoch = 7;
+  subscribe.offset = 987654321;
+  Result<Request> parsed = ParseRequest(SerializeRequest(subscribe));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->command, Command::kSubscribe);
+  EXPECT_EQ(parsed->epoch, 7u);
+  EXPECT_EQ(parsed->offset, 987654321u);
+}
+
+TEST(ReplicationProtocolTest, SubscribeFromGenesisKeepsExplicitZeros) {
+  // A fresh replica subscribes at (0, 0); the headers must still be on
+  // the wire so the primary doesn't mistake "absent" for "genesis".
+  Request subscribe;
+  subscribe.command = Command::kSubscribe;
+  std::string wire = SerializeRequest(subscribe);
+  EXPECT_NE(wire.find("epoch: 0\n"), std::string::npos);
+  EXPECT_NE(wire.find("offset: 0\n"), std::string::npos);
+  Result<Request> parsed = ParseRequest(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->epoch, 0u);
+  EXPECT_EQ(parsed->offset, 0u);
+}
+
+TEST(ReplicationProtocolTest, WalSegRoundTripCarriesAllCursorHeaders) {
+  Request seg = SampleWalSeg();
+  Result<Request> parsed = ParseRequest(SerializeRequest(seg));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->command, Command::kWalSeg);
+  EXPECT_EQ(parsed->epoch, 3u);
+  EXPECT_EQ(parsed->offset, 4096u);
+  EXPECT_EQ(parsed->next_offset, 4201u);
+  EXPECT_EQ(parsed->seq, 42u);
+  EXPECT_EQ(parsed->head_seq, 45u);
+  EXPECT_EQ(parsed->body, seg.body);
+}
+
+TEST(ReplicationProtocolTest, WalSegHeartbeatRoundTripsWithEmptyBody) {
+  // Idle-stream heartbeats are WALSEGs with no ops; only head-seq
+  // matters (it drives the replica's lag gauge).
+  Request beat;
+  beat.command = Command::kWalSeg;
+  beat.epoch = 2;
+  beat.offset = 128;
+  beat.next_offset = 128;
+  beat.seq = 0;
+  beat.head_seq = 17;
+  Result<Request> parsed = ParseRequest(SerializeRequest(beat));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->command, Command::kWalSeg);
+  EXPECT_EQ(parsed->head_seq, 17u);
+  EXPECT_TRUE(parsed->body.empty());
+}
+
+TEST(ReplicationProtocolTest, SnapshotFetchRoundTrip) {
+  Request fetch;
+  fetch.command = Command::kSnapshotFetch;
+  Result<Request> parsed = ParseRequest(SerializeRequest(fetch));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->command, Command::kSnapshotFetch);
+}
+
+TEST(ReplicationProtocolTest, SnapshotResponseRoundTripsBinaryBody) {
+  // Snapshot images are raw bytes: NULs, newlines, and high bytes must
+  // survive because body-bytes carries the length — no terminator, no
+  // escaping.
+  Response image;
+  image.code = StatusCode::kOk;
+  image.epoch = 5;
+  image.body = std::string("WDPT\x00snap\n\xff\x7f tail", 17);
+  ASSERT_EQ(image.body.size(), 17u);  // The NUL must not clip the literal.
+  Result<Response> parsed = ParseResponse(SerializeResponse(image));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->code, StatusCode::kOk);
+  EXPECT_EQ(parsed->epoch, 5u);
+  EXPECT_EQ(parsed->body, image.body);
+}
+
+TEST(ReplicationProtocolTest, SubscribeAckRoundTripsEpochAndHeadSeq) {
+  Response ack;
+  ack.code = StatusCode::kOk;
+  ack.epoch = 4;
+  ack.head_seq = 99;
+  Result<Response> parsed = ParseResponse(SerializeResponse(ack));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->epoch, 4u);
+  EXPECT_EQ(parsed->head_seq, 99u);
+}
+
+TEST(ReplicationProtocolTest, RedirectResponseRoundTripsPrimaryAddress) {
+  Response redirect;
+  redirect.code = StatusCode::kRedirect;
+  redirect.primary = "10.0.0.7:7687";
+  redirect.message = "replica does not accept writes";
+  Result<Response> parsed = ParseResponse(SerializeResponse(redirect));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->code, StatusCode::kRedirect);
+  EXPECT_EQ(parsed->primary, "10.0.0.7:7687");
+}
+
+// --- Replication protocol malformed inputs ----------------------------
+
+TEST(ReplicationProtocolTest, WalSegMissingBlankLineIsAParseError) {
+  Result<Request> parsed = ParseRequest("WDPT/1 WALSEG\nepoch: 1\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(ReplicationProtocolTest, WalSegHeaderWithoutColonIsAParseError) {
+  Result<Request> parsed = ParseRequest("WDPT/1 WALSEG\nepoch 1\n\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(ReplicationProtocolTest, UnknownStreamCommandIsRejected) {
+  Result<Request> parsed = ParseRequest("WDPT/1 WALSEGMENT\n\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ReplicationProtocolTest, SnapshotResponseTruncatedBodyIsAParseError) {
+  // Declared body-bytes longer than the frame's tail: a parser that
+  // returned the short body would hand ParseSnapshotBytes a clipped
+  // image and fail much later with a worse message.
+  Response image;
+  image.code = StatusCode::kOk;
+  image.epoch = 2;
+  image.body = std::string(64, '\x5a');
+  std::string wire = SerializeResponse(image);
+  Result<Response> parsed =
+      ParseResponse(std::string_view(wire).substr(0, wire.size() - 10));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+// --- Torn WALSEG frames on the wire -----------------------------------
+
+TEST_F(FrameTest, TruncatedMidWalSegIsAnErrorNotAShortSegment) {
+  // The prefix announces the full segment but the connection dies
+  // halfway through the ops body. The replica's ReadFrame must report
+  // corruption (which triggers a resync) — never hand back a prefix of
+  // the payload that would parse as a smaller, valid WALSEG.
+  std::string payload = SerializeRequest(SampleWalSeg());
+  SendPrefix(static_cast<uint32_t>(payload.size()));
+  SendRaw(payload.data(), payload.size() / 2);
+  CloseWriter();
+  Result<std::string> read = ReadFrame(reader_);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInternal);
+}
+
+TEST_F(FrameTest, FaultInjectedTearMidWalSegSurfacesAsWireCorruption) {
+  // reset_send_every=1: the injector lets 1-3 bytes of the WALSEG out,
+  // then shuts the socket down — the writer learns its stream is dead
+  // and the reader sees a torn frame, exactly the schedule the chaos
+  // gate and tests/replication_test.cpp lean on.
+  struct FaultGuard {
+    ~FaultGuard() { fault::Uninstall(); }
+  } guard;
+  fault::Options faults;
+  faults.seed = 11;
+  faults.reset_send_every = 1;
+  fault::Install(faults);
+
+  Status wrote = WriteFrame(writer_, SerializeRequest(SampleWalSeg()));
+  ASSERT_FALSE(wrote.ok());
+  EXPECT_EQ(wrote.code(), StatusCode::kInternal);
+  Result<std::string> read = ReadFrame(reader_);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInternal);
+  EXPECT_GE(fault::Get()->counters().resets, 1u);
 }
 
 }  // namespace

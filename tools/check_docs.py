@@ -15,7 +15,11 @@ something that does not exist in the repository:
   * ctest labels (`ctest -L <label>`) and presets (`--preset <name>`)
     not defined by tests/CMakeLists.txt / CMakePresets.json;
   * docs/*.md files that do not link ARCHITECTURE.md (every doc must
-    point back at the one-page map), and a README that doesn't either.
+    point back at the one-page map), and a README that doesn't either;
+  * metric families: docs/METRICS.md must list *exactly* the `wdpt_*`
+    string literals registered under src/ — a family emitted by the
+    code but absent from the inventory fails, and so does a documented
+    family the code no longer emits.
 
 Run from anywhere: `python3 tools/check_docs.py [repo_root]`. Wired as
 the `docs.check_docs` ctest (label: docs).
@@ -52,6 +56,13 @@ ROOT_DOC_RE = re.compile(r"^[A-Za-z_]+\.(?:md|json)$")
 FLAG_RE = re.compile(r"--[A-Za-z][\w-]*")
 CTEST_LABEL_RE = re.compile(r"ctest\s+(?:[^`]*\s)?-L\s+(\w+)")
 PRESET_RE = re.compile(r"--preset[= ](\w+)")
+
+# Metric families: full quoted literals in src/ vs full backticked
+# tokens in docs/METRICS.md. Tool binaries share the wdpt_ prefix but
+# are not families.
+METRIC_SRC_RE = re.compile(r'"(wdpt_[a-z0-9_]+)"')
+METRIC_DOC_RE = re.compile(r"`(wdpt_[a-z0-9_]+)`")
+METRIC_NON_FAMILIES = {"wdpt_server", "wdpt_query", "wdpt_loadgen"}
 
 
 def expand_braces(token):
@@ -114,6 +125,34 @@ def collect_presets(root):
     return presets
 
 
+def lint_metric_families(root):
+    """docs/METRICS.md must mirror the wdpt_* families in src/ exactly."""
+    errors = []
+    inventory = root / "docs" / "METRICS.md"
+    if not inventory.exists():
+        return ["docs/METRICS.md: missing (the metric-family inventory)"]
+    documented = (
+        set(METRIC_DOC_RE.findall(inventory.read_text())) - METRIC_NON_FAMILIES
+    )
+    registered = set()
+    for pattern in ("*.cpp", "*.h"):
+        for path in sorted((root / "src").rglob(pattern)):
+            registered.update(
+                METRIC_SRC_RE.findall(path.read_text(errors="replace"))
+            )
+    for family in sorted(registered - documented):
+        errors.append(
+            f"docs/METRICS.md: family '{family}' is registered in src/ "
+            "but missing from the inventory"
+        )
+    for family in sorted(documented - registered):
+        errors.append(
+            f"docs/METRICS.md: family '{family}' is documented but no "
+            "src/ file registers it"
+        )
+    return errors
+
+
 def lint(root):
     errors = []
     doc_files = sorted((root / "docs").glob("*.md")) + [root / "README.md"]
@@ -167,6 +206,9 @@ def lint(root):
         # 5. Every doc links back to the architecture map.
         if doc.name != "ARCHITECTURE.md" and "ARCHITECTURE.md" not in text:
             errors.append(f"{rel_doc}: missing a link to ARCHITECTURE.md")
+
+    # 6. The metric inventory mirrors the code.
+    errors.extend(lint_metric_families(root))
 
     return errors, len(doc_files)
 

@@ -1,17 +1,29 @@
 #!/usr/bin/env bash
-# Runs the full tier-1 gate: configure + build + ctest for the default
-# preset, then the asan and tsan presets (which run the concurrency-
-# sensitive labels: engine, server, shards, cache, storage, resilience —
-# see CMakePresets.json), then a seeded `wdpt_loadgen --chaos` smoke run
-# (fault injection + drain/restart, zero mismatches required; see
-# docs/RESILIENCE.md). Any failing step fails the script.
+# Runs the full tier-1 gate and prints a per-step PASS/FAIL summary:
+#
+#   1. docs lint (tools/check_docs.py — cross-links, paths, flags,
+#      labels, presets, and the METRICS.md metric-family inventory);
+#   2. configure + build + ctest for the default preset, then the asan
+#      and tsan presets (which run the concurrency-sensitive labels:
+#      engine, server, shards, cache, storage, resilience, replication
+#      — see CMakePresets.json);
+#   3. a seeded single-node `wdpt_loadgen --chaos` smoke run (fault
+#      injection + drain/restart, zero mismatches required; see
+#      docs/RESILIENCE.md);
+#   4. a seeded `wdpt_loadgen --replicas 2 --chaos` smoke run (primary
+#      + two followers under fault injection, one replica killed and
+#      the primary restarted mid-load; zero mismatches and at least
+#      one observed resync required; see docs/REPLICATION.md).
+#
+# Every step runs even after a failure so the summary shows the full
+# picture; the script exits non-zero when any step failed.
 #
 # Usage: tools/run_tier1.sh [preset ...]
-#   With no arguments runs: default asan tsan, then the chaos smoke.
+#   With no arguments runs: default asan tsan, then both chaos smokes.
 #   Pass a subset (e.g. `tools/run_tier1.sh default`) to run fewer
-#   presets; the chaos smoke runs whenever the default preset is built.
+#   presets; the chaos smokes run whenever the default preset is built.
 
-set -euo pipefail
+set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -20,19 +32,51 @@ if [ ${#presets[@]} -eq 0 ]; then
   presets=(default asan tsan)
 fi
 
+summary=()
+failed=0
+
+step() {
+  local name="$1"
+  shift
+  echo "=== tier-1: ${name} ==="
+  if "$@"; then
+    summary+=("PASS  ${name}")
+  else
+    summary+=("FAIL  ${name}")
+    failed=1
+  fi
+}
+
+if command -v python3 >/dev/null 2>&1; then
+  step "docs lint (check_docs.py)" python3 tools/check_docs.py .
+else
+  summary+=("SKIP  docs lint (no python3)")
+fi
+
 for preset in "${presets[@]}"; do
-  echo "=== tier-1: preset ${preset} ==="
-  cmake --preset "${preset}"
-  cmake --build --preset "${preset}" -j "$(nproc)"
-  ctest --preset "${preset}" -j "$(nproc)"
+  step "configure ${preset}" cmake --preset "${preset}"
+  step "build ${preset}" cmake --build --preset "${preset}" -j "$(nproc)"
+  step "ctest ${preset}" ctest --preset "${preset}" -j "$(nproc)"
 done
 
 for preset in "${presets[@]}"; do
   if [ "${preset}" = "default" ]; then
-    echo "=== tier-1: chaos smoke (seeded fault injection + drain) ==="
-    ./build/tools/wdpt_loadgen --chaos --chaos-seed 7 --clients 4 \
+    step "chaos smoke (single node)" \
+      ./build/tools/wdpt_loadgen --chaos --chaos-seed 7 --clients 4 \
       --requests 30 --bands 80
+    step "chaos smoke (replicas)" \
+      ./build/tools/wdpt_loadgen --replicas 2 --chaos --chaos-seed 7 \
+      --clients 4 --requests 30 --bands 40
   fi
 done
 
-echo "=== tier-1: all presets passed (${presets[*]}) ==="
+echo
+echo "=== tier-1 summary ==="
+for line in "${summary[@]}"; do
+  echo "  ${line}"
+done
+if [ "${failed}" -ne 0 ]; then
+  echo "=== tier-1: FAILED ==="
+  exit 1
+fi
+echo "=== tier-1: all steps passed (${presets[*]}) ==="

@@ -54,6 +54,18 @@
 // transport or status errors, a nonzero wdpt_client_retries_total, and
 // a nonzero wdpt_server_drained_requests — faults must both fire and
 // be absorbed, bit-identically.
+//
+// --replicas N switches to the replication gate (docs/REPLICATION.md):
+// a storage-backed primary plus N in-process replicas, with every
+// reader pinned round-robin to a replica while the primary takes a
+// live INGEST stream. Each response names the snapshot version it was
+// served from; the reader checks its rows bit-identical against local
+// unsharded execution of exactly that cumulative state, so replicas
+// may be stale but never wrong. Combined with --chaos the fault
+// injector tears WAL streams, one replica is killed and restarted
+// mid-load, and the primary is drained and restarted mid-stream — the
+// gate additionally demands at least one replica resync, proving the
+// torn-stream recovery path actually ran.
 
 #include <algorithm>
 #include <atomic>
@@ -75,6 +87,7 @@
 #include "src/server/exec.h"
 #include "src/server/server.h"
 #include "src/server/snapshot.h"
+#include "src/storage/storage_manager.h"
 
 namespace {
 
@@ -89,7 +102,7 @@ int Usage(const char* argv0) {
                "[--workers N] [--queue N] [--cache-bytes N] "
                "[--cache-bypass] [--json FILE] [--no-verify] "
                "[--max-ping-p50-ms X] [--chaos] [--chaos-seed N] "
-               "[--drain-ms N]\n",
+               "[--drain-ms N] [--replicas N]\n",
                argv0);
   return 2;
 }
@@ -556,6 +569,428 @@ int RunChaos(const std::string& triples, unsigned clients,
   return failed ? 1 : 0;
 }
 
+// One live-ingest batch: new recordings that extend every query in the
+// mix, so each applied batch visibly changes the answer sets replicas
+// must reproduce. Triples form ("s p o" lines) feeds the expected-state
+// snapshots; ops form prefixes "add " for the INGEST body.
+std::string ReplicaBatchTriples(uint64_t k) {
+  std::string rec = "liverec" + std::to_string(k);
+  return rec + " recorded_by band0\n" + rec + " published after_2010\n" +
+         rec + " NME_rating " + std::to_string(1 + k % 10) + "\n";
+}
+
+std::string ReplicaBatchOps(uint64_t k) {
+  std::string ops;
+  std::string triples = ReplicaBatchTriples(k);
+  size_t pos = 0;
+  while (pos < triples.size()) {
+    size_t eol = triples.find('\n', pos);
+    ops += "add " + triples.substr(pos, eol - pos) + "\n";
+    pos = eol + 1;
+  }
+  return ops;
+}
+
+// Replication gate: a storage-backed primary streaming to N in-process
+// replicas under live ingest, readers pinned round-robin and verified
+// bit-identical per served snapshot version. With `chaos`, faults are
+// injected process-wide, replica 0 is killed and restarted mid-load,
+// and the primary is drained and restarted mid-stream; the gate then
+// also demands at least one resync. Returns the process exit code.
+int RunReplicas(const std::string& triples, unsigned replicas,
+                unsigned clients, uint64_t requests_per_client,
+                unsigned workers, size_t queue, size_t cache_bytes,
+                const std::vector<server::QueryCall>& mix, bool verify,
+                bool chaos, uint64_t chaos_seed, uint64_t drain_ms,
+                const std::string& json_path, size_t facts,
+                const std::string& dataset_name) {
+  constexpr uint64_t kEpochShift = 32;  // version = (epoch << 32) | seq.
+  const uint64_t total_batches = 16;
+
+  char tmpl[] = "/tmp/wdpt_loadgen_replicas.XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "error: mkdtemp failed\n");
+    return 1;
+  }
+  std::string data_dir = dir;
+  auto cleanup_dir = [&data_dir] {
+    std::string cmd = "rm -rf '" + data_dir + "'";
+    std::system(cmd.c_str());
+  };
+
+  // Expected answers per cumulative state k (seed + first k batches),
+  // via the same unsharded local execution path every other loadgen
+  // mode verifies against. State k serves as version (1<<32)|k: the
+  // seed import checkpoints into snapshot 1, and auto-checkpointing is
+  // off, so the epoch stays 1 for the whole run (a primary restart
+  // replays the WAL and recomputes the identical version).
+  std::vector<std::vector<server::Response>> expected;
+  if (verify) {
+    Engine local_engine(EngineOptions{1, 128});
+    std::string cumulative = triples;
+    for (uint64_t k = 0; k <= total_batches; ++k) {
+      if (k > 0) cumulative += ReplicaBatchTriples(k);
+      Result<std::shared_ptr<const server::Snapshot>> state =
+          server::LoadSnapshot(cumulative, (1ull << kEpochShift) | k);
+      if (!state.ok()) {
+        std::fprintf(stderr, "data error: %s\n",
+                     state.status().ToString().c_str());
+        cleanup_dir();
+        return 1;
+      }
+      std::vector<server::Response> per_state;
+      for (const server::QueryCall& q : mix) {
+        per_state.push_back(
+            server::ExecuteQuery(&local_engine, **state, q.ToRequest()));
+        if (!per_state.back().ok()) {
+          std::fprintf(stderr, "query mix entry failed locally: %s\n",
+                       per_state.back().message.c_str());
+          cleanup_dir();
+          return 1;
+        }
+      }
+      expected.push_back(std::move(per_state));
+    }
+  }
+
+  if (chaos) {
+    server::fault::Options faults;
+    faults.seed = chaos_seed;
+    faults.delay_prob = 0.05;
+    faults.delay_ms = 1;
+    faults.short_prob = 0.05;
+    faults.reset_prob = 0.02;
+    faults.connect_fail_prob = 0.01;
+    server::fault::Install(faults);
+  }
+
+  // The primary: durable storage seeded via import (which checkpoints,
+  // starting epoch 1 with an empty WAL), explicit checkpoints only.
+  server::ServerOptions primary_options;
+  primary_options.num_workers = workers;
+  primary_options.admission_capacity = queue;
+  primary_options.drain_ms = 0;  // Drained explicitly in the chaos path.
+  storage::StorageOptions storage_options;
+  storage_options.dir = data_dir;
+  storage_options.checkpoint_wal_bytes = 0;
+  auto open_primary = [&]() -> std::unique_ptr<server::Server> {
+    Result<std::unique_ptr<storage::StorageManager>> manager =
+        storage::StorageManager::Open(storage_options);
+    if (!manager.ok()) {
+      std::fprintf(stderr, "storage error: %s\n",
+                   manager.status().ToString().c_str());
+      return nullptr;
+    }
+    if ((*manager)->CurrentSnapshot()->db.TotalFacts() == 0) {
+      Status seeded = (*manager)->ImportTriples(triples);
+      if (!seeded.ok()) {
+        std::fprintf(stderr, "seed error: %s\n", seeded.ToString().c_str());
+        return nullptr;
+      }
+    }
+    auto srv = std::make_unique<server::Server>(primary_options);
+    Status started = srv->StartWithStorage(std::move(*manager));
+    if (!started.ok()) {
+      std::fprintf(stderr, "primary start error: %s\n",
+                   started.ToString().c_str());
+      return nullptr;
+    }
+    return srv;
+  };
+  std::unique_ptr<server::Server> primary = open_primary();
+  if (primary == nullptr) {
+    if (chaos) server::fault::Uninstall();
+    cleanup_dir();
+    return 1;
+  }
+  const uint16_t primary_port = primary->port();
+
+  // N replicas on ephemeral ports; bootstrap retries ride out injected
+  // connect failures.
+  server::ServerOptions replica_options;
+  replica_options.num_workers = workers;
+  replica_options.admission_capacity = queue;
+  replica_options.answer_cache_bytes = cache_bytes;
+  auto start_replica = [&](uint16_t port) -> std::unique_ptr<server::Server> {
+    replication::ReplicatorOptions ropts;
+    ropts.primary_host = "127.0.0.1";
+    ropts.primary_port = primary_port;
+    ropts.retry.max_attempts = 10;
+    ropts.retry.seed = chaos_seed * 2654435761ull + port;
+    server::ServerOptions opts = replica_options;
+    opts.port = port;
+    // A fixed-port restart can race the old socket's teardown; a few
+    // bind retries absorb it (same pattern as the chaos restart).
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      auto srv = std::make_unique<server::Server>(opts);
+      if (srv->StartReplica(ropts).ok()) return srv;
+      if (port == 0) break;  // Ephemeral bind never races; real error.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return nullptr;
+  };
+  std::vector<std::unique_ptr<server::Server>> fleet;
+  std::vector<uint16_t> replica_ports;
+  for (unsigned i = 0; i < replicas; ++i) {
+    fleet.push_back(start_replica(0));
+    if (fleet.back() == nullptr) {
+      std::fprintf(stderr, "replica %u start error\n", i);
+      for (auto& srv : fleet) {
+        if (srv != nullptr) srv->Stop();
+      }
+      primary->Stop();
+      if (chaos) server::fault::Uninstall();
+      cleanup_dir();
+      return 1;
+    }
+    replica_ports.push_back(fleet.back()->port());
+  }
+
+  // Readers: each pins one replica and hammers the query mix, checking
+  // every OK answer against the expected rows of exactly the state the
+  // response claims to serve. Replicas may be stale, never wrong.
+  std::mutex totals_mu;
+  uint64_t requests = 0, transport_errors = 0, status_errors = 0,
+           mismatches = 0, regressions = 0, overloaded = 0;
+  server::ClientRetryStats retry_totals;
+  std::vector<std::thread> readers;
+  for (unsigned c = 0; c < clients; ++c) {
+    readers.emplace_back([&, c] {
+      server::Client client;
+      server::RetryPolicy policy;
+      policy.connect_timeout_ms = 2000;
+      policy.send_timeout_ms = 2000;
+      policy.max_attempts = chaos ? 12 : 5;
+      policy.backoff_initial_ms = 2;
+      policy.backoff_max_ms = 100;
+      policy.seed = chaos_seed * 1315423911ull + c;
+      client.set_retry_policy(policy);
+      client.Connect("127.0.0.1", replica_ports[c % replicas]);
+      uint64_t transport = 0, status = 0, mismatch = 0, regress = 0,
+               overload = 0, issued = 0, last_version = 0;
+      for (uint64_t r = 0; r < requests_per_client; ++r) {
+        size_t qi = (c + r) % mix.size();
+        Result<server::Response> response = client.Query(mix[qi]);
+        int retries = 0;
+        while (response.ok() &&
+               response->code == StatusCode::kOverloaded && retries < 100) {
+          ++overload;
+          ++retries;
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              response->retry_after_ms ? response->retry_after_ms : 1));
+          response = client.Query(mix[qi]);
+        }
+        ++issued;
+        if (!response.ok()) {
+          ++transport;
+          continue;
+        }
+        if (response->code != StatusCode::kOk) {
+          ++status;
+          continue;
+        }
+        uint64_t version = 0;
+        if (!JsonField(response->stats_json, "snapshot_version", &version)) {
+          ++mismatch;  // Every replica answer must name its state.
+          continue;
+        }
+        if (verify) {
+          uint64_t state = version - (1ull << kEpochShift);
+          if (version < (1ull << kEpochShift) ||
+              state >= expected.size()) {
+            ++mismatch;  // A version no primary state ever published.
+          } else {
+            const server::Response& want = expected[state][qi];
+            if (response->rows != want.rows ||
+                response->truncated != want.truncated) {
+              ++mismatch;
+            }
+          }
+        }
+        // A single replica only moves forward — except across a chaos
+        // restart, where a rebooted replica legitimately serves the
+        // bootstrap snapshot until catch-up.
+        if (!chaos && version < last_version) ++regress;
+        if (version > last_version) last_version = version;
+      }
+      server::ClientRetryStats stats = client.retry_stats();
+      std::lock_guard<std::mutex> lock(totals_mu);
+      requests += issued;
+      transport_errors += transport;
+      status_errors += status;
+      mismatches += mismatch;
+      regressions += regress;
+      overloaded += overload;
+      retry_totals.attempts += stats.attempts;
+      retry_totals.retries += stats.retries;
+      retry_totals.reconnects += stats.reconnects;
+    });
+  }
+
+  // The writer doubles as the chaos orchestrator: it feeds the primary
+  // one batch at a time and, in chaos mode, kills/restarts replica 0
+  // a third of the way in and drains/restarts the primary at two
+  // thirds. INGEST is never auto-retried (docs/RESILIENCE.md), so a
+  // failed send is resolved by asking the primary which state it
+  // actually reached — the version is durable truth, counters are not.
+  uint64_t resyncs = 0;       // Accumulated across replica incarnations.
+  uint64_t replica_kills = 0, primary_restarts = 0;
+  bool orchestration_failed = false;
+  {
+    server::Client writer;
+    server::RetryPolicy policy;
+    policy.connect_timeout_ms = 2000;
+    policy.send_timeout_ms = 2000;
+    policy.max_attempts = 12;
+    policy.backoff_initial_ms = 2;
+    policy.backoff_max_ms = 100;
+    policy.seed = chaos_seed * 40503ull + 1;
+    writer.set_retry_policy(policy);
+    writer.Connect("127.0.0.1", primary_port);
+    auto primary_state = [&]() -> uint64_t {
+      // Cheap read with client-side retry; the served version names
+      // the last applied batch.
+      Result<server::Response> probe = writer.Query(mix[0]);
+      if (!probe.ok() || probe->code != StatusCode::kOk) return ~0ull;
+      uint64_t version = 0;
+      if (!JsonField(probe->stats_json, "snapshot_version", &version)) {
+        return ~0ull;
+      }
+      return version - (1ull << kEpochShift);
+    };
+    for (uint64_t k = 1; k <= total_batches && !orchestration_failed; ++k) {
+      bool applied = false;
+      for (int attempt = 0; attempt < 20 && !applied; ++attempt) {
+        Result<server::Response> r = writer.Ingest(ReplicaBatchOps(k));
+        if (r.ok() && r->code == StatusCode::kOk) {
+          applied = true;
+          break;
+        }
+        uint64_t state = primary_state();
+        if (state == k) {
+          applied = true;  // The ack was torn, the batch landed.
+        } else if (state != k - 1 && state != ~0ull) {
+          break;  // Neither side of the batch: something is deeply off.
+        }
+      }
+      if (!applied) {
+        std::fprintf(stderr, "replicas: batch %llu never applied\n",
+                     static_cast<unsigned long long>(k));
+        orchestration_failed = true;
+        break;
+      }
+      // Spread the states across the readers' run.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      if (chaos && k == total_batches / 3) {
+        resyncs += fleet[0]->replicator()->stats().resyncs;
+        fleet[0]->Stop();
+        fleet[0] = start_replica(replica_ports[0]);
+        if (fleet[0] == nullptr) {
+          std::fprintf(stderr, "replicas: replica 0 restart failed\n");
+          orchestration_failed = true;
+          break;
+        }
+        ++replica_kills;
+      }
+      if (chaos && k == (2 * total_batches) / 3) {
+        primary->Drain(drain_ms);
+        primary.reset();
+        primary_options.port = primary_port;
+        for (int attempt = 0; attempt < 50 && primary == nullptr;
+             ++attempt) {
+          primary = open_primary();
+          if (primary == nullptr) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          }
+        }
+        if (primary == nullptr) {
+          std::fprintf(stderr, "replicas: primary restart failed\n");
+          orchestration_failed = true;
+          break;
+        }
+        ++primary_restarts;
+      }
+    }
+  }
+  for (std::thread& t : readers) t.join();
+
+  for (auto& srv : fleet) {
+    if (srv != nullptr) {
+      resyncs += srv->replicator()->stats().resyncs;
+      srv->Stop();
+    }
+  }
+  if (primary != nullptr) primary->Stop();
+  if (chaos) server::fault::Uninstall();
+  cleanup_dir();
+
+  std::fprintf(stderr,
+               "replicas: n=%u clients=%u batches=%llu requests=%llu "
+               "transport_errors=%llu status_errors=%llu mismatches=%llu "
+               "version_regressions=%llu overloaded=%llu\n",
+               replicas, clients,
+               static_cast<unsigned long long>(total_batches),
+               static_cast<unsigned long long>(requests),
+               static_cast<unsigned long long>(transport_errors),
+               static_cast<unsigned long long>(status_errors),
+               static_cast<unsigned long long>(mismatches),
+               static_cast<unsigned long long>(regressions),
+               static_cast<unsigned long long>(overloaded));
+  std::fprintf(stderr,
+               "replicas: wdpt_replication_resyncs_total=%llu "
+               "replica_kills=%llu primary_restarts=%llu retries=%llu "
+               "reconnects=%llu\n",
+               static_cast<unsigned long long>(resyncs),
+               static_cast<unsigned long long>(replica_kills),
+               static_cast<unsigned long long>(primary_restarts),
+               static_cast<unsigned long long>(retry_totals.retries),
+               static_cast<unsigned long long>(retry_totals.reconnects));
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\"benchmark\":\"wdpt_server_replicas\",\"dataset\":\""
+        << dataset_name << "\",\"facts\":" << facts
+        << ",\"replicas\":" << replicas << ",\"clients\":" << clients
+        << ",\"chaos\":" << (chaos ? "true" : "false")
+        << ",\"chaos_seed\":" << chaos_seed
+        << ",\"batches\":" << total_batches << ",\"requests\":" << requests
+        << ",\"transport_errors\":" << transport_errors
+        << ",\"status_errors\":" << status_errors
+        << ",\"mismatches\":" << mismatches
+        << ",\"version_regressions\":" << regressions
+        << ",\"resyncs\":" << resyncs
+        << ",\"replica_kills\":" << replica_kills
+        << ",\"primary_restarts\":" << primary_restarts
+        << ",\"retries\":" << retry_totals.retries << "}\n";
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
+
+  bool failed = orchestration_failed || transport_errors != 0 ||
+                status_errors != 0 || mismatches != 0 || regressions != 0 ||
+                requests == 0;
+  if (failed) {
+    std::fprintf(stderr,
+                 "FAILED: %llu mismatches, %llu status errors, %llu "
+                 "transport errors, %llu version regressions\n",
+                 static_cast<unsigned long long>(mismatches),
+                 static_cast<unsigned long long>(status_errors),
+                 static_cast<unsigned long long>(transport_errors),
+                 static_cast<unsigned long long>(regressions));
+  }
+  if (chaos && resyncs == 0) {
+    std::fprintf(stderr,
+                 "FAILED: no replica ever resynced; the chaos schedule "
+                 "never exercised torn-stream recovery\n");
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -577,6 +1012,7 @@ int main(int argc, char** argv) {
   bool chaos = false;
   uint64_t chaos_seed = 1;
   uint64_t drain_ms = 200;
+  unsigned replicas = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--connect" && i + 1 < argc) {
@@ -615,6 +1051,8 @@ int main(int argc, char** argv) {
       chaos_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--drain-ms" && i + 1 < argc) {
       drain_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--replicas" && i + 1 < argc) {
+      replicas = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       return Usage(argv[0]);
     }
@@ -689,6 +1127,21 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+  }
+
+  if (replicas > 0) {
+    // The replication gate owns the whole fleet (primary + replicas),
+    // so an external target makes no sense here.
+    if (!connect.empty()) {
+      std::fprintf(stderr,
+                   "error: --replicas needs the in-process fleet (drop "
+                   "--connect)\n");
+      return 1;
+    }
+    return RunReplicas(triples, replicas, client_counts.front(),
+                       requests_per_client, workers, queue, cache_bytes, mix,
+                       verify, chaos, chaos_seed, drain_ms, json_path, facts,
+                       dataset_name);
   }
 
   if (chaos) {

@@ -43,6 +43,15 @@
 // in-flight requests get up to N ms to finish while new work is
 // answered kOverloaded with a retry hint; 0 (the default) keeps the
 // immediate hard cut.
+//
+// --replica-of HOST:PORT starts the server as a read replica
+// (docs/REPLICATION.md): it bootstraps from the primary's latest
+// binary snapshot, subscribes to its WAL stream, and replays each
+// committed batch through the same hot-swap publish path a local
+// ingest uses. Replicas serve QUERY/PING/STATS/METRICS; writes are
+// answered kRedirect naming the primary. --max-replica-lag N (default
+// 0 = unbounded) sheds reads kOverloaded once the replica falls more
+// than N batches behind. --replica-of excludes --data/--data-dir.
 
 #include <csignal>
 #include <cstdio>
@@ -64,15 +73,32 @@ void HandleSignal(int) { g_stop = 1; }
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s (--data FILE | --data-dir DIR [--data FILE]) "
+               "usage: %s (--data FILE | --data-dir DIR [--data FILE] | "
+               "--replica-of HOST:PORT) "
                "[--port N] [--workers N] [--queue N] "
                "[--shards N] [--cache-bytes N] [--default-deadline-ms N] "
                "[--max-deadline-ms N] [--retry-after-ms N] "
                "[--idle-timeout-ms N] [--slow-query-ms N] [--no-reload] "
                "[--fsync] [--checkpoint-wal-bytes N] [--drain-ms N] "
-               "[--print-port] [--metrics-dump]\n",
+               "[--max-replica-lag N] [--print-port] [--metrics-dump]\n",
                argv0);
   return 2;
+}
+
+// Splits "host:port"; returns false when the port part is missing or
+// not a number.
+bool ParseHostPort(const std::string& spec, std::string* host,
+                   uint16_t* port) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) return false;
+  char* end = nullptr;
+  unsigned long value = std::strtoul(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || value == 0 || value > 65535) {
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  *port = static_cast<uint16_t>(value);
+  return true;
 }
 
 // Reads the whole triples file; exits the process on failure.
@@ -93,6 +119,8 @@ int main(int argc, char** argv) {
   using namespace wdpt;
   std::string data_path;
   std::string data_dir;
+  std::string replica_of;
+  uint64_t max_replica_lag = 0;
   server::ServerOptions options;
   storage::StorageOptions storage_options;
   bool print_port = false;
@@ -103,6 +131,10 @@ int main(int argc, char** argv) {
       data_path = argv[++i];
     } else if (arg == "--data-dir" && i + 1 < argc) {
       data_dir = argv[++i];
+    } else if (arg == "--replica-of" && i + 1 < argc) {
+      replica_of = argv[++i];
+    } else if (arg == "--max-replica-lag" && i + 1 < argc) {
+      max_replica_lag = std::strtoull(argv[++i], nullptr, 10);
     } else if (arg == "--fsync") {
       storage_options.fsync_wal = true;
     } else if (arg == "--checkpoint-wal-bytes" && i + 1 < argc) {
@@ -141,11 +173,39 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (data_path.empty() && data_dir.empty()) return Usage(argv[0]);
+  if (replica_of.empty()) {
+    if (data_path.empty() && data_dir.empty()) return Usage(argv[0]);
+  } else if (!data_path.empty() || !data_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --replica-of excludes --data/--data-dir; replicas "
+                 "take their dataset from the primary\n");
+    return 2;
+  }
 
   server::Server srv(options);
   size_t facts = 0;
-  if (!data_dir.empty()) {
+  if (!replica_of.empty()) {
+    replication::ReplicatorOptions replica;
+    if (!ParseHostPort(replica_of, &replica.primary_host,
+                       &replica.primary_port)) {
+      std::fprintf(stderr, "error: --replica-of wants HOST:PORT, got %s\n",
+                   replica_of.c_str());
+      return 2;
+    }
+    replica.shards = options.shards;
+    replica.max_frame_bytes = options.max_frame_bytes;
+    replica.max_lag_batches = max_replica_lag;
+    // Bootstrap survives a primary that is still coming up; streaming
+    // reconnects forever regardless.
+    replica.retry.max_attempts = 10;
+    Status started = srv.StartReplica(replica);
+    if (!started.ok()) {
+      std::fprintf(stderr, "replica start error: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    facts = srv.CurrentSnapshot()->db.TotalFacts();
+  } else if (!data_dir.empty()) {
     storage_options.dir = data_dir;
     storage_options.shards = options.shards;
     Result<std::unique_ptr<storage::StorageManager>> manager =
@@ -191,9 +251,14 @@ int main(int argc, char** argv) {
     std::printf("%u\n", static_cast<unsigned>(srv.port()));
     std::fflush(stdout);
   }
+  std::string role_suffix;
+  if (!replica_of.empty()) {
+    role_suffix = " (replica of " + replica_of + ")";
+  } else if (!data_dir.empty()) {
+    role_suffix = " (durable)";
+  }
   std::fprintf(stderr, "serving %zu facts on 127.0.0.1:%u%s\n", facts,
-               static_cast<unsigned>(srv.port()),
-               data_dir.empty() ? "" : " (durable)");
+               static_cast<unsigned>(srv.port()), role_suffix.c_str());
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
