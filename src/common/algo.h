@@ -1,9 +1,13 @@
-// Helpers for sorted-vector set operations, used for variable sets.
+// Helpers for sorted-vector set operations, used for variable sets,
+// plus the galloping posting-list intersection behind multi-column
+// index probes (src/cq/homomorphism.cpp).
 
 #ifndef WDPT_SRC_COMMON_ALGO_H_
 #define WDPT_SRC_COMMON_ALGO_H_
 
 #include <algorithm>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 namespace wdpt {
@@ -55,6 +59,34 @@ std::vector<T> SortedDifference(const std::vector<T>& a,
 template <typename T>
 bool SortedIsSubset(const std::vector<T>& a, const std::vector<T>& b) {
   return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// Intersects two sorted, duplicate-free posting lists into `*out`
+/// (appended, ascending) with galloping search: for each element of the
+/// shorter list the position in the longer one is found by doubling
+/// steps then binary search, so the cost is O(s * log(l / s)) instead
+/// of O(s + l) — the win the CSR indexes exploit when one bound column
+/// is far more selective than another.
+inline void GallopIntersect(std::span<const uint32_t> a,
+                            std::span<const uint32_t> b,
+                            std::vector<uint32_t>* out) {
+  if (a.size() > b.size()) std::swap(a, b);
+  size_t lo = 0;
+  for (uint32_t x : a) {
+    // Gallop: find the window [lo + step/2, lo + step] containing x.
+    size_t step = 1;
+    while (lo + step < b.size() && b[lo + step] < x) step *= 2;
+    size_t hi = std::min(lo + step, b.size() - 1);
+    if (b[hi] < x) break;  // x (and everything after) exceeds b.
+    const uint32_t* pos =
+        std::lower_bound(b.data() + lo + step / 2, b.data() + hi + 1, x);
+    lo = static_cast<size_t>(pos - b.data());
+    if (lo < b.size() && b[lo] == x) {
+      out->push_back(x);
+      ++lo;
+    }
+    if (lo >= b.size()) break;
+  }
 }
 
 }  // namespace wdpt

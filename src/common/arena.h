@@ -1,0 +1,123 @@
+// Bump-allocation arena for kernel scratch memory.
+//
+// The CQ evaluation kernel (src/cq/evaluation.cpp) and the flat hash
+// tables (src/common/flat_table.h) burn through short-lived tuple
+// buffers at a rate of one per stored tuple. Allocating those from the
+// general-purpose heap costs a malloc/free pair and a pointer chase per
+// tuple; the Arena instead hands out memory by bumping a pointer inside
+// a chunk, and recycles everything at once with Reset(). Allocations
+// are never freed individually and never move, so callers may hold raw
+// pointers into the arena until the next Reset().
+//
+// Reset() keeps (and coalesces) capacity: after the first few calls a
+// warm arena serves every allocation from one resident chunk, which is
+// what makes the per-call kernel scratch allocation-free in steady
+// state. The high-water mark across the arena's lifetime is published
+// to metrics::ArenaBytesPeak() so EngineStats can report the kernel's
+// peak scratch footprint (docs/METRICS.md).
+
+#ifndef WDPT_SRC_COMMON_ARENA_H_
+#define WDPT_SRC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+
+namespace wdpt {
+
+/// A chunked bump allocator. Not thread-safe; intended as per-thread
+/// (or per-call) scratch.
+class Arena {
+ public:
+  explicit Arena(size_t min_chunk_bytes = size_t{1} << 16)
+      : min_chunk_bytes_(min_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of memory aligned to `alignment` (a power of two,
+  /// at most alignof(std::max_align_t)). The memory is uninitialized
+  /// and stays valid until Reset() or destruction.
+  void* Allocate(size_t bytes, size_t alignment = alignof(uint64_t)) {
+    WDPT_DCHECK((alignment & (alignment - 1)) == 0);
+    uintptr_t cur = reinterpret_cast<uintptr_t>(cursor_);
+    uintptr_t aligned = (cur + (alignment - 1)) & ~uintptr_t(alignment - 1);
+    size_t needed = bytes + static_cast<size_t>(aligned - cur);
+    if (needed > static_cast<size_t>(end_ - cursor_)) {
+      Grow(bytes + alignment);
+      cur = reinterpret_cast<uintptr_t>(cursor_);
+      aligned = (cur + (alignment - 1)) & ~uintptr_t(alignment - 1);
+      needed = bytes + static_cast<size_t>(aligned - cur);
+    }
+    cursor_ += needed;
+    used_ += needed;
+    if (used_ > high_water_) high_water_ = used_;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Typed array allocation (uninitialized).
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Discards all allocations while retaining capacity. If the arena
+  /// had spilled into multiple chunks, they are coalesced into a single
+  /// chunk of the combined size, so a warm arena never re-grows for the
+  /// same workload.
+  void Reset() {
+    PublishPeak();
+    if (chunks_.size() > 1) {
+      size_t total = 0;
+      for (const Chunk& c : chunks_) total += c.size;
+      chunks_.clear();
+      AddChunk(total);
+    } else if (!chunks_.empty()) {
+      cursor_ = chunks_.back().data.get();
+      end_ = cursor_ + chunks_.back().size;
+    }
+    used_ = 0;
+  }
+
+  ~Arena() { PublishPeak(); }
+
+  /// Bytes handed out since the last Reset (including alignment waste).
+  size_t bytes_used() const { return used_; }
+
+  /// Largest bytes_used() ever observed on this arena.
+  size_t high_water() const { return high_water_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    size_t size;
+  };
+
+  void AddChunk(size_t at_least) {
+    size_t size = min_chunk_bytes_;
+    if (!chunks_.empty()) size = chunks_.back().size * 2;
+    if (size < at_least) size = at_least;
+    chunks_.push_back(Chunk{std::make_unique<char[]>(size), size});
+    cursor_ = chunks_.back().data.get();
+    end_ = cursor_ + size;
+  }
+
+  void Grow(size_t at_least) { AddChunk(at_least); }
+
+  void PublishPeak() const { metrics::RecordArenaPeak(high_water_); }
+
+  size_t min_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  char* cursor_ = nullptr;
+  char* end_ = nullptr;
+  size_t used_ = 0;
+  size_t high_water_ = 0;
+};
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_COMMON_ARENA_H_

@@ -1,0 +1,287 @@
+// Open-addressing flat hash set/map over fixed-arity ConstantId tuples.
+//
+// The CQ kernel's inner loops (semijoin membership, hash-join build and
+// probe, bag enumeration indexes) are all "insert-or-find a small tuple
+// of constants". std::unordered_{set,map} keyed by std::vector pays a
+// node allocation plus a heap-backed key per entry; FlatTupleSet packs
+// everything into three flat arrays:
+//
+//   * slot table: parallel arrays of 64-bit keys and 32-bit dense ids,
+//     linear probing, power-of-two capacity;
+//   * tuples of arity <= 2 are packed verbatim into the 64-bit slot key
+//     (id 0 in the high word for arity 2), so equality is one compare;
+//   * wider tuples spill their constants to a caller-supplied Arena and
+//     the slot key holds a 64-bit hash — equality falls back to a
+//     memcmp against the arena copy only on hash collision.
+//
+// Inserts assign dense ids in insertion order (0, 1, 2, ...), which
+// gives deterministic iteration independent of table capacity — the
+// kernel relies on this for reproducible evaluation. Erase() marks a
+// tombstone; tombstones are dropped on the next rehash. Init() resets
+// the table while keeping every array's capacity, so a table reused
+// across calls allocates nothing in steady state.
+//
+// Not thread-safe; intended as per-thread kernel scratch alongside the
+// Arena it spills into.
+
+#ifndef WDPT_SRC_COMMON_FLAT_TABLE_H_
+#define WDPT_SRC_COMMON_FLAT_TABLE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/common/arena.h"
+#include "src/common/status.h"
+
+namespace wdpt {
+
+/// Dense interned-constant id (mirrors the alias in
+/// src/relational/term.h; re-declared so common/ stays leaf-level).
+using ConstantId = uint32_t;
+
+/// SplitMix64 finalizer: a fast, well-distributed 64-bit mixer.
+inline uint64_t MixHash64(uint64_t x) {
+  x += UINT64_C(0x9e3779b97f4a7c15);
+  x = (x ^ (x >> 30)) * UINT64_C(0xbf58476d1ce4e5b9);
+  x = (x ^ (x >> 27)) * UINT64_C(0x94d049bb133111eb);
+  return x ^ (x >> 31);
+}
+
+/// A set of fixed-arity ConstantId tuples with dense insertion-order ids.
+class FlatTupleSet {
+ public:
+  static constexpr uint32_t kNoId = UINT32_MAX;
+
+  FlatTupleSet() = default;
+  FlatTupleSet(const FlatTupleSet&) = delete;
+  FlatTupleSet& operator=(const FlatTupleSet&) = delete;
+
+  /// (Re)initializes for tuples of `arity` constants. Wide tuples
+  /// (arity > 2) copy their constants into `arena`, which must outlive
+  /// every lookup; for arity <= 2 the arena may be null. Clears all
+  /// entries but keeps the slot table's capacity.
+  void Init(uint32_t arity, Arena* arena) {
+    WDPT_DCHECK(arity <= 2 || arena != nullptr);
+    arity_ = arity;
+    arena_ = arena;
+    live_ = 0;
+    tombstones_ = 0;
+    inline_tuples_.clear();
+    wide_tuples_.clear();
+    if (slot_ids_.empty()) {
+      Rehash(kMinCapacity);
+    } else {
+      std::fill(slot_ids_.begin(), slot_ids_.end(), kEmpty);
+    }
+  }
+
+  uint32_t arity() const { return arity_; }
+
+  /// Live (non-erased) entries.
+  uint32_t size() const { return live_; }
+
+  /// Ids ever assigned; Get() is valid for any id < num_ids(), erased
+  /// or not.
+  uint32_t num_ids() const {
+    return static_cast<uint32_t>(arity_ <= 2 ? inline_tuples_.size()
+                                             : wide_tuples_.size());
+  }
+
+  /// Inserts the tuple (arity() constants) if absent. Returns its dense
+  /// id; `*inserted` (if non-null) reports whether it was new.
+  uint32_t InsertOrFind(const ConstantId* tuple, bool* inserted = nullptr) {
+    if ((live_ + tombstones_ + 1) * 8 >= slot_ids_.size() * 7) {
+      Rehash(slot_ids_.size() * 2);
+    }
+    uint64_t key = MakeKey(tuple);
+    size_t mask = slot_ids_.size() - 1;
+    size_t i = MixHash64(key) & mask;
+    size_t first_tombstone = SIZE_MAX;
+    while (true) {
+      uint32_t id = slot_ids_[i];
+      if (id == kEmpty) {
+        if (inserted != nullptr) *inserted = true;
+        uint32_t new_id = AppendTuple(tuple, key);
+        if (first_tombstone != SIZE_MAX) {
+          i = first_tombstone;
+          --tombstones_;
+        }
+        slot_keys_[i] = key;
+        slot_ids_[i] = new_id;
+        ++live_;
+        return new_id;
+      }
+      if (id == kTombstone) {
+        if (first_tombstone == SIZE_MAX) first_tombstone = i;
+      } else if (slot_keys_[i] == key && TupleEquals(id, tuple)) {
+        if (inserted != nullptr) *inserted = false;
+        return id;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Id of the tuple, or kNoId if absent.
+  uint32_t Find(const ConstantId* tuple) const {
+    uint64_t key = MakeKey(tuple);
+    size_t mask = slot_ids_.size() - 1;
+    size_t i = MixHash64(key) & mask;
+    while (true) {
+      uint32_t id = slot_ids_[i];
+      if (id == kEmpty) return kNoId;
+      if (id != kTombstone && slot_keys_[i] == key &&
+          TupleEquals(id, tuple)) {
+        return id;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Erases the tuple (tombstone); returns false if it was absent. The
+  /// erased id stays readable via Get() but will never be returned by
+  /// Find(), and its slot is reusable after the next rehash.
+  bool Erase(const ConstantId* tuple) {
+    uint64_t key = MakeKey(tuple);
+    size_t mask = slot_ids_.size() - 1;
+    size_t i = MixHash64(key) & mask;
+    while (true) {
+      uint32_t id = slot_ids_[i];
+      if (id == kEmpty) return false;
+      if (id != kTombstone && slot_keys_[i] == key &&
+          TupleEquals(id, tuple)) {
+        slot_ids_[i] = kTombstone;
+        ++tombstones_;
+        --live_;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  /// Copies tuple `id` into `out` (arity() constants).
+  void Get(uint32_t id, ConstantId* out) const {
+    if (arity_ <= 2) {
+      uint64_t packed = inline_tuples_[id];
+      if (arity_ == 2) {
+        out[0] = static_cast<ConstantId>(packed >> 32);
+        out[1] = static_cast<ConstantId>(packed);
+      } else if (arity_ == 1) {
+        out[0] = static_cast<ConstantId>(packed);
+      }
+    } else {
+      std::memcpy(out, wide_tuples_[id], arity_ * sizeof(ConstantId));
+    }
+  }
+
+  /// Appends all tuples in id order (insertion order) to `out`,
+  /// erased entries included — callers that erase should not iterate.
+  void AppendAll(std::vector<ConstantId>* out) const {
+    uint32_t n = num_ids();
+    size_t base = out->size();
+    out->resize(base + static_cast<size_t>(n) * arity_);
+    for (uint32_t id = 0; id < n; ++id) {
+      Get(id, out->data() + base + static_cast<size_t>(id) * arity_);
+    }
+  }
+
+  /// Slot-table capacity (for growth tests).
+  size_t capacity() const { return slot_ids_.size(); }
+
+ private:
+  static constexpr size_t kMinCapacity = 16;
+  static constexpr uint32_t kEmpty = UINT32_MAX;
+  static constexpr uint32_t kTombstone = UINT32_MAX - 1;
+
+  uint64_t MakeKey(const ConstantId* tuple) const {
+    if (arity_ == 0) return 0;
+    if (arity_ == 1) return tuple[0];
+    if (arity_ == 2) {
+      return (static_cast<uint64_t>(tuple[0]) << 32) | tuple[1];
+    }
+    uint64_t h = arity_;
+    for (uint32_t c = 0; c < arity_; ++c) {
+      h = MixHash64(h ^ tuple[c]);
+    }
+    return h;
+  }
+
+  bool TupleEquals(uint32_t id, const ConstantId* tuple) const {
+    if (arity_ <= 2) return true;  // The packed key is the tuple.
+    return std::memcmp(wide_tuples_[id], tuple,
+                       arity_ * sizeof(ConstantId)) == 0;
+  }
+
+  uint32_t AppendTuple(const ConstantId* tuple, uint64_t key) {
+    if (arity_ <= 2) {
+      inline_tuples_.push_back(key);
+      return static_cast<uint32_t>(inline_tuples_.size() - 1);
+    }
+    ConstantId* copy = arena_->AllocateArray<ConstantId>(arity_);
+    std::memcpy(copy, tuple, arity_ * sizeof(ConstantId));
+    wide_tuples_.push_back(copy);
+    return static_cast<uint32_t>(wide_tuples_.size() - 1);
+  }
+
+  void Rehash(size_t new_capacity) {
+    if (new_capacity < kMinCapacity) new_capacity = kMinCapacity;
+    std::vector<uint64_t> old_keys = std::move(slot_keys_);
+    std::vector<uint32_t> old_ids = std::move(slot_ids_);
+    slot_keys_.assign(new_capacity, 0);
+    slot_ids_.assign(new_capacity, kEmpty);
+    tombstones_ = 0;
+    size_t mask = new_capacity - 1;
+    for (size_t s = 0; s < old_ids.size(); ++s) {
+      uint32_t id = old_ids[s];
+      if (id == kEmpty || id == kTombstone) continue;
+      size_t i = MixHash64(old_keys[s]) & mask;
+      while (slot_ids_[i] != kEmpty) i = (i + 1) & mask;
+      slot_keys_[i] = old_keys[s];
+      slot_ids_[i] = id;
+    }
+  }
+
+  uint32_t arity_ = 0;
+  Arena* arena_ = nullptr;
+  uint32_t live_ = 0;
+  uint32_t tombstones_ = 0;
+  std::vector<uint64_t> slot_keys_;
+  std::vector<uint32_t> slot_ids_;
+  std::vector<uint64_t> inline_tuples_;        // arity <= 2: packed tuples.
+  std::vector<const ConstantId*> wide_tuples_; // arity > 2: arena copies.
+};
+
+/// A map from fixed-arity tuples to values of V, built on FlatTupleSet:
+/// the key's dense id indexes a parallel value array.
+template <typename V>
+class FlatTupleMap {
+ public:
+  void Init(uint32_t arity, Arena* arena) {
+    keys_.Init(arity, arena);
+    values_.clear();
+  }
+
+  /// Returns the value slot for the key, inserting `init` if absent.
+  V& InsertOrFind(const ConstantId* tuple, const V& init) {
+    bool inserted = false;
+    uint32_t id = keys_.InsertOrFind(tuple, &inserted);
+    if (inserted) values_.push_back(init);
+    return values_[id];
+  }
+
+  /// Pointer to the value for the key, or null if absent.
+  const V* Find(const ConstantId* tuple) const {
+    uint32_t id = keys_.Find(tuple);
+    return id == FlatTupleSet::kNoId ? nullptr : &values_[id];
+  }
+
+  uint32_t size() const { return keys_.size(); }
+
+ private:
+  FlatTupleSet keys_;
+  std::vector<V> values_;
+};
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_COMMON_FLAT_TABLE_H_

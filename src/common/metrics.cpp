@@ -12,6 +12,29 @@ std::atomic<uint64_t>& SemijoinPasses() {
   return counter;
 }
 
+std::atomic<uint64_t>& CsrProbes() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
+std::atomic<uint64_t>& GallopIntersections() {
+  static std::atomic<uint64_t> counter{0};
+  return counter;
+}
+
+std::atomic<uint64_t>& ArenaBytesPeak() {
+  static std::atomic<uint64_t> peak{0};
+  return peak;
+}
+
+void RecordArenaPeak(uint64_t bytes) {
+  std::atomic<uint64_t>& peak = ArenaBytesPeak();
+  uint64_t cur = peak.load(std::memory_order_relaxed);
+  while (cur < bytes &&
+         !peak.compare_exchange_weak(cur, bytes, std::memory_order_relaxed)) {
+  }
+}
+
 uint64_t HistogramSnapshot::QuantileNs(double q) const {
   if (count == 0) return 0;
   if (q < 0.0) q = 0.0;

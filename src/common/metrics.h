@@ -29,6 +29,24 @@ std::atomic<uint64_t>& HomomorphismCalls();
 /// Pairwise semijoin reduction passes inside decomposition evaluation.
 std::atomic<uint64_t>& SemijoinPasses();
 
+/// CSR column-index probes (Relation::RowsMatching lookups). The hot
+/// kernels count probes in a local variable and flush the total here
+/// once per search/join call, so the shared cache line is touched once
+/// per call rather than once per probe.
+std::atomic<uint64_t>& CsrProbes();
+
+/// Galloping posting-list intersections performed when an atom has two
+/// or more bound columns (src/common/algo.h GallopIntersect callers).
+std::atomic<uint64_t>& GallopIntersections();
+
+/// High-water mark, in bytes, across all kernel scratch Arenas in the
+/// process (src/common/arena.h). A maximum, not a counter: it only
+/// ever ratchets up.
+std::atomic<uint64_t>& ArenaBytesPeak();
+
+/// Ratchets ArenaBytesPeak() up to at least `bytes`.
+void RecordArenaPeak(uint64_t bytes);
+
 /// Relaxed snapshot helper.
 inline uint64_t Load(std::atomic<uint64_t>& counter) {
   return counter.load(std::memory_order_relaxed);

@@ -16,6 +16,7 @@
 
 #include "src/common/cancellation.h"
 #include "src/cq/cq.h"
+#include "src/cq/kernel.h"
 #include "src/hypergraph/hypertree.h"
 #include "src/relational/database.h"
 #include "src/relational/mapping.h"
@@ -44,6 +45,10 @@ struct CqEvalOptions {
   /// must distinguish "stopped" from "empty" (the Engine) inspect the
   /// token afterwards and surface kCancelled / kDeadlineExceeded.
   CancelToken cancel;
+  /// Which decomposition-evaluation kernel to run (src/cq/kernel.h).
+  /// Both kernels produce the same answer set; kLegacy exists for
+  /// differential testing and before/after benchmarking.
+  CqKernel kernel = CqKernel::kDefault;
 };
 
 /// True iff h (defined exactly on the free variables) is an answer:
@@ -70,13 +75,15 @@ std::vector<Mapping> EvaluateWithDecomposition(
     const ConjunctiveQuery& q, const Database& db,
     const HypertreeDecomposition& hd,
     const std::vector<VariableId>& vertex_to_var, uint64_t max_answers = 0,
-    const CancelToken& cancel = CancelToken());
+    const CancelToken& cancel = CancelToken(),
+    CqKernel kernel = CqKernel::kDefault);
 
 /// Yannakakis-style evaluation for alpha-acyclic queries. Returns nullopt
 /// if the query's hypergraph is not acyclic.
 std::optional<std::vector<Mapping>> EvaluateAcyclic(
     const ConjunctiveQuery& q, const Database& db, uint64_t max_answers = 0,
-    const CancelToken& cancel = CancelToken());
+    const CancelToken& cancel = CancelToken(),
+    CqKernel kernel = CqKernel::kDefault);
 
 }  // namespace wdpt
 

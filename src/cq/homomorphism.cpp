@@ -22,7 +22,8 @@ class Searcher {
       : atoms_(atoms),
         db_(db),
         callback_(callback),
-        limits_(limits) {
+        limits_(limits),
+        order_(ResolveHomOrder(limits.order)) {
     // Size the dense assignment from the maximum variable id seen.
     uint32_t max_var = 0;
     for (const Atom& a : atoms_) {
@@ -37,33 +38,102 @@ class Searcher {
     report_vars_ = VariablesOf(atoms_);
     for (const auto& [v, c] : seed.entries()) report_vars_.push_back(v);
     SortUnique(&report_vars_);
+    done_.assign(atoms_.size(), false);
+    depths_.resize(atoms_.size());
   }
 
   // Returns false if aborted by the step limit.
   bool Run() {
     stopped_ = false;
     aborted_ = false;
-    Match(std::vector<bool>(atoms_.size(), false), atoms_.size());
+    Match(/*depth=*/0, atoms_.size());
+    // Index probes were counted locally; flush the totals to the shared
+    // counters once so the hot loop never touches their cache lines.
+    if (probes_ != 0) {
+      metrics::CsrProbes().fetch_add(probes_, std::memory_order_relaxed);
+    }
+    if (gallops_ != 0) {
+      metrics::GallopIntersections().fetch_add(gallops_,
+                                               std::memory_order_relaxed);
+    }
     return !aborted_;
   }
 
  private:
-  // Number of bound positions in atom i under the current assignment.
-  // Returns -1 if a constant/bound-variable position mismatches every
-  // possible tuple trivially (not checked here; just counts).
+  // Reusable per-recursion-depth scratch, so deep searches allocate only
+  // on their first visit to each depth.
+  struct DepthScratch {
+    std::vector<VariableId> newly_bound;
+    std::vector<uint32_t> rows;  // Galloped candidate row intersection.
+  };
+
+  // The value bound to column `col` of `atom`, or kUnbound.
+  uint64_t BoundValue(const Atom& atom, uint32_t col) const {
+    Term t = atom.terms[col];
+    if (t.is_constant()) return t.constant_id();
+    return assignment_[t.variable_id()];
+  }
+
+  // Number of bound positions in atom under the current assignment.
   int BoundPositions(const Atom& atom) const {
     int bound = 0;
-    for (Term t : atom.terms) {
-      if (t.is_constant() ||
-          assignment_[t.variable_id()] != kUnbound) {
-        ++bound;
-      }
+    for (uint32_t col = 0; col < atom.terms.size(); ++col) {
+      if (BoundValue(atom, col) != kUnbound) ++bound;
     }
     return bound;
   }
 
-  // Recursion: `done[i]` marks matched atoms, `remaining` counts them.
-  void Match(std::vector<bool> done, size_t remaining) {
+  // CSR-statistics fan-out estimate for matching `atom` now: relation
+  // size scaled by 1/distinct for every bound column (independence
+  // assumption). Empty relations estimate 0 — a certain dead branch is
+  // the best possible pick.
+  double EstimatedFanOut(const Atom& atom) const {
+    const Relation& rel = db_.relation(atom.relation);
+    if (rel.size() == 0) return 0.0;
+    double est = static_cast<double>(rel.size());
+    for (uint32_t col = 0; col < atom.terms.size(); ++col) {
+      if (BoundValue(atom, col) == kUnbound) continue;
+      uint32_t distinct = rel.column_stats(col).distinct_values;
+      if (distinct > 1) est /= static_cast<double>(distinct);
+    }
+    return est;
+  }
+
+  // The most constrained remaining atom. Legacy order: maximum bound
+  // positions, tie-break on smaller relation. Stats order: minimum
+  // estimated fan-out from the CSR statistics (ties on atom index).
+  size_t PickAtom() const {
+    size_t best = atoms_.size();
+    if (order_ == HomOrder::kStats) {
+      double best_est = 0.0;
+      for (size_t i = 0; i < atoms_.size(); ++i) {
+        if (done_[i]) continue;
+        double est = EstimatedFanOut(atoms_[i]);
+        if (best == atoms_.size() || est < best_est) {
+          best = i;
+          best_est = est;
+        }
+      }
+    } else {
+      int best_bound = -1;
+      size_t best_size = 0;
+      for (size_t i = 0; i < atoms_.size(); ++i) {
+        if (done_[i]) continue;
+        int bound = BoundPositions(atoms_[i]);
+        size_t rel_size = db_.relation(atoms_[i].relation).size();
+        if (best == atoms_.size() || bound > best_bound ||
+            (bound == best_bound && rel_size < best_size)) {
+          best = i;
+          best_bound = bound;
+          best_size = rel_size;
+        }
+      }
+    }
+    return best;
+  }
+
+  // Recursion: done_[i] marks matched atoms, `remaining` counts the rest.
+  void Match(size_t depth, size_t remaining) {
     if (stopped_ || aborted_) return;
     ++steps_;
     if (limits_.max_steps != 0 && steps_ > limits_.max_steps) {
@@ -80,56 +150,28 @@ class Searcher {
       Report();
       return;
     }
-    // Pick the most-constrained remaining atom (max bound positions,
-    // tie-break on smaller relation).
-    size_t best = atoms_.size();
-    int best_bound = -1;
-    size_t best_size = 0;
-    for (size_t i = 0; i < atoms_.size(); ++i) {
-      if (done[i]) continue;
-      int bound = BoundPositions(atoms_[i]);
-      size_t rel_size = db_.relation(atoms_[i].relation).size();
-      if (best == atoms_.size() || bound > best_bound ||
-          (bound == best_bound && rel_size < best_size)) {
-        best = i;
-        best_bound = bound;
-        best_size = rel_size;
-      }
-    }
+    size_t best = PickAtom();
     const Atom& atom = atoms_[best];
-    done[best] = true;
+    done_[best] = true;
 
     const Relation& rel = db_.relation(atom.relation);
-    if (rel.size() == 0) return;  // No facts: dead branch.
-    WDPT_CHECK(rel.arity() == atom.terms.size());
+    if (rel.size() != 0) {
+      WDPT_CHECK(rel.arity() == atom.terms.size());
+      MatchAtom(atom, rel, depth, remaining);
+    }  // else: no facts, dead branch.
+    done_[best] = false;
+  }
 
-    // Choose the access path: the most selective bound column's index,
-    // else a full scan.
-    uint32_t index_col = UINT32_MAX;
-    ConstantId index_val = 0;
-    size_t index_size = rel.size() + 1;
-    for (uint32_t col = 0; col < atom.terms.size(); ++col) {
-      Term t = atom.terms[col];
-      ConstantId value;
-      if (t.is_constant()) {
-        value = t.constant_id();
-      } else if (assignment_[t.variable_id()] != kUnbound) {
-        value = static_cast<ConstantId>(assignment_[t.variable_id()]);
-      } else {
-        continue;
-      }
-      size_t size = rel.RowsMatching(col, value).size();
-      if (size < index_size) {
-        index_size = size;
-        index_col = col;
-        index_val = value;
-      }
-    }
+  // Matches one selected atom: picks the access path, then extends the
+  // assignment for every candidate row.
+  void MatchAtom(const Atom& atom, const Relation& rel, size_t depth,
+                 size_t remaining) {
+    DepthScratch& scratch = depths_[depth];
 
     auto try_row = [&](uint32_t row) {
       std::span<const ConstantId> tuple = rel.Tuple(row);
       // Bind/check all positions.
-      std::vector<VariableId> newly_bound;
+      scratch.newly_bound.clear();
       bool ok = true;
       for (uint32_t col = 0; col < tuple.size(); ++col) {
         Term t = atom.terms[col];
@@ -143,28 +185,60 @@ class Searcher {
         VariableId v = t.variable_id();
         if (assignment_[v] == kUnbound) {
           assignment_[v] = tuple[col];
-          newly_bound.push_back(v);
+          scratch.newly_bound.push_back(v);
         } else if (assignment_[v] != tuple[col]) {
           ok = false;
           break;
         }
       }
-      if (ok) Match(done, remaining - 1);
-      for (VariableId v : newly_bound) assignment_[v] = kUnbound;
+      if (ok) Match(depth + 1, remaining - 1);
+      // `newly_bound` survives the recursion: deeper levels use their
+      // own DepthScratch.
+      for (VariableId v : scratch.newly_bound) assignment_[v] = kUnbound;
     };
 
-    if (index_col != UINT32_MAX) {
-      // The reference returned by RowsMatching stays valid: the database
-      // is not mutated during the search.
-      for (uint32_t row : rel.RowsMatching(index_col, index_val)) {
-        if (stopped_ || aborted_) return;
-        try_row(row);
+    // Access path: probe the CSR index of bound columns. With two or
+    // more, gallop-intersect the two shortest posting lists — try_row
+    // re-checks every column, so the candidate superset stays sound.
+    std::span<const uint32_t> first, second;
+    int num_bound = 0;
+    for (uint32_t col = 0; col < atom.terms.size(); ++col) {
+      uint64_t value = BoundValue(atom, col);
+      if (value == kUnbound) continue;
+      ++probes_;
+      std::span<const uint32_t> list =
+          rel.RowsMatching(col, static_cast<ConstantId>(value));
+      ++num_bound;
+      if (num_bound == 1 || list.size() < first.size()) {
+        second = first;
+        first = list;
+      } else if (num_bound == 2 || list.size() < second.size()) {
+        second = list;
       }
-    } else {
+    }
+
+    if (num_bound == 0) {
       for (uint32_t row = 0; row < rel.size(); ++row) {
         if (stopped_ || aborted_) return;
         try_row(row);
       }
+      return;
+    }
+    if (num_bound >= 2 && order_ == HomOrder::kStats && !first.empty()) {
+      ++gallops_;
+      scratch.rows.clear();
+      GallopIntersect(first, second, &scratch.rows);
+      for (uint32_t row : scratch.rows) {
+        if (stopped_ || aborted_) return;
+        try_row(row);
+      }
+      return;
+    }
+    // Single bound column (or legacy order): walk the shortest list.
+    // The span stays valid: the database is not mutated mid-search.
+    for (uint32_t row : first) {
+      if (stopped_ || aborted_) return;
+      try_row(row);
     }
   }
 
@@ -182,9 +256,14 @@ class Searcher {
   const Database& db_;
   const HomCallback& callback_;
   HomSearchLimits limits_;
+  HomOrder order_;
   std::vector<uint64_t> assignment_;
   std::vector<VariableId> report_vars_;
+  std::vector<bool> done_;
+  std::vector<DepthScratch> depths_;
   uint64_t steps_ = 0;
+  uint64_t probes_ = 0;
+  uint64_t gallops_ = 0;
   bool stopped_ = false;
   bool aborted_ = false;
 };

@@ -1,0 +1,34 @@
+#include "src/cq/kernel.h"
+
+#include <atomic>
+
+namespace wdpt {
+
+namespace {
+
+std::atomic<CqKernel> g_default_kernel{CqKernel::kFlat};
+std::atomic<HomOrder> g_default_order{HomOrder::kStats};
+
+}  // namespace
+
+CqKernel ResolveCqKernel(CqKernel kernel) {
+  if (kernel != CqKernel::kDefault) return kernel;
+  CqKernel d = g_default_kernel.load(std::memory_order_relaxed);
+  return d == CqKernel::kDefault ? CqKernel::kFlat : d;
+}
+
+HomOrder ResolveHomOrder(HomOrder order) {
+  if (order != HomOrder::kDefault) return order;
+  HomOrder d = g_default_order.load(std::memory_order_relaxed);
+  return d == HomOrder::kDefault ? HomOrder::kStats : d;
+}
+
+void SetDefaultCqKernel(CqKernel kernel) {
+  g_default_kernel.store(kernel, std::memory_order_relaxed);
+}
+
+void SetDefaultHomOrder(HomOrder order) {
+  g_default_order.store(order, std::memory_order_relaxed);
+}
+
+}  // namespace wdpt

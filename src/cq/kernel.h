@@ -1,0 +1,47 @@
+// Join-kernel selection knobs.
+//
+// The CQ evaluator and the homomorphism search each have two compiled-in
+// implementations: the columnar flat-hash kernel (CSR index probes,
+// arena-backed scratch, statistics-driven atom ordering) and the legacy
+// kernel the flat one replaced. Both compute the same answer sets; the
+// legacy kernel is kept as an in-process oracle for differential tests
+// (tests/kernel_test.cpp) and for before/after benchmarking
+// (bench/bench_kernel.cpp).
+//
+// Callers pick per call via CqEvalOptions::kernel / HomSearchLimits::
+// order; kDefault defers to a process-global default (initially the flat
+// kernel) that benches and tests flip with the setters below. The
+// setters are for single-threaded setup phases, not for racing against
+// in-flight evaluations.
+
+#ifndef WDPT_SRC_CQ_KERNEL_H_
+#define WDPT_SRC_CQ_KERNEL_H_
+
+namespace wdpt {
+
+/// Which decomposition-evaluation kernel EvaluateOverBags runs.
+enum class CqKernel {
+  kDefault,  ///< Use the process-global default (flat unless overridden).
+  kFlat,     ///< Columnar flat-hash kernel (arena scratch, stats order).
+  kLegacy,   ///< Pre-columnar kernel (node-based hashes, greedy order).
+};
+
+/// How the homomorphism search orders atoms and picks access paths.
+enum class HomOrder {
+  kDefault,  ///< Use the process-global default (stats unless overridden).
+  kStats,    ///< CSR-statistics fan-out estimates + galloping intersection.
+  kLegacy,   ///< Most-bound-positions-first, single-column access path.
+};
+
+/// Resolves kDefault to the process-global default; identity otherwise.
+CqKernel ResolveCqKernel(CqKernel kernel);
+HomOrder ResolveHomOrder(HomOrder order);
+
+/// Overrides the process-global defaults (kDefault restores the built-in
+/// choice). Setup-phase only; not synchronized against running queries.
+void SetDefaultCqKernel(CqKernel kernel);
+void SetDefaultHomOrder(HomOrder order);
+
+}  // namespace wdpt
+
+#endif  // WDPT_SRC_CQ_KERNEL_H_

@@ -39,6 +39,9 @@ std::string EngineStats::ToString() const {
   out += "cancelled:           " + std::to_string(cancelled) + "\n";
   out += "homomorphism calls:  " + std::to_string(homomorphism_calls) + "\n";
   out += "semijoin passes:     " + std::to_string(semijoin_passes) + "\n";
+  out += "csr probes:          " + std::to_string(csr_probes) + "\n";
+  out += "gallop intersects:   " + std::to_string(gallop_intersections) + "\n";
+  out += "arena bytes peak:    " + std::to_string(arena_bytes_peak) + "\n";
   out += "plan build time:     " + Millis(plan_build_ns) + "\n";
   out += "eval time:           " + Millis(eval_ns) + "\n";
   out += "enumerate time:      " + Millis(enumerate_ns) + "\n";
@@ -79,6 +82,9 @@ std::string EngineStats::ToJson() const {
   field("cancelled", cancelled);
   field("homomorphism_calls", homomorphism_calls);
   field("semijoin_passes", semijoin_passes);
+  field("csr_probes", csr_probes);
+  field("gallop_intersections", gallop_intersections);
+  field("arena_bytes_peak", arena_bytes_peak);
   field("plan_build_ns", plan_build_ns);
   field("eval_ns", eval_ns);
   field("enumerate_ns", enumerate_ns);

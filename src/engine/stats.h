@@ -67,6 +67,12 @@ struct EngineStats {
   // Kernel work since construction / the last ResetStats.
   uint64_t homomorphism_calls = 0;
   uint64_t semijoin_passes = 0;
+  uint64_t csr_probes = 0;            ///< CSR column-index probes.
+  uint64_t gallop_intersections = 0;  ///< Galloped posting-list intersects.
+
+  // High-water mark of the kernel scratch arenas (process-wide gauge,
+  // not delta-based: the peak since process start).
+  uint64_t arena_bytes_peak = 0;
 
   // Wall time per phase, nanoseconds.
   uint64_t plan_build_ns = 0;
@@ -110,6 +116,8 @@ class StatsCollector {
     enumerate_ns.store(0, std::memory_order_relaxed);
     hom_calls_base = metrics::Load(metrics::HomomorphismCalls());
     semijoin_base = metrics::Load(metrics::SemijoinPasses());
+    csr_probes_base = metrics::Load(metrics::CsrProbes());
+    gallop_base = metrics::Load(metrics::GallopIntersections());
   }
 
   /// One plan-cache lookup that found a cached plan.
@@ -157,6 +165,10 @@ class StatsCollector {
     s.homomorphism_calls =
         metrics::Load(metrics::HomomorphismCalls()) - hom_calls_base;
     s.semijoin_passes = metrics::Load(metrics::SemijoinPasses()) - semijoin_base;
+    s.csr_probes = metrics::Load(metrics::CsrProbes()) - csr_probes_base;
+    s.gallop_intersections =
+        metrics::Load(metrics::GallopIntersections()) - gallop_base;
+    s.arena_bytes_peak = metrics::Load(metrics::ArenaBytesPeak());
     s.eval_ns = eval_ns.load(std::memory_order_relaxed);
     s.enumerate_ns = enumerate_ns.load(std::memory_order_relaxed);
     return s;
@@ -188,6 +200,8 @@ class StatsCollector {
 
   uint64_t hom_calls_base = 0;
   uint64_t semijoin_base = 0;
+  uint64_t csr_probes_base = 0;
+  uint64_t gallop_base = 0;
 };
 
 }  // namespace wdpt

@@ -1,6 +1,7 @@
 #include "src/relational/database.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "src/common/algo.h"
 #include "src/common/hash.h"
@@ -26,15 +27,10 @@ bool Relation::Insert(std::span<const ConstantId> tuple) {
   for (uint32_t row : chain) {
     if (TupleEquals(row, tuple)) return false;
   }
+  MarkIndexesStale();
   uint32_t row = static_cast<uint32_t>(size());
   data_.insert(data_.end(), tuple.begin(), tuple.end());
   chain.push_back(row);
-  // Keep built column indexes current.
-  for (uint32_t col = 0; col < column_index_built_.size(); ++col) {
-    if (column_index_built_[col]) {
-      column_index_[col][tuple[col]].push_back(row);
-    }
-  }
   return true;
 }
 
@@ -52,6 +48,7 @@ bool Relation::Remove(std::span<const ConstantId> tuple) {
     }
   }
   if (slot == chain.size()) return false;
+  MarkIndexesStale();
   uint32_t row = chain[slot];
   chain.erase(chain.begin() + slot);
   if (chain.empty()) tuple_index_.erase(it);
@@ -72,10 +69,6 @@ bool Relation::Remove(std::span<const ConstantId> tuple) {
     }
   }
   data_.resize(data_.size() - arity_);
-  // Built column indexes reference the moved and erased rows; drop them
-  // rather than patching row ids in every value chain.
-  column_index_.clear();
-  column_index_built_.clear();
   return true;
 }
 
@@ -89,31 +82,76 @@ bool Relation::Contains(std::span<const ConstantId> tuple) const {
   return false;
 }
 
-void Relation::EnsureColumnIndex(uint32_t col) const {
-  if (column_index_.empty()) {
-    column_index_.resize(arity_);
-    column_index_built_.assign(arity_, false);
+void Relation::BuildIndexes() const {
+  column_index_.assign(arity_, ColumnIndex{});
+  uint32_t rows = static_cast<uint32_t>(size());
+  // Scratch reused across columns: row ids sorted by the column's value
+  // (stable, so ids stay ascending within one value's group).
+  std::vector<uint32_t> order(rows);
+  for (uint32_t col = 0; col < arity_; ++col) {
+    ColumnIndex& index = column_index_[col];
+    std::iota(order.begin(), order.end(), 0u);
+    const ConstantId* column = data_.data() + col;
+    const uint32_t stride = arity_;
+    std::stable_sort(order.begin(), order.end(),
+                     [column, stride](uint32_t a, uint32_t b) {
+                       return column[static_cast<size_t>(a) * stride] <
+                              column[static_cast<size_t>(b) * stride];
+                     });
+    index.rows = order;
+    // One pass over the sorted rows emits the distinct values, their
+    // group boundaries, and the fan-out statistics together.
+    for (uint32_t i = 0; i < rows; ++i) {
+      ConstantId v = column[static_cast<size_t>(order[i]) * stride];
+      if (index.values.empty() || index.values.back() != v) {
+        index.values.push_back(v);
+        index.offsets.push_back(i);
+      }
+    }
+    index.offsets.push_back(rows);
+    index.stats.distinct_values = static_cast<uint32_t>(index.values.size());
+    for (size_t i = 0; i + 1 < index.offsets.size(); ++i) {
+      index.stats.max_fanout = std::max(
+          index.stats.max_fanout, index.offsets[i + 1] - index.offsets[i]);
+    }
   }
-  if (column_index_built_[col]) return;
-  std::unordered_map<ConstantId, std::vector<uint32_t>>& index =
-      column_index_[col];
-  for (uint32_t row = 0; row < size(); ++row) {
-    index[data_[row * arity_ + col]].push_back(row);
-  }
-  column_index_built_[col] = true;
+  index_built_ = true;
+  index_stale_ = false;
 }
 
-void Relation::WarmColumnIndexes() const {
-  for (uint32_t col = 0; col < arity_; ++col) EnsureColumnIndex(col);
+void Relation::EnsureIndexes() const {
+  if (index_built_ && !index_stale_) return;
+  // A frozen relation is shared across threads: rebuilding here would be
+  // a data race, and reaching this line means the publisher skipped
+  // Freeze()'s warm guarantee or the relation mutated after publication.
+  WDPT_CHECK(!frozen_);
+  BuildIndexes();
 }
 
-const std::vector<uint32_t>& Relation::RowsMatching(uint32_t col,
-                                                    ConstantId value) const {
+void Relation::WarmColumnIndexes() const { EnsureIndexes(); }
+
+void Relation::Freeze() const {
+  EnsureIndexes();
+  frozen_ = true;
+}
+
+std::span<const uint32_t> Relation::RowsMatching(uint32_t col,
+                                                 ConstantId value) const {
   WDPT_CHECK(col < arity_);
-  EnsureColumnIndex(col);
-  static const std::vector<uint32_t>* empty = new std::vector<uint32_t>();
-  auto it = column_index_[col].find(value);
-  return it == column_index_[col].end() ? *empty : it->second;
+  EnsureIndexes();
+  const ColumnIndex& index = column_index_[col];
+  auto it = std::lower_bound(index.values.begin(), index.values.end(), value);
+  if (it == index.values.end() || *it != value) return {};
+  size_t slot = static_cast<size_t>(it - index.values.begin());
+  return std::span<const uint32_t>(index.rows.data() + index.offsets[slot],
+                                   index.offsets[slot + 1] -
+                                       index.offsets[slot]);
+}
+
+const Relation::ColumnStats& Relation::column_stats(uint32_t col) const {
+  WDPT_CHECK(col < arity_);
+  EnsureIndexes();
+  return column_index_[col].stats;
 }
 
 Status Database::AddFact(RelationId relation,
@@ -149,6 +187,14 @@ bool Database::RemoveFact(RelationId relation,
   return relations_[relation].Remove(tuple);
 }
 
+Database Database::CloneWithSchema(const Schema* schema) const {
+  Database copy(*this);
+  copy.schema_ = schema;
+  // The copy is private to its new owner until it publishes it itself.
+  for (Relation& r : copy.relations_) r.frozen_ = false;
+  return copy;
+}
+
 bool Database::ContainsFact(RelationId relation,
                             std::span<const ConstantId> tuple) const {
   if (relation >= relations_.size()) return false;
@@ -172,6 +218,17 @@ size_t Database::TotalFacts() const {
 
 void Database::WarmColumnIndexes() const {
   for (const Relation& r : relations_) r.WarmColumnIndexes();
+}
+
+void Database::Freeze() const {
+  for (const Relation& r : relations_) r.Freeze();
+}
+
+bool Database::warmed() const {
+  for (const Relation& r : relations_) {
+    if (!r.warmed()) return false;
+  }
+  return true;
 }
 
 std::vector<ConstantId> Database::ActiveDomain() const {
@@ -214,3 +271,4 @@ Relation* Database::MutableRelation(RelationId id) {
 }
 
 }  // namespace wdpt
+

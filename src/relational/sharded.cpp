@@ -47,6 +47,10 @@ ShardedDatabase::ShardedDatabase(const Database& full, size_t num_shards)
     }
   }
   WarmColumnIndexes();
+  // The shards are owned here and never mutate again; freezing them
+  // makes an unwarmed concurrent probe abort instead of racing. The
+  // full view stays the caller's to freeze (it may still be private).
+  for (const Database& shard : shards_) shard.Freeze();
 }
 
 void ShardedDatabase::WarmColumnIndexes() const {

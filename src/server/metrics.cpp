@@ -237,6 +237,10 @@ std::string RequestMetrics::RenderPrometheus(
                 engine.homomorphism_calls);
   AppendCounter(&out, "wdpt_engine_semijoin_passes_total",
                 engine.semijoin_passes);
+  AppendCounter(&out, "wdpt_engine_csr_probes_total", engine.csr_probes);
+  AppendCounter(&out, "wdpt_engine_gallop_intersections_total",
+                engine.gallop_intersections);
+  AppendGauge(&out, "wdpt_engine_arena_bytes_peak", engine.arena_bytes_peak);
 
   AppendCounter(&out, "wdpt_answer_cache_hits_total",
                 engine.answer_cache_hits);

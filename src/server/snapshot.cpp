@@ -11,9 +11,10 @@ Result<std::shared_ptr<const Snapshot>> LoadSnapshot(
   if (!loaded.ok()) return loaded;
   snapshot->version = version;
   // Column indexes build lazily on first probe, which is a write;
-  // warming here makes every later lookup a pure read, so concurrent
-  // workers never synchronise on the database.
-  snapshot->db.WarmColumnIndexes();
+  // freezing (warm + publish) makes every later lookup a pure read —
+  // and turns any missed warm path into a hard failure instead of a
+  // data race under concurrent workers.
+  snapshot->db.Freeze();
   if (shards > 1) {
     // The ShardedDatabase constructor warms the full view and every
     // shard, so sharded requests never build an index under traffic.
@@ -33,7 +34,7 @@ Result<std::shared_ptr<const Snapshot>> MakeSnapshot(const RdfContext& ctx,
   snapshot->ctx = ctx;
   snapshot->db = db.CloneWithSchema(&snapshot->ctx.schema());
   snapshot->version = version;
-  snapshot->db.WarmColumnIndexes();
+  snapshot->db.Freeze();
   if (shards > 1) {
     snapshot->sharded =
         std::make_unique<ShardedDatabase>(snapshot->db, shards);

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Compare two benchmark JSON files and fail on regressions.
+
+Usage:
+    python3 tools/bench_compare.py BASELINE.json CURRENT.json \
+        [--threshold 0.15] [--series NAME ...]
+
+Accepts both benchmark JSON shapes this repo produces:
+
+  * google-benchmark output (``--benchmark_out_format=json``): the
+    ``benchmarks`` array; each entry's ``real_time`` is one series
+    (lower is better);
+  * the plain single-object files written by bench_storage /
+    bench_kernel (``--json``): every numeric field is one series.
+
+For plain files the direction is inferred from the field name: series
+ending in ``_ms`` or ``_ns`` are times (lower is better); everything
+else — throughputs (``_mops``, ``_per_ms``, ``_per_s``, ``_ops``),
+speedup ratios, rates — counts as higher-is-better. Non-measurement
+metadata fields (``reps``, ``db_vertices``, ...) are skipped.
+
+A series regresses when it is worse than the baseline by more than
+``--threshold`` (default 0.15 = 15%). With ``--series`` only the named
+series gate the exit code; everything else is reported informationally.
+Series present in only one file are reported but never fail the run.
+
+Exit codes: 0 = no gated regression, 1 = regression, 2 = usage error.
+"""
+
+import argparse
+import json
+import sys
+
+# Plain-format fields that are run parameters, not measurements.
+METADATA_FIELDS = {"benchmark", "reps", "db_vertices", "seed"}
+
+LOWER_IS_BETTER_SUFFIXES = ("_ms", "_ns")
+
+
+def load_series(path):
+    """Returns {series_name: (value, lower_is_better)}."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    series = {}
+    if isinstance(data, dict) and isinstance(data.get("benchmarks"), list):
+        # google-benchmark format.
+        for entry in data["benchmarks"]:
+            name = entry.get("name")
+            value = entry.get("real_time")
+            if name is None or not isinstance(value, (int, float)):
+                continue
+            # Aggregate rows (mean/median/stddev) shadow the raw runs;
+            # prefer the median when present.
+            if entry.get("aggregate_name") not in (None, "median"):
+                continue
+            series[name] = (float(value), True)
+        return series
+    if isinstance(data, dict):
+        for name, value in data.items():
+            if name in METADATA_FIELDS or not isinstance(value, (int, float)):
+                continue
+            lower = name.endswith(LOWER_IS_BETTER_SUFFIXES)
+            series[name] = (float(value), lower)
+        return series
+    print(f"error: {path} is not a recognized benchmark JSON shape",
+          file=sys.stderr)
+    sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two benchmark JSON files; fail on regressions.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="maximum tolerated fractional regression "
+                             "(default 0.15)")
+    parser.add_argument("--series", nargs="*", default=None,
+                        help="gate only these series (default: all shared)")
+    args = parser.parse_args()
+
+    base = load_series(args.baseline)
+    cur = load_series(args.current)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("error: the two files share no series", file=sys.stderr)
+        return 2
+    if args.series:
+        missing = [s for s in args.series if s not in shared]
+        if missing:
+            print(f"error: gated series not in both files: {missing}",
+                  file=sys.stderr)
+            return 2
+
+    regressions = []
+    print(f"{'series':<44} {'baseline':>12} {'current':>12} {'delta':>8}")
+    for name in shared:
+        base_value, lower = base[name]
+        cur_value, _ = cur[name]
+        if base_value == 0:
+            delta = 0.0 if cur_value == 0 else float("inf")
+        elif lower:
+            delta = (cur_value - base_value) / base_value
+        else:
+            delta = (base_value - cur_value) / base_value
+        gated = args.series is None or name in args.series
+        regressed = gated and delta > args.threshold
+        marker = " REGRESSED" if regressed else ("" if gated else " (info)")
+        print(f"{name:<44} {base_value:>12.3f} {cur_value:>12.3f} "
+              f"{delta * 100:>7.1f}%{marker}")
+        if regressed:
+            regressions.append(name)
+
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+    for name in only_base:
+        print(f"{name:<44} {'(baseline only)':>12}")
+    for name in only_cur:
+        print(f"{name:<44} {'(current only)':>12}")
+
+    if regressions:
+        print(f"FAIL: {len(regressions)} series regressed beyond "
+              f"{args.threshold * 100:.0f}%: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    print(f"OK: no gated series regressed beyond "
+          f"{args.threshold * 100:.0f}% ({len(shared)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -95,6 +95,8 @@ def collect_defined_flags(root):
     """Every --flag literal that appears in the repo's own sources/build files."""
     flags = set()
     sources = list((root / "tools").glob("*.cpp"))
+    sources += list((root / "tools").glob("*.py"))
+    sources += list((root / "tools").glob("*.sh"))
     sources += list(root.glob("*/CMakeLists.txt"))
     sources.append(root / "CMakeLists.txt")
     for path in sources:

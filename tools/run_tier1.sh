@@ -13,7 +13,13 @@
 #   4. a seeded `wdpt_loadgen --replicas 2 --chaos` smoke run (primary
 #      + two followers under fault injection, one replica killed and
 #      the primary restarted mid-load; zero mismatches and at least
-#      one observed resync required; see docs/REPLICATION.md).
+#      one observed resync required; see docs/REPLICATION.md);
+#   5. a join-kernel perf smoke: `bench_kernel --check` runs the
+#      legacy-vs-flat differential gate on a reduced instance and
+#      writes a benchmark JSON, which is then fed through
+#      tools/bench_compare.py (against itself — exercises the
+#      regression-gate plumbing; compare against a saved baseline by
+#      hand for real regression hunts, see docs/BENCHMARKS.md).
 #
 # Every step runs even after a failure so the summary shows the full
 # picture; the script exits non-zero when any step failed.
@@ -67,6 +73,16 @@ for preset in "${presets[@]}"; do
     step "chaos smoke (replicas)" \
       ./build/tools/wdpt_loadgen --replicas 2 --chaos --chaos-seed 7 \
       --clients 4 --requests 30 --bands 40
+    step "perf smoke (kernel differential)" \
+      ./build/bench/bench_kernel --db-vertices 800 --reps 2 --check \
+      --json build/BENCH_kernel_smoke.json
+    if command -v python3 >/dev/null 2>&1; then
+      step "perf smoke (bench_compare.py)" \
+        python3 tools/bench_compare.py build/BENCH_kernel_smoke.json \
+        build/BENCH_kernel_smoke.json
+    else
+      summary+=("SKIP  perf smoke (no python3)")
+    fi
   fi
 done
 
